@@ -1,0 +1,129 @@
+// Section III.C: allocation overhead of TintMalloc vs. the default
+// buddy path, measured with google-benchmark.
+//
+// Two things are measured at once:
+//   * host time per operation (the simulator's own allocator speed), and
+//   * the *simulated* fault cost in cycles, reported as the
+//     "sim_cycles/fault" counter -- this is the number the paper's claim
+//     is about: colored allocation is expensive while the kernel is
+//     still colorizing buddy blocks (cold), and settles to a constant
+//     once the color lists are populated (warm).
+#include <benchmark/benchmark.h>
+
+#include "core/session.h"
+
+using namespace tint;
+
+namespace {
+
+core::MachineConfig machine() {
+  auto mc = core::MachineConfig::opteron6128();
+  // A smaller machine keeps per-iteration kernel rebuilds cheap.
+  mc.topo.dram_bytes_per_node = 256ULL << 20;
+  return mc;
+}
+
+// Faults `pages` fresh pages, returns accumulated simulated cycles.
+uint64_t fault_pages(core::Session& s, os::TaskId t, uint64_t pages) {
+  const os::VirtAddr base = s.kernel().mmap(t, 0, pages * 4096, 0);
+  uint64_t cycles = 0;
+  for (uint64_t i = 0; i < pages; ++i)
+    cycles += s.kernel().touch(t, base + i * 4096, true).fault_cycles;
+  return cycles;
+}
+
+void BM_DefaultFault(benchmark::State& state) {
+  uint64_t sim_cycles = 0, faults = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::Session s(machine());
+    const os::TaskId t = s.create_task(0);
+    state.ResumeTiming();
+    sim_cycles += fault_pages(s, t, 1024);
+    faults += 1024;
+    state.PauseTiming();
+    state.ResumeTiming();
+  }
+  state.counters["sim_cycles/fault"] =
+      static_cast<double>(sim_cycles) / static_cast<double>(faults);
+  state.SetItemsProcessed(static_cast<int64_t>(faults));
+}
+BENCHMARK(BM_DefaultFault)->Unit(benchmark::kMillisecond);
+
+void BM_ColoredFaultCold(benchmark::State& state) {
+  // Restrictive color set; every batch starts from a fresh kernel whose
+  // color lists are empty, so Algorithm 1 must refill from buddy.
+  uint64_t sim_cycles = 0, faults = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::Session s(machine());
+    const os::TaskId t = s.create_task(0);
+    s.apply_colors(t, core::ThreadColorPlan{{0, 1, 2, 3}, {0, 1}});
+    state.ResumeTiming();
+    sim_cycles += fault_pages(s, t, 1024);
+    faults += 1024;
+  }
+  state.counters["sim_cycles/fault"] =
+      static_cast<double>(sim_cycles) / static_cast<double>(faults);
+  state.SetItemsProcessed(static_cast<int64_t>(faults));
+}
+BENCHMARK(BM_ColoredFaultCold)->Unit(benchmark::kMillisecond);
+
+void BM_ColoredFaultWarm(benchmark::State& state) {
+  // Same colors, but the session's color lists were populated by a
+  // previous allocate/free cycle: faults pop straight off the lists.
+  core::Session s(machine());
+  const os::TaskId t = s.create_task(0);
+  s.apply_colors(t, core::ThreadColorPlan{{0, 1, 2, 3}, {0, 1}});
+  // Prime: allocate and free once so the lists hold matching pages.
+  const os::VirtAddr prime = s.kernel().mmap(t, 0, 1024 * 4096, 0);
+  for (uint64_t i = 0; i < 1024; ++i)
+    s.kernel().touch(t, prime + i * 4096, true);
+  s.kernel().munmap(t, prime, 1024 * 4096);
+
+  uint64_t sim_cycles = 0, faults = 0;
+  for (auto _ : state) {
+    const os::VirtAddr base = s.kernel().mmap(t, 0, 1024 * 4096, 0);
+    for (uint64_t i = 0; i < 1024; ++i)
+      sim_cycles += s.kernel().touch(t, base + i * 4096, true).fault_cycles;
+    faults += 1024;
+    s.kernel().munmap(t, base, 1024 * 4096);  // balanced alloc/free
+  }
+  state.counters["sim_cycles/fault"] =
+      static_cast<double>(sim_cycles) / static_cast<double>(faults);
+  state.SetItemsProcessed(static_cast<int64_t>(faults));
+}
+BENCHMARK(BM_ColoredFaultWarm)->Unit(benchmark::kMillisecond);
+
+void BM_HeapMallocFree(benchmark::State& state) {
+  // User-level TintHeap throughput for small blocks (host time only).
+  core::Session s(machine());
+  const os::TaskId t = s.create_task(0);
+  auto& heap = s.heap(t);
+  const uint64_t size = static_cast<uint64_t>(state.range(0));
+  for (auto _ : state) {
+    const os::VirtAddr p = heap.malloc(size);
+    benchmark::DoNotOptimize(p);
+    heap.free(p);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_HeapMallocFree)->Arg(16)->Arg(256)->Arg(4096);
+
+void BM_ColorControlMmap(benchmark::State& state) {
+  // The one-line opt-in itself (a TCB update) is cheap.
+  core::Session s(machine());
+  const os::TaskId t = s.create_task(0);
+  unsigned c = 0;
+  for (auto _ : state) {
+    s.kernel().mmap(t, (c % 32) | os::SET_LLC_COLOR, 0, os::PROT_COLOR_ALLOC);
+    s.kernel().mmap(t, (c % 32) | os::CLEAR_LLC_COLOR, 0,
+                    os::PROT_COLOR_ALLOC);
+    ++c;
+  }
+}
+BENCHMARK(BM_ColorControlMmap);
+
+}  // namespace
+
+BENCHMARK_MAIN();

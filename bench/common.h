@@ -1,0 +1,81 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench accepts two environment knobs:
+//   TINT_SCALE  workload scale factor (default 0.25; 1.0 = paper-size)
+//   TINT_REPS   repetitions per cell   (default 2; paper used 10)
+// so `for b in build/bench/*; do $b; done` stays fast by default while a
+// full-fidelity run is one env var away.
+#pragma once
+
+#include <bit>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "runtime/experiment.h"
+#include "runtime/workload.h"
+#include "util/table.h"
+
+namespace tint::bench {
+
+inline double env_scale() {
+  const char* s = std::getenv("TINT_SCALE");
+  return s ? std::atof(s) : 0.25;
+}
+
+inline unsigned env_reps() {
+  const char* s = std::getenv("TINT_REPS");
+  return s ? static_cast<unsigned>(std::atoi(s)) : 2;
+}
+
+// Machine whose DRAM scales with the workload scale. Scaling the zones
+// together with the heaps preserves the *capacity relationships* between
+// a policy's colored pool and the benchmark's footprint -- crucial for
+// the freqmine overflow mechanism (Section V.B) which depends on
+// heap > banks x LLC-colors x pages-per-combo. Node size is rounded to a
+// power of two (the contiguous base/limit decode requires it).
+inline core::MachineConfig machine_for_scale(double scale) {
+  core::MachineConfig mc = core::MachineConfig::opteron6128();
+  const uint64_t want = static_cast<uint64_t>(
+      static_cast<double>(mc.topo.dram_bytes_per_node) * scale);
+  mc.topo.dram_bytes_per_node = std::max<uint64_t>(
+      std::bit_ceil(want), 128ULL << 20);
+  mc.topo.validate();
+  return mc;
+}
+
+inline void print_banner(const char* figure, const char* what) {
+  std::printf("=============================================================\n");
+  std::printf("%s -- %s\n", figure, what);
+  std::printf("machine: simulated dual-socket AMD Opteron 6128 "
+              "(16 cores, 4 nodes, 128 banks, 32 LLC colors)\n");
+  std::printf("scale=%.2f reps=%u (TINT_SCALE / TINT_REPS to change)\n",
+              env_scale(), env_reps());
+  std::printf("=============================================================\n\n");
+}
+
+// The four bars of Figs. 11-14: buddy, BPM, MEM+LLC, and the best of the
+// remaining colorings (evaluated per cell, like the paper).
+struct FigureCell {
+  runtime::AggregateResult buddy;
+  runtime::AggregateResult bpm;
+  runtime::AggregateResult memllc;
+  runtime::BestOther best_other;
+};
+
+inline FigureCell run_cell(runtime::ExperimentDriver& driver,
+                           const runtime::WorkloadSpec& spec,
+                           const runtime::ThreadConfig& config) {
+  FigureCell cell;
+  cell.buddy = driver.run(spec, core::Policy::kBuddy, config);
+  cell.bpm = driver.run(spec, core::Policy::kBpm, config);
+  cell.memllc = driver.run(spec, core::Policy::kMemLlc, config);
+  cell.best_other = runtime::best_other_coloring(driver, spec, config);
+  return cell;
+}
+
+inline std::string norm(double value, double base, int precision = 3) {
+  return base > 0 ? Table::fmt(value / base, precision) : "-";
+}
+
+}  // namespace tint::bench

@@ -1,0 +1,56 @@
+// Fig. 10: execution time of the synthetic benchmark (Section V.A) under
+// different coloring policies, normalized to standard buddy allocation.
+//
+// The benchmark allocates a large space per thread and writes it with
+// the alternating stride M, M+1C, M-1C, M+2C, ... so each cache line is
+// touched exactly once and every reference punches through to DRAM.
+// Paper result: MEM, LLC and MEM/LLC all reduce execution time; MEM/LLC
+// is fastest (up to ~17% over buddy on their testbed).
+#include "bench/common.h"
+
+using namespace tint;
+
+int main() {
+  bench::print_banner("Fig. 10", "synthetic stride benchmark runtime");
+
+  const auto machine = core::MachineConfig::opteron6128();
+  const auto config = runtime::make_config(machine.topo, 16, 4);
+  const uint64_t bytes =
+      static_cast<uint64_t>(bench::env_scale() * (24ULL << 20));
+  const unsigned reps = bench::env_reps();
+
+  std::printf("16 threads, %llu MB per thread, every line written once\n\n",
+              static_cast<unsigned long long>(bytes >> 20));
+
+  Table table("synthetic benchmark (normalized runtime, buddy = 1)");
+  table.set_header({"policy", "cycles[M]", "norm", "remote%", "rowhit%",
+                    "avg lat[cyc]"});
+
+  double base = 0;
+  for (const core::Policy p :
+       {core::Policy::kBuddy, core::Policy::kBpm, core::Policy::kLlc,
+        core::Policy::kMem, core::Policy::kMemLlc}) {
+    Summary cycles;
+    double remote = 0, rowhit = 0, lat = 0;
+    for (unsigned rep = 0; rep < reps; ++rep) {
+      const auto r = runtime::run_synthetic(machine, p, config.cores, bytes,
+                                            1000 + rep);
+      cycles.add(static_cast<double>(r.cycles));
+      remote += r.dram_remote_fraction / reps;
+      rowhit += r.row_hit_rate / reps;
+      lat += r.avg_access_latency / reps;
+    }
+    if (p == core::Policy::kBuddy) base = cycles.mean();
+    table.add_row({std::string(core::to_string(p)),
+                   Table::fmt(cycles.mean() / 1e6, 1),
+                   bench::norm(cycles.mean(), base),
+                   Table::fmt(100 * remote, 1), Table::fmt(100 * rowhit, 1),
+                   Table::fmt(lat, 0)});
+  }
+  table.print();
+  std::printf(
+      "\nExpected shape (paper): MEM/LLC < MEM < buddy; LLC near buddy for\n"
+      "this zero-reuse pattern; all coloring gains come from controller\n"
+      "locality and bank isolation, not cache hits.\n");
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Fig. 11: normalized benchmark runtimes of the six SPEC/Parsec proxies
+// under buddy, BPM, MEM+LLC, and the best other coloring, across the
+// five thread/node configurations of Section V.B.
+//
+// Paper results this bench reproduces in shape:
+//   * MEM+LLC < buddy for all six benchmarks in every configuration
+//     (up to ~29.8% for lbm at 16 threads / 4 nodes),
+//   * BPM >= buddy everywhere (controller-oblivious banks go remote),
+//   * blackscholes improves least (MEM+LLC(part) its best coloring),
+//   * buddy's error bars (min/max over reps) exceed MEM+LLC's.
+#include "bench/common.h"
+
+using namespace tint;
+
+int main() {
+  bench::print_banner("Fig. 11", "normalized benchmark runtime");
+
+  const double scale_env = bench::env_scale();
+  const auto machine = bench::machine_for_scale(scale_env);
+  runtime::ExperimentDriver driver(machine, bench::env_reps(), 2026);
+  const auto configs = runtime::standard_configs(machine.topo);
+  const auto suite = runtime::standard_suite();
+  const double scale = scale_env;
+
+  for (const auto& config : configs) {
+    Table table("runtime normalized to buddy -- " + config.name);
+    table.set_header({"benchmark", "buddy", "buddy minmax", "BPM", "MEM+LLC",
+                      "best other", "(which)"});
+    for (const auto& spec : suite) {
+      const auto cell = bench::run_cell(driver, spec.scaled(scale), config);
+      const double base = cell.buddy.runtime.mean();
+      table.add_row(
+          {spec.name, "1.000",
+           Table::fmt(cell.buddy.runtime.min() / base, 3) + "/" +
+               Table::fmt(cell.buddy.runtime.max() / base, 3),
+           bench::norm(cell.bpm.runtime.mean(), base),
+           bench::norm(cell.memllc.runtime.mean(), base),
+           bench::norm(cell.best_other.result.runtime.mean(), base),
+           std::string(core::to_string(cell.best_other.policy))});
+    }
+    table.print();
+    std::printf("\n");
+  }
+  std::printf(
+      "Shape check: MEM+LLC < 1 everywhere, BPM >= 1, lbm largest gain at\n"
+      "16_threads_4_nodes, blackscholes smallest.\n");
+  return 0;
+}

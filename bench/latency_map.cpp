@@ -1,0 +1,129 @@
+// Finding (1) of Section V: "The latency of local memory controller
+// accesses is much lower than that of remote memory controller
+// accesses." Prints the full core-node latency matrix, uncontended and
+// under streaming load, plus the LLC/bank contention microcosms of
+// Figs. 8 and 9.
+#include <memory>
+
+#include "bench/common.h"
+#include "core/session.h"
+
+using namespace tint;
+
+namespace {
+
+// Uncontended single-access latency from `core` to `node`.
+hw::Cycles probe(core::Session& s, unsigned core, unsigned node,
+                 hw::Cycles& now, uint64_t salt) {
+  hw::DramCoord c;
+  c.node = node;
+  c.row = 100 + salt;  // fresh row each probe: row_empty timing
+  c.bank = static_cast<unsigned>(salt % 8);
+  now += 1000000;
+  return s.memsys().access(core, s.mapping().compose(c), false, now);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_banner("latency map", "local vs. remote controller latency");
+
+  core::Session s(core::MachineConfig::opteron6128());
+  hw::Cycles now = 0;
+
+  Table matrix("uncontended DRAM latency [cycles] (rows: core, cols: node)");
+  matrix.set_header({"core", "node0", "node1", "node2", "node3", "hops"});
+  uint64_t salt = 0;
+  for (const unsigned core : {0u, 4u, 8u, 12u}) {
+    std::vector<std::string> row = {"core" + std::to_string(core)};
+    std::string hops;
+    for (unsigned node = 0; node < 4; ++node) {
+      row.push_back(Table::fmt(
+          static_cast<double>(probe(s, core, node, now, ++salt)), 0));
+      hops += std::to_string(s.topology().hops(core, node));
+    }
+    row.push_back(hops);
+    matrix.add_row(std::move(row));
+  }
+  matrix.print();
+
+  // Fig. 8 microcosm: two tasks ping-pong on one bank vs. private banks.
+  {
+    std::printf("\nFig. 8 -- bank sharing (two write streams):\n");
+    for (const bool shared : {true, false}) {
+      core::Session sess(core::MachineConfig::opteron6128());
+      hw::Cycles t = 0;
+      uint64_t total = 0;
+      const unsigned n = 4000;
+      for (unsigned i = 0; i < n; ++i) {
+        // Two interleaved write streams over fresh lines. Shared: both
+        // streams on bank 0 in distant row ranges, so every access
+        // replaces the other stream's open row (Fig. 8). Private: one
+        // bank each, so each stream keeps its row open.
+        const unsigned stream = i % 2;
+        const uint64_t j = i / 2;
+        hw::DramCoord a;
+        a.bank = shared ? 0 : stream;
+        a.row = 10 + stream * 200 + j / 32;
+        a.column = (j % 32) * 128;
+        const hw::Cycles lat =
+            sess.memsys().access(stream, sess.mapping().compose(a), true, t);
+        t += lat / 2 + 1;  // interleaved issue
+        total += lat;
+      }
+      std::printf("  %-22s avg %5.1f cycles/access\n",
+                  shared ? "same bank (conflict):" : "private banks:",
+                  static_cast<double>(total) / n);
+    }
+  }
+
+  // Fig. 9 microcosm: LLC eviction interference vs. colored isolation.
+  {
+    std::printf("\nFig. 9 -- LLC interference (victim's hit rate):\n");
+    for (const bool colored : {false, true}) {
+      core::Session sess(core::MachineConfig::opteron6128());
+      const os::TaskId victim = sess.create_task(0);
+      const os::TaskId bully = sess.create_task(1);
+      if (colored) {
+        // Victim: 8 LLC colors = a 3 MB private slice that holds its
+        // working set. Bully: a disjoint slice.
+        core::ThreadColorPlan vp, bp;
+        for (uint8_t c = 0; c < 8; ++c) vp.llc_colors.push_back(c);
+        for (uint8_t c = 16; c < 24; ++c) bp.llc_colors.push_back(c);
+        sess.apply_colors(victim, vp);
+        sess.apply_colors(bully, bp);
+      }
+      // Victim working set: 2.5 MB -- larger than its private L2, small
+      // enough for an LLC slice. Bully: 32 MB streaming writes.
+      const uint64_t vic_ws = (2560ULL << 10);
+      const uint64_t bully_ws = (32ULL << 20);
+      const os::VirtAddr vh = sess.heap(victim).malloc(vic_ws);
+      const os::VirtAddr bh = sess.heap(bully).malloc(bully_ws);
+      hw::Cycles t = 0;
+      // Warm the victim's working set, then interleave 1:7.
+      for (uint64_t off = 0; off < vic_ws; off += 128)
+        t += sess.touch_and_access(victim, vh + off, false, t);
+      Rng rng(7);
+      uint64_t vic_hits = 0, vic_n = 0;
+      uint64_t bully_cursor = 0;
+      for (unsigned i = 0; i < 160000; ++i) {
+        if (i % 8 == 0) {
+          const os::VirtAddr va = vh + rng.next_below(vic_ws / 128) * 128;
+          const hw::Cycles lat = sess.touch_and_access(victim, va, false, t);
+          vic_hits += lat <= sess.config().timing.llc_hit ? 1 : 0;
+          ++vic_n;
+          t += lat;
+        } else {
+          const os::VirtAddr va =
+              bh + (bully_cursor++ % (bully_ws / 128)) * 128;
+          t += sess.touch_and_access(bully, va, true, t);
+        }
+      }
+      std::printf("  %-22s victim cache-hit rate %5.1f%%\n",
+                  colored ? "LLC colored:" : "shared LLC:",
+                  100.0 * static_cast<double>(vic_hits) /
+                      static_cast<double>(vic_n));
+    }
+  }
+  return 0;
+}

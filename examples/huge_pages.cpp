@@ -1,0 +1,99 @@
+// huge_pages: the extension beyond the paper (Section III.C leaves huge
+// pages as future work) -- controller-aware 2 MB mappings.
+//
+// A 2 MB frame spans every bank and LLC color, so it cannot be colored;
+// what TintMalloc *can* still give it is node locality. This example
+// contrasts three backings for a streaming kernel and for a cache-
+// resident kernel:
+//   1. default 4 KB pages (buddy),
+//   2. colored 4 KB pages (MEM+LLC),
+//   3. node-local 2 MB huge pages (hugetlbfs-style boot reservation).
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "core/session.h"
+#include "runtime/sim_thread.h"
+#include "runtime/experiment.h"
+#include "runtime/workload.h"
+
+using namespace tint;
+
+namespace {
+
+struct Result {
+  double stream_mcycles;
+  double reuse_mcycles;
+  uint64_t faults;
+};
+
+Result run(bool colored, bool huge) {
+  core::MachineConfig mc = core::MachineConfig::opteron6128();
+  mc.kernel.huge_pool_blocks_per_node = huge ? 32 : 0;
+  mc.seed = 11;
+  core::Session session(mc);
+
+  const auto cfg = runtime::make_config(mc.topo, 4, 4);  // 1 thread/node
+  std::vector<os::TaskId> tasks;
+  for (const unsigned c : cfg.cores) tasks.push_back(session.create_task(c));
+  if (colored) session.apply_policy(core::Policy::kMemLlc, tasks);
+
+  constexpr uint64_t kBytes = 16ULL << 20;
+  std::vector<os::VirtAddr> bases;
+  for (const os::TaskId t : tasks)
+    bases.push_back(huge ? session.heap(t).malloc_huge(kBytes)
+                         : session.heap(t).malloc(kBytes));
+
+  runtime::ParallelEngine engine(session);
+  Result res{};
+  hw::Cycles now = 0;
+  {
+    std::vector<std::unique_ptr<runtime::OpStream>> ss;
+    std::vector<runtime::OpStream*> ps;
+    for (const os::VirtAddr b : bases) {
+      ss.push_back(std::make_unique<runtime::StreamingPassStream>(
+          b, kBytes, 128, /*write=*/true, 0));
+      ps.push_back(ss.back().get());
+    }
+    const auto st = engine.run_parallel(tasks, ps, now);
+    res.stream_mcycles = static_cast<double>(st.duration()) / 1e6;
+    now = st.max_end();
+  }
+  {
+    std::vector<std::unique_ptr<runtime::OpStream>> ss;
+    std::vector<runtime::OpStream*> ps;
+    for (size_t i = 0; i < tasks.size(); ++i) {
+      runtime::MixedKernelParams mp;
+      mp.private_base = bases[i];
+      mp.private_bytes = kBytes;
+      mp.hot_bytes = 2ULL << 20;
+      mp.hot_fraction = 0.9;
+      mp.accesses = 120000;
+      ss.push_back(std::make_unique<runtime::MixedKernelStream>(mp, 40 + i));
+      ps.push_back(ss.back().get());
+    }
+    const auto st = engine.run_parallel(tasks, ps, now);
+    res.reuse_mcycles = static_cast<double>(st.duration()) / 1e6;
+  }
+  res.faults = session.kernel().stats().page_faults;
+  return res;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("4 threads (1/node), 16 MB/thread; stream pass + hot reuse\n\n");
+  std::printf("%-24s %14s %14s %10s\n", "backing", "stream[Mcyc]",
+              "reuse[Mcyc]", "faults");
+  const auto p = [&](const char* name, const Result& r) {
+    std::printf("%-24s %14.1f %14.1f %10llu\n", name, r.stream_mcycles,
+                r.reuse_mcycles, static_cast<unsigned long long>(r.faults));
+  };
+  p("4K buddy", run(false, false));
+  p("4K colored (MEM+LLC)", run(true, false));
+  p("2MB huge, node-local", run(false, true));
+  std::printf(
+      "\nhuge pages: ~1/512 the faults and contiguous DRAM rows for the\n"
+      "stream; colored 4K keeps bank/LLC isolation for the reuse phase.\n");
+  return 0;
+}

@@ -1,0 +1,49 @@
+// lbm_stencil: an SPMD streaming-stencil application (the lbm-like
+// workload that motivates the paper) run once per allocation policy.
+//
+// Sixteen threads sweep private lattice partitions every timestep with
+// an implicit barrier between steps -- the fork-join pattern of
+// Section I. The example prints runtime, barrier idle time, per-thread
+// balance, and the memory-system behaviour that explains the gap
+// between default buddy allocation and TintMalloc's MEM+LLC coloring.
+#include <cstdio>
+#include <string>
+
+#include "runtime/experiment.h"
+#include "runtime/workload.h"
+#include "util/table.h"
+
+using namespace tint;
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::stod(argv[1]) : 0.3;
+  const auto machine = core::MachineConfig::opteron6128();
+  const auto config = runtime::make_config(machine.topo, 16, 4);
+  const auto spec = runtime::lbm_spec().scaled(scale);
+
+  runtime::ExperimentDriver driver(machine, /*reps=*/2, /*base_seed=*/2024);
+
+  Table table("lbm-like stencil, 16 threads / 4 nodes (scale " +
+              std::to_string(scale) + ")");
+  table.set_header({"policy", "runtime[Mcyc]", "idle[Mcyc]", "thr spread",
+                    "remote%", "rowhit%", "avg lat"});
+  for (const core::Policy p :
+       {core::Policy::kBuddy, core::Policy::kBpm, core::Policy::kMem,
+        core::Policy::kLlc, core::Policy::kMemLlc}) {
+    const auto r = driver.run(spec, p, config);
+    table.add_row({std::string(core::to_string(p)),
+                   Table::fmt(r.runtime.mean() / 1e6, 1),
+                   Table::fmt(r.total_idle.mean() / 1e6, 1),
+                   Table::fmt(r.busy_spread.mean() / 1e6, 2),
+                   Table::fmt(100 * r.remote_fraction, 1),
+                   Table::fmt(100 * r.row_hit_rate, 1),
+                   Table::fmt(r.avg_access_latency, 0)});
+  }
+  table.print();
+  std::printf(
+      "\nMEM+LLC keeps every access on the local controller in private\n"
+      "banks and LLC colors; buddy pays remote hops and interference,\n"
+      "BPM partitions banks without controller awareness and loses to\n"
+      "both (Section V.B).\n");
+  return 0;
+}

@@ -1,0 +1,69 @@
+// policy_explorer: command-line sweep tool over the public API.
+//
+//   policy_explorer [workload] [threads] [nodes] [scale] [reps]
+//
+// Runs every allocation policy for one benchmark proxy and thread/node
+// configuration and prints the four metrics of Section V (runtime, total
+// idle, per-thread runtime spread, per-thread idle max) plus allocation
+// diagnostics. Defaults: lbm 16 4 0.25 2.
+#include <cstdio>
+#include <string>
+
+#include "runtime/experiment.h"
+#include "runtime/workload.h"
+#include "util/table.h"
+
+using namespace tint;
+
+namespace {
+
+runtime::WorkloadSpec find_spec(const std::string& name) {
+  for (const auto& s : runtime::standard_suite())
+    if (s.name == name) return s;
+  std::fprintf(stderr, "unknown workload '%s'; available:", name.c_str());
+  for (const auto& s : runtime::standard_suite())
+    std::fprintf(stderr, " %s", s.name.c_str());
+  std::fprintf(stderr, "\n");
+  std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string workload = argc > 1 ? argv[1] : "lbm";
+  const unsigned threads = argc > 2 ? std::stoul(argv[2]) : 16;
+  const unsigned nodes = argc > 3 ? std::stoul(argv[3]) : 4;
+  const double scale = argc > 4 ? std::stod(argv[4]) : 0.25;
+  const unsigned reps = argc > 5 ? std::stoul(argv[5]) : 2;
+
+  const auto machine = core::MachineConfig::opteron6128();
+  const auto config = runtime::make_config(machine.topo, threads, nodes);
+  const auto spec = find_spec(workload).scaled(scale);
+  runtime::ExperimentDriver driver(machine, reps, 7);
+
+  Table table(spec.name + " @ " + config.name + " (scale " +
+              Table::fmt(scale, 2) + ", " + std::to_string(reps) + " reps)");
+  table.set_header({"policy", "runtime", "norm", "idle", "norm", "spread",
+                    "maxidle", "remote%", "fallback%", "llcmiss%"});
+
+  double base_rt = 0, base_idle = 0;
+  for (const core::Policy p : core::all_policies()) {
+    const auto r = driver.run(spec, p, config);
+    if (p == core::Policy::kBuddy) {
+      base_rt = r.runtime.mean();
+      base_idle = r.total_idle.mean();
+    }
+    table.add_row(
+        {std::string(core::to_string(p)), Table::fmt(r.runtime.mean() / 1e6, 1),
+         Table::fmt(r.runtime.mean() / base_rt, 3),
+         Table::fmt(r.total_idle.mean() / 1e6, 1),
+         Table::fmt(base_idle > 0 ? r.total_idle.mean() / base_idle : 0, 3),
+         Table::fmt(r.busy_spread.mean() / 1e6, 2),
+         Table::fmt(r.max_thread_idle.mean() / 1e6, 2),
+         Table::fmt(100 * r.remote_fraction, 1),
+         Table::fmt(100 * r.fallback_fraction, 2),
+         Table::fmt(100 * r.llc_miss_rate, 1)});
+  }
+  table.print();
+  return 0;
+}

@@ -1,0 +1,125 @@
+#include "core/color_advisor.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/tintmalloc.h"
+#include "util/assert.h"
+
+namespace tint::core {
+
+namespace {
+std::string fmt_frac(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.2f", v);
+  return buf;
+}
+}  // namespace
+
+ColorAdvisor::ColorAdvisor(const hw::AddressMapping& mapping,
+                           const hw::Topology& topo)
+    : mapping_(mapping), topo_(topo) {}
+
+uint64_t ColorAdvisor::pool_capacity_pages(const os::Kernel& kernel,
+                                           os::TaskId task) const {
+  const os::Task& t = kernel.task(task);
+  if (!t.using_bank() && !t.using_llc()) return topo_.total_pages();
+
+  // Frames per (bank, LLC) combination on one node.
+  const uint64_t per_combo =
+      topo_.pages_per_node() /
+      (mapping_.banks_per_node() * mapping_.num_llc_colors());
+  const uint64_t banks = t.using_bank() ? t.mem_color_list().size()
+                                        : mapping_.num_bank_colors();
+  const uint64_t llcs = t.using_llc() ? t.llc_color_list().size()
+                                      : mapping_.num_llc_colors();
+  return banks * llcs * per_combo;
+}
+
+bool ColorAdvisor::pool_would_overflow(const os::Kernel& kernel,
+                                       os::TaskId task,
+                                       uint64_t needed_bytes) const {
+  const uint64_t pages =
+      (needed_bytes + topo_.page_bytes() - 1) / topo_.page_bytes();
+  return pages > pool_capacity_pages(kernel, task);
+}
+
+std::vector<TaskAdvice> ColorAdvisor::analyze(
+    const os::Kernel& kernel, double fallback_tolerance) const {
+  // Collect machine-wide claims so suggestions stay disjoint.
+  std::vector<unsigned> bank_claims(mapping_.num_bank_colors(), 0);
+  // Per node: which tasks use which LLC colors.
+  std::vector<std::vector<unsigned>> node_llc_claims(
+      topo_.num_nodes(), std::vector<unsigned>(mapping_.num_llc_colors(), 0));
+  for (os::TaskId id = 0; id < kernel.num_tasks(); ++id) {
+    const os::Task& t = kernel.task(id);
+    for (const uint16_t c : t.mem_color_list()) ++bank_claims[c];
+    for (const uint8_t c : t.llc_color_list())
+      ++node_llc_claims[t.local_node()][c];
+  }
+
+  std::vector<TaskAdvice> out;
+  for (os::TaskId id = 0; id < kernel.num_tasks(); ++id) {
+    const os::Task& t = kernel.task(id);
+    const os::TaskAllocStats& as = t.alloc_stats();
+    TaskAdvice advice;
+    advice.task = id;
+
+    const double fb =
+        as.page_faults ? static_cast<double>(as.fallback_pages) /
+                             static_cast<double>(as.page_faults)
+                       : 0.0;
+    if (fb <= fallback_tolerance || (!t.using_bank() && !t.using_llc())) {
+      advice.reason = "no fallback pressure";
+      out.push_back(std::move(advice));
+      continue;
+    }
+
+    // Prefer widening with unclaimed banks on the task's own node.
+    if (t.using_bank()) {
+      for (unsigned b = 0; b < mapping_.banks_per_node(); ++b) {
+        const unsigned color = mapping_.make_bank_color(t.local_node(), b);
+        if (bank_claims[color] == 0 && !t.has_mem_color(color))
+          advice.additions.mem_colors.push_back(
+              static_cast<uint16_t>(color));
+      }
+      if (!advice.additions.mem_colors.empty()) {
+        advice.kind = TaskAdvice::Kind::kWidenBanks;
+        advice.reason =
+            "fallback fraction " + fmt_frac(fb) +
+            ": unclaimed local banks available";
+        out.push_back(std::move(advice));
+        continue;
+      }
+    }
+
+    // Node fully claimed: suggest sharing LLC colors with node siblings
+    // (the MEM+LLC(part) escape hatch).
+    if (t.using_llc()) {
+      const auto& claims = node_llc_claims[t.local_node()];
+      for (unsigned c = 0; c < mapping_.num_llc_colors(); ++c)
+        if (claims[c] > 0 && !t.has_llc_color(c))
+          advice.additions.llc_colors.push_back(static_cast<uint8_t>(c));
+      if (!advice.additions.llc_colors.empty()) {
+        advice.kind = TaskAdvice::Kind::kShareLlc;
+        advice.reason = "fallback fraction " + fmt_frac(fb) +
+                        ": node banks exhausted, share LLC colors "
+                        "group-wise";
+        out.push_back(std::move(advice));
+        continue;
+      }
+    }
+
+    advice.reason = "fallback pressure but no colors left to suggest";
+    out.push_back(std::move(advice));
+  }
+  return out;
+}
+
+unsigned ColorAdvisor::apply(os::Kernel& kernel,
+                             const TaskAdvice& advice) const {
+  if (advice.kind == TaskAdvice::Kind::kOk) return 0;
+  return apply_thread_colors(kernel, advice.task, advice.additions);
+}
+
+}  // namespace tint::core

@@ -1,0 +1,68 @@
+// ColorAdvisor: capacity planning and live diagnosis for color sets.
+//
+// The paper's one sharp edge is over-constrained colorings: a task whose
+// heap outgrows its colored pool starts taking fallback pages (uncolored,
+// often remote -- the freqmine anomaly of Section V.B). The advisor
+// makes that failure mode visible and actionable:
+//
+//   * `pool_capacity_pages()` -- how many frames a task's current color
+//     set can ever supply (geometry-based, the planning-time check),
+//   * `analyze()` -- post-run diagnosis from the TCB allocation stats:
+//     which tasks fell back, and which *free* colors on their node could
+//     be added to widen the pool (falling back to group-shared colors
+//     when the node is fully claimed -- the "(part)" escape hatch),
+//   * `apply()` -- issues the corresponding SET_* mmap calls.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/color_planner.h"
+#include "os/kernel.h"
+
+namespace tint::core {
+
+struct TaskAdvice {
+  enum class Kind {
+    kOk,          // no action needed
+    kWidenBanks,  // add the suggested bank colors (free on local node)
+    kShareLlc,    // add LLC colors already used by same-node tasks
+  };
+
+  os::TaskId task = os::kNoTask;
+  Kind kind = Kind::kOk;
+  std::string reason;
+  // Colors to add (empty for kOk).
+  ThreadColorPlan additions;
+};
+
+class ColorAdvisor {
+ public:
+  ColorAdvisor(const hw::AddressMapping& mapping, const hw::Topology& topo);
+
+  // Maximum number of frames the task's current color set can supply
+  // (per-combo capacity times the number of combos; uncolored axes count
+  // as "all colors"). Returns the machine page count for uncolored tasks.
+  uint64_t pool_capacity_pages(const os::Kernel& kernel,
+                               os::TaskId task) const;
+
+  // True when `needed_bytes` of heap cannot fit the task's pool -- call
+  // before running to catch freqmine-style overconstraint.
+  bool pool_would_overflow(const os::Kernel& kernel, os::TaskId task,
+                           uint64_t needed_bytes) const;
+
+  // Diagnoses every task from its allocation statistics. `fallback_tolerance`
+  // is the fraction of faults allowed to fall back before advice fires.
+  std::vector<TaskAdvice> analyze(const os::Kernel& kernel,
+                                  double fallback_tolerance = 0.02) const;
+
+  // Applies one piece of advice through the mmap color protocol.
+  // Returns the number of color-control calls issued.
+  unsigned apply(os::Kernel& kernel, const TaskAdvice& advice) const;
+
+ private:
+  const hw::AddressMapping& mapping_;
+  hw::Topology topo_;
+};
+
+}  // namespace tint::core

@@ -1,0 +1,150 @@
+#include "core/color_planner.h"
+
+#include <algorithm>
+#include <map>
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace tint::core {
+
+ColorPlanner::ColorPlanner(const hw::AddressMapping& mapping,
+                           const hw::Topology& topo)
+    : mapping_(mapping), topo_(topo) {}
+
+std::pair<unsigned, unsigned> ColorPlanner::split(unsigned total,
+                                                  unsigned count,
+                                                  unsigned index) {
+  TINT_ASSERT_MSG(count > 0 && count <= total,
+                  "more claimants than colors: cannot assign private colors");
+  const unsigned lo = static_cast<unsigned>(
+      (static_cast<uint64_t>(index) * total) / count);
+  const unsigned hi = static_cast<unsigned>(
+      (static_cast<uint64_t>(index + 1) * total) / count);
+  return {lo, hi};
+}
+
+void ColorPlanner::assign_private_llc(ColorPlan& plan) const {
+  const unsigned t = static_cast<unsigned>(plan.threads.size());
+  const unsigned nl = mapping_.num_llc_colors();
+  for (unsigned i = 0; i < t; ++i) {
+    const auto [lo, hi] = split(nl, t, i);
+    for (unsigned c = lo; c < hi; ++c)
+      plan.threads[i].llc_colors.push_back(static_cast<uint8_t>(c));
+  }
+}
+
+void ColorPlanner::assign_grouped_llc(ColorPlan& plan,
+                                      std::span<const unsigned> cores) const {
+  // One group per distinct memory node in use (Section V.B: 16 threads ->
+  // 4 groups of 4, each group owning 8 LLC colors shared by its members).
+  std::map<unsigned, unsigned> group_of_node;  // node -> dense group index
+  for (unsigned core : cores) {
+    const unsigned n = topo_.node_of_core(core);
+    group_of_node.emplace(n, static_cast<unsigned>(group_of_node.size()));
+  }
+  const unsigned groups = static_cast<unsigned>(group_of_node.size());
+  const unsigned nl = mapping_.num_llc_colors();
+  for (size_t i = 0; i < cores.size(); ++i) {
+    const unsigned g = group_of_node.at(topo_.node_of_core(cores[i]));
+    const auto [lo, hi] = split(nl, groups, g);
+    for (unsigned c = lo; c < hi; ++c)
+      plan.threads[i].llc_colors.push_back(static_cast<uint8_t>(c));
+  }
+}
+
+void ColorPlanner::assign_private_banks(ColorPlan& plan,
+                                        std::span<const unsigned> cores) const {
+  // Controller-aware: each thread's banks come from its local node; the
+  // node's banks are split evenly among the threads pinned there.
+  const unsigned bpn = mapping_.banks_per_node();
+  std::map<unsigned, std::vector<size_t>> node_threads;
+  for (size_t i = 0; i < cores.size(); ++i)
+    node_threads[topo_.node_of_core(cores[i])].push_back(i);
+  for (const auto& [node, threads] : node_threads) {
+    const unsigned m = static_cast<unsigned>(threads.size());
+    for (unsigned j = 0; j < m; ++j) {
+      const auto [lo, hi] = split(bpn, m, j);
+      for (unsigned b = lo; b < hi; ++b)
+        plan.threads[threads[j]].mem_colors.push_back(
+            static_cast<uint16_t>(mapping_.make_bank_color(node, b)));
+    }
+  }
+}
+
+void ColorPlanner::assign_grouped_banks(ColorPlan& plan,
+                                        std::span<const unsigned> cores) const {
+  // LLC+MEM(part): threads on one node share *all* of that node's banks.
+  const unsigned bpn = mapping_.banks_per_node();
+  for (size_t i = 0; i < cores.size(); ++i) {
+    const unsigned node = topo_.node_of_core(cores[i]);
+    for (unsigned b = 0; b < bpn; ++b)
+      plan.threads[i].mem_colors.push_back(
+          static_cast<uint16_t>(mapping_.make_bank_color(node, b)));
+  }
+}
+
+void ColorPlanner::assign_bpm_banks(ColorPlan& plan) const {
+  // Prior work (BPM, Liu et al.): disjoint banks per thread chosen from
+  // the global bank list without regard to the memory controller, so
+  // most of a thread's banks land on remote nodes. The partition uses a
+  // fixed pseudo-random permutation rather than a stride: a stride-T
+  // pick through the node-major Eq. 1 enumeration would give every
+  // thread banks with *identical* low bank bits, and since those bits
+  // are also LLC set-index bits the thread would be confined to a sliver
+  // of its LLC colors -- an aliasing artifact, not a property of BPM.
+  const unsigned t = static_cast<unsigned>(plan.threads.size());
+  const unsigned nb = mapping_.num_bank_colors();
+  TINT_ASSERT_MSG(t <= nb, "more threads than banks");
+  std::vector<uint16_t> perm(nb);
+  for (unsigned c = 0; c < nb; ++c) perm[c] = static_cast<uint16_t>(c);
+  for (unsigned i = nb; i > 1; --i) {
+    const unsigned j = static_cast<unsigned>(mix64(0xb93ULL + i) % i);
+    std::swap(perm[i - 1], perm[j]);
+  }
+  for (unsigned i = 0; i < t; ++i) {
+    const auto [lo, hi] = split(nb, t, i);
+    for (unsigned k = lo; k < hi; ++k)
+      plan.threads[i].mem_colors.push_back(perm[k]);
+    std::sort(plan.threads[i].mem_colors.begin(),
+              plan.threads[i].mem_colors.end());
+  }
+}
+
+ColorPlan ColorPlanner::plan(Policy policy,
+                             std::span<const unsigned> cores) const {
+  TINT_ASSERT(!cores.empty());
+  for (unsigned c : cores) TINT_ASSERT(c < topo_.num_cores());
+  ColorPlan p;
+  p.policy = policy;
+  p.threads.resize(cores.size());
+  switch (policy) {
+    case Policy::kBuddy:
+      break;
+    case Policy::kBpm:
+      assign_bpm_banks(p);
+      assign_private_llc(p);
+      break;
+    case Policy::kLlc:
+      assign_private_llc(p);
+      break;
+    case Policy::kMem:
+      assign_private_banks(p, cores);
+      break;
+    case Policy::kMemLlc:
+      assign_private_banks(p, cores);
+      assign_private_llc(p);
+      break;
+    case Policy::kMemLlcPart:
+      assign_private_banks(p, cores);
+      assign_grouped_llc(p, cores);
+      break;
+    case Policy::kLlcMemPart:
+      assign_grouped_banks(p, cores);
+      assign_private_llc(p);
+      break;
+  }
+  return p;
+}
+
+}  // namespace tint::core

@@ -1,0 +1,67 @@
+// Computes per-thread color assignments for every policy of Section V.B.
+//
+// Given the threads' core pinnings and the machine geometry, the planner
+// divides the 128 bank colors and 32 LLC colors exactly like the paper:
+//
+//   * LLC / MEM / MEM+LLC: colors are *private* -- the resource is split
+//     evenly among the competing threads (e.g. 16 threads -> 2 private
+//     LLC colors each; 8 threads -> 4 each).
+//   * MEM+LLC(part): banks private; the LLC is split per *thread group*
+//     (one group per memory node) and shared within the group
+//     (16 threads / 4 nodes -> 4 groups x 8 LLC colors).
+//   * LLC+MEM(part): LLC private; each thread may use *all* banks of its
+//     local node (the group shares the node's banks).
+//   * Bank colors always come from the thread's local node -- this is the
+//     controller awareness that distinguishes TintMalloc.
+//   * BPM (prior work): banks and LLC are partitioned but bank selection
+//     ignores controller locality: thread i takes every T-th color of the
+//     global (node-major) bank list, so most of its banks are remote.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/policy.h"
+#include "hw/address_mapping.h"
+
+namespace tint::core {
+
+// Colors for one thread. Empty vectors mean "uncolored" on that axis.
+struct ThreadColorPlan {
+  std::vector<uint16_t> mem_colors;
+  std::vector<uint8_t> llc_colors;
+};
+
+struct ColorPlan {
+  Policy policy = Policy::kBuddy;
+  std::vector<ThreadColorPlan> threads;
+};
+
+class ColorPlanner {
+ public:
+  ColorPlanner(const hw::AddressMapping& mapping, const hw::Topology& topo);
+
+  // `cores[i]` is the core thread i is pinned to.
+  ColorPlan plan(Policy policy, std::span<const unsigned> cores) const;
+
+ private:
+  // Balanced disjoint split of [0, total) among `count` claimants;
+  // returns the half-open range of claimant `index`.
+  static std::pair<unsigned, unsigned> split(unsigned total, unsigned count,
+                                             unsigned index);
+
+  void assign_private_llc(ColorPlan& plan) const;
+  void assign_grouped_llc(ColorPlan& plan,
+                          std::span<const unsigned> cores) const;
+  void assign_private_banks(ColorPlan& plan,
+                            std::span<const unsigned> cores) const;
+  void assign_grouped_banks(ColorPlan& plan,
+                            std::span<const unsigned> cores) const;
+  void assign_bpm_banks(ColorPlan& plan) const;
+
+  const hw::AddressMapping& mapping_;
+  hw::Topology topo_;
+};
+
+}  // namespace tint::core

@@ -1,0 +1,41 @@
+#include "core/policy.h"
+
+#include <array>
+
+namespace tint::core {
+
+namespace {
+constexpr std::array<Policy, 7> kAll = {
+    Policy::kBuddy,      Policy::kBpm,        Policy::kLlc,
+    Policy::kMem,        Policy::kMemLlc,     Policy::kMemLlcPart,
+    Policy::kLlcMemPart,
+};
+constexpr std::array<Policy, 5> kTint = {
+    Policy::kLlc,        Policy::kMem,        Policy::kMemLlc,
+    Policy::kMemLlcPart, Policy::kLlcMemPart,
+};
+}  // namespace
+
+std::span<const Policy> all_policies() { return kAll; }
+std::span<const Policy> tint_policies() { return kTint; }
+
+std::string_view to_string(Policy p) {
+  switch (p) {
+    case Policy::kBuddy: return "buddy";
+    case Policy::kBpm: return "BPM";
+    case Policy::kLlc: return "LLC";
+    case Policy::kMem: return "MEM";
+    case Policy::kMemLlc: return "MEM+LLC";
+    case Policy::kMemLlcPart: return "MEM+LLC(part)";
+    case Policy::kLlcMemPart: return "LLC+MEM(part)";
+  }
+  return "?";
+}
+
+std::optional<Policy> parse_policy(std::string_view name) {
+  for (Policy p : kAll)
+    if (to_string(p) == name) return p;
+  return std::nullopt;
+}
+
+}  // namespace tint::core

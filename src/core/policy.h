@@ -1,0 +1,28 @@
+// Coloring policies evaluated in the paper (Section V.B).
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string_view>
+
+namespace tint::core {
+
+enum class Policy {
+  kBuddy,       // standard Linux buddy allocation (no coloring)
+  kBpm,         // prior work: bank+LLC partitioning, controller-oblivious
+  kLlc,         // "LLC coloring": private LLC colors, uncolored memory
+  kMem,         // "Memory coloring (MEM)": private banks, uncolored LLC
+  kMemLlc,      // "MEM+LLC": private banks and private LLC colors
+  kMemLlcPart,  // "MEM+LLC (part)": private banks, LLC shared per group
+  kLlcMemPart,  // "LLC+MEM (part)": private LLC, banks shared per group
+};
+
+// All policies in the paper's comparison order.
+std::span<const Policy> all_policies();
+// The TintMalloc coloring modes (excludes buddy and BPM baselines).
+std::span<const Policy> tint_policies();
+
+std::string_view to_string(Policy p);
+std::optional<Policy> parse_policy(std::string_view name);
+
+}  // namespace tint::core

@@ -1,0 +1,71 @@
+#include "core/session.h"
+
+#include "util/assert.h"
+
+namespace tint::core {
+
+MachineConfig MachineConfig::opteron6128() {
+  MachineConfig c;
+  c.topo = hw::Topology::opteron6128();
+  return c;
+}
+
+MachineConfig MachineConfig::tiny() {
+  MachineConfig c;
+  c.topo = hw::Topology::tiny();
+  c.kernel.warmup_episodes = 64;
+  return c;
+}
+
+Session::Session(const MachineConfig& cfg)
+    : cfg_(cfg), pci_(hw::PciConfig::program_bios(cfg.topo)) {
+  mapping_ = std::make_unique<hw::AddressMapping>(pci_, cfg_.topo);
+  memsys_ = std::make_unique<sim::MemorySystem>(cfg_.topo, *mapping_,
+                                                cfg_.timing);
+  kernel_ = std::make_unique<os::Kernel>(cfg_.topo, *mapping_, cfg_.kernel,
+                                         cfg_.seed);
+  planner_ = std::make_unique<ColorPlanner>(*mapping_, cfg_.topo);
+}
+
+os::TaskId Session::create_task(unsigned pinned_core) {
+  const os::TaskId id = kernel_->create_task(pinned_core);
+  TINT_ASSERT(id == heaps_.size());
+  heaps_.push_back(std::make_unique<TintHeap>(*kernel_, id, cfg_.heap));
+  return id;
+}
+
+void Session::apply_colors(os::TaskId task, const ThreadColorPlan& plan) {
+  apply_thread_colors(*kernel_, task, plan);
+}
+
+ColorPlan Session::apply_policy(Policy policy,
+                                std::span<const os::TaskId> tasks) {
+  std::vector<unsigned> cores;
+  cores.reserve(tasks.size());
+  for (const os::TaskId t : tasks) cores.push_back(kernel_->task(t).core());
+  ColorPlan plan = planner_->plan(policy, cores);
+  for (size_t i = 0; i < tasks.size(); ++i)
+    apply_colors(tasks[i], plan.threads[i]);
+  return plan;
+}
+
+TintHeap& Session::heap(os::TaskId task) {
+  TINT_ASSERT(task < heaps_.size());
+  return *heaps_[task];
+}
+
+hw::Cycles Session::touch_and_access(os::TaskId task, os::VirtAddr va,
+                                     bool write, hw::Cycles now) {
+  const os::Kernel::TouchResult tr = kernel_->touch(task, va, write);
+  const unsigned core = kernel_->task(task).core();
+  // The fault overhead is charged to the thread's clock but the timed
+  // access is issued at `now`: shifting the access into the future would
+  // let one thread's fault reserve memory-system resources ahead of
+  // other threads' *earlier* accesses (the event engine processes ops in
+  // start-time order, so reservations must stay near `now` for
+  // causality).
+  const hw::Cycles lat = memsys_->access(core, tr.pa, write, now);
+  return tr.fault_cycles + lat;
+}
+
+}  // namespace tint::core

@@ -1,0 +1,81 @@
+// Session: the one-stop facade tying the simulated machine together.
+//
+// A Session owns the topology, the boot-derived address mapping, the
+// timing model (MemorySystem), the kernel, and one TintHeap per task.
+// Examples and the experiment driver talk to a Session; tests may also
+// use the lower layers directly.
+//
+// Typical use (this is the whole public API an application needs):
+//
+//   auto session = tint::core::Session(tint::core::MachineConfig::opteron6128());
+//   auto task = session.create_task(/*core=*/0);
+//   session.apply_colors(task, plan.threads[0]);      // the 1-line opt-in
+//   auto ptr = session.heap(task).malloc(1 << 20);    // colored pages
+//   session.touch_and_access(task, ptr, /*write=*/true, now);
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/color_planner.h"
+#include "core/tintmalloc.h"
+#include "hw/address_mapping.h"
+#include "hw/pci_config.h"
+#include "hw/topology.h"
+#include "os/kernel.h"
+#include "sim/memory_system.h"
+
+namespace tint::core {
+
+struct MachineConfig {
+  hw::Topology topo;
+  hw::Timing timing;
+  os::KernelConfig kernel;
+  HeapConfig heap;
+  uint64_t seed = 42;
+
+  // The paper's evaluation platform.
+  static MachineConfig opteron6128();
+  // Small machine for fast tests.
+  static MachineConfig tiny();
+};
+
+class Session {
+ public:
+  explicit Session(const MachineConfig& cfg);
+
+  // --- construction of the experiment population ---
+  os::TaskId create_task(unsigned pinned_core);
+  // Issues the color-control mmap calls for one task.
+  void apply_colors(os::TaskId task, const ThreadColorPlan& plan);
+  // Plans and applies a policy across tasks (tasks[i] pinned to cores[i]).
+  ColorPlan apply_policy(Policy policy, std::span<const os::TaskId> tasks);
+
+  // --- access path ---
+  // Touches `va` (faulting if needed) and performs the timed memory
+  // access. Returns total cycles (fault overhead + hierarchy latency).
+  hw::Cycles touch_and_access(os::TaskId task, os::VirtAddr va, bool write,
+                              hw::Cycles now);
+
+  // --- components ---
+  const hw::Topology& topology() const { return cfg_.topo; }
+  const hw::AddressMapping& mapping() const { return *mapping_; }
+  os::Kernel& kernel() { return *kernel_; }
+  const os::Kernel& kernel() const { return *kernel_; }
+  sim::MemorySystem& memsys() { return *memsys_; }
+  const sim::MemorySystem& memsys() const { return *memsys_; }
+  TintHeap& heap(os::TaskId task);
+  const ColorPlanner& planner() const { return *planner_; }
+  const MachineConfig& config() const { return cfg_; }
+
+ private:
+  MachineConfig cfg_;
+  hw::PciConfig pci_;
+  std::unique_ptr<hw::AddressMapping> mapping_;
+  std::unique_ptr<sim::MemorySystem> memsys_;
+  std::unique_ptr<os::Kernel> kernel_;
+  std::unique_ptr<ColorPlanner> planner_;
+  std::vector<std::unique_ptr<TintHeap>> heaps_;  // indexed by TaskId
+};
+
+}  // namespace tint::core

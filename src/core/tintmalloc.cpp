@@ -1,0 +1,206 @@
+#include "core/tintmalloc.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace tint::core {
+
+TintHeap::TintHeap(os::Kernel& kernel, os::TaskId task, HeapConfig cfg)
+    : kernel_(kernel), task_(task), cfg_(cfg) {
+  TINT_ASSERT(cfg_.chunk_pages >= 1);
+  free_lists_.resize(std::size(kClasses));
+}
+
+TintHeap::~TintHeap() { release_all(); }
+
+int TintHeap::class_of(uint64_t size) {
+  for (size_t i = 0; i < std::size(kClasses); ++i)
+    if (size <= kClasses[i]) return static_cast<int>(i);
+  return -1;  // large allocation
+}
+
+VirtAddr TintHeap::malloc(uint64_t size) {
+  if (size == 0) size = 1;
+  ++stats_.mallocs;
+  stats_.bytes_requested += size;
+  stats_.bytes_live += size;
+
+  const int cls = class_of(size);
+  if (cls < 0) return alloc_large(size);
+
+  const uint64_t block = kClasses[cls];
+  auto& fl = free_lists_[static_cast<size_t>(cls)];
+  VirtAddr va;
+  if (!fl.empty()) {
+    va = fl.back();
+    fl.pop_back();
+  } else {
+    va = carve(block);
+  }
+  block_size_.emplace(va, block);
+  return va;
+}
+
+VirtAddr TintHeap::calloc(uint64_t nmemb, uint64_t size) {
+  TINT_ASSERT_MSG(size == 0 || nmemb <= ~uint64_t{0} / size,
+                  "calloc overflow");
+  return malloc(nmemb * size);
+}
+
+VirtAddr TintHeap::carve(uint64_t size) {
+  TINT_DASSERT(size <= kernel_.topology().page_bytes() *
+                           static_cast<uint64_t>(cfg_.chunk_pages));
+  if (chunk_cursor_ + size > chunk_end_) {
+    const uint64_t len =
+        kernel_.topology().page_bytes() * cfg_.chunk_pages;
+    const VirtAddr base = kernel_.mmap(task_, 0, len, 0);
+    TINT_ASSERT_MSG(base != os::kMmapFailed, "heap chunk mmap failed");
+    vmas_.emplace_back(base, len);
+    ++stats_.chunks_reserved;
+    chunk_cursor_ = base;
+    chunk_end_ = base + len;
+  }
+  const VirtAddr va = chunk_cursor_;
+  chunk_cursor_ += size;
+  return va;
+}
+
+VirtAddr TintHeap::alloc_large(uint64_t size) {
+  ++stats_.large_allocs;
+  const uint64_t page = kernel_.topology().page_bytes();
+  const uint64_t len = (size + page - 1) & ~(page - 1);
+  const VirtAddr base = kernel_.mmap(task_, 0, len, 0);
+  TINT_ASSERT_MSG(base != os::kMmapFailed, "large mmap failed");
+  vmas_.emplace_back(base, len);
+  block_size_.emplace(base, len);
+  return base;
+}
+
+VirtAddr TintHeap::malloc_huge(uint64_t size) {
+  ++stats_.mallocs;
+  ++stats_.large_allocs;
+  stats_.bytes_requested += size;
+  stats_.bytes_live += size;
+  const uint64_t len =
+      (size + os::Kernel::kHugeBytes - 1) & ~(os::Kernel::kHugeBytes - 1);
+  const VirtAddr base = kernel_.mmap(task_, 0, len, 0, os::MAP_HUGE_2MB);
+  TINT_ASSERT_MSG(base != os::kMmapFailed, "huge mmap failed");
+  vmas_.emplace_back(base, len);
+  block_size_.emplace(base, len);
+  return base;
+}
+
+VirtAddr TintHeap::realloc(VirtAddr ptr, uint64_t size) {
+  if (ptr == 0) return malloc(size);
+  if (size == 0) {
+    free(ptr);
+    return 0;
+  }
+  const auto it = block_size_.find(ptr);
+  TINT_ASSERT_MSG(it != block_size_.end(), "realloc of unknown pointer");
+  const uint64_t old_size = it->second;
+  if (size <= old_size && class_of(size) == class_of(old_size))
+    return ptr;  // still fits the same block / class
+  const VirtAddr fresh = malloc(size);
+  free(ptr);  // data copy is a no-op in the simulator
+  return fresh;
+}
+
+VirtAddr TintHeap::aligned_alloc(uint64_t alignment, uint64_t size) {
+  TINT_ASSERT_MSG(alignment >= kAlign && (alignment & (alignment - 1)) == 0,
+                  "alignment must be a power of two >= 16");
+  if (alignment <= kAlign) return malloc(size);
+  // Over-allocate and return the aligned address inside the block; the
+  // bookkeeping keys on the returned pointer.
+  ++stats_.mallocs;
+  stats_.bytes_requested += size;
+  stats_.bytes_live += size;
+  const uint64_t padded = size + alignment;
+  const int cls = class_of(padded);
+  VirtAddr base;
+  if (cls < 0) {
+    base = alloc_large(padded);
+    block_size_.erase(base);  // re-keyed on the aligned pointer below
+  } else {
+    auto& fl = free_lists_[static_cast<size_t>(cls)];
+    if (!fl.empty()) {
+      base = fl.back();
+      fl.pop_back();
+    } else {
+      base = carve(kClasses[cls]);
+    }
+  }
+  const VirtAddr aligned = (base + alignment - 1) & ~(alignment - 1);
+  // Remember the *block* under the aligned pointer so free() can return
+  // it to the right size class.
+  block_size_.emplace(aligned, cls < 0 ? padded : kClasses[cls]);
+  aligned_offset_.emplace(aligned, aligned - base);
+  return aligned;
+}
+
+uint64_t TintHeap::usable_size(VirtAddr ptr) const {
+  const auto it = block_size_.find(ptr);
+  TINT_ASSERT_MSG(it != block_size_.end(), "usable_size of unknown pointer");
+  const auto off = aligned_offset_.find(ptr);
+  return it->second - (off == aligned_offset_.end() ? 0 : off->second);
+}
+
+void TintHeap::free(VirtAddr ptr) {
+  if (ptr == 0) return;
+  const auto it = block_size_.find(ptr);
+  TINT_ASSERT_MSG(it != block_size_.end(), "free of unknown pointer");
+  const uint64_t size = it->second;
+  block_size_.erase(it);
+  ++stats_.frees;
+  stats_.bytes_live -= std::min(stats_.bytes_live, size);
+
+  // aligned_alloc pointers sit inside their block; recover the base.
+  VirtAddr base = ptr;
+  if (const auto off = aligned_offset_.find(ptr);
+      off != aligned_offset_.end()) {
+    base = ptr - off->second;
+    aligned_offset_.erase(off);
+  }
+
+  const int cls = class_of(size);
+  if (cls >= 0 && size == kClasses[cls]) {
+    free_lists_[static_cast<size_t>(cls)].push_back(base);
+    return;
+  }
+  // Large block: find and unmap its VMA, returning frames to the kernel.
+  const auto vma = std::find_if(vmas_.begin(), vmas_.end(),
+                                [&](const auto& v) { return v.first == base; });
+  TINT_ASSERT_MSG(vma != vmas_.end(), "large free without matching VMA");
+  kernel_.munmap(task_, vma->first, vma->second);
+  vmas_.erase(vma);
+}
+
+void TintHeap::release_all() {
+  for (const auto& [base, len] : vmas_) kernel_.munmap(task_, base, len);
+  vmas_.clear();
+  block_size_.clear();
+  for (auto& fl : free_lists_) fl.clear();
+  chunk_cursor_ = chunk_end_ = 0;
+  stats_.bytes_live = 0;
+}
+
+unsigned apply_thread_colors(os::Kernel& kernel, os::TaskId task,
+                             const ThreadColorPlan& plan) {
+  unsigned calls = 0;
+  for (const uint16_t c : plan.mem_colors) {
+    const os::VirtAddr r = kernel.mmap(
+        task, c | os::SET_MEM_COLOR, 0, os::PROT_COLOR_ALLOC);
+    TINT_ASSERT_MSG(r != os::kMmapFailed, "SET_MEM_COLOR rejected");
+    ++calls;
+  }
+  for (const uint8_t c : plan.llc_colors) {
+    const os::VirtAddr r = kernel.mmap(
+        task, c | os::SET_LLC_COLOR, 0, os::PROT_COLOR_ALLOC);
+    TINT_ASSERT_MSG(r != os::kMmapFailed, "SET_LLC_COLOR rejected");
+    ++calls;
+  }
+  return calls;
+}
+
+}  // namespace tint::core

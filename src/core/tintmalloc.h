@@ -1,0 +1,111 @@
+// TintHeap: the user-level malloc that sits on top of the colored
+// kernel path.
+//
+// The paper's headline usability claim is that "malloc() calls remain
+// unchanged": an application opts in with one mmap() color-control call
+// per color during initialization, and every subsequent heap allocation
+// of that thread is automatically colored, because the kernel serves the
+// heap's page faults from the task's color lists.
+//
+// TintHeap reproduces that division of labour. It is a conventional
+// size-class allocator (think a minimal glibc arena): it reserves VMAs
+// from the kernel in multi-page chunks and carves them into blocks. It
+// knows *nothing* about colors -- coloring happens underneath it, at
+// page-fault time, driven by the owning task's TCB. The same heap code
+// therefore serves every policy, including the buddy baseline.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/color_planner.h"
+#include "os/kernel.h"
+
+namespace tint::core {
+
+using os::VirtAddr;
+
+struct HeapConfig {
+  // VMA reservation granularity in pages (VA only; frames fault in).
+  unsigned chunk_pages = 256;
+};
+
+struct HeapStats {
+  uint64_t mallocs = 0;
+  uint64_t frees = 0;
+  uint64_t bytes_requested = 0;
+  uint64_t bytes_live = 0;
+  uint64_t chunks_reserved = 0;
+  uint64_t large_allocs = 0;
+};
+
+class TintHeap {
+ public:
+  TintHeap(os::Kernel& kernel, os::TaskId task, HeapConfig cfg = {});
+
+  // Allocates `size` bytes of simulated heap, 16-byte aligned.
+  // Returns the virtual address (never 0 on success).
+  VirtAddr malloc(uint64_t size);
+  // malloc + the caller intends to zero it; identical placement-wise
+  // (the simulator carries no data), provided for API fidelity.
+  VirtAddr calloc(uint64_t nmemb, uint64_t size);
+  // Grows/shrinks a block. Returns the (possibly moved) address; the
+  // simulator carries no data, so "copying" is a size-bookkeeping move.
+  // realloc(0, n) == malloc(n); realloc(p, 0) frees and returns 0.
+  VirtAddr realloc(VirtAddr ptr, uint64_t size);
+  // Allocation with alignment (power of two, >= 16).
+  VirtAddr aligned_alloc(uint64_t alignment, uint64_t size);
+  // Allocation backed by 2 MB huge pages (extension; see
+  // os::MAP_HUGE_2MB). Huge frames cannot be bank/LLC colored but stay
+  // node-local; trade color isolation for page-fault and row locality.
+  VirtAddr malloc_huge(uint64_t size);
+  void free(VirtAddr ptr);
+
+  // Size the allocator reserved for `ptr` (like malloc_usable_size).
+  uint64_t usable_size(VirtAddr ptr) const;
+
+  // Releases every mapping this heap created (frames return to their
+  // color lists / the buddy allocator).
+  void release_all();
+
+  os::TaskId task() const { return task_; }
+  const HeapStats& stats() const { return stats_; }
+
+  ~TintHeap();
+  TintHeap(const TintHeap&) = delete;
+  TintHeap& operator=(const TintHeap&) = delete;
+
+ private:
+  static constexpr uint64_t kAlign = 16;
+  // Size classes for sub-page blocks.
+  static constexpr uint64_t kClasses[] = {16,  32,  48,  64,   96,   128, 192,
+                                          256, 384, 512, 1024, 2048, 4096};
+  static int class_of(uint64_t size);
+
+  VirtAddr alloc_large(uint64_t size);
+  VirtAddr carve(uint64_t size);
+
+  os::Kernel& kernel_;
+  os::TaskId task_;
+  HeapConfig cfg_;
+  HeapStats stats_;
+
+  std::vector<std::vector<VirtAddr>> free_lists_;  // per class
+  VirtAddr chunk_cursor_ = 0;
+  VirtAddr chunk_end_ = 0;
+  std::vector<std::pair<VirtAddr, uint64_t>> vmas_;  // {base, length}
+  // Size bookkeeping for free(); real malloc uses headers, the simulator
+  // has no data memory to put them in.
+  std::unordered_map<VirtAddr, uint64_t> block_size_;
+  // aligned_alloc pointers -> offset from their block base.
+  std::unordered_map<VirtAddr, uint64_t> aligned_offset_;
+};
+
+// Issues the paper's one-line opt-in for one thread: one color-control
+// mmap() per color in the plan (SET_MEM_COLOR / SET_LLC_COLOR).
+// Returns the number of mmap calls issued.
+unsigned apply_thread_colors(os::Kernel& kernel, os::TaskId task,
+                             const ThreadColorPlan& plan);
+
+}  // namespace tint::core

@@ -1,0 +1,100 @@
+#include "hw/address_mapping.h"
+
+namespace tint::hw {
+
+AddressMapping::AddressMapping(const PciConfig& pci, const Topology& geometry)
+    : ranges_(pci.dram_ranges()),
+      channel_(pci.controller_select_low()),
+      rank_(pci.cs_base_rank()),
+      bank_(pci.bank_address_mapping()),
+      llc_(pci.llc_color_field()),
+      row_lo_(pci.row_lo_bit()),
+      node_bytes_(pci.node_bytes()),
+      page_bytes_(geometry.page_bytes()),
+      nn_(geometry.num_nodes()),
+      nc_(geometry.channels_per_node),
+      nr_(geometry.ranks_per_channel),
+      nb_(geometry.banks_per_rank) {
+  TINT_ASSERT_MSG(ranges_.size() == nn_,
+                  "register file and geometry disagree on node count");
+  // Coloring precondition: every color-determining field must lie at or
+  // above the page offset, otherwise a frame has no single color.
+  TINT_ASSERT(llc_.lo >= geometry.page_bits);
+  TINT_ASSERT(channel_.lo >= geometry.page_bits);
+  TINT_ASSERT(rank_.lo >= geometry.page_bits);
+  TINT_ASSERT(bank_.lo >= geometry.page_bits);
+  TINT_ASSERT(node_bytes_ % page_bytes_ == 0);
+}
+
+unsigned AddressMapping::node_of(PhysAddr addr) const {
+  // Walk the DRAM base/limit registers like the northbridge does.
+  const uint64_t a64k = addr >> 16;
+  for (const DramRangeReg& r : ranges_) {
+    if (r.enabled && a64k >= r.base_64k && a64k <= r.limit_64k)
+      return r.dst_node;
+  }
+  // Fine-grained fallback for sub-64 KB machines used in unit tests.
+  const unsigned n = static_cast<unsigned>(addr / node_bytes_);
+  TINT_ASSERT_MSG(n < nn_, "physical address beyond installed DRAM");
+  return n;
+}
+
+DramCoord AddressMapping::decode(PhysAddr addr) const {
+  DramCoord c;
+  c.node = node_of(addr);
+  c.channel = static_cast<unsigned>(channel_.extract(addr));
+  c.rank = static_cast<unsigned>(rank_.extract(addr));
+  c.bank = static_cast<unsigned>(bank_.extract(addr));
+  const uint64_t in_node = addr - static_cast<uint64_t>(c.node) * node_bytes_;
+  c.row = in_node >> row_lo_;
+  c.column = addr & (page_bytes_ - 1);  // page-offset bits
+  c.llc_color = static_cast<unsigned>(llc_.extract(addr));
+  return c;
+}
+
+unsigned AddressMapping::bank_color(PhysAddr addr) const {
+  const DramCoord c = decode(addr);
+  // Dense Eq. 1 (see header for the note on the paper's typo).
+  return ((c.node * nc_ + c.channel) * nr_ + c.rank) * nb_ + c.bank;
+}
+
+unsigned AddressMapping::llc_color(PhysAddr addr) const {
+  return static_cast<unsigned>(llc_.extract(addr));
+}
+
+unsigned AddressMapping::llc_set(PhysAddr addr, unsigned llc_sets,
+                                 unsigned line_bytes) const {
+  return static_cast<unsigned>((addr / line_bytes) % llc_sets);
+}
+
+FrameColors AddressMapping::frame_colors(PhysAddr frame_base) const {
+  TINT_ASSERT_MSG(frame_base % page_bytes_ == 0,
+                  "frame_colors requires a page-aligned address");
+  FrameColors fc;
+  fc.node = static_cast<uint8_t>(node_of(frame_base));
+  fc.bank_color = static_cast<uint16_t>(bank_color(frame_base));
+  fc.llc_color = static_cast<uint8_t>(llc_color(frame_base));
+  TINT_DASSERT(bank_color(frame_base + page_bytes_ - 1) == fc.bank_color);
+  TINT_DASSERT(llc_color(frame_base + page_bytes_ - 1) == fc.llc_color);
+  return fc;
+}
+
+FrameColors AddressMapping::frame_colors_of_pfn(uint64_t pfn) const {
+  return frame_colors(pfn * page_bytes_);
+}
+
+PhysAddr AddressMapping::compose(const DramCoord& c) const {
+  TINT_ASSERT(c.node < nn_ && c.channel < nc_ && c.rank < nr_ && c.bank < nb_);
+  PhysAddr addr = static_cast<uint64_t>(c.node) * node_bytes_;
+  addr |= channel_.insert(c.channel);
+  addr |= rank_.insert(c.rank);
+  addr |= bank_.insert(c.bank);
+  addr |= llc_.insert(c.llc_color);
+  addr |= c.row << row_lo_;
+  addr |= c.column;
+  TINT_ASSERT_MSG(node_of(addr) == c.node,
+                  "row overflows the node range; address escapes the node");
+  return addr;
+}
+
+}  // namespace tint::hw

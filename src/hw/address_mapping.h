@@ -1,0 +1,105 @@
+// Physical address <-> DRAM/LLC coordinate translation (Section III.A).
+//
+// This is the heart of any page-coloring scheme: given a physical frame,
+// which memory controller (node), channel, rank, bank and LLC set slice
+// does it land in? `AddressMapping` derives the answer exclusively from
+// the simulated PCI register file, mirroring the paper's boot-time
+// derivation, and exposes:
+//
+//   * full coordinate decode of an address,
+//   * the bank color of Eq. 1:
+//       bc = ((node*NC + channel)*NR + rank)*NB + bank
+//     (the paper prints `node*NN*NC + channel`, which double-counts the
+//     node stride and does not produce the dense 0..127 color space the
+//     rest of the paper uses; we implement the dense form), and
+//   * the LLC page color (bits 12..16 on the paper's platform).
+//
+// All color-determining bits sit at or above the page offset, so colors
+// are per-frame constants; `frame_colors()` asserts this.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/pci_config.h"
+#include "hw/topology.h"
+
+namespace tint::hw {
+
+// Full decode of one physical address.
+struct DramCoord {
+  unsigned node = 0;
+  unsigned channel = 0;
+  unsigned rank = 0;
+  unsigned bank = 0;
+  uint64_t row = 0;
+  uint64_t column = 0;   // byte offset within the page
+  unsigned llc_color = 0;  // not a DRAM coordinate, carried for convenience
+};
+
+// Colors of one 4 KB frame.
+struct FrameColors {
+  uint16_t bank_color = 0;  // 0 .. num_bank_colors()-1 (node-qualified)
+  uint8_t llc_color = 0;    // 0 .. num_llc_colors()-1
+  uint8_t node = 0;         // memory controller id
+};
+
+class AddressMapping {
+ public:
+  // Parses the register file. `geometry` supplies the counts (NN, NC,
+  // NR, NB of Eq. 1) that on hardware come from the same registers.
+  AddressMapping(const PciConfig& pci, const Topology& geometry);
+
+  // --- decode ---
+  DramCoord decode(PhysAddr addr) const;
+  unsigned node_of(PhysAddr addr) const;
+  // Dense Eq. 1 bank color in [0, num_bank_colors).
+  unsigned bank_color(PhysAddr addr) const;
+  unsigned llc_color(PhysAddr addr) const;
+  // LLC set index (for the cache model): line-granular index modulo the
+  // configured set count.
+  unsigned llc_set(PhysAddr addr, unsigned llc_sets, unsigned line_bytes) const;
+
+  // Colors of the frame holding `addr` (assert-checked to be uniform
+  // across the frame).
+  FrameColors frame_colors(PhysAddr frame_base) const;
+  FrameColors frame_colors_of_pfn(uint64_t pfn) const;
+
+  // --- compose (tests, workload placement validation) ---
+  // Builds a physical address with the given coordinates; row/column fill
+  // the remaining bits.
+  PhysAddr compose(const DramCoord& c) const;
+
+  // --- geometry ---
+  unsigned num_nodes() const { return nn_; }
+  unsigned num_bank_colors() const { return nn_ * nc_ * nr_ * nb_; }
+  unsigned banks_per_node() const { return nc_ * nr_ * nb_; }
+  unsigned num_llc_colors() const { return 1u << llc_.width; }
+  uint64_t node_bytes() const { return node_bytes_; }
+  uint64_t page_bytes() const { return page_bytes_; }
+  // Number of distinct row indices within one node.
+  uint64_t rows_per_node() const { return node_bytes_ >> row_lo_; }
+
+  // Bank color restricted to the node-local component: Eq. 1 without the
+  // node term, in [0, banks_per_node()). Color planners use this to walk
+  // the banks belonging to one controller.
+  unsigned local_bank_index(unsigned bank_color) const {
+    return bank_color % banks_per_node();
+  }
+  unsigned node_of_bank_color(unsigned bank_color) const {
+    return bank_color / banks_per_node();
+  }
+  unsigned make_bank_color(unsigned node, unsigned local_index) const {
+    TINT_DASSERT(node < nn_ && local_index < banks_per_node());
+    return node * banks_per_node() + local_index;
+  }
+
+ private:
+  std::vector<DramRangeReg> ranges_;
+  BitField channel_, rank_, bank_, llc_;
+  uint8_t row_lo_;
+  uint64_t node_bytes_;
+  uint64_t page_bytes_;
+  unsigned nn_, nc_, nr_, nb_;
+};
+
+}  // namespace tint::hw

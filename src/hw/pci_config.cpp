@@ -1,0 +1,63 @@
+#include "hw/pci_config.h"
+
+#include <bit>
+
+namespace tint::hw {
+
+PciConfig PciConfig::program_bios(const Topology& topo) {
+  topo.validate();
+  PciConfig cfg;
+  cfg.node_bytes_ = topo.dram_bytes_per_node;
+
+  // Contiguous node ranges, exactly how DRAM base/limit registers carve
+  // the physical space when node interleaving is disabled (the paper's
+  // platform: coloring requires the node of a frame to be stable).
+  for (unsigned n = 0; n < topo.num_nodes(); ++n) {
+    DramRangeReg r;
+    const uint64_t base = static_cast<uint64_t>(n) * topo.dram_bytes_per_node;
+    r.base_64k = base >> 16;
+    r.limit_64k = (base + topo.dram_bytes_per_node - 1) >> 16;
+    r.enabled = true;
+    r.dst_node = static_cast<uint8_t>(n);
+    cfg.ranges_.push_back(r);
+  }
+
+  // Geometry bit fields. All fields sit at or above the page offset so
+  // each 4 KB frame has one (channel, rank, bank, LLC color):
+  //   [page offset | bank | LLC color | channel | rank | row ...]
+  // On the default platform: bank bits 12..14, LLC color bits 15..19,
+  // channel bit 20, rank bit 21, row bits 22+.
+  //
+  // The *bank* field sits directly above the page offset so that
+  // consecutive frames interleave across banks -- like the physical
+  // Opteron mapping, whose bank-select bits (15, 16, 18) are the lowest
+  // frame-number bits. (Our layout is a permutation of the hardware's
+  // exact bits: it keeps the fine-grained bank interleave but removes the
+  // bank/LLC bit *overlap* of the raw mapping so that every combination
+  // of the 128 bank colors x 32 LLC colors is realizable -- the dense
+  // color_list matrix the paper's Algorithm 1 assumes.)
+  const auto width_of = [](unsigned count) {
+    return static_cast<uint8_t>(std::countr_zero(std::bit_ceil(count)));
+  };
+  uint8_t cursor = static_cast<uint8_t>(topo.page_bits);
+  cfg.bank_ = BitField{cursor, width_of(topo.banks_per_rank)};
+  cursor = static_cast<uint8_t>(cursor + cfg.bank_.width);
+  cfg.llc_ = BitField{cursor, static_cast<uint8_t>(topo.llc_color_bits)};
+  cursor = static_cast<uint8_t>(cursor + topo.llc_color_bits);
+  cfg.channel_ = BitField{cursor, width_of(topo.channels_per_node)};
+  cursor = static_cast<uint8_t>(cursor + cfg.channel_.width);
+  cfg.rank_ = BitField{cursor, width_of(topo.ranks_per_channel)};
+  cursor = static_cast<uint8_t>(cursor + cfg.rank_.width);
+  cfg.row_lo_ = cursor;
+
+  TINT_ASSERT_MSG(topo.dram_bytes_per_node > (1ULL << cfg.row_lo_),
+                  "node DRAM too small: no row bits left above rank bits");
+  // Every colored LLC bit must be a real set-index bit of the LLC.
+  const uint64_t index_span =
+      static_cast<uint64_t>(topo.llc_sets()) * topo.line_bytes;
+  TINT_ASSERT_MSG((1ULL << (cfg.llc_.lo + cfg.llc_.width)) <= index_span,
+                  "LLC color bits exceed the cache's set-index range");
+  return cfg;
+}
+
+}  // namespace tint::hw

@@ -1,0 +1,86 @@
+// Simulated PCI configuration space for the DRAM controllers.
+//
+// On the real platform TintMalloc derives the physical-address bit
+// mapping "in the late phase of booting Linux ... from PCI registers"
+// (Section III.A): DRAM base/limit registers give the node ranges, the
+// controller-select-low register gives the channel bit, the CS base
+// address registers give rank/bank bits, and the bank-address-mapping
+// register gives the row/column split.
+//
+// We reproduce that flow: a `PciConfig` is a register file that the
+// simulated BIOS programs from the machine `Topology` at "boot"
+// (`PciConfig::program_bios`), and `AddressMapping` *parses the
+// registers* -- it never peeks at the Topology directly. This keeps the
+// derivation step of the paper a real, testable piece of code.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "hw/topology.h"
+
+namespace tint::hw {
+
+// One DRAM base/limit register pair (function 1 of the AMD northbridge).
+// Base/limit are in 64 KB granularity like the hardware registers; the
+// enable bit mirrors DRAM Base[RE]/DRAM Limit[WE].
+struct DramRangeReg {
+  uint64_t base_64k = 0;   // bits [47:16] of the range base
+  uint64_t limit_64k = 0;  // bits [47:16] of the range limit (inclusive)
+  bool enabled = false;
+  uint8_t dst_node = 0;    // destination node id
+};
+
+// Encodes which physical-address bit selects each DRAM sub-resource.
+// A width of zero means the resource has a single instance (e.g. one
+// rank per channel) and consumes no address bits.
+struct BitField {
+  uint8_t lo = 0;     // least-significant address bit of the field
+  uint8_t width = 0;  // number of bits
+
+  uint64_t extract(uint64_t addr) const {
+    return (addr >> lo) & ((1ULL << width) - 1);
+  }
+  uint64_t insert(uint64_t value) const {
+    TINT_DASSERT(value < (1ULL << width) || width == 0);
+    return value << lo;
+  }
+};
+
+// The register file. Field names follow the AMD BKDG registers the paper
+// cites; contents are the simulator's encoding.
+class PciConfig {
+ public:
+  // "BIOS" programming at boot: lay out node ranges contiguously and
+  // choose interleave bits compatible with page coloring (all geometry
+  // bits at or above the page offset so that every 4 KB frame has a
+  // single well-defined color, as required by Eq. 1 / Algorithm 2).
+  static PciConfig program_bios(const Topology& topo);
+
+  // --- raw register access (what AddressMapping reads) ---
+  const std::vector<DramRangeReg>& dram_ranges() const { return ranges_; }
+  // F2x110 DRAM Controller Select Low: channel select bit.
+  BitField controller_select_low() const { return channel_; }
+  // F2x[40..5C] DRAM CS Base Address: rank select bit(s).
+  BitField cs_base_rank() const { return rank_; }
+  // Bank address bits (derived from DRAM Bank Address Mapping, F2x80).
+  BitField bank_address_mapping() const { return bank_; }
+  // First address bit of the row number (everything above bank).
+  uint8_t row_lo_bit() const { return row_lo_; }
+  // LLC color field (bits 12..16 on the paper's platform). On real
+  // hardware this comes from the cache geometry rather than PCI, but we
+  // keep it with the rest of the boot-derived mapping data.
+  BitField llc_color_field() const { return llc_; }
+
+  unsigned num_nodes() const { return static_cast<unsigned>(ranges_.size()); }
+  uint64_t node_bytes() const { return node_bytes_; }
+
+ private:
+  std::vector<DramRangeReg> ranges_;
+  BitField channel_, rank_, bank_, llc_;
+  uint8_t row_lo_ = 0;
+  uint64_t node_bytes_ = 0;
+};
+
+}  // namespace tint::hw

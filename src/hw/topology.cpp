@@ -1,0 +1,79 @@
+#include "hw/topology.h"
+
+#include <bit>
+#include <sstream>
+
+namespace tint::hw {
+
+namespace {
+bool pow2(uint64_t v) { return v != 0 && std::has_single_bit(v); }
+}  // namespace
+
+void Topology::validate() const {
+  TINT_ASSERT_MSG(sockets >= 1 && nodes_per_socket >= 1 && cores_per_node >= 1,
+                  "layout must be non-empty");
+  TINT_ASSERT_MSG(pow2(channels_per_node) && pow2(ranks_per_channel) &&
+                      pow2(banks_per_rank),
+                  "DRAM geometry must be powers of two (bit-field decode)");
+  TINT_ASSERT_MSG(pow2(line_bytes) && line_bytes >= 16,
+                  "cache line size must be a power of two");
+  TINT_ASSERT_MSG(pow2(page_bytes()) && page_bits >= 12,
+                  "page size must be a power of two >= 4 KB");
+  TINT_ASSERT_MSG(dram_bytes_per_node % page_bytes() == 0,
+                  "node DRAM must be page-aligned");
+  TINT_ASSERT_MSG(pow2(dram_bytes_per_node),
+                  "node DRAM must be a power of two (contiguous decode)");
+  TINT_ASSERT_MSG(l1_bytes % (l1_ways * line_bytes) == 0,
+                  "L1 geometry inconsistent");
+  TINT_ASSERT_MSG(l2_bytes % (l2_ways * line_bytes) == 0,
+                  "L2 geometry inconsistent");
+  TINT_ASSERT_MSG(llc_bytes % (llc_ways * line_bytes) == 0,
+                  "LLC geometry inconsistent");
+  TINT_ASSERT_MSG(pow2(llc_sets()), "LLC set count must be a power of two");
+  // LLC page coloring requires the set index to cover all colored bits:
+  // the index must span at least page_bits + llc_color_bits address bits.
+  // With 8192 sets and 128 B lines the index covers bits 7..19, so the
+  // colored bits 12..16 (5 bits => 32 colors) are all index bits.
+  TINT_ASSERT_MSG(
+      static_cast<uint64_t>(llc_sets()) * line_bytes >=
+          (page_bytes() << llc_color_bits),
+      "LLC too small for the configured number of page colors");
+}
+
+std::string Topology::describe() const {
+  std::ostringstream os;
+  os << sockets << " socket(s) x " << nodes_per_socket << " node(s) x "
+     << cores_per_node << " core(s); " << num_bank_colors()
+     << " bank colors (" << channels_per_node << " ch x " << ranks_per_channel
+     << " rk x " << banks_per_rank << " bk per node), "
+     << (dram_bytes_per_node >> 20) << " MB/node; LLC "
+     << (llc_bytes >> 20) << " MB " << llc_ways << "-way, "
+     << llc_sets() << " sets";
+  return os.str();
+}
+
+Topology Topology::opteron6128() {
+  Topology t;  // defaults are the Opteron profile
+  t.validate();
+  return t;
+}
+
+Topology Topology::tiny() {
+  Topology t;
+  t.sockets = 1;
+  t.nodes_per_socket = 2;
+  t.cores_per_node = 2;
+  t.channels_per_node = 2;
+  t.ranks_per_channel = 1;
+  t.banks_per_rank = 4;
+  t.dram_bytes_per_node = 16ULL << 20;  // 16 MB/node
+  t.l1_bytes = 16 << 10;
+  t.l2_bytes = 64 << 10;
+  t.llc_bytes = 2 << 20;
+  t.llc_ways = 8;        // 2 MB = 2048 sets x 8 ways x 128 B
+  t.llc_color_bits = 4;  // 16 colors; the small LLC has fewer index bits
+  t.validate();
+  return t;
+}
+
+}  // namespace tint::hw

@@ -1,0 +1,142 @@
+// Machine topology description for the simulated NUMA platform.
+//
+// The default profile mirrors the paper's evaluation platform, a dual
+// socket AMD Opteron 6128 (Section IV):
+//   * 2 sockets x 8 cores = 16 cores
+//   * 2 memory nodes (controllers) per socket = 4 nodes, 4 cores each
+//   * per node: 2 channels, 2 ranks/channel, 8 banks/rank
+//     => 4*2*2*8 = 128 bank colors machine-wide (2^7, as in Section III.A)
+//   * private L1 (128 KB) and L2 (512 KB) per core, 12 MB shared LLC,
+//     128 B cache lines, 32 LLC page colors (5 bits)
+//   * HyperTransport-style hop distances: same node = 1 hop,
+//     other node on same socket = 2 hops, other socket = 3 hops.
+//
+// Everything is a runtime parameter so tests can build tiny machines and
+// the ablation benches can vary geometry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "util/assert.h"
+
+namespace tint::hw {
+
+using PhysAddr = uint64_t;
+using Cycles = uint64_t;
+
+// Geometry of the DRAM behind one controller and the machine layout.
+struct Topology {
+  // --- layout ---
+  unsigned sockets = 2;
+  unsigned nodes_per_socket = 2;   // memory controllers per socket
+  unsigned cores_per_node = 4;
+  // --- DRAM geometry per node ---
+  unsigned channels_per_node = 2;
+  unsigned ranks_per_channel = 2;
+  unsigned banks_per_rank = 8;
+  uint64_t dram_bytes_per_node = 2ULL << 30;  // 2 GB/node default
+  // --- caches ---
+  unsigned line_bytes = 128;
+  uint64_t l1_bytes = 128 << 10;
+  unsigned l1_ways = 2;
+  uint64_t l2_bytes = 512 << 10;
+  unsigned l2_ways = 8;
+  uint64_t llc_bytes = 12 << 20;
+  unsigned llc_ways = 12;   // 12 MB = 8192 sets x 12 ways x 128 B
+  unsigned page_bits = 12;  // 4 KB pages
+  // Organize the LLC as one cache per socket instead of a single cache
+  // shared by every core. The paper's text treats the 12 MB L3 as shared
+  // by all 16 cores (Section IV), but its Fig. 1/2 draw one LLC per
+  // socket; this switch lets both be modeled. llc_bytes is the size of
+  // EACH instance.
+  bool llc_per_socket = false;
+  // Number of page-color bits for the LLC. The paper's platform colors
+  // physical address bits 12..16, i.e. 5 bits => 32 colors (Section III.A).
+  // A color confines a page to a disjoint 1/2^llc_color_bits slice of the
+  // LLC sets; index bits above the colored range (if any) are free.
+  unsigned llc_color_bits = 5;
+
+  // --- derived quantities ---
+  unsigned num_nodes() const { return sockets * nodes_per_socket; }
+  unsigned num_cores() const { return num_nodes() * cores_per_node; }
+  unsigned banks_per_node() const {
+    return channels_per_node * ranks_per_channel * banks_per_rank;
+  }
+  // Total bank colors machine-wide (Eq. 1 color space).
+  unsigned num_bank_colors() const { return num_nodes() * banks_per_node(); }
+  uint64_t page_bytes() const { return 1ULL << page_bits; }
+  uint64_t total_dram_bytes() const {
+    return dram_bytes_per_node * num_nodes();
+  }
+  uint64_t pages_per_node() const { return dram_bytes_per_node >> page_bits; }
+  uint64_t total_pages() const { return total_dram_bytes() >> page_bits; }
+  unsigned llc_sets() const {
+    return static_cast<unsigned>(llc_bytes / (llc_ways * line_bytes));
+  }
+  unsigned num_llc_colors() const { return 1u << llc_color_bits; }
+
+  unsigned node_of_core(unsigned core) const {
+    TINT_DASSERT(core < num_cores());
+    return core / cores_per_node;
+  }
+  unsigned socket_of_node(unsigned node) const {
+    TINT_DASSERT(node < num_nodes());
+    return node / nodes_per_socket;
+  }
+  unsigned socket_of_core(unsigned core) const {
+    return socket_of_node(node_of_core(core));
+  }
+
+  // Hop count between a core's node and a memory node, per Section IV:
+  // 1 hop within a node, 2 hops across nodes of one socket, 3 hops across
+  // sockets.
+  unsigned hops(unsigned core, unsigned mem_node) const {
+    const unsigned cn = node_of_core(core);
+    if (cn == mem_node) return 1;
+    if (socket_of_node(cn) == socket_of_node(mem_node)) return 2;
+    return 3;
+  }
+
+  // Aborts with a message if the configuration is inconsistent (non
+  // power-of-two geometry, cache too small, ...).
+  void validate() const;
+
+  std::string describe() const;
+
+  // The paper's evaluation platform.
+  static Topology opteron6128();
+  // A small machine for fast unit tests: 2 nodes x 2 cores, 16 MB/node.
+  static Topology tiny();
+};
+
+// Per-access timing constants in CPU cycles (2 GHz core clock).
+// Values are representative of the Opteron generation; the figures the
+// paper reports are ratios, which depend on the *ordering* of these
+// costs, not their exact magnitudes.
+struct Timing {
+  Cycles l1_hit = 3;
+  Cycles l2_hit = 15;
+  Cycles llc_hit = 40;
+  // DRAM command latencies (CPU cycles).
+  Cycles row_hit = 60;       // CAS only
+  Cycles row_empty = 110;    // ACT + CAS
+  Cycles row_conflict = 160; // PRE + ACT + CAS
+  Cycles burst = 30;         // data transfer occupying the channel
+  // Interconnect latency added per hop beyond the first (local) hop,
+  // one way. Cross-socket links are slower than on-chip links.
+  Cycles hop2_extra = 50;    // remote node, same socket (one way)
+  Cycles hop3_extra = 120;   // remote socket (one way)
+  // Refresh: every refresh_interval cycles a bank's row buffer is closed.
+  Cycles refresh_interval = 15600;
+
+  Cycles interconnect_extra(unsigned hops) const {
+    switch (hops) {
+      case 1: return 0;
+      case 2: return hop2_extra;
+      default: return hop3_extra;
+    }
+  }
+};
+
+}  // namespace tint::hw

@@ -1,0 +1,205 @@
+#include "os/buddy.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/assert.h"
+
+namespace tint::os {
+
+BuddyAllocator::BuddyAllocator(const hw::Topology& topo,
+                               std::vector<PageInfo>& pages)
+    : pages_(pages),
+      pages_per_node_(topo.pages_per_node()),
+      total_pages_(topo.total_pages()) {
+  TINT_ASSERT(pages_.size() == total_pages_);
+  TINT_ASSERT_MSG(total_pages_ <= kNoPage, "pfn space exceeds 32 bits");
+  TINT_ASSERT_MSG(pages_per_node_ % (1ULL << kMaxOrder) == 0,
+                  "node zone must be a multiple of the maximal block");
+  lists_.assign(static_cast<size_t>(topo.num_nodes()) * (kMaxOrder + 1), {});
+  next_.assign(total_pages_, kNoPage);
+  prev_.assign(total_pages_, kNoPage);
+  free_order_.assign(total_pages_, kNotFreeHead);
+  zone_free_pages_.assign(topo.num_nodes(), 0);
+
+  // Fresh boot: every zone is a run of maximal blocks.
+  for (unsigned n = 0; n < topo.num_nodes(); ++n) {
+    const Pfn base = static_cast<Pfn>(n * pages_per_node_);
+    for (uint64_t b = 0; b < pages_per_node_ >> kMaxOrder; ++b)
+      push(n, kMaxOrder, base + static_cast<Pfn>(b << kMaxOrder));
+  }
+}
+
+void BuddyAllocator::push(unsigned node, unsigned order, Pfn pfn) {
+  TINT_DASSERT(free_order_[pfn] == kNotFreeHead);
+  FreeList& fl = list(node, order);
+  next_[pfn] = fl.head;
+  prev_[pfn] = kNoPage;
+  if (fl.head != kNoPage) prev_[fl.head] = pfn;
+  fl.head = pfn;
+  free_order_[pfn] = static_cast<uint8_t>(order);
+  zone_free_pages_[node] += 1ULL << order;
+  pages_[pfn].state = PageState::kBuddyFree;
+}
+
+void BuddyAllocator::remove(unsigned node, unsigned order, Pfn pfn) {
+  TINT_DASSERT(free_order_[pfn] == order);
+  FreeList& fl = list(node, order);
+  if (prev_[pfn] != kNoPage)
+    next_[prev_[pfn]] = next_[pfn];
+  else
+    fl.head = next_[pfn];
+  if (next_[pfn] != kNoPage) prev_[next_[pfn]] = prev_[pfn];
+  free_order_[pfn] = kNotFreeHead;
+  zone_free_pages_[node] -= 1ULL << order;
+}
+
+Pfn BuddyAllocator::pop(unsigned node, unsigned order) {
+  FreeList& fl = list(node, order);
+  if (fl.head == kNoPage) return kNoPage;
+  const Pfn pfn = fl.head;
+  remove(node, order, pfn);
+  return pfn;
+}
+
+Pfn BuddyAllocator::alloc_block(unsigned node, unsigned order) {
+  TINT_ASSERT(order <= kMaxOrder && node < zone_free_pages_.size());
+  unsigned o = order;
+  Pfn pfn = kNoPage;
+  for (; o <= kMaxOrder; ++o) {
+    pfn = pop(node, o);
+    if (pfn != kNoPage) break;
+  }
+  if (pfn == kNoPage) return kNoPage;
+  // Split down, returning upper halves to the free lists.
+  while (o > order) {
+    --o;
+    ++stats_.splits;
+    push(node, o, pfn + (Pfn{1} << o));
+  }
+  ++stats_.allocs;
+  pages_[pfn].state = PageState::kAllocated;
+  return pfn;
+}
+
+std::optional<std::pair<Pfn, unsigned>> BuddyAllocator::pop_any_block(
+    unsigned node, unsigned min_order) {
+  for (unsigned o = min_order; o <= kMaxOrder; ++o) {
+    const Pfn pfn = pop(node, o);
+    if (pfn != kNoPage) {
+      ++stats_.allocs;
+      pages_[pfn].state = PageState::kAllocated;
+      return std::make_pair(pfn, o);
+    }
+  }
+  return std::nullopt;
+}
+
+void BuddyAllocator::free_block(Pfn pfn, unsigned order) {
+  TINT_ASSERT(order <= kMaxOrder && pfn < total_pages_);
+  TINT_DASSERT(free_order_[pfn] == kNotFreeHead);
+  const unsigned node = node_of(pfn);
+  ++stats_.frees;
+  // Coalesce while the buddy block is free at the same order and in the
+  // same zone (zones are block-aligned so the node check is redundant but
+  // cheap insurance).
+  while (order < kMaxOrder) {
+    const Pfn buddy = pfn ^ (Pfn{1} << order);
+    if (node_of(buddy) != node || free_order_[buddy] != order) break;
+    remove(node, order, buddy);
+    ++stats_.merges;
+    pfn = std::min(pfn, buddy);
+    ++order;
+  }
+  push(node, order, pfn);
+}
+
+bool BuddyAllocator::reserve_page(Pfn pfn) {
+  TINT_ASSERT(pfn < total_pages_);
+  // Find the free block containing pfn: its head is pfn with the low
+  // `order` bits cleared, for some order at which that head is free.
+  for (unsigned o = 0; o <= kMaxOrder; ++o) {
+    const Pfn head = pfn & ~((Pfn{1} << o) - 1);
+    if (free_order_[head] != o) continue;
+    const unsigned node = node_of(head);
+    remove(node, o, head);
+    // Split until only `pfn` remains allocated; every split returns the
+    // half not containing pfn to the free lists.
+    unsigned order = o;
+    Pfn cur = head;
+    while (order > 0) {
+      --order;
+      ++stats_.splits;
+      const Pfn lower = cur;
+      const Pfn upper = cur + (Pfn{1} << order);
+      if (pfn >= upper) {
+        push(node, order, lower);
+        cur = upper;
+      } else {
+        push(node, order, upper);
+        cur = lower;
+      }
+    }
+    TINT_DASSERT(cur == pfn);
+    pages_[pfn].state = PageState::kAllocated;
+    ++reserved_;
+    return true;
+  }
+  return false;
+}
+
+void BuddyAllocator::warm_up(Rng& rng, unsigned episodes, unsigned frag_shift) {
+  if (episodes == 0) return;
+  const unsigned nodes = num_nodes();
+  // Permute each zone's maximal-block list (fresh boot inserts them in
+  // descending pfn order, which is far too regular).
+  for (unsigned n = 0; n < nodes; ++n) {
+    std::vector<Pfn> blocks;
+    for (Pfn p = pop(n, kMaxOrder); p != kNoPage; p = pop(n, kMaxOrder))
+      blocks.push_back(p);
+    for (size_t i = blocks.size(); i > 1; --i)
+      std::swap(blocks[i - 1], blocks[rng.next_below(i)]);
+    for (Pfn p : blocks) push(n, kMaxOrder, p);
+  }
+  // Seeded allocate/free episode: fragments and re-coalesces the lists in
+  // a random order, leaving a realistic mixture.
+  std::vector<std::pair<Pfn, unsigned>> held;
+  for (unsigned e = 0; e < episodes; ++e) {
+    const unsigned node = static_cast<unsigned>(rng.next_below(nodes));
+    const unsigned order = static_cast<unsigned>(rng.next_below(7));
+    const Pfn p = alloc_block(node, order);
+    if (p != kNoPage) held.emplace_back(p, order);
+    // Randomly release some of what we hold.
+    while (!held.empty() && rng.next_bool(0.4)) {
+      const size_t i = rng.next_below(held.size());
+      free_block(held[i].first, held[i].second);
+      held[i] = held.back();
+      held.pop_back();
+    }
+  }
+  for (auto [p, o] : held) free_block(p, o);
+
+  // Pin random pages so free memory stays fragmented into small shuffled
+  // runs (frag_shift = 6 pins ~1.6% of each zone, splitting essentially
+  // every maximal block into fragments of a few dozen pages).
+  if (frag_shift > 0) {
+    for (unsigned n = 0; n < nodes; ++n) {
+      const uint64_t base = static_cast<uint64_t>(n) * pages_per_node_;
+      const uint64_t pins = pages_per_node_ >> frag_shift;
+      for (uint64_t i = 0; i < pins; ++i)
+        reserve_page(static_cast<Pfn>(base + rng.next_below(pages_per_node_)));
+    }
+  }
+  stats_ = BuddyStats{};  // warm-up traffic is not part of any experiment
+}
+
+uint64_t BuddyAllocator::total_free_pages() const {
+  return std::accumulate(zone_free_pages_.begin(), zone_free_pages_.end(),
+                         uint64_t{0});
+}
+
+bool BuddyAllocator::is_free_head(Pfn pfn, unsigned order) const {
+  return pfn < total_pages_ && free_order_[pfn] == order;
+}
+
+}  // namespace tint::os

@@ -1,0 +1,63 @@
+#include "os/color_lists.h"
+
+#include "util/assert.h"
+
+namespace tint::os {
+
+ColorLists::ColorLists(unsigned num_bank_colors, unsigned num_llc_colors,
+                       uint64_t total_pages)
+    : nb_(num_bank_colors), nl_(num_llc_colors) {
+  heads_.assign(static_cast<size_t>(nb_) * nl_, kNoPage);
+  counts_.assign(static_cast<size_t>(nb_) * nl_, 0);
+  next_.assign(total_pages, kNoPage);
+}
+
+void ColorLists::create_color_list(Pfn head, unsigned order,
+                                   std::vector<PageInfo>& pages) {
+  const Pfn count = Pfn{1} << order;
+  for (Pfn i = 0; i < count; ++i) {
+    const Pfn pfn = head + i;
+    PageInfo& pi = pages[pfn];
+    const size_t k = idx(pi.bank_color, pi.llc_color);
+    next_[pfn] = heads_[k];
+    heads_[k] = pfn;
+    ++counts_[k];
+    ++total_;
+    pi.state = PageState::kColorFree;
+  }
+}
+
+Pfn ColorLists::pop(unsigned mem_id, unsigned llc_id) {
+  const size_t k = idx(mem_id, llc_id);
+  const Pfn pfn = heads_[k];
+  if (pfn == kNoPage) return kNoPage;
+  heads_[k] = next_[pfn];
+  next_[pfn] = kNoPage;
+  --counts_[k];
+  --total_;
+  return pfn;
+}
+
+Pfn ColorLists::pop_any_in_bank_range(unsigned mem_lo, unsigned mem_hi) {
+  TINT_DASSERT(mem_lo < mem_hi && mem_hi <= nb_);
+  for (unsigned m = mem_lo; m < mem_hi; ++m) {
+    for (unsigned l = 0; l < nl_; ++l) {
+      if (counts_[idx(m, l)] > 0) return pop(m, l);
+    }
+  }
+  return kNoPage;
+}
+
+void ColorLists::push(Pfn pfn, std::vector<PageInfo>& pages) {
+  PageInfo& pi = pages[pfn];
+  TINT_DASSERT(pi.state != PageState::kColorFree);
+  const size_t k = idx(pi.bank_color, pi.llc_color);
+  next_[pfn] = heads_[k];
+  heads_[k] = pfn;
+  ++counts_[k];
+  ++total_;
+  pi.state = PageState::kColorFree;
+  pi.owner = kNoTask;
+}
+
+}  // namespace tint::os

@@ -1,0 +1,63 @@
+// The colored free lists of TintMalloc (Section III.C).
+//
+// "TintMalloc maintains a free list and 128*32 color lists simultaneously
+// inside the Linux kernel. Those color lists are defined as a matrix of
+// color_list[MEM_ID][cache_ID]."
+//
+// Pages migrate from the buddy free lists into this matrix when
+// `create_color_list` (Algorithm 2) splits a buddy block into single
+// 4 KB pages; they are handed out by Algorithm 1 (in kernel.cpp) and
+// returned here by free(). Pages never migrate back to the buddy
+// allocator (as in the paper: once colorized, a frame stays colorized).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "os/page.h"
+
+namespace tint::os {
+
+class ColorLists {
+ public:
+  ColorLists(unsigned num_bank_colors, unsigned num_llc_colors,
+             uint64_t total_pages);
+
+  // Algorithm 2: scatter the 2^order pages of a buddy block into the
+  // matrix according to each page's own colors.
+  void create_color_list(Pfn head, unsigned order, std::vector<PageInfo>& pages);
+
+  // Pops one page of the exact (MEM_ID, LLC_ID) combination; kNoPage if
+  // the list is empty.
+  Pfn pop(unsigned mem_id, unsigned llc_id);
+
+  // Scavenges any parked page whose bank color lies in
+  // [mem_lo, mem_hi): the default path's last resort once the buddy
+  // zones are empty but colorized-but-unclaimed pages remain (a real
+  // kernel would reclaim them under memory pressure).
+  Pfn pop_any_in_bank_range(unsigned mem_lo, unsigned mem_hi);
+
+  // Returns a previously popped page (free of colored heap space).
+  void push(Pfn pfn, std::vector<PageInfo>& pages);
+
+  uint64_t size(unsigned mem_id, unsigned llc_id) const {
+    return counts_[idx(mem_id, llc_id)];
+  }
+  uint64_t total_parked() const { return total_; }
+  unsigned num_bank_colors() const { return nb_; }
+  unsigned num_llc_colors() const { return nl_; }
+
+ private:
+  size_t idx(unsigned mem_id, unsigned llc_id) const {
+    TINT_DASSERT(mem_id < nb_ && llc_id < nl_);
+    return static_cast<size_t>(mem_id) * nl_ + llc_id;
+  }
+
+  unsigned nb_, nl_;
+  std::vector<Pfn> heads_;        // matrix of singly-linked stacks
+  std::vector<uint64_t> counts_;  // per-list population
+  std::vector<Pfn> next_;         // intrusive links by pfn
+  uint64_t total_ = 0;
+};
+
+}  // namespace tint::os

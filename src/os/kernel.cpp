@@ -1,0 +1,442 @@
+#include "os/kernel.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace tint::os {
+
+Kernel::Kernel(const hw::Topology& topo, const hw::AddressMapping& mapping,
+               KernelConfig cfg, uint64_t seed)
+    : topo_(topo), mapping_(mapping), cfg_(cfg), rng_(seed),
+      pages_(build_page_table_metadata(mapping, topo.total_pages())),
+      page_table_(topo.page_bits) {
+  buddy_ = std::make_unique<BuddyAllocator>(topo, pages_);
+  colors_ = std::make_unique<ColorLists>(mapping.num_bank_colors(),
+                                         mapping.num_llc_colors(),
+                                         topo.total_pages());
+  // Reserve the huge-page pool while the zones are still pristine
+  // (hugetlbfs-style boot reservation); warm-up fragmentation would
+  // otherwise leave no contiguous 2 MB block behind.
+  huge_pool_.resize(topo.num_nodes());
+  const uint64_t max_blocks =
+      (topo.pages_per_node() >> kHugeOrder) / 4;
+  const unsigned pool = static_cast<unsigned>(
+      std::min<uint64_t>(cfg_.huge_pool_blocks_per_node, max_blocks));
+  for (unsigned n = 0; n < topo.num_nodes(); ++n)
+    for (unsigned b = 0; b < pool; ++b) {
+      const Pfn head = buddy_->alloc_block(n, kHugeOrder);
+      TINT_ASSERT(head != kNoPage);
+      huge_pool_[n].push_back(head);
+    }
+  buddy_->warm_up(rng_, cfg_.warmup_episodes, cfg_.warmup_frag_shift);
+}
+
+TaskId Kernel::create_task(unsigned pinned_core) {
+  TINT_ASSERT(pinned_core < topo_.num_cores());
+  const TaskId id = static_cast<TaskId>(tasks_.size());
+  tasks_.push_back(std::make_unique<Task>(
+      id, pinned_core, topo_.node_of_core(pinned_core),
+      mapping_.num_bank_colors(), mapping_.num_llc_colors()));
+  return id;
+}
+
+VirtAddr Kernel::mmap(TaskId task_id, uint64_t addr_or_color, uint64_t length,
+                      uint32_t prot, uint32_t flags) {
+  (void)flags;
+  Task& t = task(task_id);
+
+  // Zero-length + PROT_COLOR_ALLOC: color-control call (Fig. 6).
+  if (length == 0 && (prot & PROT_COLOR_ALLOC)) {
+    ++stats_.color_control_calls;
+    const uint64_t op = addr_or_color & ~kColorMask;
+    const unsigned color = static_cast<unsigned>(addr_or_color & kColorMask);
+    switch (op) {
+      case SET_MEM_COLOR:
+        if (color >= mapping_.num_bank_colors()) return kMmapFailed;
+        t.set_mem_color(color);
+        return 0;
+      case CLEAR_MEM_COLOR:
+        if (color >= mapping_.num_bank_colors()) return kMmapFailed;
+        t.clear_mem_color(color);
+        return 0;
+      case SET_LLC_COLOR:
+        if (color >= mapping_.num_llc_colors()) return kMmapFailed;
+        t.set_llc_color(color);
+        return 0;
+      case CLEAR_LLC_COLOR:
+        if (color >= mapping_.num_llc_colors()) return kMmapFailed;
+        t.clear_llc_color(color);
+        return 0;
+      default:
+        return kMmapFailed;
+    }
+  }
+
+  if (length == 0) return kMmapFailed;
+  TINT_ASSERT_MSG(addr_or_color == 0, "fixed mappings are not supported");
+
+  // Reserve a fresh VMA; frames arrive lazily at first touch.
+  ++stats_.mmap_calls;
+  const bool huge = (flags & MAP_HUGE_2MB) != 0;
+  const uint64_t gran = huge ? kHugeBytes : topo_.page_bytes();
+  const uint64_t len = (length + gran - 1) & ~(gran - 1);
+  va_cursor_ = (va_cursor_ + gran - 1) & ~(gran - 1);
+  const VirtAddr base = va_cursor_;
+  va_cursor_ += len + gran;  // one guard gap
+  vmas_.emplace(base, Vma{len, task_id, huge});
+  return base;
+}
+
+void Kernel::munmap(TaskId task_id, VirtAddr base, uint64_t length) {
+  (void)task_id;  // any task of the process may unmap
+  ++stats_.munmap_calls;
+  const auto it = vmas_.find(base);
+  TINT_ASSERT_MSG(it != vmas_.end(), "munmap of unknown VMA base");
+  const uint64_t gran = it->second.huge ? kHugeBytes : topo_.page_bytes();
+  const uint64_t len = (length + gran - 1) & ~(gran - 1);
+  TINT_ASSERT_MSG(len == it->second.length, "partial munmap not supported");
+  if (it->second.huge) {
+    // Free whole 2 MB blocks (all-or-nothing mappings).
+    const uint64_t pages_per_huge = kHugeBytes / topo_.page_bytes();
+    for (VirtAddr va = base; va < base + len; va += kHugeBytes) {
+      const auto head = page_table_.unmap(page_table_.vpn_of(va));
+      if (!head) continue;
+      for (uint64_t i = 1; i < pages_per_huge; ++i)
+        page_table_.unmap(page_table_.vpn_of(va + i * topo_.page_bytes()));
+      pages_[*head].owner = kNoTask;
+      pages_[*head].state = PageState::kBuddyFree;
+      // Huge frames return to the reserved pool, not the 4 KB buddy.
+      huge_pool_[*head / topo_.pages_per_node()].push_back(*head);
+    }
+  } else {
+    for (VirtAddr va = base; va < base + len; va += gran) {
+      if (const auto pfn = page_table_.unmap(page_table_.vpn_of(va)))
+        free_pages(*pfn, 0);
+    }
+  }
+  vmas_.erase(it);
+  for (TlbEntry& te : tlb_) te = TlbEntry{};
+}
+
+Kernel::TouchResult Kernel::touch(TaskId task_id, VirtAddr va, bool write) {
+  (void)write;
+  TouchResult res;
+  const uint64_t want_vpn = page_table_.vpn_of(va);
+  TlbEntry& te = tlb_[want_vpn & (kTlbSize - 1)];
+  if (te.vpn == want_vpn) {
+    res.pa = (static_cast<uint64_t>(te.pfn) << topo_.page_bits) |
+             (va & (topo_.page_bytes() - 1));
+    return res;
+  }
+  if (const auto pa = page_table_.translate(va)) {
+    te.vpn = want_vpn;
+    te.pfn = static_cast<Pfn>(*pa >> topo_.page_bits);
+    res.pa = *pa;
+    return res;
+  }
+
+  // Page fault. The faulting VA must belong to a VMA.
+  auto it = vmas_.upper_bound(va);
+  TINT_ASSERT_MSG(it != vmas_.begin(), "fault outside any VMA (segfault)");
+  --it;
+  TINT_ASSERT_MSG(va < it->first + it->second.length,
+                  "fault outside any VMA (segfault)");
+
+  Task& t = task(task_id);
+  if (it->second.huge) return fault_huge(t, va, it->first);
+  const uint64_t vpn = page_table_.vpn_of(va);
+  const AllocOutcome out = alloc_pages(task_id, 0, vpn);
+  TINT_ASSERT_MSG(out.pfn != kNoPage, "out of physical memory");
+  page_table_.map(vpn, out.pfn);
+  PageInfo& pi = pages_[out.pfn];
+  pi.state = PageState::kAllocated;
+  pi.owner = task_id;
+  pi.colored_alloc = out.colored;
+
+  ++stats_.page_faults;
+  TaskAllocStats& as = t.alloc_stats();
+  ++as.page_faults;
+  if (out.colored)
+    ++as.colored_pages;
+  else
+    ++as.default_pages;
+  if (out.fell_back) ++as.fallback_pages;
+  as.refill_blocks += out.refill_blocks;
+  as.refill_pages += out.refill_pages;
+  if (pi.node != t.local_node()) ++as.remote_pages;
+
+  res.faulted = true;
+  res.fault_cycles = cfg_.fault_base_cycles +
+                     cfg_.refill_block_cycles * out.refill_blocks +
+                     cfg_.refill_page_cycles * out.refill_pages;
+  res.pa = (static_cast<uint64_t>(out.pfn) << topo_.page_bits) |
+           (va & (topo_.page_bytes() - 1));
+  return res;
+}
+
+Kernel::TouchResult Kernel::fault_huge(Task& t, VirtAddr va,
+                                       VirtAddr vma_base) {
+  // Map the whole aligned 2 MB block containing `va` with one fault.
+  const uint64_t pages_per_huge = kHugeBytes / topo_.page_bytes();
+  const VirtAddr huge_base = vma_base + ((va - vma_base) & ~(kHugeBytes - 1));
+
+  // Controller-aware placement: the node of the task's bank colors if it
+  // has any, else the default policy's choice.
+  unsigned preferred;
+  if (t.using_bank()) {
+    preferred = mapping_.node_of_bank_color(t.mem_color_list().front());
+  } else {
+    preferred = pick_default_node(t, page_table_.vpn_of(huge_base));
+  }
+  Pfn head = kNoPage;
+  const unsigned nn = mapping_.num_nodes();
+  for (unsigned k = 0; k < nn && head == kNoPage; ++k) {
+    auto& pool = huge_pool_[(preferred + k) % nn];
+    if (!pool.empty()) {
+      head = pool.back();
+      pool.pop_back();
+    }
+  }
+  // Pool dry: try the buddy directly (succeeds only on unfragmented
+  // zones -- real kernels would have to compact here).
+  for (unsigned k = 0; k < nn && head == kNoPage; ++k)
+    head = buddy_->alloc_block((preferred + k) % nn, kHugeOrder);
+  TINT_ASSERT_MSG(head != kNoPage,
+                  "out of huge pages (pool dry and zones fragmented)");
+
+  for (uint64_t i = 0; i < pages_per_huge; ++i) {
+    page_table_.map(page_table_.vpn_of(huge_base) + i,
+                    head + static_cast<Pfn>(i));
+    pages_[head + i].state = PageState::kAllocated;
+    pages_[head + i].owner = t.id();
+    pages_[head + i].colored_alloc = false;
+  }
+  ++stats_.page_faults;
+  ++stats_.huge_faults;
+  TaskAllocStats& as = t.alloc_stats();
+  ++as.page_faults;
+  ++as.default_pages;
+  if (pages_[head].node != t.local_node()) ++as.remote_pages;
+
+  TouchResult res;
+  res.faulted = true;
+  res.fault_cycles = cfg_.fault_base_cycles;  // one fault for 2 MB
+  res.pa = (static_cast<uint64_t>(head) << topo_.page_bits) +
+           (va - huge_base);
+  return res;
+}
+
+Kernel::AllocOutcome Kernel::alloc_pages(TaskId task_id, unsigned order,
+                                         uint64_t vpn_hint) {
+  Task& t = task(task_id);
+  AllocOutcome out;
+
+  // Algorithm 1, line 3: only order-0 requests of coloring tasks take the
+  // colored path; everything else is the stock buddy allocator.
+  if (order == 0 && (t.using_bank() || t.using_llc())) {
+    out = alloc_colored(t, vpn_hint);
+    if (out.pfn != kNoPage) return out;
+    if (!cfg_.colored_fallback_to_default) return out;  // error: NULL page
+    const AllocOutcome colored_attempt = out;
+    out = AllocOutcome{};
+    out.fell_back = true;
+    out.refill_blocks = colored_attempt.refill_blocks;
+    out.refill_pages = colored_attempt.refill_pages;
+  }
+
+  out.pfn = alloc_default(t, order, vpn_hint);
+  return out;
+}
+
+Kernel::AllocOutcome Kernel::alloc_colored(Task& t, uint64_t vpn_hint) {
+  AllocOutcome out;
+  // Candidate (MEM_ID, LLC_ID) combinations per the TCB flags
+  // (Algorithm 1 lines 5-13).
+  //   using_bank & using_llc : the cross product of both color sets.
+  //   using_bank only        : any LLC_ID behind the task's bank colors.
+  //   using_llc only         : any bank; banks are visited node by node
+  //                            starting at a default-policy node, so node
+  //                            placement matches the uncolored-memory
+  //                            behaviour the paper describes for LLC-only
+  //                            coloring.
+  const unsigned nl = mapping_.num_llc_colors();
+  const unsigned bpn = mapping_.banks_per_node();
+
+  std::vector<uint8_t> llcs;
+  if (t.using_llc()) {
+    llcs = t.llc_color_list();
+  } else {
+    llcs.reserve(nl);
+    for (unsigned c = 0; c < nl; ++c) llcs.push_back(static_cast<uint8_t>(c));
+  }
+  TINT_DASSERT(!llcs.empty());
+  const size_t n_llc = llcs.size();
+  const uint64_t cursor = t.next_combo_cursor();
+
+  // Records a page handed out by the colored path.
+  const auto found = [&](Pfn pfn) {
+    out.pfn = pfn;
+    out.colored = true;
+  };
+  // Algorithm 2 refill from one node; false when the zone is empty.
+  const auto refill_from = [&](unsigned node) {
+    const auto blk = buddy_->pop_any_block(node, 0);
+    if (!blk) return false;
+    colors_->create_color_list(blk->first, blk->second, pages_);
+    ++out.refill_blocks;
+    out.refill_pages += 1u << blk->second;
+    ++stats_.refill_blocks;
+    stats_.refill_pages += 1u << blk->second;
+    return true;
+  };
+
+  if (t.using_bank()) {
+    // Combos are iterated bank-fastest with a rotating cursor so that
+    // consecutive faults stripe across the task's banks (intra-task bank
+    // parallelism, like the hardware's own interleaving would give an
+    // uncolored stream).
+    const std::vector<uint16_t>& mems = t.mem_color_list();
+    const size_t n_mem = mems.size();
+    const size_t ncombo = n_mem * n_llc;
+    const auto scan = [&]() -> Pfn {
+      for (size_t k = 0; k < ncombo; ++k) {
+        const size_t i = (cursor + k) % ncombo;
+        const Pfn pfn = colors_->pop(mems[i % n_mem], llcs[i / n_mem]);
+        if (pfn != kNoPage) return pfn;
+      }
+      return kNoPage;
+    };
+    Pfn pfn = scan();
+    if (pfn != kNoPage) {
+      found(pfn);
+      return out;
+    }
+    // Refill the task's nodes round-robin (even striping) until a
+    // matching page appears or every zone is dry (Algorithm 1 line 26).
+    std::vector<unsigned> nodes;
+    for (const uint16_t m : mems) {
+      const unsigned n = mapping_.node_of_bank_color(m);
+      if (std::find(nodes.begin(), nodes.end(), n) == nodes.end())
+        nodes.push_back(n);
+    }
+    size_t node_cursor = 0;
+    while (!nodes.empty()) {
+      const size_t i = node_cursor % nodes.size();
+      if (!refill_from(nodes[i])) {
+        nodes.erase(nodes.begin() + static_cast<long>(i));
+        continue;
+      }
+      ++node_cursor;
+      pfn = scan();
+      if (pfn != kNoPage) {
+        found(pfn);
+        return out;
+      }
+    }
+    return out;  // kNoPage: "no more page of this color"
+  }
+
+  // No bank coloring: visit nodes in preference order. For each node,
+  // alternate scanning its lists with refilling *from that node*, so a
+  // nearer node's free memory is always preferred over remote pages that
+  // happen to be parked in the color lists already.
+  const unsigned start_node = pick_default_node(t, vpn_hint);
+  const unsigned nn = mapping_.num_nodes();
+  for (unsigned step = 0; step < nn; ++step) {
+    const unsigned node = (start_node + step) % nn;
+    for (;;) {
+      for (size_t k = 0; k < bpn * n_llc; ++k) {
+        const size_t i = (cursor + k) % (bpn * n_llc);
+        const unsigned mem = mapping_.make_bank_color(
+            node, static_cast<unsigned>(i % bpn));
+        const Pfn pfn = colors_->pop(mem, llcs[i / bpn]);
+        if (pfn != kNoPage) {
+          found(pfn);
+          return out;
+        }
+      }
+      if (!refill_from(node)) break;  // zone dry: try the next node
+    }
+  }
+  return out;  // kNoPage: "no more page of this color"
+}
+
+uint64_t Kernel::huge_pool_blocks_free() const {
+  uint64_t n = 0;
+  for (const auto& pool : huge_pool_) n += pool.size();
+  return n;
+}
+
+unsigned Kernel::pick_default_node(const Task& t, uint64_t vpn_hint) {
+  const unsigned nn = mapping_.num_nodes();
+  if (nn == 1) return 0;
+
+  // The recycle decision is cached per virtual region so that remote
+  // memory arrives in arena-sized runs (see KernelConfig).
+  const bool use_region = vpn_hint != ~0ULL && cfg_.reuse_region_pages > 0;
+  const uint64_t region = use_region ? vpn_hint / cfg_.reuse_region_pages : 0;
+  if (use_region) {
+    const auto it = region_node_.find(region);
+    if (it != region_node_.end()) return it->second;
+  }
+
+  unsigned chosen = t.local_node();
+  if (rng_.next_bool(cfg_.reuse_probability)) {
+    // Recycled region: weighted by zone free pages so drained zones fade.
+    const uint64_t total = buddy_->total_free_pages();
+    if (total > 0) {
+      uint64_t pick = rng_.next_below(total);
+      for (unsigned n = 0; n < nn; ++n) {
+        const uint64_t f = buddy_->free_pages(n);
+        if (pick < f) {
+          chosen = n;
+          break;
+        }
+        pick -= f;
+      }
+    }
+  }
+  if (use_region) region_node_.emplace(region, chosen);
+  return chosen;
+}
+
+Pfn Kernel::alloc_default(Task& t, unsigned order, uint64_t vpn_hint) {
+  const unsigned preferred = pick_default_node(t, vpn_hint);
+  const unsigned nn = mapping_.num_nodes();
+  for (unsigned k = 0; k < nn; ++k) {
+    const Pfn pfn = buddy_->alloc_block((preferred + k) % nn, order);
+    if (pfn != kNoPage) return pfn;
+  }
+  // Buddy zones are empty, but colorized-but-unclaimed pages may be
+  // stranded in the color lists (Algorithm 2 never returns pages to the
+  // buddy). Scavenge them for order-0 requests -- the memory-pressure
+  // reclaim a real kernel would perform.
+  if (order == 0) {
+    const unsigned bpn = mapping_.banks_per_node();
+    for (unsigned k = 0; k < nn; ++k) {
+      const unsigned node = (preferred + k) % nn;
+      const Pfn pfn =
+          colors_->pop_any_in_bank_range(node * bpn, (node + 1) * bpn);
+      if (pfn != kNoPage) {
+        ++stats_.scavenged_pages;
+        return pfn;
+      }
+    }
+  }
+  return kNoPage;
+}
+
+void Kernel::free_pages(Pfn pfn, unsigned order) {
+  PageInfo& pi = pages_[pfn];
+  pi.owner = kNoTask;
+  if (order == 0 && pi.colored_alloc) {
+    // Colored frames go back to their color list (Section III.C).
+    colors_->push(pfn, pages_);
+    return;
+  }
+  pi.state = PageState::kBuddyFree;
+  buddy_->free_block(pfn, order);
+}
+
+}  // namespace tint::os

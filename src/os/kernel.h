@@ -1,0 +1,216 @@
+// The simulated OS kernel: mmap() coloring protocol (Section III.B),
+// colored page selection (Algorithm 1), page-fault handling and the
+// default buddy path.
+//
+// mmap() protocol, following Fig. 6: a *zero-length* mmap whose `prot`
+// carries PROT_COLOR_ALLOC (bit 30) is a color-control call. The first
+// argument then encodes the operation in its most significant bits and
+// the color id in its low bits:
+//
+//   kernel.mmap(task, color | SET_LLC_COLOR, 0, prot | PROT_COLOR_ALLOC, 0)
+//
+// exactly mirroring the paper's one-line opt-in. Colors land in the
+// task's TCB; every later page fault of that task is served by
+// Algorithm 1 from color_list[MEM_ID][LLC_ID].
+//
+// Default path ("normal_buddy_alloc"): Linux prefers the faulting core's
+// node, but on a warmed-up machine a sizeable fraction of heap pages is
+// recycled from whatever node freed them (shared glibc arenas, page
+// cache). `KernelConfig::reuse_probability` models that fraction; it is
+// the knob that gives the buddy baseline its remote accesses (Fig. 7)
+// and its run-to-run variance (error bars in Fig. 11).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "hw/address_mapping.h"
+#include "hw/topology.h"
+#include "os/buddy.h"
+#include "os/color_lists.h"
+#include "os/page.h"
+#include "os/page_table.h"
+#include "os/task.h"
+#include "util/rng.h"
+
+namespace tint::os {
+
+using hw::Cycles;
+
+// --- mmap color-control encoding (Fig. 6) ---
+inline constexpr uint32_t PROT_COLOR_ALLOC = 1u << 30;
+inline constexpr uint64_t kColorOpShift = 60;
+inline constexpr uint64_t SET_MEM_COLOR = 1ULL << kColorOpShift;
+inline constexpr uint64_t CLEAR_MEM_COLOR = 2ULL << kColorOpShift;
+inline constexpr uint64_t SET_LLC_COLOR = 3ULL << kColorOpShift;
+inline constexpr uint64_t CLEAR_LLC_COLOR = 4ULL << kColorOpShift;
+inline constexpr uint64_t kColorMask = (1ULL << 32) - 1;
+
+inline constexpr VirtAddr kMmapFailed = ~0ULL;  // MAP_FAILED
+
+// mmap flag requesting 2 MB huge pages. The paper restricts TintMalloc
+// to order-0 requests ("none [of our programs] use so-called huge pages
+// (2MB)", Section III.C); this extension adds *controller-aware* huge
+// pages: a huge mapping cannot be bank/LLC colored (one 2 MB frame spans
+// every color) but it is still placed on the task's local node / the
+// node of its bank colors.
+inline constexpr uint32_t MAP_HUGE_2MB = 1u << 26;
+
+struct KernelConfig {
+  // Probability that a default-path page comes from the recycled pool
+  // (arbitrary node) instead of the local node. 0 = ideal first touch.
+  double reuse_probability = 0.35;
+  // The recycle decision is drawn once per virtual *region* of this many
+  // pages, not per page: user-level allocators recycle memory in
+  // arena-sized chunks, so physically remote memory arrives in runs.
+  // This is what differentiates threads from one another under buddy
+  // (per-page draws would average out over thousands of pages and no
+  // barrier imbalance would remain).
+  unsigned reuse_region_pages = 128;  // 512 KB regions
+  // When a colored request exhausts its color pool, fall back to the
+  // default path (and count it) instead of failing the fault. The paper
+  // returns an error from mmap; real applications need the fallback, and
+  // it is what makes over-constrained colorings (the freqmine case,
+  // Section V.B) gracefully degrade instead of crash.
+  bool colored_fallback_to_default = true;
+  // Buddy warm-up episodes (0 = pristine boot state).
+  unsigned warmup_episodes = 512;
+  // Warm-up fragmentation intensity: pins ~zone/2^shift pages (0 = no
+  // fragmentation; see BuddyAllocator::warm_up).
+  unsigned warmup_frag_shift = 6;
+  // 2 MB blocks reserved per node at boot for MAP_HUGE_2MB mappings --
+  // the hugetlbfs pattern: after warm-up fragmentation no contiguous
+  // order-9 block survives, so huge pages must be set aside up front.
+  // Like Linux's nr_hugepages, the default is 0: huge mappings require
+  // an explicit reservation. Clamped to a quarter of the zone.
+  unsigned huge_pool_blocks_per_node = 0;
+  // --- page-fault cost model (CPU cycles) ---
+  Cycles fault_base_cycles = 1500;
+  Cycles refill_block_cycles = 60;  // per buddy block colorized (Algo 2)
+  Cycles refill_page_cycles = 4;    // per page scattered into color lists
+};
+
+struct KernelStats {
+  uint64_t color_control_calls = 0;
+  uint64_t huge_faults = 0;
+  uint64_t mmap_calls = 0;
+  uint64_t munmap_calls = 0;
+  uint64_t page_faults = 0;
+  uint64_t refill_blocks = 0;
+  uint64_t refill_pages = 0;
+  // Pages reclaimed from the color lists by the default path under
+  // memory pressure (see Kernel::alloc_default).
+  uint64_t scavenged_pages = 0;
+};
+
+class Kernel {
+ public:
+  // 2 MB huge pages = buddy order 9 with 4 KB base pages.
+  static constexpr uint64_t kHugeBytes = 2ULL << 20;
+  static constexpr unsigned kHugeOrder = 9;
+
+  Kernel(const hw::Topology& topo, const hw::AddressMapping& mapping,
+         KernelConfig cfg = {}, uint64_t seed = 42);
+
+  // --- tasks ---
+  TaskId create_task(unsigned pinned_core);
+  Task& task(TaskId id) { return *tasks_.at(id); }
+  const Task& task(TaskId id) const { return *tasks_.at(id); }
+  size_t num_tasks() const { return tasks_.size(); }
+
+  // --- system calls ---
+  // See file comment for the color-control encoding. For length > 0,
+  // reserves a fresh VMA (addr_or_color must be 0: no fixed mappings)
+  // and returns its base address.
+  VirtAddr mmap(TaskId task, uint64_t addr_or_color, uint64_t length,
+                uint32_t prot, uint32_t flags = 0);
+  // Unmaps a VMA previously returned by mmap and frees its frames.
+  void munmap(TaskId task, VirtAddr base, uint64_t length);
+
+  // --- memory access path ---
+  struct TouchResult {
+    uint64_t pa = 0;
+    bool faulted = false;
+    Cycles fault_cycles = 0;
+  };
+  // Translates `va`, faulting in a frame on first touch using the
+  // *calling* task's policy.
+  TouchResult touch(TaskId task, VirtAddr va, bool write);
+  std::optional<uint64_t> translate(VirtAddr va) const {
+    return page_table_.translate(va);
+  }
+
+  // --- Algorithm 1 (exposed for tests and the allocator bench) ---
+  struct AllocOutcome {
+    Pfn pfn = kNoPage;
+    bool colored = false;     // served from a color list
+    bool fell_back = false;   // colored request served by default path
+    unsigned refill_blocks = 0;
+    unsigned refill_pages = 0;
+  };
+  // `vpn_hint` identifies the faulting virtual page so default-path node
+  // decisions can be made per region (see KernelConfig); pass ~0 for
+  // hint-less allocations.
+  AllocOutcome alloc_pages(TaskId task, unsigned order,
+                           uint64_t vpn_hint = ~0ULL);
+  void free_pages(Pfn pfn, unsigned order);
+
+  // --- introspection ---
+  BuddyAllocator& buddy() { return *buddy_; }
+  ColorLists& color_lists() { return *colors_; }
+  const std::vector<PageInfo>& pages() const { return pages_; }
+  const PageTable& page_table() const { return page_table_; }
+  const hw::AddressMapping& mapping() const { return mapping_; }
+  const hw::Topology& topology() const { return topo_; }
+  const KernelStats& stats() const { return stats_; }
+  const KernelConfig& config() const { return cfg_; }
+  // Unused blocks remaining in the boot-reserved huge pool.
+  uint64_t huge_pool_blocks_free() const;
+
+ private:
+  // Colored path of Algorithm 1. Returns kNoPage when every candidate
+  // color pool and its backing zones are exhausted.
+  AllocOutcome alloc_colored(Task& t, uint64_t vpn_hint);
+  // Huge-page fault: maps an aligned 2 MB block at once (node-aware).
+  TouchResult fault_huge(Task& t, VirtAddr va, VirtAddr vma_base);
+  // Default path ("return page from normal_buddy_alloc").
+  Pfn alloc_default(Task& t, unsigned order, uint64_t vpn_hint);
+  unsigned pick_default_node(const Task& t, uint64_t vpn_hint);
+
+  hw::Topology topo_;
+  const hw::AddressMapping& mapping_;
+  KernelConfig cfg_;
+  Rng rng_;
+  std::vector<PageInfo> pages_;
+  std::unique_ptr<BuddyAllocator> buddy_;
+  std::unique_ptr<ColorLists> colors_;
+  PageTable page_table_;
+  std::vector<std::unique_ptr<Task>> tasks_;
+
+  struct Vma {
+    uint64_t length = 0;
+    TaskId creator = kNoTask;
+    bool huge = false;  // 2 MB frames (MAP_HUGE_2MB)
+  };
+  std::map<VirtAddr, Vma> vmas_;
+  VirtAddr va_cursor_ = 0x100000000000ULL;  // heap VA bump pointer
+  // Software translation cache in front of the page table (performance
+  // of the simulator only -- the TLB itself is not timed). Flushed on
+  // munmap.
+  struct TlbEntry {
+    uint64_t vpn = ~0ULL;
+    Pfn pfn = kNoPage;
+  };
+  static constexpr size_t kTlbSize = 4096;  // power of two
+  std::vector<TlbEntry> tlb_ = std::vector<TlbEntry>(kTlbSize);
+  // Default-path node decision per virtual region (see KernelConfig).
+  std::unordered_map<uint64_t, unsigned> region_node_;
+  // Boot-reserved huge blocks (hugetlbfs-style), one stack per node.
+  std::vector<std::vector<Pfn>> huge_pool_;
+  KernelStats stats_;
+};
+
+}  // namespace tint::os

@@ -1,0 +1,17 @@
+#include "os/page.h"
+
+namespace tint::os {
+
+std::vector<PageInfo> build_page_table_metadata(const hw::AddressMapping& map,
+                                                uint64_t total_pages) {
+  std::vector<PageInfo> pages(total_pages);
+  for (uint64_t pfn = 0; pfn < total_pages; ++pfn) {
+    const hw::FrameColors fc = map.frame_colors_of_pfn(pfn);
+    pages[pfn].bank_color = fc.bank_color;
+    pages[pfn].llc_color = fc.llc_color;
+    pages[pfn].node = fc.node;
+  }
+  return pages;
+}
+
+}  // namespace tint::os

@@ -1,0 +1,46 @@
+// Physical page-frame metadata.
+//
+// The simulated kernel keeps one `PageInfo` per 4 KB frame, mirroring the
+// fields TintMalloc adds to `struct page` in the real patch: the frame's
+// bank color and LLC color (computed once at boot from the PCI-derived
+// address mapping, Section III.A) plus allocation bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "hw/address_mapping.h"
+
+namespace tint::os {
+
+using Pfn = uint32_t;  // page frame number; 32 bits cover 16 TB of 4 KB pages
+inline constexpr Pfn kNoPage = std::numeric_limits<Pfn>::max();
+
+using TaskId = uint32_t;
+inline constexpr TaskId kNoTask = std::numeric_limits<TaskId>::max();
+
+enum class PageState : uint8_t {
+  kBuddyFree,   // inside a buddy free block
+  kColorFree,   // parked on a color_list[MEM_ID][LLC_ID]
+  kAllocated,   // mapped into some task
+};
+
+struct PageInfo {
+  uint16_t bank_color = 0;  // Eq. 1 color, node-qualified
+  uint8_t llc_color = 0;
+  uint8_t node = 0;
+  PageState state = PageState::kBuddyFree;
+  // Allocated through the colored path (and therefore returned to the
+  // color lists on free, per Section III.C).
+  bool colored_alloc = false;
+  TaskId owner = kNoTask;
+};
+
+// Boot-time construction of the frame metadata table ("TintMalloc is
+// activated in the late phase of booting Linux at which time the
+// bit-level information is derived from PCI registers").
+std::vector<PageInfo> build_page_table_metadata(const hw::AddressMapping& map,
+                                                uint64_t total_pages);
+
+}  // namespace tint::os

@@ -1,0 +1,63 @@
+// Process page table: virtual page number -> physical frame.
+//
+// The simulated SPMD process has a single address space shared by all
+// tasks (threads). Mappings are created lazily by the page-fault path --
+// Linux/TintMalloc first-touch semantics: the *faulting* task's policy
+// decides the frame, no matter which task created the VMA.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "os/page.h"
+
+namespace tint::os {
+
+using VirtAddr = uint64_t;
+
+class PageTable {
+ public:
+  explicit PageTable(unsigned page_bits) : page_bits_(page_bits) {
+    map_.reserve(1 << 16);
+  }
+
+  uint64_t vpn_of(VirtAddr va) const { return va >> page_bits_; }
+
+  // Returns the mapped pfn for the page containing `va`, if any.
+  std::optional<Pfn> lookup(VirtAddr va) const {
+    const auto it = map_.find(vpn_of(va));
+    if (it == map_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  // Full translation including the page offset.
+  std::optional<uint64_t> translate(VirtAddr va) const {
+    const auto it = map_.find(vpn_of(va));
+    if (it == map_.end()) return std::nullopt;
+    return (static_cast<uint64_t>(it->second) << page_bits_) |
+           (va & ((1ULL << page_bits_) - 1));
+  }
+
+  void map(uint64_t vpn, Pfn pfn) {
+    const bool inserted = map_.emplace(vpn, pfn).second;
+    TINT_ASSERT_MSG(inserted, "double mapping of a virtual page");
+  }
+
+  // Removes a mapping; returns the pfn that was mapped, if any.
+  std::optional<Pfn> unmap(uint64_t vpn) {
+    const auto it = map_.find(vpn);
+    if (it == map_.end()) return std::nullopt;
+    const Pfn pfn = it->second;
+    map_.erase(it);
+    return pfn;
+  }
+
+  size_t mapped_pages() const { return map_.size(); }
+
+ private:
+  unsigned page_bits_;
+  std::unordered_map<uint64_t, Pfn> map_;
+};
+
+}  // namespace tint::os

@@ -1,0 +1,58 @@
+#include "os/task.h"
+
+#include "util/assert.h"
+#include "util/rng.h"
+
+namespace tint::os {
+
+Task::Task(TaskId id, unsigned core, unsigned local_node,
+           unsigned num_bank_colors, unsigned num_llc_colors)
+    : id_(id), core_(core), local_node_(local_node),
+      mem_colors_(num_bank_colors, false), llc_colors_(num_llc_colors, false),
+      combo_cursor_(mix64(id) & 0xFFFF) {}
+
+void Task::set_mem_color(unsigned color) {
+  TINT_ASSERT_MSG(color < mem_colors_.size(), "bank color out of range");
+  mem_colors_[color] = true;
+  using_bank_ = true;
+  rebuild_lists();
+}
+
+void Task::clear_mem_color(unsigned color) {
+  TINT_ASSERT_MSG(color < mem_colors_.size(), "bank color out of range");
+  mem_colors_[color] = false;
+  rebuild_lists();
+  using_bank_ = !mem_list_.empty();
+}
+
+void Task::set_llc_color(unsigned color) {
+  TINT_ASSERT_MSG(color < llc_colors_.size(), "LLC color out of range");
+  llc_colors_[color] = true;
+  using_llc_ = true;
+  rebuild_lists();
+}
+
+void Task::clear_llc_color(unsigned color) {
+  TINT_ASSERT_MSG(color < llc_colors_.size(), "LLC color out of range");
+  llc_colors_[color] = false;
+  rebuild_lists();
+  using_llc_ = !llc_list_.empty();
+}
+
+void Task::clear_all_colors() {
+  mem_colors_.assign(mem_colors_.size(), false);
+  llc_colors_.assign(llc_colors_.size(), false);
+  using_bank_ = using_llc_ = false;
+  rebuild_lists();
+}
+
+void Task::rebuild_lists() {
+  mem_list_.clear();
+  for (size_t i = 0; i < mem_colors_.size(); ++i)
+    if (mem_colors_[i]) mem_list_.push_back(static_cast<uint16_t>(i));
+  llc_list_.clear();
+  for (size_t i = 0; i < llc_colors_.size(); ++i)
+    if (llc_colors_[i]) llc_list_.push_back(static_cast<uint8_t>(i));
+}
+
+}  // namespace tint::os

@@ -1,0 +1,80 @@
+// Task control block (TCB) state, mirroring the fields TintMalloc adds
+// to Linux's task_struct (Section III.B):
+//
+//   "zero-sized mmap() calls result in memory controller/bank and LLC
+//    colors to be saved in the task_struct ... In addition, two coloring
+//    flags using_bank and using_llc are set in task_struct by kernel."
+//
+// A task also records its core pinning (the paper assumes task-to-core
+// assignment is static) and allocation statistics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "os/page.h"
+
+namespace tint::os {
+
+struct TaskAllocStats {
+  uint64_t page_faults = 0;
+  uint64_t colored_pages = 0;      // pages served from color lists
+  uint64_t default_pages = 0;      // pages served by the default path
+  uint64_t fallback_pages = 0;     // colored request that fell back (pool dry)
+  uint64_t refill_blocks = 0;      // buddy blocks colorized on our behalf
+  uint64_t refill_pages = 0;       // pages scattered by those refills
+  uint64_t remote_pages = 0;       // pages not on the task's local node
+};
+
+class Task {
+ public:
+  Task(TaskId id, unsigned core, unsigned local_node, unsigned num_bank_colors,
+       unsigned num_llc_colors);
+
+  TaskId id() const { return id_; }
+  unsigned core() const { return core_; }
+  unsigned local_node() const { return local_node_; }
+
+  // --- coloring flags & sets (the TCB payload) ---
+  bool using_bank() const { return using_bank_; }
+  bool using_llc() const { return using_llc_; }
+
+  void set_mem_color(unsigned color);
+  void clear_mem_color(unsigned color);
+  void set_llc_color(unsigned color);
+  void clear_llc_color(unsigned color);
+  void clear_all_colors();
+
+  bool has_mem_color(unsigned color) const { return mem_colors_[color]; }
+  bool has_llc_color(unsigned color) const { return llc_colors_[color]; }
+  // Materialized color id lists (ascending), for the allocator's scan.
+  const std::vector<uint16_t>& mem_color_list() const { return mem_list_; }
+  const std::vector<uint8_t>& llc_color_list() const { return llc_list_; }
+
+  // Round-robin cursor so consecutive faults spread over the task's
+  // (MEM_ID, LLC_ID) combinations -- keeps a task's heap striped across
+  // its own banks/LLC slices for intra-task bank parallelism.
+  uint64_t next_combo_cursor() { return combo_cursor_++; }
+
+  TaskAllocStats& alloc_stats() { return stats_; }
+  const TaskAllocStats& alloc_stats() const { return stats_; }
+
+ private:
+  void rebuild_lists();
+
+  TaskId id_;
+  unsigned core_;
+  unsigned local_node_;
+  bool using_bank_ = false;
+  bool using_llc_ = false;
+  std::vector<bool> mem_colors_;
+  std::vector<bool> llc_colors_;
+  std::vector<uint16_t> mem_list_;
+  std::vector<uint8_t> llc_list_;
+  // Starts at a per-task phase so tasks sharing a bank pool do not walk
+  // the banks in lockstep (which would make them collide persistently).
+  uint64_t combo_cursor_;
+  TaskAllocStats stats_;
+};
+
+}  // namespace tint::os

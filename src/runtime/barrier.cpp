@@ -1,0 +1,49 @@
+#include "runtime/barrier.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace tint::runtime {
+
+Cycles SectionTiming::max_end() const {
+  TINT_ASSERT(!end.empty());
+  return *std::max_element(end.begin(), end.end());
+}
+
+Cycles SectionTiming::min_end() const {
+  TINT_ASSERT(!end.empty());
+  return *std::min_element(end.begin(), end.end());
+}
+
+void BarrierLedger::add_section(const SectionTiming& s) {
+  TINT_ASSERT(s.end.size() == busy_.size());
+  const Cycles release = s.max_end();
+  for (unsigned t = 0; t < busy_.size(); ++t) {
+    TINT_ASSERT(s.end[t] >= s.start);
+    busy_[t] += s.end[t] - s.start;
+    idle_[t] += release - s.end[t];
+  }
+  parallel_time_ += release - s.start;
+  ++sections_;
+}
+
+Cycles BarrierLedger::total_idle() const {
+  Cycles sum = 0;
+  for (const Cycles i : idle_) sum += i;
+  return sum;
+}
+
+Cycles BarrierLedger::max_thread_busy() const {
+  return *std::max_element(busy_.begin(), busy_.end());
+}
+
+Cycles BarrierLedger::min_thread_busy() const {
+  return *std::min_element(busy_.begin(), busy_.end());
+}
+
+Cycles BarrierLedger::max_thread_idle() const {
+  return *std::max_element(idle_.begin(), idle_.end());
+}
+
+}  // namespace tint::runtime

@@ -1,0 +1,62 @@
+// Barrier idle-time accounting (Algorithm 3).
+//
+// The paper instruments each OpenMP parallel section: every thread
+// records its own end time; the implicit barrier releases at the maximum;
+// idle[tid] = max - end[tid]. `SectionTiming` holds the arrival times of
+// one section, and `BarrierLedger` accumulates per-thread busy and idle
+// time across the sections of one benchmark run.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/topology.h"
+
+namespace tint::runtime {
+
+using hw::Cycles;
+
+// Timing of a single parallel section.
+struct SectionTiming {
+  Cycles start = 0;
+  std::vector<Cycles> end;  // absolute arrival time per thread
+
+  Cycles max_end() const;
+  Cycles min_end() const;
+  // Wall time of the section: release - start.
+  Cycles duration() const { return max_end() - start; }
+  // Busy time of thread `t` inside the section.
+  Cycles busy(unsigned t) const { return end[t] - start; }
+  // Wait time of thread `t` at the closing barrier (Algorithm 3 line 10).
+  Cycles idle(unsigned t) const { return max_end() - end[t]; }
+};
+
+// Accumulates sections for one run.
+class BarrierLedger {
+ public:
+  explicit BarrierLedger(unsigned threads) : busy_(threads), idle_(threads) {}
+
+  void add_section(const SectionTiming& s);
+
+  unsigned threads() const { return static_cast<unsigned>(busy_.size()); }
+  unsigned sections() const { return sections_; }
+  // Per-thread totals over all recorded sections.
+  Cycles thread_busy(unsigned t) const { return busy_[t]; }
+  Cycles thread_idle(unsigned t) const { return idle_[t]; }
+  // Sum of idle over all threads ("total idle time" of Fig. 12).
+  Cycles total_idle() const;
+  // Sum of parallel-section wall durations.
+  Cycles total_parallel_time() const { return parallel_time_; }
+
+  Cycles max_thread_busy() const;
+  Cycles min_thread_busy() const;
+  Cycles max_thread_idle() const;
+
+ private:
+  std::vector<Cycles> busy_;
+  std::vector<Cycles> idle_;
+  Cycles parallel_time_ = 0;
+  unsigned sections_ = 0;
+};
+
+}  // namespace tint::runtime

@@ -1,0 +1,61 @@
+#include "runtime/sim_thread.h"
+
+#include "util/assert.h"
+
+namespace tint::runtime {
+
+Cycles ParallelEngine::execute(os::TaskId task, const Op& op, Cycles now) {
+  ++ops_;
+  switch (op.kind) {
+    case Op::Kind::kAccess:
+      return op.cycles +
+             session_.touch_and_access(task, op.va, op.write, now + op.cycles);
+    case Op::Kind::kCompute:
+      return op.cycles;
+  }
+  return 0;
+}
+
+SectionTiming ParallelEngine::run_parallel(std::span<const os::TaskId> tasks,
+                                           std::span<OpStream* const> streams,
+                                           Cycles start) {
+  TINT_ASSERT(tasks.size() == streams.size() && !tasks.empty());
+  const size_t n = tasks.size();
+
+  std::vector<Cycles> clock(n, start);
+  std::vector<bool> done(n, false);
+  size_t running = n;
+
+  // Earliest-thread-first interleaving. With at most a few dozen threads
+  // a linear argmin scan beats a heap and is trivially deterministic
+  // (ties resolve to the lowest thread index).
+  while (running > 0) {
+    size_t pick = n;
+    for (size_t i = 0; i < n; ++i) {
+      if (done[i]) continue;
+      if (pick == n || clock[i] < clock[pick]) pick = i;
+    }
+    Op op;
+    if (!streams[pick]->next(op)) {
+      done[pick] = true;
+      --running;
+      continue;
+    }
+    clock[pick] += execute(tasks[pick], op, clock[pick]);
+  }
+
+  SectionTiming timing;
+  timing.start = start;
+  timing.end = std::move(clock);
+  return timing;
+}
+
+Cycles ParallelEngine::run_serial(os::TaskId task, OpStream& stream,
+                                  Cycles start) {
+  Cycles now = start;
+  Op op;
+  while (stream.next(op)) now += execute(task, op, now);
+  return now;
+}
+
+}  // namespace tint::runtime

@@ -1,0 +1,65 @@
+// Simulated threads and the discrete-event parallel engine.
+//
+// Each simulated thread is an in-order core pinned to one hardware core,
+// executing an `OpStream` (memory accesses interleaved with compute).
+// The engine always advances the thread with the smallest local clock,
+// so all shared-state mutations (caches, row buffers, channel queues)
+// happen in global time order and contention between threads emerges
+// naturally -- exactly like interleaved execution on the real machine,
+// but deterministic.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/session.h"
+#include "runtime/barrier.h"
+
+namespace tint::runtime {
+
+// One operation of a thread's instruction stream.
+struct Op {
+  enum class Kind : uint8_t { kAccess, kCompute };
+  Kind kind = Kind::kCompute;
+  bool write = false;
+  os::VirtAddr va = 0;
+  // kCompute: the op's duration. kAccess: compute cycles *preceding* the
+  // access (folding ALU work into the access op halves the op count).
+  Cycles cycles = 0;
+};
+
+// A lazily generated operation stream (one per thread per section).
+class OpStream {
+ public:
+  virtual ~OpStream() = default;
+  // Produces the next op; returns false at end of stream.
+  virtual bool next(Op& op) = 0;
+};
+
+// Executes parallel and serial sections against a Session.
+class ParallelEngine {
+ public:
+  explicit ParallelEngine(core::Session& session) : session_(session) {}
+
+  // Runs one parallel section: thread i executes streams[i] on task
+  // tasks[i], all starting at `start`. Returns per-thread arrival times
+  // (the implicit barrier releases at the max).
+  SectionTiming run_parallel(std::span<const os::TaskId> tasks,
+                             std::span<OpStream* const> streams, Cycles start);
+
+  // Runs a serial section on one task; returns its end time.
+  Cycles run_serial(os::TaskId task, OpStream& stream, Cycles start);
+
+  // Total ops executed since construction (sanity/progress metric).
+  uint64_t ops_executed() const { return ops_; }
+
+ private:
+  // Advances one thread by a single op at its current time.
+  Cycles execute(os::TaskId task, const Op& op, Cycles now);
+
+  core::Session& session_;
+  uint64_t ops_ = 0;
+};
+
+}  // namespace tint::runtime

@@ -1,0 +1,98 @@
+#include "runtime/trace.h"
+
+#include <sstream>
+
+#include "util/assert.h"
+
+namespace tint::runtime {
+
+TraceRecorder::TraceRecorder(core::Session& session, size_t capacity)
+    : session_(session), capacity_(capacity) {
+  TINT_ASSERT(capacity > 0);
+  records_.reserve(std::min<size_t>(capacity, 1 << 16));
+}
+
+Cycles TraceRecorder::access(os::TaskId task, os::VirtAddr va, bool write,
+                             Cycles now) {
+  // Translate first (possibly faulting) so the record carries the frame.
+  const os::Kernel::TouchResult tr = session_.kernel().touch(task, va, write);
+  const unsigned core = session_.kernel().task(task).core();
+  const Cycles lat = session_.memsys().access(core, tr.pa, write, now);
+  const Cycles total = tr.fault_cycles + lat;
+
+  if (records_.size() < capacity_) {
+    TraceRecord r;
+    r.va = va;
+    r.pa = tr.pa;
+    r.start = now;
+    r.latency = total;
+    r.task = task;
+    const os::PageInfo& pi = session_.kernel().pages()[tr.pa >> 12];
+    r.node = pi.node;
+    r.bank_color = pi.bank_color;
+    r.llc_color = pi.llc_color;
+    r.write = write;
+    r.faulted = tr.faulted;
+    records_.push_back(r);
+  } else {
+    ++dropped_;
+  }
+  return total;
+}
+
+void TraceRecorder::clear() {
+  records_.clear();
+  dropped_ = 0;
+}
+
+std::string TraceRecorder::to_csv() const {
+  std::ostringstream os;
+  os << "va,pa,start,latency,task,node,bank,llc,write,faulted\n";
+  for (const TraceRecord& r : records_) {
+    os << r.va << ',' << r.pa << ',' << r.start << ',' << r.latency << ','
+       << r.task << ',' << unsigned(r.node) << ',' << r.bank_color << ','
+       << unsigned(r.llc_color) << ',' << (r.write ? 1 : 0) << ','
+       << (r.faulted ? 1 : 0) << '\n';
+  }
+  return os.str();
+}
+
+TraceAnalysis analyze_trace(const std::vector<TraceRecord>& records,
+                            const core::Session& session) {
+  TraceAnalysis a;
+  a.accesses_per_node.assign(session.topology().num_nodes(), 0);
+  a.accesses_per_bank.assign(session.mapping().num_bank_colors(), 0);
+  a.accesses_per_llc.assign(session.mapping().num_llc_colors(), 0);
+  for (const TraceRecord& r : records) {
+    a.latency.add(static_cast<double>(r.latency));
+    ++a.accesses_per_node[r.node];
+    ++a.accesses_per_bank[r.bank_color];
+    ++a.accesses_per_llc[r.llc_color];
+    a.writes += r.write ? 1 : 0;
+    a.faults += r.faulted ? 1 : 0;
+    if (r.node != session.kernel().task(r.task).local_node()) ++a.remote;
+  }
+  return a;
+}
+
+TraceReplayStream::TraceReplayStream(const std::vector<TraceRecord>& records,
+                                     os::TaskId task, os::VirtAddr old_base,
+                                     os::VirtAddr new_base) {
+  for (const TraceRecord& r : records) {
+    if (r.task != task) continue;
+    Op op;
+    op.kind = Op::Kind::kAccess;
+    op.write = r.write;
+    TINT_ASSERT_MSG(r.va >= old_base, "record below the rebase window");
+    op.va = new_base + (r.va - old_base);
+    ops_.push_back(op);
+  }
+}
+
+bool TraceReplayStream::next(Op& op) {
+  if (i_ >= ops_.size()) return false;
+  op = ops_[i_++];
+  return true;
+}
+
+}  // namespace tint::runtime

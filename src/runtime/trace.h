@@ -1,0 +1,96 @@
+// Access-trace capture, analysis and replay.
+//
+// `TraceRecorder` wraps a Session's access path and logs every memory
+// reference with its translation and measured latency. The trace can be
+//   * analyzed (`TraceAnalysis`): latency histogram, per-node traffic,
+//     bank touch counts, color conformance -- the data behind Figs. 7-9,
+//   * replayed (`TraceReplayStream`) as an OpStream against a different
+//     machine or policy: record once under buddy, replay under MEM+LLC
+//     to compare placements on an *identical* reference stream,
+//   * exported as CSV for external tooling.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/session.h"
+#include "runtime/sim_thread.h"
+#include "util/stats.h"
+
+namespace tint::runtime {
+
+struct TraceRecord {
+  os::VirtAddr va = 0;
+  uint64_t pa = 0;
+  Cycles start = 0;
+  Cycles latency = 0;
+  os::TaskId task = os::kNoTask;
+  uint8_t node = 0;        // home node of the physical line
+  uint16_t bank_color = 0;
+  uint8_t llc_color = 0;
+  bool write = false;
+  bool faulted = false;
+};
+
+class TraceRecorder {
+ public:
+  // `capacity` bounds memory use; older records are kept (head of run)
+  // and later ones dropped once full (dropped count is reported).
+  explicit TraceRecorder(core::Session& session, size_t capacity = 1 << 20);
+
+  // Timed access through the session, recorded.
+  Cycles access(os::TaskId task, os::VirtAddr va, bool write, Cycles now);
+
+  const std::vector<TraceRecord>& records() const { return records_; }
+  uint64_t dropped() const { return dropped_; }
+  void clear();
+
+  // Writes "va,pa,start,latency,task,node,bank,llc,write,faulted" rows.
+  std::string to_csv() const;
+
+ private:
+  core::Session& session_;
+  size_t capacity_;
+  std::vector<TraceRecord> records_;
+  uint64_t dropped_ = 0;
+};
+
+// Aggregate view of a trace.
+struct TraceAnalysis {
+  Summary latency;
+  std::vector<uint64_t> accesses_per_node;     // by home node
+  std::vector<uint64_t> accesses_per_bank;     // by bank color
+  std::vector<uint64_t> accesses_per_llc;      // by LLC color
+  uint64_t writes = 0;
+  uint64_t faults = 0;
+  uint64_t remote = 0;  // line's node != task's node at record time
+
+  double remote_fraction() const {
+    return latency.count()
+               ? static_cast<double>(remote) /
+                     static_cast<double>(latency.count())
+               : 0.0;
+  }
+};
+
+// Analyzes records; `task_node(task)` maps a task to its local node.
+TraceAnalysis analyze_trace(const std::vector<TraceRecord>& records,
+                            const core::Session& session);
+
+// Replays a recorded trace (of one task) as an op stream: same virtual
+// addresses and read/write mix, timing re-simulated.
+class TraceReplayStream final : public OpStream {
+ public:
+  // Replays the subset of `records` belonging to `task`; addresses are
+  // rebased so the replay target may have a different heap base.
+  TraceReplayStream(const std::vector<TraceRecord>& records, os::TaskId task,
+                    os::VirtAddr old_base, os::VirtAddr new_base);
+  bool next(Op& op) override;
+  size_t length() const { return ops_.size(); }
+
+ private:
+  std::vector<Op> ops_;
+  size_t i_ = 0;
+};
+
+}  // namespace tint::runtime

@@ -1,0 +1,134 @@
+#include "sim/cache.h"
+
+#include <bit>
+
+#include "util/assert.h"
+
+namespace tint::sim {
+
+Cache::Cache(unsigned sets, unsigned ways, unsigned line_bytes,
+             unsigned requesters)
+    : sets_(sets), ways_(ways), line_bytes_(line_bytes),
+      lines_(static_cast<size_t>(sets) * ways),
+      per_requester_(requesters) {
+  TINT_ASSERT_MSG(std::has_single_bit(sets), "set count must be power of two");
+  TINT_ASSERT(ways >= 1 && line_bytes >= 16 && requesters >= 1);
+}
+
+CacheAccessResult Cache::access(PhysAddr addr, bool write, unsigned requester) {
+  TINT_DASSERT(requester < per_requester_.size());
+  const unsigned set = set_of(addr);
+  const uint64_t tag = tag_of(addr);
+  Line* const base = &lines_[static_cast<size_t>(set) * ways_];
+
+  ++stats_.accesses;
+  ++per_requester_[requester].accesses;
+  ++stamp_;
+
+  CacheAccessResult res;
+  Line* victim = nullptr;
+  for (unsigned w = 0; w < ways_; ++w) {
+    Line& l = base[w];
+    if (l.valid && l.tag == tag) {
+      l.lru = stamp_;
+      l.dirty = l.dirty || write;
+      res.hit = true;
+      ++stats_.hits;
+      ++per_requester_[requester].hits;
+      return res;
+    }
+    if (!victim || !l.valid || (victim->valid && l.lru < victim->lru))
+      victim = &l;
+  }
+
+  ++stats_.misses;
+  ++per_requester_[requester].misses;
+
+  if (victim->valid) {
+    res.evicted = true;
+    res.evicted_dirty = victim->dirty;
+    res.evicted_line = line_base(victim->tag, set);
+    ++stats_.evictions;
+    if (victim->dirty) ++stats_.dirty_evictions;
+    if (victim->owner != requester) {
+      ++stats_.cross_requester_evictions;
+      ++per_requester_[requester].cross_requester_evictions;
+    }
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = stamp_;
+  victim->dirty = write;
+  victim->owner = requester;
+  return res;
+}
+
+CacheAccessResult Cache::install(PhysAddr addr, bool dirty,
+                                 unsigned requester) {
+  TINT_DASSERT(requester < per_requester_.size());
+  const unsigned set = set_of(addr);
+  const uint64_t tag = tag_of(addr);
+  Line* const base = &lines_[static_cast<size_t>(set) * ways_];
+  ++stamp_;
+
+  CacheAccessResult res;
+  Line* victim = nullptr;
+  for (unsigned w = 0; w < ways_; ++w) {
+    Line& l = base[w];
+    if (l.valid && l.tag == tag) {
+      l.dirty = l.dirty || dirty;
+      res.hit = true;
+      return res;
+    }
+    if (!victim || !l.valid || (victim->valid && l.lru < victim->lru))
+      victim = &l;
+  }
+  if (victim->valid) {
+    res.evicted = true;
+    res.evicted_dirty = victim->dirty;
+    res.evicted_line = line_base(victim->tag, set);
+    ++stats_.evictions;
+    if (victim->dirty) ++stats_.dirty_evictions;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = stamp_;
+  victim->dirty = dirty;
+  victim->owner = requester;
+  return res;
+}
+
+bool Cache::contains(PhysAddr addr) const {
+  const unsigned set = set_of(addr);
+  const uint64_t tag = tag_of(addr);
+  const Line* base = &lines_[static_cast<size_t>(set) * ways_];
+  for (unsigned w = 0; w < ways_; ++w)
+    if (base[w].valid && base[w].tag == tag) return true;
+  return false;
+}
+
+bool Cache::invalidate(PhysAddr addr) {
+  const unsigned set = set_of(addr);
+  const uint64_t tag = tag_of(addr);
+  Line* const base = &lines_[static_cast<size_t>(set) * ways_];
+  for (unsigned w = 0; w < ways_; ++w) {
+    Line& l = base[w];
+    if (l.valid && l.tag == tag) {
+      const bool dirty = l.dirty;
+      l = Line{};
+      return dirty;
+    }
+  }
+  return false;
+}
+
+void Cache::clear(bool clear_stats) {
+  for (auto& l : lines_) l = Line{};
+  stamp_ = 0;
+  if (clear_stats) {
+    stats_ = CacheStats{};
+    for (auto& s : per_requester_) s = CacheStats{};
+  }
+}
+
+}  // namespace tint::sim

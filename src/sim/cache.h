@@ -1,0 +1,106 @@
+// Set-associative cache model (used for private L1/L2 and the shared LLC).
+//
+// Physically indexed, physically tagged, true-LRU replacement, write-back
+// + write-allocate. The model tracks tags only (no data); the simulator's
+// workloads are address streams.
+//
+// The shared LLC instance additionally attributes hits/misses/evictions
+// to the requesting core so the experiment driver can observe inter-task
+// interference ("one task's reference may replace data in LLC of another
+// task's prior references", Section II.A).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/topology.h"
+
+namespace tint::sim {
+
+using hw::Cycles;
+using hw::PhysAddr;
+
+struct CacheStats {
+  uint64_t accesses = 0;
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t dirty_evictions = 0;
+  // Evictions where the victim line was inserted by a *different*
+  // requester than the evictor (LLC interference metric).
+  uint64_t cross_requester_evictions = 0;
+
+  double hit_rate() const {
+    return accesses ? static_cast<double>(hits) / static_cast<double>(accesses)
+                    : 0.0;
+  }
+};
+
+// Result of one cache lookup-with-fill.
+struct CacheAccessResult {
+  bool hit = false;
+  bool evicted = false;
+  bool evicted_dirty = false;
+  PhysAddr evicted_line = 0;  // line-aligned address of the victim
+};
+
+class Cache {
+ public:
+  // `sets` must be a power of two. `requesters` > 1 enables per-requester
+  // attribution (used by the shared LLC).
+  Cache(unsigned sets, unsigned ways, unsigned line_bytes,
+        unsigned requesters = 1);
+
+  // Looks up `addr`; on miss, fills the line (evicting LRU). `write`
+  // marks the line dirty. `requester` attributes the access.
+  CacheAccessResult access(PhysAddr addr, bool write, unsigned requester = 0);
+
+  // Inserts a line without counting an access (victim traffic from an
+  // upper cache level). If the line is already present it is merely
+  // marked dirty. Returns the eviction outcome so callers can cascade
+  // victims further down the hierarchy.
+  CacheAccessResult install(PhysAddr addr, bool dirty, unsigned requester = 0);
+
+  // Lookup without fill or LRU update (for tests/inspection).
+  bool contains(PhysAddr addr) const;
+
+  // Removes a line if present (back-invalidation); returns whether the
+  // line was present and dirty.
+  bool invalidate(PhysAddr addr);
+
+  // Drops all lines and (optionally) statistics.
+  void clear(bool clear_stats = true);
+
+  const CacheStats& stats() const { return stats_; }
+  const CacheStats& requester_stats(unsigned r) const {
+    return per_requester_.at(r);
+  }
+  unsigned sets() const { return sets_; }
+  unsigned ways() const { return ways_; }
+  unsigned line_bytes() const { return line_bytes_; }
+  unsigned set_of(PhysAddr addr) const {
+    return static_cast<unsigned>((addr / line_bytes_) & (sets_ - 1));
+  }
+
+ private:
+  struct Line {
+    uint64_t tag = 0;
+    uint64_t lru = 0;       // global stamp; larger = more recent
+    uint32_t owner = 0;     // requester that inserted the line
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  uint64_t tag_of(PhysAddr addr) const { return addr / line_bytes_ / sets_; }
+  PhysAddr line_base(uint64_t tag, unsigned set) const {
+    return (tag * sets_ + set) * line_bytes_;
+  }
+
+  unsigned sets_, ways_, line_bytes_;
+  std::vector<Line> lines_;  // sets_ * ways_, row-major by set
+  uint64_t stamp_ = 0;
+  CacheStats stats_;
+  std::vector<CacheStats> per_requester_;
+};
+
+}  // namespace tint::sim

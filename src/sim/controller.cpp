@@ -1,0 +1,53 @@
+#include "sim/controller.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace tint::sim {
+
+MemoryController::MemoryController(unsigned node_id, unsigned channels,
+                                   unsigned ranks, unsigned banks,
+                                   const hw::Timing& timing)
+    : node_id_(node_id), timing_(timing), banks_(channels, ranks, banks),
+      channels_(channels) {}
+
+Cycles MemoryController::service(Cycles arrival, const hw::DramCoord& coord,
+                                 bool write) {
+  (void)write;  // reads and writes share the simplified timing
+  TINT_DASSERT(coord.node == node_id_);
+  Bank& bank = banks_.bank(coord);
+  Channel& ch = channels_[coord.channel];
+
+  // Wait for the bank to finish its previous command.
+  const Cycles start = std::max(arrival, bank.ready_at());
+  stats_.queue_wait += start - arrival;
+  stats_.bank_wait += start - arrival;
+
+  // Row buffer outcome determines the command latency.
+  const Cycles cmd = bank.access_row(coord.row, start, timing_, stats_);
+
+  // The data burst needs the channel.
+  const Cycles data_start = std::max(start + cmd, ch.busy_until);
+  stats_.queue_wait += data_start - (start + cmd);
+  stats_.channel_wait += data_start - (start + cmd);
+  const Cycles done = data_start + timing_.burst;
+
+  ch.busy_until = done;
+  bank.set_ready_at(done);
+  return done;
+}
+
+void MemoryController::enqueue_writeback(Cycles arrival,
+                                         const hw::DramCoord& coord) {
+  ++stats_.writebacks;
+  // Posted write absorbed by the controller's write buffer and drained
+  // opportunistically: it consumes channel *bandwidth* (delaying later
+  // demand bursts) but does not disturb the open row -- modern
+  // controllers batch write drains precisely to avoid that.
+  Channel& ch = channels_[coord.channel];
+  const Cycles start = std::max(arrival, ch.busy_until);
+  ch.busy_until = start + timing_.burst;
+}
+
+}  // namespace tint::sim

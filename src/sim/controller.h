@@ -1,0 +1,49 @@
+// Memory controller model (Section II.B).
+//
+// One controller governs the banks and channels of a memory node. Its
+// queueing behaviour is modeled with per-bank and per-channel
+// availability times: a request must wait until its bank has finished
+// the previous command and the channel is free for the data burst.
+// When multiple cores hammer the same controller/channel/bank, requests
+// serialize and the measured latency grows -- the contention the paper
+// sets out to remove.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/address_mapping.h"
+#include "sim/dram.h"
+
+namespace tint::sim {
+
+class MemoryController {
+ public:
+  MemoryController(unsigned node_id, unsigned channels, unsigned ranks,
+                   unsigned banks, const hw::Timing& timing);
+
+  // Services a read or write that arrives at the controller at `arrival`
+  // (interconnect latency already applied). Returns the time the data
+  // burst completes on the channel.
+  Cycles service(Cycles arrival, const hw::DramCoord& coord, bool write);
+
+  // Queues a cache writeback: occupies bank + channel like a regular
+  // write, but the caller does not wait for it.
+  void enqueue_writeback(Cycles arrival, const hw::DramCoord& coord);
+
+  unsigned node_id() const { return node_id_; }
+  const DramStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = DramStats{}; }
+
+ private:
+  struct Channel {
+    Cycles busy_until = 0;
+  };
+
+  unsigned node_id_;
+  hw::Timing timing_;
+  BankArray banks_;
+  std::vector<Channel> channels_;
+  DramStats stats_;
+};
+
+}  // namespace tint::sim

@@ -1,0 +1,57 @@
+#include "sim/dram.h"
+
+#include "util/assert.h"
+
+namespace tint::sim {
+
+void Bank::maybe_refresh(Cycles now, const hw::Timing& t, DramStats& stats) {
+  if (t.refresh_interval == 0) return;
+  const Cycles epoch = now / t.refresh_interval;
+  if (epoch != last_refresh_epoch_) {
+    last_refresh_epoch_ = epoch;
+    if (row_open_) {
+      row_open_ = false;
+      ++stats.refresh_closures;
+    }
+  }
+}
+
+Cycles Bank::access_row(uint64_t row, Cycles start, const hw::Timing& t,
+                        DramStats& stats) {
+  maybe_refresh(start, t, stats);
+  ++stats.accesses;
+  Cycles lat;
+  if (!row_open_) {
+    lat = t.row_empty;
+    ++stats.row_empties;
+  } else if (open_row_ == row) {
+    lat = t.row_hit;
+    ++stats.row_hits;
+  } else {
+    lat = t.row_conflict;
+    ++stats.row_conflicts;
+  }
+  open_row_ = row;
+  row_open_ = true;
+  return lat;
+}
+
+BankArray::BankArray(unsigned channels, unsigned ranks, unsigned banks)
+    : ranks_(ranks), banks_per_rank_(banks),
+      banks_(static_cast<size_t>(channels) * ranks * banks) {
+  TINT_ASSERT(channels >= 1 && ranks >= 1 && banks >= 1);
+}
+
+Bank& BankArray::bank(const hw::DramCoord& c) {
+  const size_t i =
+      (static_cast<size_t>(c.channel) * ranks_ + c.rank) * banks_per_rank_ +
+      c.bank;
+  TINT_DASSERT(i < banks_.size());
+  return banks_[i];
+}
+
+const Bank& BankArray::bank(const hw::DramCoord& c) const {
+  return const_cast<BankArray*>(this)->bank(c);
+}
+
+}  // namespace tint::sim

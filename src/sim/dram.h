@@ -1,0 +1,82 @@
+// DRAM bank model: row buffers and timing (Section II.B).
+//
+// Each bank owns one row buffer. An access to the open row costs only the
+// column strobe (row hit); an access to a closed bank additionally pays
+// row activation (row empty); replacing an open row pays precharge +
+// activation + column strobe (row conflict). Periodic refresh closes the
+// row buffer. These are exactly the effects the paper exploits: when two
+// tasks interleave on one bank, each evicts the other's row and both pay
+// the conflict penalty.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/address_mapping.h"
+#include "hw/topology.h"
+
+namespace tint::sim {
+
+using hw::Cycles;
+
+struct DramStats {
+  uint64_t accesses = 0;
+  uint64_t row_hits = 0;
+  uint64_t row_empties = 0;
+  uint64_t row_conflicts = 0;
+  uint64_t refresh_closures = 0;
+  uint64_t writebacks = 0;
+  Cycles queue_wait = 0;    // bank_wait + channel_wait
+  Cycles bank_wait = 0;     // waiting for the bank to finish prior command
+  Cycles channel_wait = 0;  // waiting for the data bus
+
+  double row_hit_rate() const {
+    return accesses
+               ? static_cast<double>(row_hits) / static_cast<double>(accesses)
+               : 0.0;
+  }
+};
+
+// One DRAM bank.
+class Bank {
+ public:
+  // Classifies the access, updates the row buffer, and returns the DRAM
+  // command latency (excluding queueing and data burst).
+  Cycles access_row(uint64_t row, Cycles start, const hw::Timing& t,
+                    DramStats& stats);
+
+  // Bank availability (busy with a previous command until this time).
+  Cycles ready_at() const { return ready_at_; }
+  void set_ready_at(Cycles c) { ready_at_ = c; }
+
+  bool row_open() const { return row_open_; }
+  uint64_t open_row() const { return open_row_; }
+  void close_row() { row_open_ = false; }
+
+ private:
+  // Applies refresh: closes the row if a refresh boundary passed since
+  // the last access.
+  void maybe_refresh(Cycles now, const hw::Timing& t, DramStats& stats);
+
+  uint64_t open_row_ = 0;
+  bool row_open_ = false;
+  Cycles ready_at_ = 0;
+  Cycles last_refresh_epoch_ = 0;
+};
+
+// All banks of one memory node, indexed by (channel, rank, bank).
+class BankArray {
+ public:
+  BankArray(unsigned channels, unsigned ranks, unsigned banks);
+
+  Bank& bank(const hw::DramCoord& c);
+  const Bank& bank(const hw::DramCoord& c) const;
+  size_t size() const { return banks_.size(); }
+  Bank& at(size_t i) { return banks_[i]; }
+
+ private:
+  unsigned ranks_, banks_per_rank_;
+  std::vector<Bank> banks_;
+};
+
+}  // namespace tint::sim

@@ -1,0 +1,59 @@
+#include "sim/interconnect.h"
+
+#include <algorithm>
+
+#include "util/assert.h"
+
+namespace tint::sim {
+
+Interconnect::Interconnect(const hw::Topology& topo, const hw::Timing& timing)
+    : topo_(topo), timing_(timing) {
+  const unsigned s = topo.sockets;
+  link_busy_until_.assign(static_cast<size_t>(s) * s, 0);
+  // Each line crossing the off-chip link occupies it for roughly half a
+  // burst (16 B/cycle HT lanes vs 128 B lines).
+  link_occupancy_ = timing.burst / 2;
+}
+
+Cycles Interconnect::traverse(Cycles now, unsigned src_socket,
+                              unsigned dst_socket, unsigned hops) {
+  const Cycles t = now + timing_.interconnect_extra(hops);
+  if (hops >= 3) {
+    // Cross-socket transfers are accounted against the shared link for
+    // utilization statistics, but the latency model is fixed-per-hop:
+    // hard-serializing the link here would let response legs (which
+    // complete far in the future) block *earlier* request legs, because
+    // the event engine orders work by op start time, not by per-resource
+    // arrival. Typical queueing is folded into hop3_extra instead.
+    const size_t idx =
+        static_cast<size_t>(std::min(src_socket, dst_socket)) * topo_.sockets +
+        std::max(src_socket, dst_socket);
+    Cycles& busy = link_busy_until_[idx];
+    if (busy > t) stats_.link_wait += busy - t;  // would-have-waited metric
+    busy = std::max(busy, t) + link_occupancy_;
+  }
+  return t;
+}
+
+Cycles Interconnect::deliver_request(Cycles now, unsigned core,
+                                     unsigned mem_node) {
+  const unsigned hops = topo_.hops(core, mem_node);
+  switch (hops) {
+    case 1: ++stats_.local_transfers; break;
+    case 2: ++stats_.onchip_transfers; break;
+    default: ++stats_.offchip_transfers; break;
+  }
+  return traverse(now, topo_.socket_of_core(core),
+                  topo_.socket_of_node(mem_node), hops);
+}
+
+Cycles Interconnect::deliver_response(Cycles now, unsigned mem_node,
+                                      unsigned core) {
+  const unsigned hops = topo_.hops(core, mem_node);
+  // Response legs are counted once (in deliver_request) but still pay
+  // latency and link occupancy.
+  return traverse(now, topo_.socket_of_node(mem_node),
+                  topo_.socket_of_core(core), hops);
+}
+
+}  // namespace tint::sim

@@ -1,0 +1,57 @@
+// Interconnect model: HyperTransport-style hop latencies + cross-socket
+// link contention (Sections I, II, IV).
+//
+// Distances follow the paper's platform: cores within a memory node are
+// 1 hop from their controller, other controllers on the same socket are
+// 2 hops (on-chip link), controllers on the other socket are 3 hops
+// (off-chip link, "typically narrower, lower bandwidth"). The off-chip
+// link is additionally a shared resource: each crossing transfer occupies
+// it, so heavy remote traffic queues.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hw/topology.h"
+
+namespace tint::sim {
+
+using hw::Cycles;
+
+struct InterconnectStats {
+  uint64_t local_transfers = 0;      // 1 hop
+  uint64_t onchip_transfers = 0;     // 2 hops
+  uint64_t offchip_transfers = 0;    // 3 hops
+  Cycles link_wait = 0;              // queueing on the off-chip link
+};
+
+class Interconnect {
+ public:
+  Interconnect(const hw::Topology& topo, const hw::Timing& timing);
+
+  // Time at which a request leaving `core` at `now` arrives at the
+  // controller of `mem_node` (applies hop latency and, for cross-socket
+  // traffic, link occupancy).
+  Cycles deliver_request(Cycles now, unsigned core, unsigned mem_node);
+
+  // Time at which the response issued by `mem_node` at `now` arrives back
+  // at `core`.
+  Cycles deliver_response(Cycles now, unsigned mem_node, unsigned core);
+
+  const InterconnectStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = InterconnectStats{}; }
+
+ private:
+  Cycles traverse(Cycles now, unsigned src_socket, unsigned dst_socket,
+                  unsigned hops);
+
+  hw::Topology topo_;
+  hw::Timing timing_;
+  // Occupancy of the link between socket pairs (symmetric, one entry per
+  // unordered pair; with 2 sockets there is exactly one).
+  std::vector<Cycles> link_busy_until_;
+  Cycles link_occupancy_;
+  InterconnectStats stats_;
+};
+
+}  // namespace tint::sim

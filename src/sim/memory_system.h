@@ -1,0 +1,85 @@
+// The full memory hierarchy: private L1/L2 per core, shared LLC, one
+// memory controller per node, and the interconnect between them.
+//
+// `access()` is the single entry point the simulated threads use. It
+// walks the hierarchy, applies all contention effects, and returns the
+// end-to-end latency in CPU cycles. All state mutations happen in global
+// time order because the discrete-event engine always advances the
+// earliest thread first.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hw/address_mapping.h"
+#include "hw/topology.h"
+#include "sim/cache.h"
+#include "sim/controller.h"
+#include "sim/interconnect.h"
+
+namespace tint::sim {
+
+// Per-core accounting exposed to the experiment driver.
+struct CoreStats {
+  uint64_t accesses = 0;
+  uint64_t l1_hits = 0;
+  uint64_t l2_hits = 0;
+  uint64_t llc_hits = 0;
+  uint64_t dram_accesses = 0;
+  uint64_t remote_dram_accesses = 0;  // hops > 1
+  Cycles total_latency = 0;
+
+  double avg_latency() const {
+    return accesses ? static_cast<double>(total_latency) /
+                          static_cast<double>(accesses)
+                    : 0.0;
+  }
+  double dram_remote_fraction() const {
+    return dram_accesses ? static_cast<double>(remote_dram_accesses) /
+                               static_cast<double>(dram_accesses)
+                         : 0.0;
+  }
+};
+
+class MemorySystem {
+ public:
+  MemorySystem(const hw::Topology& topo, const hw::AddressMapping& mapping,
+               const hw::Timing& timing = hw::Timing{});
+
+  // One memory reference by `core` to physical address `addr` starting at
+  // absolute time `now`. Returns the latency in cycles.
+  Cycles access(unsigned core, PhysAddr addr, bool write, Cycles now);
+
+  // --- introspection ---
+  const CoreStats& core_stats(unsigned core) const { return core_stats_[core]; }
+  const Cache& l1(unsigned core) const { return *l1_[core]; }
+  const Cache& l2(unsigned core) const { return *l2_[core]; }
+  // The LLC serving `core` (socket-local when llc_per_socket).
+  const Cache& llc(unsigned core = 0) const {
+    return *llc_[topo_.llc_per_socket ? topo_.socket_of_core(core) : 0];
+  }
+  const MemoryController& controller(unsigned node) const {
+    return *controllers_[node];
+  }
+  const Interconnect& interconnect() const { return interconnect_; }
+  const hw::Topology& topology() const { return topo_; }
+  const hw::AddressMapping& mapping() const { return mapping_; }
+
+  // Drops all cached state and statistics (fresh machine).
+  void reset();
+
+ private:
+  hw::Topology topo_;
+  const hw::AddressMapping& mapping_;
+  hw::Timing timing_;
+  std::vector<std::unique_ptr<Cache>> l1_;
+  std::vector<std::unique_ptr<Cache>> l2_;
+  // One shared LLC, or one per socket (topology.llc_per_socket).
+  std::vector<std::unique_ptr<Cache>> llc_;
+  std::vector<std::unique_ptr<MemoryController>> controllers_;
+  Interconnect interconnect_;
+  std::vector<CoreStats> core_stats_;
+};
+
+}  // namespace tint::sim

@@ -1,0 +1,40 @@
+// Lightweight always-on invariant checking for the TintMalloc simulator.
+//
+// The simulator is deterministic; any invariant violation is a programming
+// error, so we abort with a readable message rather than limping on.
+// TINT_ASSERT stays enabled in release builds (the checks are cheap and the
+// simulator's credibility rests on them); TINT_DASSERT compiles out unless
+// TINT_DEBUG_CHECKS is defined.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tint {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "TINT_ASSERT failed: %s\n  at %s:%d\n  %s\n", expr,
+               file, line, msg ? msg : "");
+  std::abort();
+}
+
+}  // namespace tint
+
+#define TINT_ASSERT(expr)                                          \
+  do {                                                             \
+    if (!(expr)) ::tint::assert_fail(#expr, __FILE__, __LINE__, nullptr); \
+  } while (0)
+
+#define TINT_ASSERT_MSG(expr, msg)                                 \
+  do {                                                             \
+    if (!(expr)) ::tint::assert_fail(#expr, __FILE__, __LINE__, (msg)); \
+  } while (0)
+
+#ifdef TINT_DEBUG_CHECKS
+#define TINT_DASSERT(expr) TINT_ASSERT(expr)
+#else
+#define TINT_DASSERT(expr) \
+  do {                     \
+  } while (0)
+#endif

@@ -1,0 +1,92 @@
+// Deterministic pseudo-random number generation for the simulator.
+//
+// Everything in this repository must be bit-for-bit reproducible across
+// runs and platforms, so we ship our own small generators instead of
+// relying on std::mt19937 distributions (whose results are only specified
+// for the raw engine, not for std::uniform_*_distribution).
+//
+// SplitMix64 is used for seeding; Xoshiro256** is the workhorse generator.
+// Both are public-domain algorithms (Blackman & Vigna).
+#pragma once
+
+#include <cstdint>
+
+#include "util/assert.h"
+
+namespace tint {
+
+// SplitMix64: used to expand a single 64-bit seed into a full generator
+// state. Also useful as a cheap stateless hash.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(uint64_t seed) : state_(seed) {}
+
+  constexpr uint64_t next() {
+    uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+// Stateless 64-bit mix, handy for hashing (seed, index) pairs.
+constexpr uint64_t mix64(uint64_t x) {
+  SplitMix64 s(x);
+  return s.next();
+}
+
+// Xoshiro256**: fast, high-quality, 256-bit state.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eed5eed5eedULL) { reseed(seed); }
+
+  void reseed(uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& w : s_) w = sm.next();
+  }
+
+  uint64_t next_u64() {
+    const uint64_t result = rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). Uses Lemire's multiply-shift reduction; the
+  // tiny modulo bias is irrelevant for workload generation.
+  uint64_t next_below(uint64_t bound) {
+    TINT_DASSERT(bound > 0);
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(next_u64()) * bound) >> 64);
+  }
+
+  // Uniform in [lo, hi] inclusive.
+  uint64_t next_range(uint64_t lo, uint64_t hi) {
+    TINT_DASSERT(lo <= hi);
+    return lo + next_below(hi - lo + 1);
+  }
+
+  // Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  // True with probability p.
+  bool next_bool(double p) { return next_double() < p; }
+
+ private:
+  static constexpr uint64_t rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t s_[4];
+};
+
+}  // namespace tint

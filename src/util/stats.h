@@ -1,0 +1,61 @@
+// Small statistics helpers used by the experiment driver and benches.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace tint {
+
+// Running summary of a stream of samples: count/min/max/mean/variance
+// (Welford). Used for per-thread runtimes, idle times, latencies, ...
+class Summary {
+ public:
+  void add(double x);
+  void merge(const Summary& other);
+
+  size_t count() const { return n_; }
+  double min() const;
+  double max() const;
+  double mean() const;
+  double variance() const;  // population variance
+  double stddev() const;
+  double sum() const { return sum_; }
+  // max - min; 0 when fewer than one sample.
+  double spread() const;
+
+ private:
+  size_t n_ = 0;
+  double min_ = 0, max_ = 0;
+  double mean_ = 0, m2_ = 0;
+  double sum_ = 0;
+};
+
+// Exact percentile over a stored sample set (nearest-rank).
+double percentile(std::span<const double> sorted_samples, double p);
+
+// Convenience: mean of a vector (0 when empty).
+double mean_of(std::span<const double> xs);
+
+// Fixed-width histogram for latency distributions.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, size_t buckets);
+
+  void add(double x);
+  size_t bucket_count() const { return counts_.size(); }
+  uint64_t count_at(size_t i) const { return counts_[i]; }
+  uint64_t underflow() const { return underflow_; }
+  uint64_t overflow() const { return overflow_; }
+  uint64_t total() const { return total_; }
+  double bucket_lo(size_t i) const;
+  double bucket_hi(size_t i) const;
+
+ private:
+  double lo_, hi_, width_;
+  std::vector<uint64_t> counts_;
+  uint64_t underflow_ = 0, overflow_ = 0, total_ = 0;
+};
+
+}  // namespace tint

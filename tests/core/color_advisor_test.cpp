@@ -1,0 +1,160 @@
+#include "core/color_advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "hw/pci_config.h"
+
+namespace tint::core {
+namespace {
+
+class ColorAdvisorTest : public ::testing::Test {
+ protected:
+  ColorAdvisorTest()
+      : topo_(hw::Topology::tiny()),
+        pci_(hw::PciConfig::program_bios(topo_)),
+        map_(pci_, topo_),
+        kernel_(topo_, map_, {}, 42),
+        advisor_(map_, topo_) {}
+
+  // Drains a task's colored pool into fallback territory.
+  void overdrive(os::TaskId t, uint64_t pages) {
+    const os::VirtAddr base = kernel_.mmap(t, 0, pages * 4096, 0);
+    for (uint64_t i = 0; i < pages; ++i)
+      kernel_.touch(t, base + i * 4096, true);
+  }
+
+  hw::Topology topo_;
+  hw::PciConfig pci_;
+  hw::AddressMapping map_;
+  os::Kernel kernel_;
+  ColorAdvisor advisor_;
+};
+
+TEST_F(ColorAdvisorTest, UncoloredTaskHasWholeMachineCapacity) {
+  const os::TaskId t = kernel_.create_task(0);
+  EXPECT_EQ(advisor_.pool_capacity_pages(kernel_, t), topo_.total_pages());
+}
+
+TEST_F(ColorAdvisorTest, CapacityMatchesComboGeometry) {
+  const os::TaskId t = kernel_.create_task(0);
+  kernel_.mmap(t, 0 | os::SET_MEM_COLOR, 0, os::PROT_COLOR_ALLOC);
+  kernel_.mmap(t, 1 | os::SET_MEM_COLOR, 0, os::PROT_COLOR_ALLOC);
+  kernel_.mmap(t, 0 | os::SET_LLC_COLOR, 0, os::PROT_COLOR_ALLOC);
+  // tiny: 4096 pages/node over 8 banks x 16 llc = 32 per combo.
+  const uint64_t per_combo =
+      topo_.pages_per_node() /
+      (map_.banks_per_node() * map_.num_llc_colors());
+  EXPECT_EQ(advisor_.pool_capacity_pages(kernel_, t), 2 * 1 * per_combo);
+}
+
+TEST_F(ColorAdvisorTest, MemOnlyCapacityCountsAllLlc) {
+  const os::TaskId t = kernel_.create_task(0);
+  kernel_.mmap(t, 3 | os::SET_MEM_COLOR, 0, os::PROT_COLOR_ALLOC);
+  const uint64_t per_combo =
+      topo_.pages_per_node() /
+      (map_.banks_per_node() * map_.num_llc_colors());
+  EXPECT_EQ(advisor_.pool_capacity_pages(kernel_, t),
+            1 * map_.num_llc_colors() * per_combo);
+}
+
+TEST_F(ColorAdvisorTest, OverflowPredictionMatchesCapacity) {
+  const os::TaskId t = kernel_.create_task(0);
+  kernel_.mmap(t, 0 | os::SET_MEM_COLOR, 0, os::PROT_COLOR_ALLOC);
+  kernel_.mmap(t, 0 | os::SET_LLC_COLOR, 0, os::PROT_COLOR_ALLOC);
+  const uint64_t cap = advisor_.pool_capacity_pages(kernel_, t);
+  EXPECT_FALSE(advisor_.pool_would_overflow(kernel_, t, cap * 4096));
+  EXPECT_TRUE(advisor_.pool_would_overflow(kernel_, t, (cap + 1) * 4096));
+}
+
+TEST_F(ColorAdvisorTest, HealthyTaskGetsOk) {
+  const os::TaskId t = kernel_.create_task(0);
+  kernel_.mmap(t, 0 | os::SET_MEM_COLOR, 0, os::PROT_COLOR_ALLOC);
+  overdrive(t, 8);  // far below capacity
+  const auto advice = advisor_.analyze(kernel_);
+  ASSERT_EQ(advice.size(), 1u);
+  EXPECT_EQ(advice[0].kind, TaskAdvice::Kind::kOk);
+}
+
+TEST_F(ColorAdvisorTest, FallbackPressureSuggestsFreeLocalBanks) {
+  const os::TaskId t = kernel_.create_task(0);
+  kernel_.mmap(t, 0 | os::SET_MEM_COLOR, 0, os::PROT_COLOR_ALLOC);
+  kernel_.mmap(t, 0 | os::SET_LLC_COLOR, 0, os::PROT_COLOR_ALLOC);
+  overdrive(t, advisor_.pool_capacity_pages(kernel_, t) + 64);
+  ASSERT_GT(kernel_.task(t).alloc_stats().fallback_pages, 0u);
+
+  const auto advice = advisor_.analyze(kernel_);
+  ASSERT_EQ(advice.size(), 1u);
+  EXPECT_EQ(advice[0].kind, TaskAdvice::Kind::kWidenBanks);
+  EXPECT_FALSE(advice[0].additions.mem_colors.empty());
+  // Suggested banks are local and unclaimed.
+  for (const unsigned c : advice[0].additions.mem_colors) {
+    EXPECT_EQ(map_.node_of_bank_color(c), 0u);
+    EXPECT_NE(c, 0u);  // not the one the task already has
+  }
+}
+
+TEST_F(ColorAdvisorTest, SuggestionsDisjointFromOtherTasks) {
+  const os::TaskId a = kernel_.create_task(0);
+  const os::TaskId b = kernel_.create_task(1);
+  kernel_.mmap(a, 0 | os::SET_MEM_COLOR, 0, os::PROT_COLOR_ALLOC);
+  kernel_.mmap(a, 0 | os::SET_LLC_COLOR, 0, os::PROT_COLOR_ALLOC);
+  // b claims banks 1..5 of node 0.
+  for (unsigned c = 1; c <= 5; ++c)
+    kernel_.mmap(b, c | os::SET_MEM_COLOR, 0, os::PROT_COLOR_ALLOC);
+  overdrive(a, advisor_.pool_capacity_pages(kernel_, a) + 64);
+
+  const auto advice = advisor_.analyze(kernel_);
+  for (const unsigned c : advice[0].additions.mem_colors) {
+    EXPECT_GT(c, 5u);  // banks 1..5 belong to b
+    EXPECT_LT(c, map_.banks_per_node());
+  }
+}
+
+TEST_F(ColorAdvisorTest, NodeExhaustedFallsBackToLlcSharing) {
+  // Two tasks split all 8 banks of node 0 with tiny LLC slices; task a
+  // overflows and has no free banks left -> advise sharing LLC colors.
+  const os::TaskId a = kernel_.create_task(0);
+  const os::TaskId b = kernel_.create_task(1);
+  for (unsigned c = 0; c < 4; ++c) {
+    kernel_.mmap(a, c | os::SET_MEM_COLOR, 0, os::PROT_COLOR_ALLOC);
+    kernel_.mmap(b, (4 + c) | os::SET_MEM_COLOR, 0, os::PROT_COLOR_ALLOC);
+  }
+  kernel_.mmap(a, 0 | os::SET_LLC_COLOR, 0, os::PROT_COLOR_ALLOC);
+  kernel_.mmap(b, 1 | os::SET_LLC_COLOR, 0, os::PROT_COLOR_ALLOC);
+  overdrive(a, advisor_.pool_capacity_pages(kernel_, a) + 64);
+
+  const auto advice = advisor_.analyze(kernel_);
+  EXPECT_EQ(advice[0].kind, TaskAdvice::Kind::kShareLlc);
+  // The suggestion is exactly the sibling's color.
+  ASSERT_EQ(advice[0].additions.llc_colors.size(), 1u);
+  EXPECT_EQ(advice[0].additions.llc_colors[0], 1u);
+}
+
+TEST_F(ColorAdvisorTest, ApplyWidensTheTcb) {
+  const os::TaskId t = kernel_.create_task(0);
+  kernel_.mmap(t, 0 | os::SET_MEM_COLOR, 0, os::PROT_COLOR_ALLOC);
+  kernel_.mmap(t, 0 | os::SET_LLC_COLOR, 0, os::PROT_COLOR_ALLOC);
+  overdrive(t, advisor_.pool_capacity_pages(kernel_, t) + 64);
+
+  const auto advice = advisor_.analyze(kernel_);
+  ASSERT_EQ(advice[0].kind, TaskAdvice::Kind::kWidenBanks);
+  const uint64_t cap_before = advisor_.pool_capacity_pages(kernel_, t);
+  const unsigned calls = advisor_.apply(kernel_, advice[0]);
+  EXPECT_EQ(calls, advice[0].additions.mem_colors.size());
+  EXPECT_GT(advisor_.pool_capacity_pages(kernel_, t), cap_before);
+  // After widening, new faults are colored again.
+  const os::VirtAddr base = kernel_.mmap(t, 0, 32 * 4096, 0);
+  for (unsigned i = 0; i < 32; ++i) kernel_.touch(t, base + i * 4096, true);
+  const auto& as = kernel_.task(t).alloc_stats();
+  EXPECT_GT(as.colored_pages, 0u);
+}
+
+TEST_F(ColorAdvisorTest, ApplyOkAdviceIsNoop) {
+  const os::TaskId t = kernel_.create_task(0);
+  TaskAdvice ok;
+  ok.task = t;
+  EXPECT_EQ(advisor_.apply(kernel_, ok), 0u);
+}
+
+}  // namespace
+}  // namespace tint::core

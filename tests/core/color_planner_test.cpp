@@ -1,0 +1,247 @@
+#include "core/color_planner.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "hw/pci_config.h"
+
+namespace tint::core {
+namespace {
+
+// Verification helpers shared by the policy cases.
+
+bool disjoint_llc(const ColorPlan& p) {
+  std::set<unsigned> seen;
+  for (const auto& t : p.threads)
+    for (const unsigned c : t.llc_colors)
+      if (!seen.insert(c).second) return false;
+  return true;
+}
+
+bool disjoint_banks(const ColorPlan& p) {
+  std::set<unsigned> seen;
+  for (const auto& t : p.threads)
+    for (const unsigned c : t.mem_colors)
+      if (!seen.insert(c).second) return false;
+  return true;
+}
+
+class ColorPlannerTest : public ::testing::Test {
+ protected:
+  ColorPlannerTest()
+      : topo_(hw::Topology::opteron6128()),
+        pci_(hw::PciConfig::program_bios(topo_)),
+        map_(pci_, topo_),
+        planner_(map_, topo_) {}
+
+  // The paper's five configurations as core lists.
+  static std::vector<unsigned> cores_16t4n() {
+    std::vector<unsigned> v(16);
+    for (unsigned i = 0; i < 16; ++i) v[i] = i;
+    return v;
+  }
+  static std::vector<unsigned> cores_8t4n() {
+    return {0, 1, 4, 5, 8, 9, 12, 13};
+  }
+  static std::vector<unsigned> cores_8t2n() { return {0, 1, 2, 3, 4, 5, 6, 7}; }
+  static std::vector<unsigned> cores_4t4n() { return {0, 4, 8, 12}; }
+  static std::vector<unsigned> cores_4t1n() { return {0, 1, 2, 3}; }
+
+  hw::Topology topo_;
+  hw::PciConfig pci_;
+  hw::AddressMapping map_;
+  ColorPlanner planner_;
+};
+
+TEST_F(ColorPlannerTest, BuddyAssignsNothing) {
+  const ColorPlan p = planner_.plan(Policy::kBuddy, cores_16t4n());
+  for (const auto& t : p.threads) {
+    EXPECT_TRUE(t.mem_colors.empty());
+    EXPECT_TRUE(t.llc_colors.empty());
+  }
+}
+
+TEST_F(ColorPlannerTest, Llc16ThreadsTwoPrivateColorsEach) {
+  // Section V.B: "for MEM+LLC coloring, if 16 threads are in a parallel
+  // section, each thread has two private LLC colors."
+  const ColorPlan p = planner_.plan(Policy::kLlc, cores_16t4n());
+  for (const auto& t : p.threads) {
+    EXPECT_EQ(t.llc_colors.size(), 2u);
+    EXPECT_TRUE(t.mem_colors.empty());
+  }
+  EXPECT_TRUE(disjoint_llc(p));
+}
+
+TEST_F(ColorPlannerTest, Llc8ThreadsFourPrivateColorsEach) {
+  // "For 8 threads, each thread has four private LLC colors."
+  const ColorPlan p = planner_.plan(Policy::kLlc, cores_8t4n());
+  for (const auto& t : p.threads) EXPECT_EQ(t.llc_colors.size(), 4u);
+  EXPECT_TRUE(disjoint_llc(p));
+}
+
+TEST_F(ColorPlannerTest, MemColorsAreLocalAndDisjoint) {
+  const ColorPlan p = planner_.plan(Policy::kMem, cores_16t4n());
+  const auto cores = cores_16t4n();
+  for (size_t i = 0; i < cores.size(); ++i) {
+    const auto& t = p.threads[i];
+    EXPECT_EQ(t.mem_colors.size(), 8u);  // 32 banks / 4 threads per node
+    EXPECT_TRUE(t.llc_colors.empty());
+    for (const unsigned c : t.mem_colors)
+      EXPECT_EQ(map_.node_of_bank_color(c), topo_.node_of_core(cores[i]))
+          << "bank color " << c << " not on thread " << i << "'s node";
+  }
+  EXPECT_TRUE(disjoint_banks(p));
+}
+
+TEST_F(ColorPlannerTest, MemFewerThreadsGetMoreBanks) {
+  const ColorPlan p = planner_.plan(Policy::kMem, cores_4t4n());
+  for (const auto& t : p.threads) EXPECT_EQ(t.mem_colors.size(), 32u);
+  EXPECT_TRUE(disjoint_banks(p));
+}
+
+TEST_F(ColorPlannerTest, MemSameNodeThreadsSplitTheNode) {
+  const ColorPlan p = planner_.plan(Policy::kMem, cores_4t1n());
+  for (const auto& t : p.threads) {
+    EXPECT_EQ(t.mem_colors.size(), 8u);  // 32 banks / 4 threads, node 0
+    for (const unsigned c : t.mem_colors)
+      EXPECT_EQ(map_.node_of_bank_color(c), 0u);
+  }
+  EXPECT_TRUE(disjoint_banks(p));
+}
+
+TEST_F(ColorPlannerTest, MemLlcCombinesBoth) {
+  const ColorPlan p = planner_.plan(Policy::kMemLlc, cores_16t4n());
+  for (const auto& t : p.threads) {
+    EXPECT_EQ(t.mem_colors.size(), 8u);
+    EXPECT_EQ(t.llc_colors.size(), 2u);
+  }
+  EXPECT_TRUE(disjoint_banks(p));
+  EXPECT_TRUE(disjoint_llc(p));
+}
+
+TEST_F(ColorPlannerTest, MemLlcPartGroupsLlcByNode) {
+  // "For MEM+LLC (part) coloring with 16 threads, we create 4 thread
+  // groups. Each group has its private 8 LLC colors ... shared by the 4
+  // threads in this group."
+  const ColorPlan p = planner_.plan(Policy::kMemLlcPart, cores_16t4n());
+  const auto cores = cores_16t4n();
+  for (size_t i = 0; i < cores.size(); ++i)
+    EXPECT_EQ(p.threads[i].llc_colors.size(), 8u);
+  // Same node => same LLC colors; different node => disjoint.
+  for (size_t i = 0; i < cores.size(); ++i) {
+    for (size_t j = i + 1; j < cores.size(); ++j) {
+      const bool same_node =
+          topo_.node_of_core(cores[i]) == topo_.node_of_core(cores[j]);
+      if (same_node) {
+        EXPECT_EQ(p.threads[i].llc_colors, p.threads[j].llc_colors);
+      } else {
+        std::set<unsigned> a(p.threads[i].llc_colors.begin(),
+                             p.threads[i].llc_colors.end());
+        for (const unsigned c : p.threads[j].llc_colors)
+          EXPECT_EQ(a.count(c), 0u);
+      }
+    }
+  }
+  // Banks still private.
+  EXPECT_TRUE(disjoint_banks(p));
+}
+
+TEST_F(ColorPlannerTest, MemLlcPart8Threads2PerGroup) {
+  // "For 8 threads in a parallel section, there are 2 threads per group
+  // sharing 8 LLC colors."
+  const ColorPlan p = planner_.plan(Policy::kMemLlcPart, cores_8t4n());
+  for (const auto& t : p.threads) EXPECT_EQ(t.llc_colors.size(), 8u);
+  EXPECT_EQ(p.threads[0].llc_colors, p.threads[1].llc_colors);
+  EXPECT_NE(p.threads[0].llc_colors, p.threads[2].llc_colors);
+}
+
+TEST_F(ColorPlannerTest, LlcMemPartSharesNodeBanks) {
+  // "LLC+MEM (part): each thread has its private LLC colors, but a group
+  // of threads shares private memory colors."
+  const ColorPlan p = planner_.plan(Policy::kLlcMemPart, cores_16t4n());
+  const auto cores = cores_16t4n();
+  for (size_t i = 0; i < cores.size(); ++i) {
+    EXPECT_EQ(p.threads[i].mem_colors.size(), 32u);  // whole local node
+    EXPECT_EQ(p.threads[i].llc_colors.size(), 2u);
+    for (const unsigned c : p.threads[i].mem_colors)
+      EXPECT_EQ(map_.node_of_bank_color(c), topo_.node_of_core(cores[i]));
+  }
+  EXPECT_TRUE(disjoint_llc(p));
+  // Threads of one node share identical bank sets.
+  EXPECT_EQ(p.threads[0].mem_colors, p.threads[1].mem_colors);
+  EXPECT_NE(p.threads[0].mem_colors, p.threads[4].mem_colors);
+}
+
+TEST_F(ColorPlannerTest, BpmBanksDisjointButNotLocal) {
+  const ColorPlan p = planner_.plan(Policy::kBpm, cores_16t4n());
+  const auto cores = cores_16t4n();
+  EXPECT_TRUE(disjoint_banks(p));
+  EXPECT_TRUE(disjoint_llc(p));
+  // Controller-oblivious: most threads own banks on several nodes and a
+  // majority of their banks are remote.
+  unsigned threads_with_remote_banks = 0;
+  for (size_t i = 0; i < cores.size(); ++i) {
+    EXPECT_EQ(p.threads[i].mem_colors.size(), 8u);
+    const unsigned local = topo_.node_of_core(cores[i]);
+    unsigned remote = 0;
+    for (const unsigned c : p.threads[i].mem_colors)
+      if (map_.node_of_bank_color(c) != local) ++remote;
+    if (remote > 0) ++threads_with_remote_banks;
+  }
+  EXPECT_GE(threads_with_remote_banks, 12u);
+}
+
+TEST_F(ColorPlannerTest, BpmCoversAllBanks) {
+  const ColorPlan p = planner_.plan(Policy::kBpm, cores_16t4n());
+  std::set<unsigned> all;
+  for (const auto& t : p.threads)
+    all.insert(t.mem_colors.begin(), t.mem_colors.end());
+  EXPECT_EQ(all.size(), 128u);
+}
+
+TEST_F(ColorPlannerTest, UnevenSplitStillDisjointAndComplete) {
+  // 3 threads on one node: 32 banks split 11/11/10 (balanced split).
+  const std::vector<unsigned> cores = {0, 1, 2};
+  const ColorPlan p = planner_.plan(Policy::kMem, cores);
+  size_t total = 0;
+  for (const auto& t : p.threads) {
+    EXPECT_GE(t.mem_colors.size(), 10u);
+    EXPECT_LE(t.mem_colors.size(), 11u);
+    total += t.mem_colors.size();
+  }
+  EXPECT_EQ(total, 32u);
+  EXPECT_TRUE(disjoint_banks(p));
+}
+
+TEST_F(ColorPlannerTest, SingleThreadGetsEverythingLocal) {
+  const std::vector<unsigned> cores = {5};
+  const ColorPlan p = planner_.plan(Policy::kMemLlc, cores);
+  EXPECT_EQ(p.threads[0].mem_colors.size(), 32u);
+  EXPECT_EQ(p.threads[0].llc_colors.size(), 32u);
+  for (const unsigned c : p.threads[0].mem_colors)
+    EXPECT_EQ(map_.node_of_bank_color(c), topo_.node_of_core(5));
+}
+
+TEST_F(ColorPlannerTest, PolicyTagStored) {
+  EXPECT_EQ(planner_.plan(Policy::kMem, cores_4t1n()).policy, Policy::kMem);
+}
+
+TEST_F(ColorPlannerTest, TinyTopologyPlansAreValid) {
+  const hw::Topology tiny = hw::Topology::tiny();
+  const hw::PciConfig pci = hw::PciConfig::program_bios(tiny);
+  const hw::AddressMapping map(pci, tiny);
+  const ColorPlanner planner(map, tiny);
+  const std::vector<unsigned> cores = {0, 1, 2, 3};
+  for (const Policy pol : all_policies()) {
+    const ColorPlan p = planner.plan(pol, cores);
+    EXPECT_EQ(p.threads.size(), 4u);
+    for (const auto& t : p.threads) {
+      for (const unsigned c : t.mem_colors) EXPECT_LT(c, map.num_bank_colors());
+      for (const unsigned c : t.llc_colors) EXPECT_LT(c, map.num_llc_colors());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace tint::core

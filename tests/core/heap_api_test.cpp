@@ -1,0 +1,212 @@
+// Extended TintHeap API: realloc, aligned_alloc, usable_size, and the
+// huge-page extension (malloc_huge).
+#include <gtest/gtest.h>
+
+#include "core/tintmalloc.h"
+#include "hw/pci_config.h"
+
+namespace tint::core {
+namespace {
+
+class HeapApiTest : public ::testing::Test {
+ protected:
+  HeapApiTest()
+      : topo_(hw::Topology::tiny()),
+        pci_(hw::PciConfig::program_bios(topo_)),
+        map_(pci_, topo_),
+        kernel_(topo_, map_, huge_config(), 42),
+        task_(kernel_.create_task(0)),
+        heap_(kernel_, task_) {}
+
+  static os::KernelConfig huge_config() {
+    os::KernelConfig cfg;
+    cfg.huge_pool_blocks_per_node = 2;  // explicit hugetlbfs reservation
+    return cfg;
+  }
+
+  hw::Topology topo_;
+  hw::PciConfig pci_;
+  hw::AddressMapping map_;
+  os::Kernel kernel_;
+  os::TaskId task_;
+  TintHeap heap_;
+};
+
+// ---- realloc ----
+
+TEST_F(HeapApiTest, ReallocNullIsMalloc) {
+  const os::VirtAddr p = heap_.realloc(0, 100);
+  EXPECT_NE(p, 0u);
+  heap_.free(p);
+}
+
+TEST_F(HeapApiTest, ReallocZeroFrees) {
+  const os::VirtAddr p = heap_.malloc(100);
+  EXPECT_EQ(heap_.realloc(p, 0), 0u);
+  EXPECT_EQ(heap_.stats().bytes_live, 0u);
+}
+
+TEST_F(HeapApiTest, ReallocWithinClassKeepsPointer) {
+  const os::VirtAddr p = heap_.malloc(100);  // class 128
+  EXPECT_EQ(heap_.realloc(p, 120), p);
+  EXPECT_EQ(heap_.realloc(p, 100), p);
+  heap_.free(p);
+}
+
+TEST_F(HeapApiTest, ReallocGrowthMoves) {
+  const os::VirtAddr p = heap_.malloc(100);
+  const os::VirtAddr q = heap_.realloc(p, 4000);
+  EXPECT_NE(q, p);
+  heap_.free(q);
+  // p must have been freed by realloc: reusable.
+  EXPECT_EQ(heap_.malloc(100), p);
+}
+
+TEST_F(HeapApiTest, ReallocLargeToLarger) {
+  const os::VirtAddr p = heap_.malloc(64 << 10);
+  const os::VirtAddr q = heap_.realloc(p, 256 << 10);
+  EXPECT_NE(q, 0u);
+  kernel_.touch(task_, q + (256 << 10) - 1, true);  // range valid
+  heap_.free(q);
+}
+
+TEST_F(HeapApiTest, ReallocChainStress) {
+  os::VirtAddr p = heap_.malloc(16);
+  for (uint64_t size = 32; size <= (1 << 20); size *= 2)
+    p = heap_.realloc(p, size);
+  EXPECT_NE(p, 0u);
+  heap_.free(p);
+  EXPECT_EQ(heap_.stats().bytes_live, 0u);
+}
+
+// ---- aligned_alloc ----
+
+TEST_F(HeapApiTest, AlignedAllocRespectsAlignment) {
+  for (const uint64_t align : {16ULL, 64ULL, 256ULL, 4096ULL, 65536ULL}) {
+    const os::VirtAddr p = heap_.aligned_alloc(align, 100);
+    EXPECT_NE(p, 0u);
+    EXPECT_EQ(p % align, 0u) << "align " << align;
+    heap_.free(p);
+  }
+}
+
+TEST_F(HeapApiTest, AlignedAllocFreeRoundTrip) {
+  const os::VirtAddr p = heap_.aligned_alloc(4096, 1000);
+  heap_.free(p);
+  EXPECT_EQ(heap_.stats().bytes_live, 0u);
+  // Heap still consistent for further use.
+  const os::VirtAddr q = heap_.malloc(64);
+  EXPECT_NE(q, 0u);
+}
+
+TEST_F(HeapApiTest, AlignedLargeAllocation) {
+  const os::VirtAddr p = heap_.aligned_alloc(1 << 16, 1 << 20);
+  EXPECT_EQ(p % (1 << 16), 0u);
+  kernel_.touch(task_, p + (1 << 20) - 1, true);
+  heap_.free(p);
+}
+
+TEST_F(HeapApiTest, AlignedAllocDistinctPointers) {
+  const os::VirtAddr a = heap_.aligned_alloc(256, 100);
+  const os::VirtAddr b = heap_.aligned_alloc(256, 100);
+  EXPECT_NE(a, b);
+  heap_.free(a);
+  heap_.free(b);
+}
+
+TEST_F(HeapApiTest, UsableSizeCoversRequest) {
+  const os::VirtAddr p = heap_.malloc(100);
+  EXPECT_GE(heap_.usable_size(p), 100u);
+  heap_.free(p);
+  const os::VirtAddr q = heap_.aligned_alloc(512, 300);
+  EXPECT_GE(heap_.usable_size(q), 300u);
+  heap_.free(q);
+}
+
+// ---- huge pages ----
+
+TEST_F(HeapApiTest, MallocHugeReturnsAlignedRegion) {
+  const os::VirtAddr p = heap_.malloc_huge(3 << 20);  // rounds to 4 MB
+  EXPECT_NE(p, 0u);
+  EXPECT_EQ(p % os::Kernel::kHugeBytes, 0u);
+  heap_.free(p);
+}
+
+TEST_F(HeapApiTest, HugeFaultMapsWholeBlockAtOnce) {
+  const os::VirtAddr p = heap_.malloc_huge(2 << 20);
+  const auto r = kernel_.touch(task_, p + 12345, true);
+  EXPECT_TRUE(r.faulted);
+  EXPECT_EQ(kernel_.stats().huge_faults, 1u);
+  // Every page of the block is mapped by the single fault.
+  EXPECT_EQ(kernel_.page_table().mapped_pages(),
+            os::Kernel::kHugeBytes / 4096);
+  const auto r2 = kernel_.touch(task_, p + (2 << 20) - 1, false);
+  EXPECT_FALSE(r2.faulted);
+}
+
+TEST_F(HeapApiTest, HugeBlockIsPhysicallyContiguous) {
+  const os::VirtAddr p = heap_.malloc_huge(2 << 20);
+  const auto first = kernel_.touch(task_, p, true);
+  const auto last = kernel_.touch(task_, p + (2 << 20) - 4096, false);
+  EXPECT_EQ(last.pa - first.pa, (2ULL << 20) - 4096);
+}
+
+TEST_F(HeapApiTest, HugePagesStayOnColorNode) {
+  // Controller-aware: with bank colors on node 1, the huge block lands
+  // on node 1 even though it cannot be bank-colored.
+  apply_thread_colors(kernel_, task_,
+                      ThreadColorPlan{{static_cast<uint16_t>(
+                          map_.make_bank_color(1, 0))}, {}});
+  const os::VirtAddr p = heap_.malloc_huge(2 << 20);
+  const auto r = kernel_.touch(task_, p, true);
+  EXPECT_EQ(kernel_.pages()[r.pa >> 12].node, 1u);
+  EXPECT_FALSE(kernel_.pages()[r.pa >> 12].colored_alloc);
+}
+
+TEST_F(HeapApiTest, HugeFreeReturnsBlockToPool) {
+  const uint64_t pool_before = kernel_.huge_pool_blocks_free();
+  const os::VirtAddr p = heap_.malloc_huge(2 << 20);
+  kernel_.touch(task_, p, true);
+  EXPECT_EQ(kernel_.huge_pool_blocks_free(), pool_before - 1);
+  heap_.free(p);
+  EXPECT_EQ(kernel_.huge_pool_blocks_free(), pool_before);
+  EXPECT_EQ(kernel_.page_table().mapped_pages(), 0u);
+}
+
+TEST_F(HeapApiTest, HugePoolExhaustionAborts) {
+  // 2 blocks/node x 2 nodes reserved; the 4 KB zones are fragmented by
+  // warm-up, so a fifth huge block cannot be served.
+  std::vector<os::VirtAddr> held;
+  for (int i = 0; i < 4; ++i) {
+    const os::VirtAddr p = heap_.malloc_huge(2 << 20);
+    kernel_.touch(task_, p, true);
+    held.push_back(p);
+  }
+  const os::VirtAddr p5 = heap_.malloc_huge(2 << 20);
+  EXPECT_DEATH(kernel_.touch(task_, p5, true), "huge");
+  for (const os::VirtAddr p : held) heap_.free(p);
+}
+
+TEST_F(HeapApiTest, HugeSingleFaultCheaperThanFivehundredSmall) {
+  // The point of huge pages: one fault instead of 512.
+  const os::VirtAddr h = heap_.malloc_huge(2 << 20);
+  const auto rh = kernel_.touch(task_, h, true);
+  const os::VirtAddr s = heap_.malloc(2 << 20);
+  hw::Cycles small_total = 0;
+  for (uint64_t off = 0; off < (2ULL << 20); off += 4096)
+    small_total += kernel_.touch(task_, s + off, true).fault_cycles;
+  EXPECT_LT(rh.fault_cycles, small_total / 100);
+}
+
+TEST_F(HeapApiTest, MixedHugeAndSmallCoexist) {
+  const os::VirtAddr h = heap_.malloc_huge(2 << 20);
+  const os::VirtAddr s = heap_.malloc(64);
+  kernel_.touch(task_, h + 4096, true);
+  kernel_.touch(task_, s, true);
+  heap_.free(h);
+  heap_.free(s);
+  EXPECT_EQ(heap_.stats().bytes_live, 0u);
+}
+
+}  // namespace
+}  // namespace tint::core

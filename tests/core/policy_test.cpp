@@ -1,0 +1,49 @@
+#include "core/policy.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace tint::core {
+namespace {
+
+TEST(Policy, AllPoliciesListsSeven) {
+  EXPECT_EQ(all_policies().size(), 7u);
+  std::set<Policy> unique(all_policies().begin(), all_policies().end());
+  EXPECT_EQ(unique.size(), 7u);
+}
+
+TEST(Policy, TintPoliciesExcludeBaselines) {
+  for (const Policy p : tint_policies()) {
+    EXPECT_NE(p, Policy::kBuddy);
+    EXPECT_NE(p, Policy::kBpm);
+  }
+  EXPECT_EQ(tint_policies().size(), 5u);
+}
+
+TEST(Policy, NamesMatchPaper) {
+  EXPECT_EQ(to_string(Policy::kBuddy), "buddy");
+  EXPECT_EQ(to_string(Policy::kBpm), "BPM");
+  EXPECT_EQ(to_string(Policy::kLlc), "LLC");
+  EXPECT_EQ(to_string(Policy::kMem), "MEM");
+  EXPECT_EQ(to_string(Policy::kMemLlc), "MEM+LLC");
+  EXPECT_EQ(to_string(Policy::kMemLlcPart), "MEM+LLC(part)");
+  EXPECT_EQ(to_string(Policy::kLlcMemPart), "LLC+MEM(part)");
+}
+
+TEST(Policy, ParseRoundTrip) {
+  for (const Policy p : all_policies()) {
+    const auto parsed = parse_policy(to_string(p));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, p);
+  }
+}
+
+TEST(Policy, ParseUnknownFails) {
+  EXPECT_FALSE(parse_policy("nope").has_value());
+  EXPECT_FALSE(parse_policy("").has_value());
+  EXPECT_FALSE(parse_policy("mem+llc").has_value());  // case-sensitive
+}
+
+}  // namespace
+}  // namespace tint::core

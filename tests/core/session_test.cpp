@@ -1,0 +1,95 @@
+#include "core/session.h"
+
+#include <gtest/gtest.h>
+
+namespace tint::core {
+namespace {
+
+TEST(Session, ConstructsOpteronAndTiny) {
+  Session big(MachineConfig::opteron6128());
+  EXPECT_EQ(big.topology().num_cores(), 16u);
+  Session small(MachineConfig::tiny());
+  EXPECT_EQ(small.topology().num_cores(), 4u);
+}
+
+TEST(Session, CreateTaskAndHeapPerTask) {
+  Session s(MachineConfig::tiny());
+  const os::TaskId a = s.create_task(0);
+  const os::TaskId b = s.create_task(1);
+  EXPECT_NE(a, b);
+  EXPECT_NE(s.heap(a).malloc(64), s.heap(b).malloc(64));
+  EXPECT_EQ(s.heap(a).task(), a);
+}
+
+TEST(Session, ApplyPolicySetsTcbColors) {
+  Session s(MachineConfig::tiny());
+  std::vector<os::TaskId> tasks = {s.create_task(0), s.create_task(1),
+                                   s.create_task(2), s.create_task(3)};
+  const ColorPlan plan = s.apply_policy(Policy::kMemLlc, tasks);
+  ASSERT_EQ(plan.threads.size(), 4u);
+  for (size_t i = 0; i < tasks.size(); ++i) {
+    const os::Task& t = s.kernel().task(tasks[i]);
+    EXPECT_TRUE(t.using_bank());
+    EXPECT_TRUE(t.using_llc());
+    for (const unsigned c : plan.threads[i].mem_colors)
+      EXPECT_TRUE(t.has_mem_color(c));
+    for (const unsigned c : plan.threads[i].llc_colors)
+      EXPECT_TRUE(t.has_llc_color(c));
+  }
+}
+
+TEST(Session, ApplyBuddyPolicyLeavesTasksUncolored) {
+  Session s(MachineConfig::tiny());
+  std::vector<os::TaskId> tasks = {s.create_task(0)};
+  s.apply_policy(Policy::kBuddy, tasks);
+  EXPECT_FALSE(s.kernel().task(tasks[0]).using_bank());
+  EXPECT_FALSE(s.kernel().task(tasks[0]).using_llc());
+}
+
+TEST(Session, TouchAndAccessChargesFaultOnce) {
+  Session s(MachineConfig::tiny());
+  const os::TaskId t = s.create_task(0);
+  const os::VirtAddr p = s.heap(t).malloc(4096);
+  const hw::Cycles first = s.touch_and_access(t, p, true, 0);
+  const hw::Cycles second = s.touch_and_access(t, p, true, first);
+  EXPECT_GT(first, second);  // fault overhead + DRAM vs. L1 hit
+  EXPECT_EQ(second, s.config().timing.l1_hit);
+}
+
+TEST(Session, AccessesFlowIntoMemsysStats) {
+  Session s(MachineConfig::tiny());
+  const os::TaskId t = s.create_task(2);  // core 2
+  const os::VirtAddr p = s.heap(t).malloc(4096);
+  s.touch_and_access(t, p, false, 0);
+  EXPECT_EQ(s.memsys().core_stats(2).accesses, 1u);
+  EXPECT_EQ(s.memsys().core_stats(0).accesses, 0u);
+}
+
+TEST(Session, SeedChangesPlacement) {
+  MachineConfig cfg = MachineConfig::tiny();
+  cfg.seed = 1;
+  Session s1(cfg);
+  cfg.seed = 2;
+  Session s2(cfg);
+  // Same logical program, different physical placement under buddy.
+  const os::TaskId t1 = s1.create_task(0);
+  const os::TaskId t2 = s2.create_task(0);
+  const os::VirtAddr p1 = s1.heap(t1).malloc(64 * 4096);
+  const os::VirtAddr p2 = s2.heap(t2).malloc(64 * 4096);
+  unsigned same = 0;
+  for (unsigned i = 0; i < 64; ++i) {
+    const auto r1 = s1.kernel().touch(t1, p1 + i * 4096ULL, true);
+    const auto r2 = s2.kernel().touch(t2, p2 + i * 4096ULL, true);
+    if (r1.pa == r2.pa) ++same;
+  }
+  EXPECT_LT(same, 32u);
+}
+
+TEST(Session, MappingSharedAcrossComponents) {
+  Session s(MachineConfig::tiny());
+  EXPECT_EQ(&s.memsys().mapping(), &s.mapping());
+  EXPECT_EQ(&s.kernel().mapping(), &s.mapping());
+}
+
+}  // namespace
+}  // namespace tint::core

@@ -1,0 +1,197 @@
+#include "hw/address_mapping.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace tint::hw {
+namespace {
+
+class AddressMappingTest : public ::testing::Test {
+ protected:
+  AddressMappingTest()
+      : topo_(Topology::opteron6128()),
+        pci_(PciConfig::program_bios(topo_)),
+        map_(pci_, topo_) {}
+
+  Topology topo_;
+  PciConfig pci_;
+  AddressMapping map_;
+};
+
+TEST_F(AddressMappingTest, GeometryFromRegisters) {
+  EXPECT_EQ(map_.num_nodes(), 4u);
+  EXPECT_EQ(map_.num_bank_colors(), 128u);
+  EXPECT_EQ(map_.num_llc_colors(), 32u);
+  EXPECT_EQ(map_.banks_per_node(), 32u);
+}
+
+TEST_F(AddressMappingTest, NodeOfFollowsBaseLimitRanges) {
+  const uint64_t nb = topo_.dram_bytes_per_node;
+  EXPECT_EQ(map_.node_of(0), 0u);
+  EXPECT_EQ(map_.node_of(nb - 1), 0u);
+  EXPECT_EQ(map_.node_of(nb), 1u);
+  EXPECT_EQ(map_.node_of(3 * nb + 12345), 3u);
+}
+
+TEST_F(AddressMappingTest, ComposeDecodeRoundTrip) {
+  for (unsigned node = 0; node < 4; ++node) {
+    for (unsigned ch = 0; ch < 2; ++ch) {
+      for (unsigned rank = 0; rank < 2; ++rank) {
+        for (unsigned bank = 0; bank < 8; bank += 3) {
+          DramCoord c;
+          c.node = node;
+          c.channel = ch;
+          c.rank = rank;
+          c.bank = bank;
+          c.row = 37;
+          c.column = 0x123;
+          c.llc_color = 21;
+          const DramCoord d = map_.decode(map_.compose(c));
+          EXPECT_EQ(d.node, c.node);
+          EXPECT_EQ(d.channel, c.channel);
+          EXPECT_EQ(d.rank, c.rank);
+          EXPECT_EQ(d.bank, c.bank);
+          EXPECT_EQ(d.row, c.row);
+          EXPECT_EQ(d.column, c.column);
+          EXPECT_EQ(d.llc_color, c.llc_color);
+        }
+      }
+    }
+  }
+}
+
+TEST_F(AddressMappingTest, Eq1BankColorIsDenseAndComplete) {
+  // Eq. 1: bc = ((node*NC + channel)*NR + rank)*NB + bank must cover
+  // 0..127 exactly once over all coordinate combinations.
+  std::set<unsigned> colors;
+  for (unsigned node = 0; node < 4; ++node)
+    for (unsigned ch = 0; ch < 2; ++ch)
+      for (unsigned rank = 0; rank < 2; ++rank)
+        for (unsigned bank = 0; bank < 8; ++bank) {
+          DramCoord c;
+          c.node = node;
+          c.channel = ch;
+          c.rank = rank;
+          c.bank = bank;
+          colors.insert(map_.bank_color(map_.compose(c)));
+        }
+  EXPECT_EQ(colors.size(), 128u);
+  EXPECT_EQ(*colors.begin(), 0u);
+  EXPECT_EQ(*colors.rbegin(), 127u);
+}
+
+TEST_F(AddressMappingTest, BankColorNodeMajor) {
+  // Node n owns the dense color range [n*32, (n+1)*32).
+  DramCoord c;
+  c.node = 2;
+  c.channel = 1;
+  c.rank = 1;
+  c.bank = 7;
+  const unsigned bc = map_.bank_color(map_.compose(c));
+  EXPECT_EQ(map_.node_of_bank_color(bc), 2u);
+  EXPECT_GE(bc, 64u);
+  EXPECT_LT(bc, 96u);
+  EXPECT_EQ(map_.make_bank_color(2, map_.local_bank_index(bc)), bc);
+}
+
+TEST_F(AddressMappingTest, ColorsConstantWithinFrame) {
+  const uint64_t frame = 777 * map_.page_bytes();
+  const FrameColors fc = map_.frame_colors(frame);
+  for (uint64_t off = 0; off < map_.page_bytes(); off += 64) {
+    EXPECT_EQ(map_.bank_color(frame + off), fc.bank_color);
+    EXPECT_EQ(map_.llc_color(frame + off), fc.llc_color);
+  }
+}
+
+TEST_F(AddressMappingTest, LlcColorUsesConfiguredBits) {
+  // Default layout: LLC color = bits 15..19.
+  EXPECT_EQ(map_.llc_color(0), 0u);
+  EXPECT_EQ(map_.llc_color(1ULL << 15), 1u);
+  EXPECT_EQ(map_.llc_color(21ULL << 15), 21u);
+  EXPECT_EQ(map_.llc_color((1ULL << 20)), 0u);  // channel bit, not color
+}
+
+TEST_F(AddressMappingTest, ConsecutiveFramesInterleaveBanks) {
+  // The bank field sits directly above the page offset: consecutive
+  // frames must cycle through the banks (fine-grained interleave).
+  for (uint64_t pfn = 0; pfn < 16; ++pfn) {
+    const FrameColors fc = map_.frame_colors_of_pfn(pfn);
+    EXPECT_EQ(fc.bank_color % 8, pfn % 8);
+  }
+}
+
+TEST_F(AddressMappingTest, EveryBankLlcComboRealizable) {
+  // The color_list matrix of Algorithm 1 is dense: every (bank, LLC)
+  // pair exists in physical memory. Scan one node's worth of frames.
+  std::set<std::pair<unsigned, unsigned>> combos;
+  const uint64_t frames_per_node = topo_.pages_per_node();
+  for (uint64_t pfn = 0; pfn < frames_per_node && combos.size() < 32u * 32u;
+       ++pfn) {
+    const FrameColors fc = map_.frame_colors_of_pfn(pfn);
+    combos.insert({fc.bank_color, fc.llc_color});
+  }
+  EXPECT_EQ(combos.size(), 32u * 32u);  // all node-0 banks x all LLC colors
+}
+
+TEST_F(AddressMappingTest, LlcSetWithinRange) {
+  const unsigned sets = topo_.llc_sets();
+  for (uint64_t a = 0; a < (1 << 22); a += 12345)
+    EXPECT_LT(map_.llc_set(a, sets, topo_.line_bytes), sets);
+}
+
+TEST_F(AddressMappingTest, LlcColorPartitionsSets) {
+  // Two addresses with different LLC colors can never map to the same
+  // LLC set (colors are disjoint set groups).
+  const unsigned sets = topo_.llc_sets();
+  for (uint64_t a = 0; a < (1 << 21); a += 4096 + 128) {
+    for (uint64_t b = a + 4096; b < a + (1 << 18); b += 8192 + 256) {
+      if (map_.llc_color(a) != map_.llc_color(b)) {
+        EXPECT_NE(map_.llc_set(a, sets, topo_.line_bytes),
+                  map_.llc_set(b, sets, topo_.line_bytes))
+            << "a=" << a << " b=" << b;
+      }
+    }
+  }
+}
+
+TEST_F(AddressMappingTest, FrameColorsOfPfnMatchesByteAddress) {
+  for (uint64_t pfn : {0ULL, 1ULL, 4095ULL, 123456ULL}) {
+    const FrameColors a = map_.frame_colors_of_pfn(pfn);
+    const FrameColors b = map_.frame_colors(pfn * map_.page_bytes());
+    EXPECT_EQ(a.bank_color, b.bank_color);
+    EXPECT_EQ(a.llc_color, b.llc_color);
+    EXPECT_EQ(a.node, b.node);
+  }
+}
+
+TEST(AddressMappingTiny, TinyMachineDecodes) {
+  const Topology t = Topology::tiny();
+  const PciConfig pci = PciConfig::program_bios(t);
+  const AddressMapping map(pci, t);
+  EXPECT_EQ(map.num_nodes(), 2u);
+  EXPECT_EQ(map.num_bank_colors(), t.num_bank_colors());
+  EXPECT_EQ(map.num_llc_colors(), 16u);
+  // Round trip on the second node.
+  DramCoord c;
+  c.node = 1;
+  c.channel = 1;
+  c.bank = 3;
+  c.row = 5;
+  const DramCoord d = map.decode(map.compose(c));
+  EXPECT_EQ(d.node, 1u);
+  EXPECT_EQ(d.channel, 1u);
+  EXPECT_EQ(d.bank, 3u);
+  EXPECT_EQ(d.row, 5u);
+}
+
+TEST(AddressMappingDeathTest, FrameColorsRequiresAlignment) {
+  const Topology t = Topology::tiny();
+  const PciConfig pci = PciConfig::program_bios(t);
+  const AddressMapping map(pci, t);
+  EXPECT_DEATH(map.frame_colors(123), "aligned");
+}
+
+}  // namespace
+}  // namespace tint::hw

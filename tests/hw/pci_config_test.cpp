@@ -1,0 +1,88 @@
+#include "hw/pci_config.h"
+
+#include <gtest/gtest.h>
+
+namespace tint::hw {
+namespace {
+
+TEST(PciConfig, NodeRangesAreContiguousAndDisjoint) {
+  const Topology t = Topology::opteron6128();
+  const PciConfig cfg = PciConfig::program_bios(t);
+  const auto& ranges = cfg.dram_ranges();
+  ASSERT_EQ(ranges.size(), 4u);
+  uint64_t expected_base = 0;
+  for (unsigned n = 0; n < 4; ++n) {
+    EXPECT_TRUE(ranges[n].enabled);
+    EXPECT_EQ(ranges[n].dst_node, n);
+    EXPECT_EQ(ranges[n].base_64k << 16, expected_base);
+    expected_base += t.dram_bytes_per_node;
+    EXPECT_EQ((ranges[n].limit_64k << 16) + (1 << 16), expected_base);
+  }
+}
+
+TEST(PciConfig, FieldLayoutIsPageColorable) {
+  // Every color-determining field must sit at or above the page offset
+  // so a 4 KB frame has exactly one color (Algorithm 2 requirement).
+  const Topology t = Topology::opteron6128();
+  const PciConfig cfg = PciConfig::program_bios(t);
+  EXPECT_GE(cfg.bank_address_mapping().lo, t.page_bits);
+  EXPECT_GE(cfg.llc_color_field().lo, t.page_bits);
+  EXPECT_GE(cfg.controller_select_low().lo, t.page_bits);
+  EXPECT_GE(cfg.cs_base_rank().lo, t.page_bits);
+}
+
+TEST(PciConfig, OpteronFieldPositions) {
+  // Documented default layout: bank 12..14, LLC 15..19, channel 20,
+  // rank 21, row 22+.
+  const PciConfig cfg = PciConfig::program_bios(Topology::opteron6128());
+  EXPECT_EQ(cfg.bank_address_mapping().lo, 12);
+  EXPECT_EQ(cfg.bank_address_mapping().width, 3);
+  EXPECT_EQ(cfg.llc_color_field().lo, 15);
+  EXPECT_EQ(cfg.llc_color_field().width, 5);
+  EXPECT_EQ(cfg.controller_select_low().lo, 20);
+  EXPECT_EQ(cfg.controller_select_low().width, 1);
+  EXPECT_EQ(cfg.cs_base_rank().lo, 21);
+  EXPECT_EQ(cfg.cs_base_rank().width, 1);
+  EXPECT_EQ(cfg.row_lo_bit(), 22);
+}
+
+TEST(PciConfig, FieldsDoNotOverlap) {
+  const PciConfig cfg = PciConfig::program_bios(Topology::opteron6128());
+  const BitField fields[] = {cfg.bank_address_mapping(), cfg.llc_color_field(),
+                             cfg.controller_select_low(), cfg.cs_base_rank()};
+  uint64_t used = 0;
+  for (const BitField& f : fields) {
+    const uint64_t mask = ((1ULL << f.width) - 1) << f.lo;
+    EXPECT_EQ(used & mask, 0u) << "field overlap at lo=" << unsigned(f.lo);
+    used |= mask;
+  }
+  // Row bits start right above the last field.
+  EXPECT_EQ(used >> cfg.row_lo_bit(), 0u);
+}
+
+TEST(PciConfig, BitFieldExtractInsertRoundTrip) {
+  const BitField f{15, 5};
+  for (uint64_t v = 0; v < 32; ++v) {
+    EXPECT_EQ(f.extract(f.insert(v)), v);
+  }
+  // Extract ignores unrelated bits.
+  EXPECT_EQ(f.extract(f.insert(21) | 0xFFF), 21u);
+}
+
+TEST(PciConfig, SingleRankConsumesNoBits) {
+  Topology t = Topology::tiny();
+  ASSERT_EQ(t.ranks_per_channel, 1u);
+  const PciConfig cfg = PciConfig::program_bios(t);
+  EXPECT_EQ(cfg.cs_base_rank().width, 0);
+  // Zero-width extract is always 0.
+  EXPECT_EQ(cfg.cs_base_rank().extract(~0ULL), 0u);
+}
+
+TEST(PciConfigDeathTest, RejectsZeroRowBits) {
+  Topology t = Topology::tiny();
+  t.dram_bytes_per_node = 512 << 10;  // 512 KB: no row bits above geometry
+  EXPECT_DEATH(PciConfig::program_bios(t), "");
+}
+
+}  // namespace
+}  // namespace tint::hw

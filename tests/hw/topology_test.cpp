@@ -1,0 +1,100 @@
+#include "hw/topology.h"
+
+#include <gtest/gtest.h>
+
+namespace tint::hw {
+namespace {
+
+TEST(Topology, Opteron6128MatchesPaperPlatform) {
+  // Section IV: dual socket, 16 cores, 4 memory nodes; Section III.A:
+  // 128 bank colors (2^7) and 32 LLC colors (2^5).
+  const Topology t = Topology::opteron6128();
+  EXPECT_EQ(t.num_cores(), 16u);
+  EXPECT_EQ(t.num_nodes(), 4u);
+  EXPECT_EQ(t.cores_per_node, 4u);
+  EXPECT_EQ(t.num_bank_colors(), 128u);
+  EXPECT_EQ(t.num_llc_colors(), 32u);
+  EXPECT_EQ(t.banks_per_node(), 32u);
+  EXPECT_EQ(t.line_bytes, 128u);
+  EXPECT_EQ(t.page_bytes(), 4096u);
+}
+
+TEST(Topology, TinyIsValidAndSmall) {
+  const Topology t = Topology::tiny();
+  EXPECT_EQ(t.num_cores(), 4u);
+  EXPECT_EQ(t.num_nodes(), 2u);
+  EXPECT_LE(t.total_dram_bytes(), 64ULL << 20);
+}
+
+TEST(Topology, DerivedQuantitiesConsistent) {
+  const Topology t = Topology::opteron6128();
+  EXPECT_EQ(t.total_pages(), t.total_dram_bytes() / t.page_bytes());
+  EXPECT_EQ(t.pages_per_node() * t.num_nodes(), t.total_pages());
+  EXPECT_EQ(t.num_bank_colors(), t.banks_per_node() * t.num_nodes());
+  EXPECT_EQ(t.llc_sets() * t.llc_ways * t.line_bytes, t.llc_bytes);
+}
+
+TEST(Topology, NodeOfCoreMapping) {
+  const Topology t = Topology::opteron6128();
+  EXPECT_EQ(t.node_of_core(0), 0u);
+  EXPECT_EQ(t.node_of_core(3), 0u);
+  EXPECT_EQ(t.node_of_core(4), 1u);
+  EXPECT_EQ(t.node_of_core(15), 3u);
+}
+
+TEST(Topology, SocketMapping) {
+  const Topology t = Topology::opteron6128();
+  EXPECT_EQ(t.socket_of_node(0), 0u);
+  EXPECT_EQ(t.socket_of_node(1), 0u);
+  EXPECT_EQ(t.socket_of_node(2), 1u);
+  EXPECT_EQ(t.socket_of_node(3), 1u);
+  EXPECT_EQ(t.socket_of_core(0), 0u);
+  EXPECT_EQ(t.socket_of_core(8), 1u);
+}
+
+TEST(Topology, HopDistancesPerSectionIV) {
+  // 1 hop within a node, 2 hops across nodes of a socket, 3 across
+  // sockets.
+  const Topology t = Topology::opteron6128();
+  EXPECT_EQ(t.hops(0, 0), 1u);
+  EXPECT_EQ(t.hops(0, 1), 2u);
+  EXPECT_EQ(t.hops(0, 2), 3u);
+  EXPECT_EQ(t.hops(0, 3), 3u);
+  EXPECT_EQ(t.hops(15, 3), 1u);
+  EXPECT_EQ(t.hops(15, 2), 2u);
+  EXPECT_EQ(t.hops(15, 0), 3u);
+}
+
+TEST(Topology, TimingOrderingSane) {
+  const Timing tm;
+  EXPECT_LT(tm.l1_hit, tm.l2_hit);
+  EXPECT_LT(tm.l2_hit, tm.llc_hit);
+  EXPECT_LT(tm.llc_hit, tm.row_hit + tm.burst);
+  EXPECT_LT(tm.row_hit, tm.row_empty);
+  EXPECT_LT(tm.row_empty, tm.row_conflict);
+  EXPECT_LT(tm.hop2_extra, tm.hop3_extra);
+  EXPECT_EQ(tm.interconnect_extra(1), 0u);
+  EXPECT_EQ(tm.interconnect_extra(2), tm.hop2_extra);
+  EXPECT_EQ(tm.interconnect_extra(3), tm.hop3_extra);
+}
+
+TEST(TopologyDeathTest, ValidateRejectsNonPow2Banks) {
+  Topology t = Topology::opteron6128();
+  t.banks_per_rank = 3;
+  EXPECT_DEATH(t.validate(), "powers of two");
+}
+
+TEST(TopologyDeathTest, ValidateRejectsTinyLlc) {
+  Topology t = Topology::opteron6128();
+  t.llc_bytes = 64 << 10;  // 64 KB cannot host 32 page colors
+  t.llc_ways = 4;
+  EXPECT_DEATH(t.validate(), "");
+}
+
+TEST(Topology, DescribeMentionsGeometry) {
+  const std::string d = Topology::opteron6128().describe();
+  EXPECT_NE(d.find("128 bank colors"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tint::hw

@@ -1,0 +1,73 @@
+// Whole-stack determinism: identical seeds must reproduce results
+// bit-for-bit -- the foundation of every comparison in the benches.
+#include <gtest/gtest.h>
+
+#include "runtime/experiment.h"
+#include "runtime/workload.h"
+
+namespace tint::runtime {
+namespace {
+
+WorkloadSpec spec() {
+  WorkloadSpec s;
+  s.name = "det";
+  s.private_bytes = 256 << 10;
+  s.shared_bytes = 64 << 10;
+  s.hot_bytes = 32 << 10;
+  s.hot_fraction = 0.5;
+  s.shared_fraction = 0.1;
+  s.write_fraction = 0.3;
+  s.compute_per_access = 15;
+  s.rounds = 2;
+  s.accesses_per_round = 2500;
+  s.imbalance = 0.2;
+  s.serial_accesses_per_round = 300;
+  return s;
+}
+
+TEST(Determinism, IdenticalSeedsIdenticalRuns) {
+  WorkloadRunner runner(core::MachineConfig::tiny());
+  const std::vector<unsigned> cores = {0, 1, 2, 3};
+  for (const core::Policy p :
+       {core::Policy::kBuddy, core::Policy::kBpm, core::Policy::kMemLlc}) {
+    const RunResult a = runner.run(spec(), p, cores, 99);
+    const RunResult b = runner.run(spec(), p, cores, 99);
+    EXPECT_EQ(a.total_runtime, b.total_runtime) << core::to_string(p);
+    EXPECT_EQ(a.total_idle, b.total_idle);
+    EXPECT_EQ(a.thread_busy, b.thread_busy);
+    EXPECT_EQ(a.thread_idle, b.thread_idle);
+    EXPECT_EQ(a.remote_pages, b.remote_pages);
+    EXPECT_EQ(a.pages_touched, b.pages_touched);
+    EXPECT_DOUBLE_EQ(a.avg_access_latency, b.avg_access_latency);
+  }
+}
+
+TEST(Determinism, DifferentSeedsDifferForBuddy) {
+  WorkloadRunner runner(core::MachineConfig::tiny());
+  const std::vector<unsigned> cores = {0, 1, 2, 3};
+  const RunResult a = runner.run(spec(), core::Policy::kBuddy, cores, 1);
+  const RunResult b = runner.run(spec(), core::Policy::kBuddy, cores, 2);
+  EXPECT_NE(a.total_runtime, b.total_runtime);
+}
+
+TEST(Determinism, SyntheticReproducible) {
+  const auto mc = core::MachineConfig::tiny();
+  const std::vector<unsigned> cores = {0, 1, 2, 3};
+  const auto a = run_synthetic(mc, core::Policy::kMem, cores, 64 << 10, 11);
+  const auto b = run_synthetic(mc, core::Policy::kMem, cores, 64 << 10, 11);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_DOUBLE_EQ(a.row_hit_rate, b.row_hit_rate);
+}
+
+TEST(Determinism, DriverAggregatesReproducible) {
+  ExperimentDriver d1(core::MachineConfig::tiny(), 2, 5);
+  ExperimentDriver d2(core::MachineConfig::tiny(), 2, 5);
+  const ThreadConfig cfg = make_config(hw::Topology::tiny(), 4, 2);
+  const auto a = d1.run(spec(), core::Policy::kLlc, cfg);
+  const auto b = d2.run(spec(), core::Policy::kLlc, cfg);
+  EXPECT_DOUBLE_EQ(a.runtime.mean(), b.runtime.mean());
+  EXPECT_DOUBLE_EQ(a.total_idle.mean(), b.total_idle.mean());
+}
+
+}  // namespace
+}  // namespace tint::runtime

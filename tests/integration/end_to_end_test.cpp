@@ -1,0 +1,192 @@
+// End-to-end shape tests on the paper's machine: scaled-down versions of
+// the Section V experiments, asserting the *orderings* the paper reports
+// (not absolute numbers).
+#include <gtest/gtest.h>
+
+#include "runtime/experiment.h"
+#include "runtime/workload.h"
+
+namespace tint::runtime {
+namespace {
+
+using core::MachineConfig;
+using core::Policy;
+
+constexpr double kScale = 0.25;  // keep each run around a second
+
+class EndToEnd : public ::testing::Test {
+ protected:
+  static MachineConfig machine() { return MachineConfig::opteron6128(); }
+};
+
+TEST_F(EndToEnd, LatencyLocalBelowRemote) {
+  // Finding (1) of Section V: local controller accesses are much
+  // cheaper than remote ones.
+  core::Session s(machine());
+  auto& ms = s.memsys();
+  const auto& map = s.mapping();
+  hw::Cycles now = 0;
+  hw::Cycles lat[4] = {};
+  for (unsigned node = 0; node < 4; ++node) {
+    hw::DramCoord c;
+    c.node = node;
+    c.row = 7;
+    now += 100000;
+    lat[node] = ms.access(0, map.compose(c), false, now);
+  }
+  EXPECT_LT(lat[0], lat[1]);  // 1 hop < 2 hops
+  EXPECT_LT(lat[1], lat[2]);  // 2 hops < 3 hops
+  EXPECT_EQ(lat[2], lat[3]);  // both cross-socket
+}
+
+TEST_F(EndToEnd, SyntheticFig10Ordering) {
+  // Fig. 10: MEM/LLC is fastest; MEM and MEM/LLC clearly beat buddy.
+  const auto cfg = make_config(machine().topo, 16, 4);
+  const uint64_t bytes = 4ULL << 20;
+  const auto buddy = run_synthetic(machine(), Policy::kBuddy, cfg.cores,
+                                   bytes, 7);
+  const auto mem = run_synthetic(machine(), Policy::kMem, cfg.cores, bytes, 7);
+  const auto memllc =
+      run_synthetic(machine(), Policy::kMemLlc, cfg.cores, bytes, 7);
+  EXPECT_LT(memllc.cycles, buddy.cycles);
+  EXPECT_LT(mem.cycles, buddy.cycles);
+  EXPECT_LE(memllc.cycles, mem.cycles * 1.10);  // MEM/LLC at least on par
+  // Mechanism: coloring removes remote accesses entirely.
+  EXPECT_GT(buddy.dram_remote_fraction, 0.1);
+  EXPECT_LT(memllc.dram_remote_fraction, 0.02);
+}
+
+TEST_F(EndToEnd, Fig11MemLlcBeatsBuddyAndBpmLoses) {
+  // Fig. 11 at 16_threads_4_nodes for the most memory-bound proxy:
+  // MEM+LLC < buddy < BPM.
+  ExperimentDriver driver(machine(), /*reps=*/1, /*seed=*/42);
+  const auto cfg = make_config(machine().topo, 16, 4);
+  const auto spec = lbm_spec().scaled(kScale);
+  const auto buddy = driver.run(spec, Policy::kBuddy, cfg);
+  const auto bpm = driver.run(spec, Policy::kBpm, cfg);
+  const auto memllc = driver.run(spec, Policy::kMemLlc, cfg);
+  EXPECT_LT(memllc.runtime.mean(), buddy.runtime.mean());
+  EXPECT_GT(bpm.runtime.mean(), buddy.runtime.mean());
+  // BPM's loss comes from remote banks (Section V.B's explanation).
+  EXPECT_GT(bpm.remote_fraction, buddy.remote_fraction);
+  EXPECT_LT(memllc.remote_fraction, 0.05);
+}
+
+TEST_F(EndToEnd, Fig12IdleTimeReduced) {
+  ExperimentDriver driver(machine(), 1, 42);
+  const auto cfg = make_config(machine().topo, 16, 4);
+  const auto spec = lbm_spec().scaled(kScale);
+  const auto buddy = driver.run(spec, Policy::kBuddy, cfg);
+  const auto memllc = driver.run(spec, Policy::kMemLlc, cfg);
+  EXPECT_LT(memllc.total_idle.mean(), buddy.total_idle.mean());
+}
+
+TEST_F(EndToEnd, Fig13ThreadRuntimeSpreadShrinks) {
+  // Fig. 13: the max-min thread runtime spread under buddy is a multiple
+  // of MEM+LLC's.
+  ExperimentDriver driver(machine(), 2, 42);
+  const auto cfg = make_config(machine().topo, 16, 4);
+  const auto spec = lbm_spec().scaled(kScale);
+  const auto buddy = driver.run(spec, Policy::kBuddy, cfg);
+  const auto memllc = driver.run(spec, Policy::kMemLlc, cfg);
+  EXPECT_GT(buddy.busy_spread.mean(), 1.5 * memllc.busy_spread.mean());
+  EXPECT_LT(memllc.max_thread_busy.mean(), buddy.max_thread_busy.mean());
+}
+
+TEST_F(EndToEnd, Fig14MaxThreadIdleShrinks) {
+  ExperimentDriver driver(machine(), 1, 42);
+  const auto cfg = make_config(machine().topo, 16, 4);
+  const auto spec = lbm_spec().scaled(kScale);
+  const auto buddy = driver.run(spec, Policy::kBuddy, cfg);
+  const auto memllc = driver.run(spec, Policy::kMemLlc, cfg);
+  EXPECT_LT(memllc.max_thread_idle.mean(), buddy.max_thread_idle.mean());
+}
+
+TEST_F(EndToEnd, BlackscholesGainsLessThanLbm) {
+  // Section V.B: blackscholes shows the least improvement (input-bound,
+  // master-heavy); lbm the most.
+  ExperimentDriver driver(machine(), 1, 42);
+  const auto cfg = make_config(machine().topo, 16, 4);
+  const auto lbm_b = driver.run(lbm_spec().scaled(kScale), Policy::kBuddy, cfg);
+  const auto lbm_c =
+      driver.run(lbm_spec().scaled(kScale), Policy::kMemLlc, cfg);
+  const auto bs_b =
+      driver.run(blackscholes_spec().scaled(kScale), Policy::kBuddy, cfg);
+  const auto bs_c =
+      driver.run(blackscholes_spec().scaled(kScale), Policy::kMemLlc, cfg);
+  const double lbm_gain = 1.0 - lbm_c.runtime.mean() / lbm_b.runtime.mean();
+  const double bs_gain = 1.0 - bs_c.runtime.mean() / bs_b.runtime.mean();
+  EXPECT_GT(lbm_gain, bs_gain);
+  EXPECT_GT(lbm_gain, 0.1);
+}
+
+TEST_F(EndToEnd, FreqmineFullPartitionOverflowsAndPartWins) {
+  // Section V.B's freqmine anomaly, reproduced on a machine small enough
+  // that the full MEM+LLC partition cannot hold the heap: the colored
+  // pool overflows (fallback pages), while LLC+MEM(part) -- which shares
+  // the node's banks within a group -- fits and wins.
+  MachineConfig mc = machine();
+  mc.topo.dram_bytes_per_node = 256ULL << 20;
+  mc.topo.validate();
+  ExperimentDriver driver(mc, 1, 42);
+  const auto cfg = make_config(mc.topo, 16, 4);
+  const auto spec = freqmine_spec().scaled(0.15);  // ~6 MB/thread heap
+  const auto full = driver.run(spec, Policy::kMemLlc, cfg);
+  const auto part = driver.run(spec, Policy::kLlcMemPart, cfg);
+  EXPECT_GT(full.fallback_fraction, 0.05);
+  EXPECT_LT(part.fallback_fraction, 0.01);
+  EXPECT_LT(part.runtime.mean(), full.runtime.mean());
+}
+
+TEST_F(EndToEnd, GainsPresentAcrossThreadCounts) {
+  // Section V.B reports the largest boost at 16_threads_4_nodes. In this
+  // model the 16-thread gain adds bank/LLC contention relief on top of
+  // the remote-access elimination that already helps at 4 threads, but
+  // the two effects land within noise of each other at a single seed
+  // (the remote fraction of the buddy baseline is thread-count
+  // independent here, see DESIGN.md). We assert that both configurations
+  // improve substantially and that 16 threads is at least in the same
+  // band; the benches report the full trend.
+  ExperimentDriver driver(machine(), 1, 42);
+  const auto spec = lbm_spec().scaled(kScale);
+  const auto c16 = make_config(machine().topo, 16, 4);
+  const auto c4 = make_config(machine().topo, 4, 4);
+  const auto b16 = driver.run(spec, Policy::kBuddy, c16);
+  const auto m16 = driver.run(spec, Policy::kMemLlc, c16);
+  const auto b4 = driver.run(spec, Policy::kBuddy, c4);
+  const auto m4 = driver.run(spec, Policy::kMemLlc, c4);
+  const double gain16 = 1.0 - m16.runtime.mean() / b16.runtime.mean();
+  const double gain4 = 1.0 - m4.runtime.mean() / b4.runtime.mean();
+  EXPECT_GT(gain16, 0.15);
+  EXPECT_GT(gain4, 0.05);
+  EXPECT_GT(gain16, 0.75 * gain4);
+}
+
+TEST_F(EndToEnd, AllocOverheadFrontLoaded) {
+  // Section III.C: colored allocation is expensive while the kernel
+  // still has to traverse the buddy free lists and colorize blocks
+  // (Algorithm 2); "once the colored free list has been populated with
+  // pages, the overhead becomes constant ... even for dynamic
+  // allocations/deallocations assuming they are balanced in size".
+  MachineConfig mc = machine();
+  core::Session s(mc);
+  const os::TaskId t = s.create_task(0);
+  // A restrictive color set so the first pass genuinely has to hunt.
+  s.apply_colors(t, core::ThreadColorPlan{{0, 1}, {0, 1}});
+  const uint64_t pages = 256;
+  const os::VirtAddr a = s.kernel().mmap(t, 0, pages * 4096, 0);
+  hw::Cycles cold = 0;
+  for (uint64_t i = 0; i < pages; ++i)
+    cold += s.kernel().touch(t, a + i * 4096, true).fault_cycles;
+  s.kernel().munmap(t, a, pages * 4096);  // frames go back to color lists
+  const os::VirtAddr b = s.kernel().mmap(t, 0, pages * 4096, 0);
+  hw::Cycles warm = 0;
+  for (uint64_t i = 0; i < pages; ++i)
+    warm += s.kernel().touch(t, b + i * 4096, true).fault_cycles;
+  EXPECT_GT(cold, 2 * warm);
+  // Warm faults are pure fault cost: the lists are already populated.
+  EXPECT_EQ(warm, pages * s.kernel().config().fault_base_cycles);
+}
+
+}  // namespace
+}  // namespace tint::runtime

@@ -1,0 +1,162 @@
+// Property-based checks of the paper's central isolation invariants,
+// swept over policies and thread configurations (parameterized gtest):
+//
+//  P1. Every page a colored task touches matches the task's color sets.
+//  P2. Under private-bank policies, two tasks never share a DRAM bank.
+//  P3. Under private-LLC policies, two tasks never evict each other from
+//      the LLC (no cross-requester evictions).
+//  P4. Under MEM-family policies every page is local to its task's node.
+//  P5. Page accounting: touched = colored + default, fallbacks counted.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "runtime/experiment.h"
+#include "runtime/sim_thread.h"
+#include "runtime/workload.h"
+
+namespace tint::runtime {
+namespace {
+
+using core::Policy;
+
+struct Case {
+  Policy policy;
+  unsigned threads;
+  unsigned nodes;
+};
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  std::string p(core::to_string(info.param.policy));
+  for (auto& ch : p)
+    if (!isalnum(static_cast<unsigned char>(ch))) ch = '_';
+  return p + "_" + std::to_string(info.param.threads) + "t" +
+         std::to_string(info.param.nodes) + "n";
+}
+
+class IsolationProperty : public ::testing::TestWithParam<Case> {
+ protected:
+  // Runs a small mixed workload and returns the session for inspection.
+  struct RunState {
+    std::unique_ptr<core::Session> session;
+    std::vector<os::TaskId> tasks;
+    core::ColorPlan plan;
+  };
+
+  RunState run_small() {
+    auto mc = core::MachineConfig::tiny();
+    mc.seed = 1234;
+    RunState st;
+    st.session = std::make_unique<core::Session>(mc);
+    const ThreadConfig cfg =
+        make_config(mc.topo, GetParam().threads, GetParam().nodes);
+    for (const unsigned c : cfg.cores)
+      st.tasks.push_back(st.session->create_task(c));
+    st.plan = st.session->apply_policy(GetParam().policy, st.tasks);
+
+    ParallelEngine engine(*st.session);
+    std::vector<std::unique_ptr<OpStream>> streams;
+    std::vector<OpStream*> ptrs;
+    std::vector<os::VirtAddr> bases;
+    for (const os::TaskId t : st.tasks)
+      bases.push_back(st.session->heap(t).malloc(96 << 10));
+    for (size_t i = 0; i < st.tasks.size(); ++i) {
+      MixedKernelParams p;
+      p.private_base = bases[i];
+      p.private_bytes = 96 << 10;
+      p.hot_bytes = 16 << 10;
+      p.hot_fraction = 0.4;
+      p.write_fraction = 0.5;
+      p.accesses = 3000;
+      streams.push_back(std::make_unique<MixedKernelStream>(p, 100 + i));
+      ptrs.push_back(streams.back().get());
+    }
+    engine.run_parallel(st.tasks, ptrs, 0);
+    return st;
+  }
+};
+
+TEST_P(IsolationProperty, P1_TouchedPagesMatchTaskColors) {
+  const RunState st = run_small();
+  const auto& pages = st.session->kernel().pages();
+  for (size_t i = 0; i < st.tasks.size(); ++i) {
+    const os::Task& task = st.session->kernel().task(st.tasks[i]);
+    if (!task.using_bank() && !task.using_llc()) continue;
+    for (const os::PageInfo& pi : pages) {
+      if (pi.owner != st.tasks[i] || !pi.colored_alloc) continue;
+      if (task.using_bank()) {
+        EXPECT_TRUE(task.has_mem_color(pi.bank_color));
+      }
+      if (task.using_llc()) {
+        EXPECT_TRUE(task.has_llc_color(pi.llc_color));
+      }
+    }
+  }
+}
+
+TEST_P(IsolationProperty, P2_PrivateBankPoliciesDisjointBanks) {
+  const Policy p = GetParam().policy;
+  if (p != Policy::kMem && p != Policy::kMemLlc && p != Policy::kMemLlcPart &&
+      p != Policy::kBpm)
+    GTEST_SKIP() << "policy does not promise private banks";
+  const RunState st = run_small();
+  const auto& pages = st.session->kernel().pages();
+  std::map<unsigned, std::set<os::TaskId>> bank_users;
+  for (const os::PageInfo& pi : pages)
+    if (pi.owner != os::kNoTask && pi.colored_alloc)
+      bank_users[pi.bank_color].insert(pi.owner);
+  for (const auto& [bank, users] : bank_users)
+    EXPECT_LE(users.size(), 1u) << "bank " << bank << " shared";
+}
+
+TEST_P(IsolationProperty, P3_PrivateLlcPoliciesNoCrossEvictions) {
+  const Policy p = GetParam().policy;
+  if (p != Policy::kLlc && p != Policy::kMemLlc && p != Policy::kLlcMemPart &&
+      p != Policy::kBpm)
+    GTEST_SKIP() << "policy does not promise private LLC colors";
+  const RunState st = run_small();
+  // Fallback pages void the guarantee; this workload must not fall back.
+  for (const os::TaskId t : st.tasks)
+    ASSERT_EQ(st.session->kernel().task(t).alloc_stats().fallback_pages, 0u);
+  EXPECT_EQ(st.session->memsys().llc().stats().cross_requester_evictions, 0u);
+}
+
+TEST_P(IsolationProperty, P4_MemFamilyKeepsPagesLocal) {
+  const Policy p = GetParam().policy;
+  if (p != Policy::kMem && p != Policy::kMemLlc && p != Policy::kMemLlcPart &&
+      p != Policy::kLlcMemPart)
+    GTEST_SKIP() << "policy does not promise controller locality";
+  const RunState st = run_small();
+  for (const os::TaskId t : st.tasks) {
+    const auto& as = st.session->kernel().task(t).alloc_stats();
+    EXPECT_EQ(as.remote_pages, 0u)
+        << "task " << t << " got remote pages under " << core::to_string(p);
+  }
+}
+
+TEST_P(IsolationProperty, P5_PageAccountingConsistent) {
+  const RunState st = run_small();
+  for (const os::TaskId t : st.tasks) {
+    const auto& as = st.session->kernel().task(t).alloc_stats();
+    EXPECT_EQ(as.page_faults, as.colored_pages + as.default_pages);
+    EXPECT_LE(as.fallback_pages, as.default_pages);
+    EXPECT_GT(as.page_faults, 0u);
+  }
+}
+
+std::vector<Case> all_cases() {
+  std::vector<Case> cases;
+  for (const Policy p : core::all_policies()) {
+    cases.push_back({p, 4, 2});
+    cases.push_back({p, 2, 2});
+    cases.push_back({p, 2, 1});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPolicies, IsolationProperty,
+                         ::testing::ValuesIn(all_cases()), case_name);
+
+}  // namespace
+}  // namespace tint::runtime

@@ -1,0 +1,138 @@
+#include "os/color_lists.h"
+
+#include <gtest/gtest.h>
+
+#include "hw/pci_config.h"
+#include "os/buddy.h"
+
+namespace tint::os {
+namespace {
+
+class ColorListsTest : public ::testing::Test {
+ protected:
+  ColorListsTest()
+      : topo_(hw::Topology::tiny()),
+        pci_(hw::PciConfig::program_bios(topo_)),
+        map_(pci_, topo_),
+        pages_(build_page_table_metadata(map_, topo_.total_pages())),
+        buddy_(topo_, pages_),
+        lists_(map_.num_bank_colors(), map_.num_llc_colors(),
+               topo_.total_pages()) {}
+
+  hw::Topology topo_;
+  hw::PciConfig pci_;
+  hw::AddressMapping map_;
+  std::vector<PageInfo> pages_;
+  BuddyAllocator buddy_;
+  ColorLists lists_;
+};
+
+TEST_F(ColorListsTest, InitiallyEmpty) {
+  EXPECT_EQ(lists_.total_parked(), 0u);
+  for (unsigned m = 0; m < lists_.num_bank_colors(); ++m)
+    for (unsigned l = 0; l < lists_.num_llc_colors(); ++l)
+      EXPECT_EQ(lists_.size(m, l), 0u);
+  EXPECT_EQ(lists_.pop(0, 0), kNoPage);
+}
+
+TEST_F(ColorListsTest, CreateColorListScattersByColor) {
+  // Algorithm 2: every page of the block lands on the list matching its
+  // own (bank_color, llc_color).
+  const Pfn head = buddy_.alloc_block(0, 6);  // 64 pages
+  lists_.create_color_list(head, 6, pages_);
+  EXPECT_EQ(lists_.total_parked(), 64u);
+  for (Pfn p = head; p < head + 64; ++p) {
+    EXPECT_EQ(pages_[p].state, PageState::kColorFree);
+    EXPECT_GE(lists_.size(pages_[p].bank_color, pages_[p].llc_color), 1u);
+  }
+}
+
+TEST_F(ColorListsTest, PopReturnsMatchingColor) {
+  const Pfn head = buddy_.alloc_block(0, BuddyAllocator::kMaxOrder);
+  lists_.create_color_list(head, BuddyAllocator::kMaxOrder, pages_);
+  for (unsigned m = 0; m < map_.banks_per_node(); ++m) {
+    for (unsigned l = 0; l < lists_.num_llc_colors(); ++l) {
+      const Pfn p = lists_.pop(m, l);
+      if (p == kNoPage) continue;
+      EXPECT_EQ(pages_[p].bank_color, m);
+      EXPECT_EQ(pages_[p].llc_color, l);
+    }
+  }
+}
+
+TEST_F(ColorListsTest, MaximalBlockCoversEveryNodeCombo) {
+  // A 4 MB aligned block contains every (local bank, LLC) combination of
+  // its node at least once (here: exactly once per 1024/NUM_COMBOS).
+  const Pfn head = buddy_.alloc_block(0, BuddyAllocator::kMaxOrder);
+  lists_.create_color_list(head, BuddyAllocator::kMaxOrder, pages_);
+  unsigned nonempty = 0;
+  for (unsigned m = 0; m < map_.banks_per_node(); ++m)
+    for (unsigned l = 0; l < lists_.num_llc_colors(); ++l)
+      if (lists_.size(m, l) > 0) ++nonempty;
+  EXPECT_EQ(nonempty, map_.banks_per_node() * lists_.num_llc_colors());
+}
+
+TEST_F(ColorListsTest, PopEmptiesAndCounts) {
+  const Pfn head = buddy_.alloc_block(0, 4);  // 16 pages
+  lists_.create_color_list(head, 4, pages_);
+  uint64_t popped = 0;
+  for (unsigned m = 0; m < lists_.num_bank_colors(); ++m)
+    for (unsigned l = 0; l < lists_.num_llc_colors(); ++l)
+      while (lists_.pop(m, l) != kNoPage) ++popped;
+  EXPECT_EQ(popped, 16u);
+  EXPECT_EQ(lists_.total_parked(), 0u);
+}
+
+TEST_F(ColorListsTest, PushReturnsPageToItsList) {
+  const Pfn head = buddy_.alloc_block(0, 0);
+  lists_.create_color_list(head, 0, pages_);
+  const unsigned m = pages_[head].bank_color;
+  const unsigned l = pages_[head].llc_color;
+  const Pfn p = lists_.pop(m, l);
+  ASSERT_EQ(p, head);
+  pages_[p].state = PageState::kAllocated;
+  lists_.push(p, pages_);
+  EXPECT_EQ(lists_.size(m, l), 1u);
+  EXPECT_EQ(pages_[p].state, PageState::kColorFree);
+  EXPECT_EQ(pages_[p].owner, kNoTask);
+  EXPECT_EQ(lists_.pop(m, l), p);
+}
+
+TEST_F(ColorListsTest, LifoOrder) {
+  const Pfn a = buddy_.alloc_block(0, 0);
+  // Find a second page with the same colors: same bank/llc bits repeat
+  // every banks*colors pages within the node.
+  const unsigned stride =
+      map_.banks_per_node() / topo_.channels_per_node /
+      topo_.ranks_per_channel * lists_.num_llc_colors();
+  Pfn b = kNoPage;
+  for (Pfn cand = a + 1; cand < a + 4 * stride + 4; ++cand) {
+    if (pages_[cand].bank_color == pages_[a].bank_color &&
+        pages_[cand].llc_color == pages_[a].llc_color) {
+      b = cand;
+      break;
+    }
+  }
+  ASSERT_NE(b, kNoPage);
+  pages_[a].state = PageState::kAllocated;
+  pages_[b].state = PageState::kAllocated;
+  lists_.push(a, pages_);
+  lists_.push(b, pages_);
+  const unsigned m = pages_[a].bank_color, l = pages_[a].llc_color;
+  EXPECT_EQ(lists_.pop(m, l), b);  // last pushed, first popped
+  EXPECT_EQ(lists_.pop(m, l), a);
+}
+
+TEST_F(ColorListsTest, SizeTracksPerList) {
+  const Pfn head = buddy_.alloc_block(1, BuddyAllocator::kMaxOrder);
+  lists_.create_color_list(head, BuddyAllocator::kMaxOrder, pages_);
+  uint64_t sum = 0;
+  for (unsigned m = 0; m < lists_.num_bank_colors(); ++m)
+    for (unsigned l = 0; l < lists_.num_llc_colors(); ++l)
+      sum += lists_.size(m, l);
+  EXPECT_EQ(sum, 1024u);
+  EXPECT_EQ(lists_.total_parked(), 1024u);
+}
+
+}  // namespace
+}  // namespace tint::os

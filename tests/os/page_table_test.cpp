@@ -1,0 +1,65 @@
+#include "os/page_table.h"
+
+#include <gtest/gtest.h>
+
+namespace tint::os {
+namespace {
+
+TEST(PageTable, VpnOfUsesPageBits) {
+  PageTable pt(12);
+  EXPECT_EQ(pt.vpn_of(0), 0u);
+  EXPECT_EQ(pt.vpn_of(4095), 0u);
+  EXPECT_EQ(pt.vpn_of(4096), 1u);
+  EXPECT_EQ(pt.vpn_of(0x12345678), 0x12345u);
+}
+
+TEST(PageTable, LookupUnmappedIsEmpty) {
+  PageTable pt(12);
+  EXPECT_FALSE(pt.lookup(0x1000).has_value());
+  EXPECT_FALSE(pt.translate(0x1000).has_value());
+}
+
+TEST(PageTable, MapThenTranslatePreservesOffset) {
+  PageTable pt(12);
+  pt.map(/*vpn=*/5, /*pfn=*/77);
+  const auto pa = pt.translate(5 * 4096 + 123);
+  ASSERT_TRUE(pa.has_value());
+  EXPECT_EQ(*pa, 77u * 4096 + 123);
+  EXPECT_EQ(pt.lookup(5 * 4096).value(), 77u);
+}
+
+TEST(PageTable, UnmapReturnsPfn) {
+  PageTable pt(12);
+  pt.map(9, 42);
+  const auto pfn = pt.unmap(9);
+  ASSERT_TRUE(pfn.has_value());
+  EXPECT_EQ(*pfn, 42u);
+  EXPECT_FALSE(pt.translate(9 * 4096).has_value());
+  EXPECT_FALSE(pt.unmap(9).has_value());
+}
+
+TEST(PageTable, MappedPagesCount) {
+  PageTable pt(12);
+  EXPECT_EQ(pt.mapped_pages(), 0u);
+  pt.map(1, 10);
+  pt.map(2, 20);
+  EXPECT_EQ(pt.mapped_pages(), 2u);
+  pt.unmap(1);
+  EXPECT_EQ(pt.mapped_pages(), 1u);
+}
+
+TEST(PageTable, ManyMappingsStable) {
+  PageTable pt(12);
+  for (uint64_t v = 0; v < 10000; ++v) pt.map(v, static_cast<Pfn>(v * 3 + 1));
+  for (uint64_t v = 0; v < 10000; ++v)
+    EXPECT_EQ(pt.lookup(v << 12).value(), v * 3 + 1);
+}
+
+TEST(PageTableDeathTest, DoubleMapAborts) {
+  PageTable pt(12);
+  pt.map(1, 1);
+  EXPECT_DEATH(pt.map(1, 2), "double mapping");
+}
+
+}  // namespace
+}  // namespace tint::os

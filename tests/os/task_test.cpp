@@ -1,0 +1,110 @@
+#include "os/task.h"
+
+#include <gtest/gtest.h>
+
+namespace tint::os {
+namespace {
+
+Task make_task() { return Task(/*id=*/3, /*core=*/5, /*node=*/1, 128, 32); }
+
+TEST(Task, FreshTaskHasNoColoring) {
+  const Task t = make_task();
+  EXPECT_FALSE(t.using_bank());
+  EXPECT_FALSE(t.using_llc());
+  EXPECT_TRUE(t.mem_color_list().empty());
+  EXPECT_TRUE(t.llc_color_list().empty());
+  EXPECT_EQ(t.id(), 3u);
+  EXPECT_EQ(t.core(), 5u);
+  EXPECT_EQ(t.local_node(), 1u);
+}
+
+TEST(Task, SetMemColorRaisesUsingBank) {
+  Task t = make_task();
+  t.set_mem_color(7);
+  EXPECT_TRUE(t.using_bank());
+  EXPECT_FALSE(t.using_llc());
+  EXPECT_TRUE(t.has_mem_color(7));
+  ASSERT_EQ(t.mem_color_list().size(), 1u);
+  EXPECT_EQ(t.mem_color_list()[0], 7u);
+}
+
+TEST(Task, SetLlcColorRaisesUsingLlc) {
+  Task t = make_task();
+  t.set_llc_color(31);
+  EXPECT_TRUE(t.using_llc());
+  EXPECT_FALSE(t.using_bank());
+  EXPECT_TRUE(t.has_llc_color(31));
+}
+
+TEST(Task, MultipleColorsSortedList) {
+  Task t = make_task();
+  t.set_mem_color(9);
+  t.set_mem_color(2);
+  t.set_mem_color(100);
+  ASSERT_EQ(t.mem_color_list().size(), 3u);
+  EXPECT_EQ(t.mem_color_list()[0], 2u);
+  EXPECT_EQ(t.mem_color_list()[1], 9u);
+  EXPECT_EQ(t.mem_color_list()[2], 100u);
+}
+
+TEST(Task, SetSameColorTwiceIsIdempotent) {
+  Task t = make_task();
+  t.set_llc_color(4);
+  t.set_llc_color(4);
+  EXPECT_EQ(t.llc_color_list().size(), 1u);
+}
+
+TEST(Task, ClearColorDropsFlagWhenLastRemoved) {
+  Task t = make_task();
+  t.set_mem_color(1);
+  t.set_mem_color(2);
+  t.clear_mem_color(1);
+  EXPECT_TRUE(t.using_bank());
+  t.clear_mem_color(2);
+  EXPECT_FALSE(t.using_bank());
+  EXPECT_TRUE(t.mem_color_list().empty());
+}
+
+TEST(Task, ClearUnsetColorHarmless) {
+  Task t = make_task();
+  t.set_llc_color(1);
+  t.clear_llc_color(9);
+  EXPECT_TRUE(t.using_llc());
+  EXPECT_EQ(t.llc_color_list().size(), 1u);
+}
+
+TEST(Task, ClearAllColors) {
+  Task t = make_task();
+  t.set_mem_color(1);
+  t.set_llc_color(2);
+  t.clear_all_colors();
+  EXPECT_FALSE(t.using_bank());
+  EXPECT_FALSE(t.using_llc());
+}
+
+TEST(Task, ComboCursorAdvances) {
+  Task t = make_task();
+  const uint64_t a = t.next_combo_cursor();
+  EXPECT_EQ(t.next_combo_cursor(), a + 1);
+  EXPECT_EQ(t.next_combo_cursor(), a + 2);
+}
+
+TEST(Task, ComboCursorPhaseDiffersPerTask) {
+  Task a(0, 0, 0, 128, 32), b(1, 1, 0, 128, 32);
+  EXPECT_NE(a.next_combo_cursor(), b.next_combo_cursor());
+}
+
+TEST(Task, AllocStatsMutable) {
+  Task t = make_task();
+  t.alloc_stats().page_faults = 5;
+  EXPECT_EQ(t.alloc_stats().page_faults, 5u);
+}
+
+TEST(TaskDeathTest, OutOfRangeColorAborts) {
+  Task t = make_task();
+  EXPECT_DEATH(t.set_mem_color(128), "out of range");
+  EXPECT_DEATH(t.set_llc_color(32), "out of range");
+}
+
+}  // namespace
+}  // namespace tint::os

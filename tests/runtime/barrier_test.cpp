@@ -1,0 +1,83 @@
+#include "runtime/barrier.h"
+
+#include <gtest/gtest.h>
+
+namespace tint::runtime {
+namespace {
+
+SectionTiming section(Cycles start, std::vector<Cycles> ends) {
+  SectionTiming s;
+  s.start = start;
+  s.end = std::move(ends);
+  return s;
+}
+
+TEST(SectionTiming, MaxMinAndDuration) {
+  const SectionTiming s = section(100, {150, 200, 180});
+  EXPECT_EQ(s.max_end(), 200u);
+  EXPECT_EQ(s.min_end(), 150u);
+  EXPECT_EQ(s.duration(), 100u);
+}
+
+TEST(SectionTiming, IdlePerAlgorithm3) {
+  // Algorithm 3 line 10: idle[tid] = max - end[tid].
+  const SectionTiming s = section(0, {150, 200, 180});
+  EXPECT_EQ(s.idle(0), 50u);
+  EXPECT_EQ(s.idle(1), 0u);  // last arriver never waits
+  EXPECT_EQ(s.idle(2), 20u);
+}
+
+TEST(SectionTiming, BusyIsEndMinusStart) {
+  const SectionTiming s = section(100, {150, 200});
+  EXPECT_EQ(s.busy(0), 50u);
+  EXPECT_EQ(s.busy(1), 100u);
+}
+
+TEST(BarrierLedger, AccumulatesAcrossSections) {
+  BarrierLedger ledger(2);
+  ledger.add_section(section(0, {100, 150}));
+  ledger.add_section(section(150, {250, 170}));
+  EXPECT_EQ(ledger.sections(), 2u);
+  EXPECT_EQ(ledger.thread_busy(0), 100u + 100u);
+  EXPECT_EQ(ledger.thread_busy(1), 150u + 20u);
+  EXPECT_EQ(ledger.thread_idle(0), 50u + 0u);
+  EXPECT_EQ(ledger.thread_idle(1), 0u + 80u);
+  EXPECT_EQ(ledger.total_idle(), 130u);
+  EXPECT_EQ(ledger.total_parallel_time(), 150u + 100u);
+}
+
+TEST(BarrierLedger, MaxMinQueries) {
+  BarrierLedger ledger(3);
+  ledger.add_section(section(0, {10, 30, 20}));
+  EXPECT_EQ(ledger.max_thread_busy(), 30u);
+  EXPECT_EQ(ledger.min_thread_busy(), 10u);
+  EXPECT_EQ(ledger.max_thread_idle(), 20u);
+}
+
+TEST(BarrierLedger, BalancedSectionHasZeroIdle) {
+  BarrierLedger ledger(4);
+  ledger.add_section(section(10, {110, 110, 110, 110}));
+  EXPECT_EQ(ledger.total_idle(), 0u);
+  EXPECT_EQ(ledger.max_thread_idle(), 0u);
+}
+
+TEST(BarrierLedger, TotalIdleEqualsSumOverThreads) {
+  BarrierLedger ledger(3);
+  ledger.add_section(section(0, {5, 9, 7}));
+  Cycles sum = 0;
+  for (unsigned t = 0; t < 3; ++t) sum += ledger.thread_idle(t);
+  EXPECT_EQ(ledger.total_idle(), sum);
+}
+
+TEST(BarrierLedgerDeathTest, MismatchedWidthAborts) {
+  BarrierLedger ledger(2);
+  EXPECT_DEATH(ledger.add_section(section(0, {1, 2, 3})), "");
+}
+
+TEST(BarrierLedgerDeathTest, EndBeforeStartAborts) {
+  BarrierLedger ledger(1);
+  EXPECT_DEATH(ledger.add_section(section(100, {50})), "");
+}
+
+}  // namespace
+}  // namespace tint::runtime

@@ -1,0 +1,168 @@
+// Edge cases of the parallel engine and workload runner: many threads,
+// degenerate streams, section chaining, and determinism under heavy
+// bank contention.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "runtime/experiment.h"
+#include "runtime/sim_thread.h"
+#include "runtime/workload.h"
+
+namespace tint::runtime {
+namespace {
+
+class CountingStream final : public OpStream {
+ public:
+  CountingStream(os::VirtAddr base, uint64_t n, Cycles compute)
+      : base_(base), n_(n), compute_(compute) {}
+  bool next(Op& op) override {
+    if (i_ >= n_) return false;
+    op.kind = Op::Kind::kAccess;
+    op.va = base_ + (i_ % 32) * 128;
+    op.write = true;
+    op.cycles = compute_;
+    ++i_;
+    return true;
+  }
+
+ private:
+  os::VirtAddr base_;
+  uint64_t n_, i_ = 0;
+  Cycles compute_;
+};
+
+TEST(EngineEdge, SixteenThreadsAllFinish) {
+  core::Session s(core::MachineConfig::opteron6128());
+  std::vector<os::TaskId> tasks;
+  std::vector<std::unique_ptr<OpStream>> streams;
+  std::vector<OpStream*> ptrs;
+  for (unsigned c = 0; c < 16; ++c) {
+    tasks.push_back(s.create_task(c));
+    const os::VirtAddr p = s.heap(tasks.back()).malloc(4096);
+    streams.push_back(std::make_unique<CountingStream>(p, 100 + c * 10, 5));
+    ptrs.push_back(streams.back().get());
+  }
+  ParallelEngine engine(s);
+  const SectionTiming st = engine.run_parallel(tasks, ptrs, 0);
+  ASSERT_EQ(st.end.size(), 16u);
+  for (unsigned i = 0; i < 16; ++i) EXPECT_GT(st.end[i], 0u);
+  // Threads with more work finish later (same per-access cost profile).
+  EXPECT_GT(st.end[15], st.end[0]);
+  EXPECT_EQ(engine.ops_executed(), [&] {
+    uint64_t sum = 0;
+    for (unsigned c = 0; c < 16; ++c) sum += 100 + c * 10;
+    return sum;
+  }());
+}
+
+TEST(EngineEdge, SectionsChainMonotonically) {
+  core::Session s(core::MachineConfig::tiny());
+  const os::TaskId t = s.create_task(0);
+  const os::VirtAddr p = s.heap(t).malloc(4096);
+  ParallelEngine engine(s);
+  Cycles now = 0;
+  const os::TaskId tasks[] = {t};
+  for (int round = 0; round < 5; ++round) {
+    CountingStream cs(p, 50, 10);
+    OpStream* ptr = &cs;
+    const SectionTiming st = engine.run_parallel({tasks, 1}, {&ptr, 1}, now);
+    EXPECT_EQ(st.start, now);
+    EXPECT_GT(st.max_end(), now);
+    now = st.max_end();
+  }
+}
+
+TEST(EngineEdge, MixedEmptyAndBusyStreams) {
+  core::Session s(core::MachineConfig::tiny());
+  const os::TaskId a = s.create_task(0);
+  const os::TaskId b = s.create_task(1);
+  const os::VirtAddr p = s.heap(b).malloc(4096);
+  CountingStream empty(0, 0, 0);
+  CountingStream busy(p, 200, 3);
+  OpStream* ptrs[] = {&empty, &busy};
+  const os::TaskId tasks[] = {a, b};
+  ParallelEngine engine(s);
+  const SectionTiming st = engine.run_parallel({tasks, 2}, {ptrs, 2}, 100);
+  EXPECT_EQ(st.end[0], 100u);     // empty thread arrives immediately
+  EXPECT_GT(st.end[1], 100u);
+  EXPECT_EQ(st.idle(1), 0u);      // last arriver
+  EXPECT_EQ(st.idle(0), st.end[1] - 100);
+}
+
+TEST(EngineEdge, ContendedRunsAreDeterministic) {
+  // 4 threads hammering the same bank: scheduling ties and shared state
+  // must still resolve identically across executions.
+  const auto run_once = [] {
+    core::Session s(core::MachineConfig::tiny());
+    std::vector<os::TaskId> tasks;
+    std::vector<std::unique_ptr<OpStream>> streams;
+    std::vector<OpStream*> ptrs;
+    const os::TaskId t0 = s.create_task(0);
+    const os::VirtAddr shared_page = s.heap(t0).malloc(4096);
+    tasks.push_back(t0);
+    streams.push_back(std::make_unique<CountingStream>(shared_page, 500, 2));
+    ptrs.push_back(streams.back().get());
+    for (unsigned c = 1; c < 4; ++c) {
+      tasks.push_back(s.create_task(c));
+      streams.push_back(
+          std::make_unique<CountingStream>(shared_page, 500, 2));
+      ptrs.push_back(streams.back().get());
+    }
+    ParallelEngine engine(s);
+    return engine.run_parallel(tasks, ptrs, 0).end;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(EngineEdge, RunnerHandlesSingleThread) {
+  WorkloadSpec spec;
+  spec.name = "solo";
+  spec.private_bytes = 64 << 10;
+  spec.rounds = 2;
+  spec.accesses_per_round = 500;
+  spec.compute_per_access = 10;
+  WorkloadRunner runner(core::MachineConfig::tiny());
+  const std::vector<unsigned> cores = {2};
+  const RunResult r = runner.run(spec, core::Policy::kMemLlc, cores, 3);
+  EXPECT_EQ(r.threads, 1u);
+  EXPECT_EQ(r.total_idle, 0u);  // nobody to wait for
+  EXPECT_GT(r.total_runtime, 0u);
+}
+
+TEST(EngineEdge, RunnerWithoutSharedRegion) {
+  WorkloadSpec spec;
+  spec.name = "noshared";
+  spec.private_bytes = 64 << 10;
+  spec.shared_bytes = 0;
+  spec.rounds = 1;
+  spec.accesses_per_round = 300;
+  WorkloadRunner runner(core::MachineConfig::tiny());
+  const std::vector<unsigned> cores = {0, 1};
+  const RunResult r = runner.run(spec, core::Policy::kBuddy, cores, 3);
+  EXPECT_GT(r.pages_touched, 0u);
+}
+
+TEST(EngineEdge, RunnerDistributedSharedFirstTouchSpreadsNodes) {
+  WorkloadSpec spec;
+  spec.name = "dist";
+  spec.private_bytes = 32 << 10;
+  spec.shared_bytes = 512 << 10;
+  spec.shared_first_touch_distributed = true;
+  spec.shared_fraction = 0.2;
+  spec.rounds = 1;
+  spec.accesses_per_round = 500;
+  WorkloadRunner runner(core::MachineConfig::tiny());
+  // 4 threads over both nodes with MEM coloring: the shared region must
+  // land on *both* nodes (slice per toucher), unlike master-touch.
+  const std::vector<unsigned> cores = {0, 1, 2, 3};
+  const RunResult dist = runner.run(spec, core::Policy::kMem, cores, 9);
+  spec.shared_first_touch_distributed = false;
+  const RunResult master = runner.run(spec, core::Policy::kMem, cores, 9);
+  // Distributed touch halves the remote traffic to shared data.
+  EXPECT_LT(dist.dram_remote_fraction, master.dram_remote_fraction + 0.3);
+  EXPECT_GT(master.pages_touched, 0u);
+}
+
+}  // namespace
+}  // namespace tint::runtime

@@ -1,0 +1,114 @@
+#include "runtime/experiment.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace tint::runtime {
+namespace {
+
+TEST(MakeConfig, PaperPinnings) {
+  const hw::Topology topo = hw::Topology::opteron6128();
+  // Section V.B lists the exact core choices.
+  EXPECT_EQ(make_config(topo, 16, 4).cores,
+            (std::vector<unsigned>{0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12,
+                                   13, 14, 15}));
+  EXPECT_EQ(make_config(topo, 8, 4).cores,
+            (std::vector<unsigned>{0, 1, 4, 5, 8, 9, 12, 13}));
+  EXPECT_EQ(make_config(topo, 8, 2).cores,
+            (std::vector<unsigned>{0, 1, 2, 3, 4, 5, 6, 7}));
+  EXPECT_EQ(make_config(topo, 4, 4).cores,
+            (std::vector<unsigned>{0, 4, 8, 12}));
+  EXPECT_EQ(make_config(topo, 4, 1).cores, (std::vector<unsigned>{0, 1, 2, 3}));
+}
+
+TEST(MakeConfig, NamesMatchPaperStyle) {
+  const hw::Topology topo = hw::Topology::opteron6128();
+  EXPECT_EQ(make_config(topo, 16, 4).name, "16_threads_4_nodes");
+  EXPECT_EQ(make_config(topo, 4, 1).name, "4_threads_1_nodes");
+}
+
+TEST(MakeConfig, StandardConfigsAreTheFive) {
+  const auto configs = standard_configs(hw::Topology::opteron6128());
+  ASSERT_EQ(configs.size(), 5u);
+  EXPECT_EQ(configs[0].name, "16_threads_4_nodes");
+  EXPECT_EQ(configs[1].name, "8_threads_4_nodes");
+  EXPECT_EQ(configs[2].name, "8_threads_2_nodes");
+  EXPECT_EQ(configs[3].name, "4_threads_4_nodes");
+  EXPECT_EQ(configs[4].name, "4_threads_1_nodes");
+}
+
+TEST(MakeConfigDeathTest, RejectsUnevenSplit) {
+  const hw::Topology topo = hw::Topology::opteron6128();
+  EXPECT_DEATH(make_config(topo, 6, 4), "evenly");
+}
+
+WorkloadSpec tiny_spec() {
+  WorkloadSpec s;
+  s.name = "tiny";
+  s.private_bytes = 128 << 10;
+  s.shared_bytes = 32 << 10;
+  s.hot_bytes = 16 << 10;
+  s.hot_fraction = 0.4;
+  s.shared_fraction = 0.1;
+  s.compute_per_access = 20;
+  s.rounds = 2;
+  s.accesses_per_round = 1500;
+  return s;
+}
+
+TEST(ExperimentDriver, AggregatesReps) {
+  ExperimentDriver driver(core::MachineConfig::tiny(), /*reps=*/3,
+                          /*base_seed=*/77);
+  const ThreadConfig cfg = make_config(hw::Topology::tiny(), 4, 2);
+  const AggregateResult r = driver.run(tiny_spec(), core::Policy::kBuddy, cfg);
+  EXPECT_EQ(r.runtime.count(), 3u);
+  EXPECT_EQ(r.total_idle.count(), 3u);
+  EXPECT_EQ(r.thread_busy_mean.size(), 4u);
+  EXPECT_GT(r.runtime.mean(), 0.0);
+  EXPECT_GE(r.runtime.max(), r.runtime.min());
+  EXPECT_EQ(r.workload, "tiny");
+  EXPECT_EQ(r.config, "4_threads_2_nodes");
+}
+
+TEST(ExperimentDriver, BuddyVariesAcrossSeedsColoredLess) {
+  // The paper's error bars: buddy placement is random per run while
+  // MEM+LLC placement is deterministic, so buddy's runtime spread across
+  // seeds should exceed MEM+LLC's.
+  ExperimentDriver driver(core::MachineConfig::tiny(), 3, 123);
+  const ThreadConfig cfg = make_config(hw::Topology::tiny(), 4, 2);
+  const auto buddy = driver.run(tiny_spec(), core::Policy::kBuddy, cfg);
+  const auto memllc = driver.run(tiny_spec(), core::Policy::kMemLlc, cfg);
+  EXPECT_GT(buddy.runtime.spread() / buddy.runtime.mean(),
+            memllc.runtime.spread() / memllc.runtime.mean());
+}
+
+TEST(ExperimentDriver, BestOtherPicksMinimum) {
+  ExperimentDriver driver(core::MachineConfig::tiny(), 1, 5);
+  const ThreadConfig cfg = make_config(hw::Topology::tiny(), 4, 2);
+  const BestOther best = best_other_coloring(driver, tiny_spec(), cfg);
+  // Must be one of the four non-headline colorings.
+  const std::set<core::Policy> allowed = {
+      core::Policy::kLlc, core::Policy::kMem, core::Policy::kMemLlcPart,
+      core::Policy::kLlcMemPart};
+  EXPECT_EQ(allowed.count(best.policy), 1u);
+  // And no allowed policy beats it.
+  for (const core::Policy p : allowed) {
+    const auto r = driver.run(tiny_spec(), p, cfg);
+    EXPECT_GE(r.runtime.mean() * 1.0000001, best.result.runtime.mean());
+  }
+}
+
+TEST(ExperimentDriver, DiagnosticsPopulated) {
+  ExperimentDriver driver(core::MachineConfig::tiny(), 1, 5);
+  const ThreadConfig cfg = make_config(hw::Topology::tiny(), 4, 2);
+  const auto r = driver.run(tiny_spec(), core::Policy::kMemLlc, cfg);
+  EXPECT_GE(r.row_hit_rate, 0.0);
+  EXPECT_LE(r.row_hit_rate, 1.0);
+  EXPECT_GE(r.llc_miss_rate, 0.0);
+  EXPECT_LE(r.llc_miss_rate, 1.0);
+  EXPECT_GT(r.avg_access_latency, 0.0);
+}
+
+}  // namespace
+}  // namespace tint::runtime

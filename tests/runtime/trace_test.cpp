@@ -1,0 +1,140 @@
+#include "runtime/trace.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace tint::runtime {
+namespace {
+
+class TraceTest : public ::testing::Test {
+ protected:
+  TraceTest() : session_(core::MachineConfig::tiny()) {}
+
+  core::Session session_;
+};
+
+TEST_F(TraceTest, RecordsCarryTranslationAndColors) {
+  const os::TaskId t = session_.create_task(0);
+  session_.apply_colors(t, core::ThreadColorPlan{{2}, {3}});
+  TraceRecorder rec(session_);
+  const os::VirtAddr p = session_.heap(t).malloc(32 << 10);
+  Cycles now = 0;
+  for (unsigned i = 0; i < 8; ++i)
+    now += rec.access(t, p + i * 4096ULL, i % 2, now);
+  ASSERT_EQ(rec.records().size(), 8u);
+  for (const TraceRecord& r : rec.records()) {
+    EXPECT_EQ(r.task, t);
+    EXPECT_EQ(r.bank_color, 2u);
+    EXPECT_EQ(r.llc_color, 3u);
+    EXPECT_TRUE(r.faulted);  // every page touched once
+    EXPECT_GT(r.latency, 0u);
+  }
+  EXPECT_EQ(rec.records()[1].write, true);
+  EXPECT_EQ(rec.records()[0].write, false);
+}
+
+TEST_F(TraceTest, LatencyMatchesSessionPath) {
+  // A recorded access must cost the same as Session::touch_and_access
+  // on an identical fresh machine.
+  core::Session other(core::MachineConfig::tiny());
+  const os::TaskId t1 = session_.create_task(0);
+  const os::TaskId t2 = other.create_task(0);
+  TraceRecorder rec(session_);
+  const os::VirtAddr p1 = session_.heap(t1).malloc(4096);
+  const os::VirtAddr p2 = other.heap(t2).malloc(4096);
+  const Cycles a = rec.access(t1, p1, true, 0);
+  const Cycles b = other.touch_and_access(t2, p2, true, 0);
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(TraceTest, CapacityBoundsAndDropCount) {
+  const os::TaskId t = session_.create_task(0);
+  TraceRecorder rec(session_, /*capacity=*/4);
+  const os::VirtAddr p = session_.heap(t).malloc(64 << 10);
+  Cycles now = 0;
+  for (unsigned i = 0; i < 10; ++i)
+    now += rec.access(t, p + i * 4096ULL, true, now);
+  EXPECT_EQ(rec.records().size(), 4u);
+  EXPECT_EQ(rec.dropped(), 6u);
+  rec.clear();
+  EXPECT_EQ(rec.records().size(), 0u);
+  EXPECT_EQ(rec.dropped(), 0u);
+}
+
+TEST_F(TraceTest, CsvHasHeaderAndRows) {
+  const os::TaskId t = session_.create_task(0);
+  TraceRecorder rec(session_);
+  const os::VirtAddr p = session_.heap(t).malloc(4096);
+  rec.access(t, p, true, 0);
+  const std::string csv = rec.to_csv();
+  EXPECT_NE(csv.find("va,pa,start,latency"), std::string::npos);
+  EXPECT_EQ(std::count(csv.begin(), csv.end(), '\n'), 2);
+}
+
+TEST_F(TraceTest, AnalysisAggregates) {
+  const os::TaskId t = session_.create_task(0);  // node 0
+  session_.apply_colors(t, core::ThreadColorPlan{{1}, {}});
+  TraceRecorder rec(session_);
+  const os::VirtAddr p = session_.heap(t).malloc(32 << 10);
+  Cycles now = 0;
+  for (unsigned i = 0; i < 8; ++i)
+    now += rec.access(t, p + i * 4096ULL, i < 4, now);
+  const TraceAnalysis a = analyze_trace(rec.records(), session_);
+  EXPECT_EQ(a.latency.count(), 8u);
+  EXPECT_EQ(a.writes, 4u);
+  EXPECT_EQ(a.faults, 8u);
+  EXPECT_EQ(a.accesses_per_node[0], 8u);  // bank color 1 is node 0
+  EXPECT_EQ(a.remote, 0u);
+  EXPECT_EQ(a.accesses_per_bank[1], 8u);
+  EXPECT_DOUBLE_EQ(a.remote_fraction(), 0.0);
+}
+
+TEST_F(TraceTest, ReplayPreservesStreamShape) {
+  const os::TaskId t = session_.create_task(0);
+  TraceRecorder rec(session_);
+  const os::VirtAddr p = session_.heap(t).malloc(16 << 10);
+  Cycles now = 0;
+  for (unsigned i = 0; i < 12; ++i)
+    now += rec.access(t, p + (i % 4) * 4096ULL + i * 8, i % 3 == 0, now);
+
+  // Replay into a different session at a different base.
+  core::Session target(core::MachineConfig::tiny());
+  const os::TaskId t2 = target.create_task(0);
+  const os::VirtAddr q = target.heap(t2).malloc(16 << 10);
+  TraceReplayStream replay(rec.records(), t, p, q);
+  EXPECT_EQ(replay.length(), 12u);
+  Op op;
+  size_t n = 0;
+  while (replay.next(op)) {
+    EXPECT_EQ(op.va - q, rec.records()[n].va - p);
+    EXPECT_EQ(op.write, rec.records()[n].write);
+    ++n;
+  }
+  EXPECT_EQ(n, 12u);
+}
+
+TEST_F(TraceTest, ReplayAcrossPoliciesChangesPlacementNotStream) {
+  // Record under buddy, replay the identical stream under MEM+LLC: the
+  // replay touches the same virtual offsets but lands in colored frames.
+  const os::TaskId t = session_.create_task(0);
+  TraceRecorder rec(session_);
+  const os::VirtAddr p = session_.heap(t).malloc(32 << 10);
+  Cycles now = 0;
+  for (unsigned i = 0; i < 8; ++i)
+    now += rec.access(t, p + i * 4096ULL, true, now);
+
+  core::Session colored(core::MachineConfig::tiny());
+  const os::TaskId tc = colored.create_task(0);
+  std::vector<os::TaskId> tasks = {tc};
+  colored.apply_policy(core::Policy::kMemLlc, tasks);
+  const os::VirtAddr q = colored.heap(tc).malloc(32 << 10);
+  TraceReplayStream replay(rec.records(), t, p, q);
+  ParallelEngine engine(colored);
+  engine.run_serial(tc, replay, 0);
+  const auto& as = colored.kernel().task(tc).alloc_stats();
+  EXPECT_EQ(as.colored_pages, 8u);
+}
+
+}  // namespace
+}  // namespace tint::runtime

@@ -1,0 +1,145 @@
+#include "sim/dram.h"
+
+#include <gtest/gtest.h>
+
+namespace tint::sim {
+namespace {
+
+hw::Timing timing() {
+  hw::Timing t;
+  t.refresh_interval = 0;  // disable unless a test wants it
+  return t;
+}
+
+TEST(Bank, FirstAccessIsRowEmpty) {
+  Bank b;
+  DramStats s;
+  const auto t = timing();
+  EXPECT_EQ(b.access_row(5, 100, t, s), t.row_empty);
+  EXPECT_EQ(s.row_empties, 1u);
+  EXPECT_TRUE(b.row_open());
+  EXPECT_EQ(b.open_row(), 5u);
+}
+
+TEST(Bank, SameRowIsHit) {
+  Bank b;
+  DramStats s;
+  const auto t = timing();
+  b.access_row(5, 100, t, s);
+  EXPECT_EQ(b.access_row(5, 200, t, s), t.row_hit);
+  EXPECT_EQ(s.row_hits, 1u);
+}
+
+TEST(Bank, DifferentRowIsConflict) {
+  Bank b;
+  DramStats s;
+  const auto t = timing();
+  b.access_row(5, 100, t, s);
+  EXPECT_EQ(b.access_row(6, 200, t, s), t.row_conflict);
+  EXPECT_EQ(s.row_conflicts, 1u);
+  EXPECT_EQ(b.open_row(), 6u);
+}
+
+TEST(Bank, InterleavedRowsAllConflict) {
+  // The paper's motivating case (Fig. 8): two tasks ping-pong on one
+  // bank, each evicting the other's row.
+  Bank b;
+  DramStats s;
+  const auto t = timing();
+  b.access_row(1, 0, t, s);
+  for (int i = 1; i <= 10; ++i) b.access_row(i % 2 ? 2 : 1, i * 100, t, s);
+  EXPECT_EQ(s.row_conflicts, 10u);
+  EXPECT_EQ(s.row_hits, 0u);
+}
+
+TEST(Bank, RefreshClosesRow) {
+  Bank b;
+  DramStats s;
+  hw::Timing t = timing();
+  t.refresh_interval = 1000;
+  b.access_row(5, 100, t, s);
+  // Crossing the next refresh epoch closes the open row => row_empty.
+  EXPECT_EQ(b.access_row(5, 1100, t, s), t.row_empty);
+  EXPECT_EQ(s.refresh_closures, 1u);
+}
+
+TEST(Bank, NoRefreshWithinEpoch) {
+  Bank b;
+  DramStats s;
+  hw::Timing t = timing();
+  t.refresh_interval = 100000;
+  b.access_row(5, 100, t, s);
+  EXPECT_EQ(b.access_row(5, 200, t, s), t.row_hit);
+  EXPECT_EQ(s.refresh_closures, 0u);
+}
+
+TEST(Bank, CloseRowForcesActivate) {
+  Bank b;
+  DramStats s;
+  const auto t = timing();
+  b.access_row(5, 100, t, s);
+  b.close_row();
+  EXPECT_EQ(b.access_row(5, 200, t, s), t.row_empty);
+}
+
+TEST(Bank, ReadyAtBookkeeping) {
+  Bank b;
+  EXPECT_EQ(b.ready_at(), 0u);
+  b.set_ready_at(123);
+  EXPECT_EQ(b.ready_at(), 123u);
+}
+
+TEST(BankArray, IndexingDistinctBanks) {
+  BankArray arr(2, 2, 8);
+  EXPECT_EQ(arr.size(), 32u);
+  hw::DramCoord a, b;
+  a.channel = 0;
+  a.rank = 0;
+  a.bank = 0;
+  b.channel = 1;
+  b.rank = 1;
+  b.bank = 7;
+  DramStats s;
+  const auto t = timing();
+  arr.bank(a).access_row(1, 0, t, s);
+  EXPECT_FALSE(arr.bank(b).row_open());  // untouched
+  EXPECT_TRUE(arr.bank(a).row_open());
+}
+
+TEST(BankArray, AllCoordinatesDistinct) {
+  BankArray arr(2, 2, 4);
+  DramStats s;
+  const auto t = timing();
+  // Open a unique row in every bank; verify none clobbers another.
+  unsigned row = 1;
+  for (unsigned ch = 0; ch < 2; ++ch)
+    for (unsigned rk = 0; rk < 2; ++rk)
+      for (unsigned bk = 0; bk < 4; ++bk) {
+        hw::DramCoord c;
+        c.channel = ch;
+        c.rank = rk;
+        c.bank = bk;
+        arr.bank(c).access_row(row++, 0, t, s);
+      }
+  row = 1;
+  for (unsigned ch = 0; ch < 2; ++ch)
+    for (unsigned rk = 0; rk < 2; ++rk)
+      for (unsigned bk = 0; bk < 4; ++bk) {
+        hw::DramCoord c;
+        c.channel = ch;
+        c.rank = rk;
+        c.bank = bk;
+        EXPECT_EQ(arr.bank(c).open_row(), row++);
+      }
+}
+
+TEST(DramStats, RowHitRate) {
+  DramStats s;
+  s.accesses = 10;
+  s.row_hits = 7;
+  EXPECT_DOUBLE_EQ(s.row_hit_rate(), 0.7);
+  EXPECT_DOUBLE_EQ(DramStats{}.row_hit_rate(), 0.0);
+}
+
+}  // namespace
+}  // namespace tint::sim
