@@ -1,0 +1,111 @@
+// Robustness soak bench: allocation churn near capacity with failpoints
+// injecting buddy hiccups at a configurable rate (the benchmark Arg is
+// the fault probability in per-mille). Two questions:
+//   * what does the degradation ladder cost? -- the per-op time and the
+//     ladder-stage counters show how much work moves from the colored
+//     fast path to widening/default/scavenge as faults increase;
+//   * does the kernel stay consistent? -- every iteration ends with a
+//     full check_invariants() walk and the run aborts if frame
+//     accounting is off by a single page.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/tintmalloc.h"
+#include "hw/pci_config.h"
+
+using namespace tint;
+
+namespace {
+
+void BM_PressureSoak(benchmark::State& state) {
+  const double fault_prob =
+      static_cast<double>(state.range(0)) / 1000.0;
+  const auto topo = hw::Topology::tiny();
+  const auto pci = hw::PciConfig::program_bios(topo);
+  const hw::AddressMapping map(pci, topo);
+
+  uint64_t mallocs = 0, failed = 0, fires = 0;
+  uint64_t colored = 0, widened = 0, defaulted = 0, scavenged = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    os::KernelConfig kcfg;
+    if (fault_prob > 0)
+      kcfg.failpoints.emplace_back(os::FailPoint::kBuddyAlloc,
+                                   os::FailSpec::probability(fault_prob));
+    os::Kernel kernel(topo, map, kcfg, /*seed=*/state.range(0) + 1);
+    const os::TaskId t0 = kernel.create_task(0);
+    const os::TaskId t1 = kernel.create_task(2);
+    kernel.mmap(t0, map.make_bank_color(0, 0) | os::SET_MEM_COLOR, 0,
+                os::PROT_COLOR_ALLOC);
+    core::HeapConfig hcfg;
+    hcfg.populate = true;
+    core::TintHeap h0(kernel, t0, hcfg);
+    core::TintHeap h1(kernel, t1, hcfg);
+    state.ResumeTiming();
+
+    // Fill to ~3/4 of the machine, then churn at that level.
+    std::vector<std::pair<core::TintHeap*, os::VirtAddr>> live;
+    const uint64_t target = topo.total_pages() * 3 / 4;
+    uint64_t pages = 0;
+    while (pages < target) {
+      core::TintHeap& h = (pages % 3 == 0) ? h1 : h0;
+      const os::VirtAddr p = h.malloc(4096);
+      ++mallocs;
+      if (p == 0) {
+        ++failed;
+        break;  // ladder dry earlier than expected; stop filling
+      }
+      live.emplace_back(&h, p);
+      ++pages;
+    }
+    for (int i = 0; i < 2000 && !live.empty(); ++i) {
+      auto [h, p] = live[static_cast<size_t>(i * 37) % live.size()];
+      h->free(p);
+      live.erase(live.begin() +
+                 static_cast<long>(static_cast<size_t>(i * 37) % live.size()));
+      const os::VirtAddr q = h->malloc(4096);
+      ++mallocs;
+      if (q == 0)
+        ++failed;
+      else
+        live.emplace_back(h, q);
+    }
+
+    state.PauseTiming();
+    fires += kernel.failpoints().stats(os::FailPoint::kBuddyAlloc).fires;
+    colored += kernel.stats().ladder_colored;
+    widened += kernel.stats().ladder_widened;
+    defaulted += kernel.stats().ladder_default;
+    scavenged += kernel.stats().scavenged_pages;
+    h0.release_all();
+    h1.release_all();
+    const auto rep = kernel.check_invariants();
+    if (!rep.ok) {
+      state.SkipWithError(rep.detail.c_str());
+      return;
+    }
+    if (rep.mapped != 0) {
+      state.SkipWithError("teardown leaked mapped pages");
+      return;
+    }
+    state.ResumeTiming();
+  }
+  const double n = static_cast<double>(mallocs ? mallocs : 1);
+  state.counters["fault_fires"] = static_cast<double>(fires);
+  state.counters["failed_frac"] = static_cast<double>(failed) / n;
+  state.counters["ladder_colored"] = static_cast<double>(colored);
+  state.counters["ladder_widened"] = static_cast<double>(widened);
+  state.counters["ladder_default"] = static_cast<double>(defaulted);
+  state.counters["ladder_scavenged"] = static_cast<double>(scavenged);
+  state.SetItemsProcessed(static_cast<int64_t>(mallocs));
+}
+BENCHMARK(BM_PressureSoak)
+    ->Arg(0)     // no faults: baseline ladder behaviour near capacity
+    ->Arg(10)    // 1% buddy hiccups
+    ->Arg(50)    // 5% buddy hiccups
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

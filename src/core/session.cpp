@@ -57,6 +57,11 @@ TintHeap& Session::heap(os::TaskId task) {
 hw::Cycles Session::touch_and_access(os::TaskId task, os::VirtAddr va,
                                      bool write, hw::Cycles now) {
   const os::Kernel::TouchResult tr = kernel_->touch(task, va, write);
+  // Experiment workloads size themselves to fit memory; a fault the
+  // kernel's degradation ladder cannot serve here is a harness bug, and
+  // timing a pa=0 access would silently corrupt the measurement.
+  TINT_ASSERT_MSG(tr.error == os::AllocError::kOk,
+                  "unserviceable fault during a timed access");
   const unsigned core = kernel_->task(task).core();
   // The fault overhead is charged to the thread's clock but the timed
   // access is issued at `now`: shifting the access into the future would

@@ -20,31 +20,60 @@ int TintHeap::class_of(uint64_t size) {
   return -1;  // large allocation
 }
 
+VirtAddr TintHeap::fail_malloc(os::AllocError why) {
+  last_error_ = why;
+  ++stats_.failed_mallocs;
+  return 0;
+}
+
+bool TintHeap::populate_range(VirtAddr va, uint64_t len, uint64_t stride) {
+  const uint64_t page = kernel_.topology().page_bytes();
+  if (stride == 0) stride = page;
+  for (VirtAddr a = va & ~(page - 1); a < va + len; a += stride) {
+    const auto tr = kernel_.touch(task_, a, /*write=*/true);
+    if (tr.error != os::AllocError::kOk) {
+      last_error_ = tr.error;
+      return false;
+    }
+  }
+  return true;
+}
+
 VirtAddr TintHeap::malloc(uint64_t size) {
   if (size == 0) size = 1;
+  const int cls = class_of(size);
+  VirtAddr va;
+  if (cls < 0) {
+    va = alloc_large(size);
+    if (va == 0) return fail_malloc(last_error_);
+  } else {
+    const uint64_t block = kClasses[cls];
+    auto& fl = free_lists_[static_cast<size_t>(cls)];
+    if (!fl.empty()) {
+      va = fl.back();
+      fl.pop_back();
+    } else {
+      va = carve(block);
+      if (va == 0) return fail_malloc(last_error_);
+    }
+    if (cfg_.populate && !populate_range(va, block)) {
+      // The VA block stays on its free list for a later retry; no frame
+      // was leaked (the partial faults stay mapped in the chunk's VMA).
+      fl.push_back(va);
+      return fail_malloc(last_error_);
+    }
+    block_size_.emplace(va, block);
+  }
   ++stats_.mallocs;
   stats_.bytes_requested += size;
   stats_.bytes_live += size;
-
-  const int cls = class_of(size);
-  if (cls < 0) return alloc_large(size);
-
-  const uint64_t block = kClasses[cls];
-  auto& fl = free_lists_[static_cast<size_t>(cls)];
-  VirtAddr va;
-  if (!fl.empty()) {
-    va = fl.back();
-    fl.pop_back();
-  } else {
-    va = carve(block);
-  }
-  block_size_.emplace(va, block);
+  last_error_ = os::AllocError::kOk;
   return va;
 }
 
 VirtAddr TintHeap::calloc(uint64_t nmemb, uint64_t size) {
-  TINT_ASSERT_MSG(size == 0 || nmemb <= ~uint64_t{0} / size,
-                  "calloc overflow");
+  if (size != 0 && nmemb > ~uint64_t{0} / size)
+    return fail_malloc(os::AllocError::kInvalidArgument);
   return malloc(nmemb * size);
 }
 
@@ -55,7 +84,10 @@ VirtAddr TintHeap::carve(uint64_t size) {
     const uint64_t len =
         kernel_.topology().page_bytes() * cfg_.chunk_pages;
     const VirtAddr base = kernel_.mmap(task_, 0, len, 0);
-    TINT_ASSERT_MSG(base != os::kMmapFailed, "heap chunk mmap failed");
+    if (base == os::kMmapFailed) {
+      last_error_ = kernel_.last_error();
+      return 0;
+    }
     vmas_.emplace_back(base, len);
     ++stats_.chunks_reserved;
     chunk_cursor_ = base;
@@ -67,27 +99,44 @@ VirtAddr TintHeap::carve(uint64_t size) {
 }
 
 VirtAddr TintHeap::alloc_large(uint64_t size) {
-  ++stats_.large_allocs;
   const uint64_t page = kernel_.topology().page_bytes();
   const uint64_t len = (size + page - 1) & ~(page - 1);
   const VirtAddr base = kernel_.mmap(task_, 0, len, 0);
-  TINT_ASSERT_MSG(base != os::kMmapFailed, "large mmap failed");
+  if (base == os::kMmapFailed) {
+    last_error_ = kernel_.last_error();
+    return 0;
+  }
+  if (cfg_.populate && !populate_range(base, len)) {
+    // Unwind the frames the partial population did map.
+    kernel_.munmap(task_, base, len);
+    return 0;
+  }
+  ++stats_.large_allocs;
   vmas_.emplace_back(base, len);
   block_size_.emplace(base, len);
   return base;
 }
 
 VirtAddr TintHeap::malloc_huge(uint64_t size) {
+  if (size == 0) size = 1;
+  const uint64_t len =
+      (size + os::Kernel::kHugeBytes - 1) & ~(os::Kernel::kHugeBytes - 1);
+  const VirtAddr base = kernel_.mmap(task_, 0, len, 0, os::MAP_HUGE_2MB);
+  if (base == os::kMmapFailed) return fail_malloc(kernel_.last_error());
+  if (cfg_.populate &&
+      !populate_range(base, len, os::Kernel::kHugeBytes)) {
+    // Huge-pool exhaustion surfaces here as a 0 return (the paper's
+    // "returns an error"), not an abort; already-mapped blocks unwind.
+    kernel_.munmap(task_, base, len);
+    return fail_malloc(last_error_);
+  }
   ++stats_.mallocs;
   ++stats_.large_allocs;
   stats_.bytes_requested += size;
   stats_.bytes_live += size;
-  const uint64_t len =
-      (size + os::Kernel::kHugeBytes - 1) & ~(os::Kernel::kHugeBytes - 1);
-  const VirtAddr base = kernel_.mmap(task_, 0, len, 0, os::MAP_HUGE_2MB);
-  TINT_ASSERT_MSG(base != os::kMmapFailed, "huge mmap failed");
   vmas_.emplace_back(base, len);
   block_size_.emplace(base, len);
+  last_error_ = os::AllocError::kOk;
   return base;
 }
 
@@ -98,29 +147,33 @@ VirtAddr TintHeap::realloc(VirtAddr ptr, uint64_t size) {
     return 0;
   }
   const auto it = block_size_.find(ptr);
-  TINT_ASSERT_MSG(it != block_size_.end(), "realloc of unknown pointer");
+  if (it == block_size_.end()) {
+    // Unknown pointer: no-op, report instead of aborting.
+    last_error_ = os::AllocError::kInvalidArgument;
+    ++stats_.invalid_frees;
+    return 0;
+  }
   const uint64_t old_size = it->second;
   if (size <= old_size && class_of(size) == class_of(old_size))
     return ptr;  // still fits the same block / class
   const VirtAddr fresh = malloc(size);
+  if (fresh == 0) return 0;  // old block stays valid, like realloc(3)
   free(ptr);  // data copy is a no-op in the simulator
   return fresh;
 }
 
 VirtAddr TintHeap::aligned_alloc(uint64_t alignment, uint64_t size) {
-  TINT_ASSERT_MSG(alignment >= kAlign && (alignment & (alignment - 1)) == 0,
-                  "alignment must be a power of two >= 16");
+  if (alignment < kAlign || (alignment & (alignment - 1)) != 0)
+    return fail_malloc(os::AllocError::kInvalidArgument);
   if (alignment <= kAlign) return malloc(size);
   // Over-allocate and return the aligned address inside the block; the
   // bookkeeping keys on the returned pointer.
-  ++stats_.mallocs;
-  stats_.bytes_requested += size;
-  stats_.bytes_live += size;
   const uint64_t padded = size + alignment;
   const int cls = class_of(padded);
   VirtAddr base;
   if (cls < 0) {
     base = alloc_large(padded);
+    if (base == 0) return fail_malloc(last_error_);
     block_size_.erase(base);  // re-keyed on the aligned pointer below
   } else {
     auto& fl = free_lists_[static_cast<size_t>(cls)];
@@ -129,6 +182,11 @@ VirtAddr TintHeap::aligned_alloc(uint64_t alignment, uint64_t size) {
       fl.pop_back();
     } else {
       base = carve(kClasses[cls]);
+      if (base == 0) return fail_malloc(last_error_);
+    }
+    if (cfg_.populate && !populate_range(base, kClasses[cls])) {
+      fl.push_back(base);
+      return fail_malloc(last_error_);
     }
   }
   const VirtAddr aligned = (base + alignment - 1) & ~(alignment - 1);
@@ -136,12 +194,19 @@ VirtAddr TintHeap::aligned_alloc(uint64_t alignment, uint64_t size) {
   // it to the right size class.
   block_size_.emplace(aligned, cls < 0 ? padded : kClasses[cls]);
   aligned_offset_.emplace(aligned, aligned - base);
+  ++stats_.mallocs;
+  stats_.bytes_requested += size;
+  stats_.bytes_live += size;
+  last_error_ = os::AllocError::kOk;
   return aligned;
 }
 
 uint64_t TintHeap::usable_size(VirtAddr ptr) const {
   const auto it = block_size_.find(ptr);
-  TINT_ASSERT_MSG(it != block_size_.end(), "usable_size of unknown pointer");
+  if (it == block_size_.end()) {
+    last_error_ = os::AllocError::kInvalidArgument;
+    return 0;
+  }
   const auto off = aligned_offset_.find(ptr);
   return it->second - (off == aligned_offset_.end() ? 0 : off->second);
 }
@@ -149,7 +214,14 @@ uint64_t TintHeap::usable_size(VirtAddr ptr) const {
 void TintHeap::free(VirtAddr ptr) {
   if (ptr == 0) return;
   const auto it = block_size_.find(ptr);
-  TINT_ASSERT_MSG(it != block_size_.end(), "free of unknown pointer");
+  if (it == block_size_.end()) {
+    // Double free or foreign pointer: record it and carry on -- the
+    // simulated heap equivalent of glibc's "invalid pointer" abort is a
+    // diagnostic counter, so experiments keep running.
+    last_error_ = os::AllocError::kInvalidArgument;
+    ++stats_.invalid_frees;
+    return;
+  }
   const uint64_t size = it->second;
   block_size_.erase(it);
   ++stats_.frees;

@@ -29,6 +29,13 @@ using os::VirtAddr;
 struct HeapConfig {
   // VMA reservation granularity in pages (VA only; frames fault in).
   unsigned chunk_pages = 256;
+  // Fault every page in at malloc() time (MAP_POPULATE semantics).
+  // Allocation failure then surfaces as malloc() returning 0 with
+  // last_error() set -- after the partially faulted frames are unwound
+  // -- instead of as an error at first touch. The pressure harnesses
+  // use this to exercise the kernel's degradation ladder through the
+  // plain malloc API.
+  bool populate = false;
 };
 
 struct HeapStats {
@@ -38,6 +45,8 @@ struct HeapStats {
   uint64_t bytes_live = 0;
   uint64_t chunks_reserved = 0;
   uint64_t large_allocs = 0;
+  uint64_t failed_mallocs = 0;   // allocations rejected with last_error()
+  uint64_t invalid_frees = 0;    // free/realloc of an unknown pointer
 };
 
 class TintHeap {
@@ -45,7 +54,10 @@ class TintHeap {
   TintHeap(os::Kernel& kernel, os::TaskId task, HeapConfig cfg = {});
 
   // Allocates `size` bytes of simulated heap, 16-byte aligned.
-  // Returns the virtual address (never 0 on success).
+  // Returns the virtual address (never 0 on success). Returns 0 with
+  // last_error() set (errno-style) when the allocation cannot be
+  // served: bad arguments, or -- with HeapConfig::populate -- the
+  // kernel's degradation ladder exhausted.
   VirtAddr malloc(uint64_t size);
   // malloc + the caller intends to zero it; identical placement-wise
   // (the simulator carries no data), provided for API fidelity.
@@ -71,6 +83,9 @@ class TintHeap {
 
   os::TaskId task() const { return task_; }
   const HeapStats& stats() const { return stats_; }
+  // Reason the most recent call returned 0 / was rejected (kOk after a
+  // success) -- the heap-level errno.
+  os::AllocError last_error() const { return last_error_; }
 
   ~TintHeap();
   TintHeap(const TintHeap&) = delete;
@@ -85,11 +100,17 @@ class TintHeap {
 
   VirtAddr alloc_large(uint64_t size);
   VirtAddr carve(uint64_t size);
+  // Records a failed allocation and returns the 0 the caller hands out.
+  VirtAddr fail_malloc(os::AllocError why);
+  // Faults in [va, va+len); false (with last_error_) on ladder failure.
+  bool populate_range(VirtAddr va, uint64_t len, uint64_t stride = 0);
 
   os::Kernel& kernel_;
   os::TaskId task_;
   HeapConfig cfg_;
   HeapStats stats_;
+  // Mutable so const observers (usable_size) can report lookup failures.
+  mutable os::AllocError last_error_ = os::AllocError::kOk;
 
   std::vector<std::vector<VirtAddr>> free_lists_;  // per class
   VirtAddr chunk_cursor_ = 0;

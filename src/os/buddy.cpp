@@ -64,6 +64,7 @@ Pfn BuddyAllocator::pop(unsigned node, unsigned order) {
 
 Pfn BuddyAllocator::alloc_block(unsigned node, unsigned order) {
   TINT_ASSERT(order <= kMaxOrder && node < zone_free_pages_.size());
+  if (fail_ && fail_->should_fail(FailPoint::kBuddyAlloc)) return kNoPage;
   unsigned o = order;
   Pfn pfn = kNoPage;
   for (; o <= kMaxOrder; ++o) {
@@ -84,6 +85,7 @@ Pfn BuddyAllocator::alloc_block(unsigned node, unsigned order) {
 
 std::optional<std::pair<Pfn, unsigned>> BuddyAllocator::pop_any_block(
     unsigned node, unsigned min_order) {
+  if (fail_ && fail_->should_fail(FailPoint::kBuddyAlloc)) return std::nullopt;
   for (unsigned o = min_order; o <= kMaxOrder; ++o) {
     const Pfn pfn = pop(node, o);
     if (pfn != kNoPage) {
@@ -191,6 +193,16 @@ void BuddyAllocator::warm_up(Rng& rng, unsigned episodes, unsigned frag_shift) {
     }
   }
   stats_ = BuddyStats{};  // warm-up traffic is not part of any experiment
+}
+
+std::vector<std::pair<Pfn, unsigned>> BuddyAllocator::snapshot_free_blocks()
+    const {
+  std::vector<std::pair<Pfn, unsigned>> blocks;
+  for (unsigned n = 0; n < num_nodes(); ++n)
+    for (unsigned o = 0; o <= kMaxOrder; ++o)
+      for (Pfn p = list(n, o).head; p != kNoPage; p = next_[p])
+        blocks.emplace_back(p, o);
+  return blocks;
 }
 
 uint64_t BuddyAllocator::total_free_pages() const {

@@ -22,6 +22,7 @@
 
 #include "hw/address_mapping.h"
 #include "hw/topology.h"
+#include "os/failpoints.h"
 #include "os/page.h"
 #include "util/rng.h"
 
@@ -71,6 +72,16 @@ class BuddyAllocator {
   // Pages pinned by warm-up fragmentation (never returned).
   uint64_t reserved_pages() const { return reserved_; }
 
+  // Wires the kernel's fault-injection registry into the allocation
+  // entry points: an armed kBuddyAlloc failpoint makes alloc_block /
+  // pop_any_block report an empty zone. nullptr disables injection.
+  void set_failpoints(FailPoints* fp) { fail_ = fp; }
+
+  // Snapshot of every free block as {head pfn, order}, by walking the
+  // intrusive lists -- the invariant checker cross-checks this against
+  // the per-zone page counters.
+  std::vector<std::pair<Pfn, unsigned>> snapshot_free_blocks() const;
+
   uint64_t free_pages(unsigned node) const { return zone_free_pages_[node]; }
   uint64_t total_free_pages() const;
   unsigned num_nodes() const { return static_cast<unsigned>(zone_free_pages_.size()); }
@@ -105,6 +116,7 @@ class BuddyAllocator {
   std::vector<uint8_t> free_order_;      // order if free head, kNotFree else
   std::vector<uint64_t> zone_free_pages_;
   uint64_t reserved_ = 0;
+  FailPoints* fail_ = nullptr;
   BuddyStats stats_;
 
   static constexpr uint8_t kNotFreeHead = 0xFF;

@@ -48,6 +48,14 @@ Pfn ColorLists::pop_any_in_bank_range(unsigned mem_lo, unsigned mem_hi) {
   return kNoPage;
 }
 
+std::vector<Pfn> ColorLists::snapshot_parked() const {
+  std::vector<Pfn> parked;
+  parked.reserve(total_);
+  for (const Pfn head : heads_)
+    for (Pfn p = head; p != kNoPage; p = next_[p]) parked.push_back(p);
+  return parked;
+}
+
 void ColorLists::push(Pfn pfn, std::vector<PageInfo>& pages) {
   PageInfo& pi = pages[pfn];
   TINT_DASSERT(pi.state != PageState::kColorFree);

@@ -47,6 +47,10 @@ class ColorLists {
   unsigned num_bank_colors() const { return nb_; }
   unsigned num_llc_colors() const { return nl_; }
 
+  // Every parked pfn, by walking the matrix lists -- the invariant
+  // checker cross-checks this against the per-list counters.
+  std::vector<Pfn> snapshot_parked() const;
+
  private:
   size_t idx(unsigned mem_id, unsigned llc_id) const {
     TINT_DASSERT(mem_id < nb_ && llc_id < nl_);

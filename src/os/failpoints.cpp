@@ -1,0 +1,13 @@
+#include "os/failpoints.h"
+
+namespace tint::os {
+
+std::optional<FailPoint> failpoint_from_name(std::string_view name) {
+  for (size_t i = 0; i < static_cast<size_t>(FailPoint::kCount); ++i) {
+    const FailPoint p = static_cast<FailPoint>(i);
+    if (name == to_string(p)) return p;
+  }
+  return std::nullopt;
+}
+
+}  // namespace tint::os

@@ -1,0 +1,135 @@
+// Deterministic fault injection for the allocation stack.
+//
+// A *failpoint* is a named site in the kernel where a fault can be forced
+// on demand: the buddy allocator pretends a zone is empty, a color-list
+// refill fails, the reserved huge pool is unavailable, or a node briefly
+// drops off the fabric. Tests and the pressure harness arm failpoints --
+// from `KernelConfig::failpoints` at boot or through
+// `Kernel::failpoints()` at runtime -- to drive the graceful-degradation
+// ladder (see errors.h) without needing to construct a genuinely
+// exhausted machine first.
+//
+// Triggers are deterministic and seedable: the probabilistic mode draws
+// from its own xoshiro stream, so a given (seed, call sequence) always
+// fires the same way -- the repository-wide reproducibility rule applies
+// to injected faults too.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+#include "util/rng.h"
+
+namespace tint::os {
+
+enum class FailPoint : uint8_t {
+  kBuddyAlloc = 0,  // BuddyAllocator::alloc_block / pop_any_block fails
+  kColorRefill,     // Algorithm 2 refill (create_color_list feed) fails
+  kHugePool,        // reserved 2 MB pool treated as dry for one fault
+  kNodeOffline,     // faulting task's local node unreachable for one alloc
+  kCount,
+};
+
+constexpr const char* to_string(FailPoint p) {
+  switch (p) {
+    case FailPoint::kBuddyAlloc: return "buddy_alloc";
+    case FailPoint::kColorRefill: return "color_refill";
+    case FailPoint::kHugePool: return "huge_pool";
+    case FailPoint::kNodeOffline: return "node_offline";
+    case FailPoint::kCount: break;
+  }
+  return "?";
+}
+
+std::optional<FailPoint> failpoint_from_name(std::string_view name);
+
+// How an armed failpoint decides to fire.
+struct FailSpec {
+  enum class Mode : uint8_t {
+    kOff,          // never fires
+    kAlways,       // fires on every hit
+    kProbability,  // fires with probability `p` per hit (seeded stream)
+    kEveryNth,     // fires on hits n, 2n, 3n, ...
+    kOneShot,      // fires exactly once, on hit number `n` (1-based)
+  };
+
+  Mode mode = Mode::kOff;
+  double p = 0.0;
+  uint64_t n = 0;
+
+  static FailSpec off() { return {}; }
+  static FailSpec always() { return {Mode::kAlways, 0.0, 0}; }
+  static FailSpec probability(double p) { return {Mode::kProbability, p, 0}; }
+  static FailSpec every_nth(uint64_t n) { return {Mode::kEveryNth, 0.0, n}; }
+  static FailSpec one_shot(uint64_t nth_hit = 1) {
+    return {Mode::kOneShot, 0.0, nth_hit};
+  }
+};
+
+struct FailPointStats {
+  uint64_t hits = 0;   // times the site was evaluated while armed or not
+  uint64_t fires = 0;  // times the fault was actually injected
+};
+
+class FailPoints {
+ public:
+  explicit FailPoints(uint64_t seed = 0xfa11fa11ULL) : rng_(seed) {}
+
+  // Arms (or re-arms) a point; resets its hit/fire counters so every-Nth
+  // and one-shot triggers count from "now".
+  void arm(FailPoint p, FailSpec spec) {
+    specs_[index(p)] = spec;
+    stats_[index(p)] = FailPointStats{};
+  }
+  void disarm(FailPoint p) { arm(p, FailSpec::off()); }
+  void disarm_all() {
+    for (auto& s : specs_) s = FailSpec::off();
+    for (auto& s : stats_) s = FailPointStats{};
+  }
+
+  bool armed(FailPoint p) const {
+    return specs_[index(p)].mode != FailSpec::Mode::kOff;
+  }
+  const FailSpec& spec(FailPoint p) const { return specs_[index(p)]; }
+  const FailPointStats& stats(FailPoint p) const { return stats_[index(p)]; }
+
+  // Evaluated at the failpoint site: counts a hit and reports whether the
+  // fault should be injected now.
+  bool should_fail(FailPoint p) {
+    FailSpec& spec = specs_[index(p)];
+    if (spec.mode == FailSpec::Mode::kOff) return false;
+    FailPointStats& st = stats_[index(p)];
+    ++st.hits;
+    bool fire = false;
+    switch (spec.mode) {
+      case FailSpec::Mode::kOff:
+        break;
+      case FailSpec::Mode::kAlways:
+        fire = true;
+        break;
+      case FailSpec::Mode::kProbability:
+        fire = rng_.next_bool(spec.p);
+        break;
+      case FailSpec::Mode::kEveryNth:
+        fire = spec.n > 0 && st.hits % spec.n == 0;
+        break;
+      case FailSpec::Mode::kOneShot:
+        fire = st.hits == spec.n;
+        break;
+    }
+    if (fire) ++st.fires;
+    return fire;
+  }
+
+ private:
+  static constexpr size_t kN = static_cast<size_t>(FailPoint::kCount);
+  static size_t index(FailPoint p) { return static_cast<size_t>(p); }
+
+  Rng rng_;
+  std::array<FailSpec, kN> specs_{};
+  std::array<FailPointStats, kN> stats_{};
+};
+
+}  // namespace tint::os

@@ -10,11 +10,13 @@ Kernel::Kernel(const hw::Topology& topo, const hw::AddressMapping& mapping,
                KernelConfig cfg, uint64_t seed)
     : topo_(topo), mapping_(mapping), cfg_(cfg), rng_(seed),
       pages_(build_page_table_metadata(mapping, topo.total_pages())),
-      page_table_(topo.page_bits) {
+      page_table_(topo.page_bits),
+      fail_(mix64(seed ^ 0xfa11fa11ULL)) {
   buddy_ = std::make_unique<BuddyAllocator>(topo, pages_);
   colors_ = std::make_unique<ColorLists>(mapping.num_bank_colors(),
                                          mapping.num_llc_colors(),
                                          topo.total_pages());
+  node_online_.assign(topo.num_nodes(), 1);
   // Reserve the huge-page pool while the zones are still pristine
   // (hugetlbfs-style boot reservation); warm-up fragmentation would
   // otherwise leave no contiguous 2 MB block behind.
@@ -30,6 +32,15 @@ Kernel::Kernel(const hw::Topology& topo, const hw::AddressMapping& mapping,
       huge_pool_[n].push_back(head);
     }
   buddy_->warm_up(rng_, cfg_.warmup_episodes, cfg_.warmup_frag_shift);
+  // Fault injection arms only after boot: the reservation and warm-up
+  // above are part of the machine model, not of any scenario under test.
+  buddy_->set_failpoints(&fail_);
+  for (const auto& [point, spec] : cfg_.failpoints) fail_.arm(point, spec);
+}
+
+void Kernel::set_node_online(unsigned node, bool online) {
+  TINT_ASSERT(node < node_online_.size());
+  node_online_[node] = online ? 1 : 0;
 }
 
 TaskId Kernel::create_task(unsigned pinned_core) {
@@ -53,31 +64,39 @@ VirtAddr Kernel::mmap(TaskId task_id, uint64_t addr_or_color, uint64_t length,
     const unsigned color = static_cast<unsigned>(addr_or_color & kColorMask);
     switch (op) {
       case SET_MEM_COLOR:
-        if (color >= mapping_.num_bank_colors()) return kMmapFailed;
+        if (color >= mapping_.num_bank_colors())
+          return fail_mmap(AllocError::kInvalidArgument);
         t.set_mem_color(color);
-        return 0;
+        break;
       case CLEAR_MEM_COLOR:
-        if (color >= mapping_.num_bank_colors()) return kMmapFailed;
+        if (color >= mapping_.num_bank_colors())
+          return fail_mmap(AllocError::kInvalidArgument);
         t.clear_mem_color(color);
-        return 0;
+        break;
       case SET_LLC_COLOR:
-        if (color >= mapping_.num_llc_colors()) return kMmapFailed;
+        if (color >= mapping_.num_llc_colors())
+          return fail_mmap(AllocError::kInvalidArgument);
         t.set_llc_color(color);
-        return 0;
+        break;
       case CLEAR_LLC_COLOR:
-        if (color >= mapping_.num_llc_colors()) return kMmapFailed;
+        if (color >= mapping_.num_llc_colors())
+          return fail_mmap(AllocError::kInvalidArgument);
         t.clear_llc_color(color);
-        return 0;
+        break;
       default:
-        return kMmapFailed;
+        return fail_mmap(AllocError::kInvalidArgument);
     }
+    last_error_ = AllocError::kOk;
+    return 0;
   }
 
-  if (length == 0) return kMmapFailed;
-  TINT_ASSERT_MSG(addr_or_color == 0, "fixed mappings are not supported");
+  if (length == 0) return fail_mmap(AllocError::kInvalidArgument);
+  // Fixed mappings are not supported; reject instead of aborting.
+  if (addr_or_color != 0) return fail_mmap(AllocError::kInvalidArgument);
 
   // Reserve a fresh VMA; frames arrive lazily at first touch.
   ++stats_.mmap_calls;
+  last_error_ = AllocError::kOk;
   const bool huge = (flags & MAP_HUGE_2MB) != 0;
   const uint64_t gran = huge ? kHugeBytes : topo_.page_bytes();
   const uint64_t len = (length + gran - 1) & ~(gran - 1);
@@ -88,14 +107,24 @@ VirtAddr Kernel::mmap(TaskId task_id, uint64_t addr_or_color, uint64_t length,
   return base;
 }
 
-void Kernel::munmap(TaskId task_id, VirtAddr base, uint64_t length) {
+bool Kernel::munmap(TaskId task_id, VirtAddr base, uint64_t length) {
   (void)task_id;  // any task of the process may unmap
   ++stats_.munmap_calls;
   const auto it = vmas_.find(base);
-  TINT_ASSERT_MSG(it != vmas_.end(), "munmap of unknown VMA base");
+  if (it == vmas_.end()) {
+    // Unknown base: reject like EINVAL instead of aborting.
+    last_error_ = AllocError::kInvalidArgument;
+    ++stats_.failed_munmaps;
+    return false;
+  }
   const uint64_t gran = it->second.huge ? kHugeBytes : topo_.page_bytes();
   const uint64_t len = (length + gran - 1) & ~(gran - 1);
-  TINT_ASSERT_MSG(len == it->second.length, "partial munmap not supported");
+  if (len != it->second.length) {
+    // Partial unmaps are not supported; reject instead of aborting.
+    last_error_ = AllocError::kInvalidArgument;
+    ++stats_.failed_munmaps;
+    return false;
+  }
   if (it->second.huge) {
     // Free whole 2 MB blocks (all-or-nothing mappings).
     const uint64_t pages_per_huge = kHugeBytes / topo_.page_bytes();
@@ -115,8 +144,19 @@ void Kernel::munmap(TaskId task_id, VirtAddr base, uint64_t length) {
         free_pages(*pfn, 0);
     }
   }
+  // Drop the cached default-path node decisions for the unmapped region
+  // range so the cache stays bounded by the live VMA footprint (and a
+  // future VMA at a reused region index draws afresh).
+  if (cfg_.reuse_region_pages > 0) {
+    const uint64_t first = page_table_.vpn_of(base) / cfg_.reuse_region_pages;
+    const uint64_t last =
+        page_table_.vpn_of(base + len - 1) / cfg_.reuse_region_pages;
+    for (uint64_t r = first; r <= last; ++r) region_node_.erase(r);
+  }
   vmas_.erase(it);
-  for (TlbEntry& te : tlb_) te = TlbEntry{};
+  invalidate_tlb();
+  last_error_ = AllocError::kOk;
+  return true;
 }
 
 Kernel::TouchResult Kernel::touch(TaskId task_id, VirtAddr va, bool write) {
@@ -124,7 +164,7 @@ Kernel::TouchResult Kernel::touch(TaskId task_id, VirtAddr va, bool write) {
   TouchResult res;
   const uint64_t want_vpn = page_table_.vpn_of(va);
   TlbEntry& te = tlb_[want_vpn & (kTlbSize - 1)];
-  if (te.vpn == want_vpn) {
+  if (te.vpn == want_vpn && te.epoch == tlb_epoch_) {
     res.pa = (static_cast<uint64_t>(te.pfn) << topo_.page_bits) |
              (va & (topo_.page_bytes() - 1));
     return res;
@@ -132,11 +172,14 @@ Kernel::TouchResult Kernel::touch(TaskId task_id, VirtAddr va, bool write) {
   if (const auto pa = page_table_.translate(va)) {
     te.vpn = want_vpn;
     te.pfn = static_cast<Pfn>(*pa >> topo_.page_bits);
+    te.epoch = tlb_epoch_;
     res.pa = *pa;
     return res;
   }
 
-  // Page fault. The faulting VA must belong to a VMA.
+  // Page fault. The faulting VA must belong to a VMA; touching unmapped
+  // address space is a genuine segfault (programming error), not a
+  // recoverable condition, so it still aborts.
   auto it = vmas_.upper_bound(va);
   TINT_ASSERT_MSG(it != vmas_.begin(), "fault outside any VMA (segfault)");
   --it;
@@ -147,7 +190,13 @@ Kernel::TouchResult Kernel::touch(TaskId task_id, VirtAddr va, bool write) {
   if (it->second.huge) return fault_huge(t, va, it->first);
   const uint64_t vpn = page_table_.vpn_of(va);
   const AllocOutcome out = alloc_pages(task_id, 0, vpn);
-  TINT_ASSERT_MSG(out.pfn != kNoPage, "out of physical memory");
+  if (out.pfn == kNoPage) {
+    // Ladder exhausted: report instead of aborting (simulated SIGBUS /
+    // mmap error, Section III.B "returns an error").
+    ++t.alloc_stats().failed_allocs;
+    res.error = out.error;
+    return res;
+  }
   page_table_.map(vpn, out.pfn);
   PageInfo& pi = pages_[out.pfn];
   pi.state = PageState::kAllocated;
@@ -157,10 +206,24 @@ Kernel::TouchResult Kernel::touch(TaskId task_id, VirtAddr va, bool write) {
   ++stats_.page_faults;
   TaskAllocStats& as = t.alloc_stats();
   ++as.page_faults;
-  if (out.colored)
-    ++as.colored_pages;
-  else
-    ++as.default_pages;
+  // Ladder accounting. Widened/scavenged pages also count as default
+  // pages, preserving page_faults == colored_pages + default_pages.
+  switch (out.stage) {
+    case AllocStage::kColored:
+      ++as.colored_pages;
+      break;
+    case AllocStage::kWidened:
+      ++as.default_pages;
+      ++as.widened_pages;
+      break;
+    case AllocStage::kScavenged:
+      ++as.default_pages;
+      ++as.scavenged_pages;
+      break;
+    default:
+      ++as.default_pages;
+      break;
+  }
   if (out.fell_back) ++as.fallback_pages;
   as.refill_blocks += out.refill_blocks;
   as.refill_pages += out.refill_pages;
@@ -181,6 +244,11 @@ Kernel::TouchResult Kernel::fault_huge(Task& t, VirtAddr va,
   const uint64_t pages_per_huge = kHugeBytes / topo_.page_bytes();
   const VirtAddr huge_base = vma_base + ((va - vma_base) & ~(kHugeBytes - 1));
 
+  // Transient controller loss injected for just this allocation.
+  transient_offline_ = fail_.should_fail(FailPoint::kNodeOffline)
+                           ? static_cast<int64_t>(t.local_node())
+                           : -1;
+
   // Controller-aware placement: the node of the task's bank colors if it
   // has any, else the default policy's choice.
   unsigned preferred;
@@ -191,19 +259,42 @@ Kernel::TouchResult Kernel::fault_huge(Task& t, VirtAddr va,
   }
   Pfn head = kNoPage;
   const unsigned nn = mapping_.num_nodes();
-  for (unsigned k = 0; k < nn && head == kNoPage; ++k) {
-    auto& pool = huge_pool_[(preferred + k) % nn];
-    if (!pool.empty()) {
-      head = pool.back();
-      pool.pop_back();
+  // An armed kHugePool failpoint makes the boot reservation look empty,
+  // forcing the (usually fruitless) buddy attempt below.
+  if (!fail_.should_fail(FailPoint::kHugePool)) {
+    for (unsigned k = 0; k < nn && head == kNoPage; ++k) {
+      const unsigned node = (preferred + k) % nn;
+      if (!node_usable(node)) {
+        ++stats_.offline_node_skips;
+        continue;
+      }
+      auto& pool = huge_pool_[node];
+      if (!pool.empty()) {
+        head = pool.back();
+        pool.pop_back();
+      }
     }
   }
   // Pool dry: try the buddy directly (succeeds only on unfragmented
   // zones -- real kernels would have to compact here).
-  for (unsigned k = 0; k < nn && head == kNoPage; ++k)
-    head = buddy_->alloc_block((preferred + k) % nn, kHugeOrder);
-  TINT_ASSERT_MSG(head != kNoPage,
-                  "out of huge pages (pool dry and zones fragmented)");
+  for (unsigned k = 0; k < nn && head == kNoPage; ++k) {
+    const unsigned node = (preferred + k) % nn;
+    if (!node_usable(node)) {
+      ++stats_.offline_node_skips;
+      continue;
+    }
+    head = buddy_->alloc_block(node, kHugeOrder);
+  }
+  if (head == kNoPage) {
+    // Pool dry and zones fragmented: report the simulated SIGBUS that a
+    // hugetlbfs mapping takes when its reservation is gone.
+    ++stats_.alloc_failures;
+    ++t.alloc_stats().failed_allocs;
+    last_error_ = AllocError::kHugeExhausted;
+    TouchResult res;
+    res.error = AllocError::kHugeExhausted;
+    return res;
+  }
 
   for (uint64_t i = 0; i < pages_per_huge; ++i) {
     page_table_.map(page_table_.vpn_of(huge_base) + i,
@@ -232,21 +323,117 @@ Kernel::AllocOutcome Kernel::alloc_pages(TaskId task_id, unsigned order,
   Task& t = task(task_id);
   AllocOutcome out;
 
-  // Algorithm 1, line 3: only order-0 requests of coloring tasks take the
-  // colored path; everything else is the stock buddy allocator.
+  // Transient controller loss injected for just this allocation: the
+  // ladder below must route around the task's own node and still serve
+  // (or fail with kNodeOffline when nothing is left).
+  transient_offline_ = fail_.should_fail(FailPoint::kNodeOffline)
+                           ? static_cast<int64_t>(t.local_node())
+                           : -1;
+
+  // Stage 1 -- colored pool (Algorithm 1, line 3: only order-0 requests
+  // of coloring tasks take the colored path).
   if (order == 0 && (t.using_bank() || t.using_llc())) {
     out = alloc_colored(t, vpn_hint);
-    if (out.pfn != kNoPage) return out;
-    if (!cfg_.colored_fallback_to_default) return out;  // error: NULL page
+    if (out.pfn != kNoPage) {
+      out.stage = AllocStage::kColored;
+      ++stats_.ladder_colored;
+      return out;
+    }
+    if (!cfg_.colored_fallback_to_default) {
+      // The paper's strict mode: "no more page of this color" is an
+      // error, not a fallback.
+      out.stage = AllocStage::kFailed;
+      out.error = AllocError::kPoolExhausted;
+      ++stats_.alloc_failures;
+      last_error_ = out.error;
+      return out;
+    }
     const AllocOutcome colored_attempt = out;
     out = AllocOutcome{};
     out.fell_back = true;
     out.refill_blocks = colored_attempt.refill_blocks;
     out.refill_pages = colored_attempt.refill_pages;
+
+    // Stage 2 -- widen: relax the color constraint but keep the node
+    // placement, reclaiming pages parked under other colors on the
+    // task's own nodes.
+    const Pfn widened = widen_from_node_lists(t);
+    if (widened != kNoPage) {
+      out.pfn = widened;
+      out.stage = AllocStage::kWidened;
+      ++stats_.ladder_widened;
+      return out;
+    }
   }
 
-  out.pfn = alloc_default(t, order, vpn_hint);
+  // Stage 3 -- stock buddy path ("normal_buddy_alloc").
+  const unsigned preferred = pick_default_node(t, vpn_hint);
+  const unsigned nn = mapping_.num_nodes();
+  unsigned usable_nodes = 0;
+  for (unsigned k = 0; k < nn; ++k) {
+    const unsigned node = (preferred + k) % nn;
+    if (!node_usable(node)) {
+      ++stats_.offline_node_skips;
+      continue;
+    }
+    ++usable_nodes;
+    const Pfn pfn = buddy_->alloc_block(node, order);
+    if (pfn != kNoPage) {
+      out.pfn = pfn;
+      out.stage = AllocStage::kDefault;
+      ++stats_.ladder_default;
+      return out;
+    }
+  }
+
+  // Stage 4 -- scavenge. Buddy zones are empty, but colorized-but-
+  // unclaimed pages may be stranded in the color lists (Algorithm 2
+  // never returns pages to the buddy): reclaim them for order-0
+  // requests, like the memory-pressure reclaim a real kernel performs.
+  if (order == 0) {
+    const unsigned bpn = mapping_.banks_per_node();
+    for (unsigned k = 0; k < nn; ++k) {
+      const unsigned node = (preferred + k) % nn;
+      if (!node_usable(node)) continue;
+      const Pfn pfn =
+          colors_->pop_any_in_bank_range(node * bpn, (node + 1) * bpn);
+      if (pfn != kNoPage) {
+        ++stats_.scavenged_pages;
+        out.pfn = pfn;
+        out.stage = AllocStage::kScavenged;
+        return out;
+      }
+    }
+  }
+
+  // Stage 5 -- fail, with the reason the caller can act on.
+  out.stage = AllocStage::kFailed;
+  out.error = usable_nodes == 0 ? AllocError::kNodeOffline
+                                : AllocError::kOutOfMemory;
+  ++stats_.alloc_failures;
+  last_error_ = out.error;
   return out;
+}
+
+Pfn Kernel::widen_from_node_lists(const Task& t) {
+  const unsigned bpn = mapping_.banks_per_node();
+  if (t.using_bank()) {
+    // Any parked page on a node the task's bank colors live on.
+    for (const uint16_t m : t.mem_color_list()) {
+      const unsigned node = mapping_.node_of_bank_color(m);
+      if (!node_usable(node)) continue;
+      const Pfn pfn =
+          colors_->pop_any_in_bank_range(node * bpn, (node + 1) * bpn);
+      if (pfn != kNoPage) return pfn;
+    }
+    return kNoPage;
+  }
+  // LLC-only task: widen on the local node only -- alloc_colored already
+  // visited every node for the task's LLC colors, so all that is left to
+  // relax is the LLC constraint itself.
+  const unsigned node = t.local_node();
+  if (!node_usable(node)) return kNoPage;
+  return colors_->pop_any_in_bank_range(node * bpn, (node + 1) * bpn);
 }
 
 Kernel::AllocOutcome Kernel::alloc_colored(Task& t, uint64_t vpn_hint) {
@@ -280,7 +467,11 @@ Kernel::AllocOutcome Kernel::alloc_colored(Task& t, uint64_t vpn_hint) {
     out.colored = true;
   };
   // Algorithm 2 refill from one node; false when the zone is empty.
+  // An armed kColorRefill failpoint makes every refill attempt see a dry
+  // zone, exercising the pool-exhaustion ladder without actually
+  // draining memory.
   const auto refill_from = [&](unsigned node) {
+    if (fail_.should_fail(FailPoint::kColorRefill)) return false;
     const auto blk = buddy_->pop_any_block(node, 0);
     if (!blk) return false;
     colors_->create_color_list(blk->first, blk->second, pages_);
@@ -295,8 +486,16 @@ Kernel::AllocOutcome Kernel::alloc_colored(Task& t, uint64_t vpn_hint) {
     // Combos are iterated bank-fastest with a rotating cursor so that
     // consecutive faults stripe across the task's banks (intra-task bank
     // parallelism, like the hardware's own interleaving would give an
-    // uncolored stream).
-    const std::vector<uint16_t>& mems = t.mem_color_list();
+    // uncolored stream). Banks behind an offline controller are skipped.
+    std::vector<uint16_t> mems;
+    mems.reserve(t.mem_color_list().size());
+    for (const uint16_t m : t.mem_color_list()) {
+      if (node_usable(mapping_.node_of_bank_color(m)))
+        mems.push_back(m);
+      else
+        ++stats_.offline_node_skips;
+    }
+    if (mems.empty()) return out;  // every bank color is unreachable
     const size_t n_mem = mems.size();
     const size_t ncombo = n_mem * n_llc;
     const auto scan = [&]() -> Pfn {
@@ -345,6 +544,10 @@ Kernel::AllocOutcome Kernel::alloc_colored(Task& t, uint64_t vpn_hint) {
   const unsigned nn = mapping_.num_nodes();
   for (unsigned step = 0; step < nn; ++step) {
     const unsigned node = (start_node + step) % nn;
+    if (!node_usable(node)) {
+      ++stats_.offline_node_skips;
+      continue;
+    }
     for (;;) {
       for (size_t k = 0; k < bpn * n_llc; ++k) {
         const size_t i = (cursor + k) % (bpn * n_llc);
@@ -401,33 +604,11 @@ unsigned Kernel::pick_default_node(const Task& t, uint64_t vpn_hint) {
   return chosen;
 }
 
-Pfn Kernel::alloc_default(Task& t, unsigned order, uint64_t vpn_hint) {
-  const unsigned preferred = pick_default_node(t, vpn_hint);
-  const unsigned nn = mapping_.num_nodes();
-  for (unsigned k = 0; k < nn; ++k) {
-    const Pfn pfn = buddy_->alloc_block((preferred + k) % nn, order);
-    if (pfn != kNoPage) return pfn;
-  }
-  // Buddy zones are empty, but colorized-but-unclaimed pages may be
-  // stranded in the color lists (Algorithm 2 never returns pages to the
-  // buddy). Scavenge them for order-0 requests -- the memory-pressure
-  // reclaim a real kernel would perform.
-  if (order == 0) {
-    const unsigned bpn = mapping_.banks_per_node();
-    for (unsigned k = 0; k < nn; ++k) {
-      const unsigned node = (preferred + k) % nn;
-      const Pfn pfn =
-          colors_->pop_any_in_bank_range(node * bpn, (node + 1) * bpn);
-      if (pfn != kNoPage) {
-        ++stats_.scavenged_pages;
-        return pfn;
-      }
-    }
-  }
-  return kNoPage;
-}
-
 void Kernel::free_pages(Pfn pfn, unsigned order) {
+  // The freed frame may sit in the software TLB under whatever virtual
+  // page last mapped it; bump the generation so no stale translation can
+  // resurface once the frame is handed to a new owner.
+  invalidate_tlb();
   PageInfo& pi = pages_[pfn];
   pi.owner = kNoTask;
   if (order == 0 && pi.colored_alloc) {
@@ -437,6 +618,74 @@ void Kernel::free_pages(Pfn pfn, unsigned order) {
   }
   pi.state = PageState::kBuddyFree;
   buddy_->free_block(pfn, order);
+}
+
+Kernel::InvariantReport Kernel::check_invariants(uint64_t expected_loose) const {
+  InvariantReport rep;
+  rep.total = topo_.total_pages();
+  rep.pinned = buddy_->reserved_pages();
+
+  // Walk every pool's actual data structure (not its counters) and mark
+  // which pool claims each frame; a frame claimed twice or a counter
+  // that disagrees with its walk is a corruption.
+  enum : uint8_t { kBuddy = 1, kColor = 2, kMapped = 4, kHuge = 8 };
+  std::vector<uint8_t> claimed(rep.total, 0);
+  const auto claim = [&](Pfn pfn, uint8_t who) {
+    if (claimed[pfn]) ++rep.double_counted;
+    claimed[pfn] |= who;
+  };
+
+  for (const auto& [head, order] : buddy_->snapshot_free_blocks()) {
+    const uint64_t n = uint64_t{1} << order;
+    rep.buddy_free += n;
+    for (uint64_t i = 0; i < n; ++i) claim(head + static_cast<Pfn>(i), kBuddy);
+  }
+  for (const Pfn pfn : colors_->snapshot_parked()) {
+    ++rep.color_parked;
+    claim(pfn, kColor);
+  }
+  for (const auto& [vpn, pfn] : page_table_.mappings()) {
+    ++rep.mapped;
+    claim(pfn, kMapped);
+  }
+  const uint64_t pages_per_huge = kHugeBytes / topo_.page_bytes();
+  for (const auto& pool : huge_pool_)
+    for (const Pfn head : pool) {
+      rep.huge_pool_pages += pages_per_huge;
+      for (uint64_t i = 0; i < pages_per_huge; ++i)
+        claim(head + static_cast<Pfn>(i), kHuge);
+    }
+
+  // Whatever no pool claims is either a warm-up pin or a frame handed
+  // out through the raw alloc_pages API without a mapping ("loose").
+  uint64_t unclaimed = 0;
+  for (const uint8_t c : claimed)
+    if (c == 0) ++unclaimed;
+  rep.loose = unclaimed >= rep.pinned ? unclaimed - rep.pinned : 0;
+
+  const uint64_t accounted = rep.buddy_free + rep.color_parked + rep.mapped +
+                             rep.huge_pool_pages + rep.pinned + rep.loose;
+  rep.ok = true;
+  if (rep.double_counted != 0) {
+    rep.ok = false;
+    rep.detail = "frame present in more than one pool";
+  } else if (unclaimed < rep.pinned) {
+    rep.ok = false;
+    rep.detail = "warm-up pinned frames reappeared in a pool";
+  } else if (accounted != rep.total) {
+    rep.ok = false;
+    rep.detail = "pools do not sum to total frames (leak or corruption)";
+  } else if (rep.loose != expected_loose) {
+    rep.ok = false;
+    rep.detail = "unexpected loose (allocated-but-unmapped) frame count";
+  } else if (rep.buddy_free != buddy_->total_free_pages()) {
+    rep.ok = false;
+    rep.detail = "buddy free-list walk disagrees with zone counters";
+  } else if (rep.color_parked != colors_->total_parked()) {
+    rep.ok = false;
+    rep.detail = "color-list walk disagrees with its counter";
+  }
+  return rep;
 }
 
 }  // namespace tint::os

@@ -24,13 +24,17 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "hw/address_mapping.h"
 #include "hw/topology.h"
 #include "os/buddy.h"
 #include "os/color_lists.h"
+#include "os/errors.h"
+#include "os/failpoints.h"
 #include "os/page.h"
 #include "os/page_table.h"
 #include "os/task.h"
@@ -91,6 +95,10 @@ struct KernelConfig {
   Cycles fault_base_cycles = 1500;
   Cycles refill_block_cycles = 60;  // per buddy block colorized (Algo 2)
   Cycles refill_page_cycles = 4;    // per page scattered into color lists
+  // Failpoints armed at boot (after the huge-pool reservation and buddy
+  // warm-up, so boot itself cannot be failed). More can be armed at
+  // runtime through Kernel::failpoints().
+  std::vector<std::pair<FailPoint, FailSpec>> failpoints;
 };
 
 struct KernelStats {
@@ -101,9 +109,20 @@ struct KernelStats {
   uint64_t page_faults = 0;
   uint64_t refill_blocks = 0;
   uint64_t refill_pages = 0;
-  // Pages reclaimed from the color lists by the default path under
-  // memory pressure (see Kernel::alloc_default).
+  // --- degradation-ladder counters (one per served order-0 request;
+  // see os/errors.h for stage semantics) ---
+  uint64_t ladder_colored = 0;    // served from the task's own combos
+  uint64_t ladder_widened = 0;    // constraint relaxed, node kept
+  uint64_t ladder_default = 0;    // stock buddy path (any order)
+  // Pages reclaimed from the color lists under memory pressure -- the
+  // ladder's last resort before failing.
   uint64_t scavenged_pages = 0;
+  uint64_t alloc_failures = 0;    // requests the exhausted ladder rejected
+  // --- error/robustness bookkeeping ---
+  uint64_t failed_mmaps = 0;          // mmap calls that returned kMmapFailed
+  uint64_t failed_munmaps = 0;        // munmap calls rejected (bad args)
+  uint64_t offline_node_skips = 0;    // allocation loops skipping a node
+  uint64_t tlb_invalidations = 0;     // software-TLB generation bumps
 };
 
 class Kernel {
@@ -124,17 +143,27 @@ class Kernel {
   // --- system calls ---
   // See file comment for the color-control encoding. For length > 0,
   // reserves a fresh VMA (addr_or_color must be 0: no fixed mappings)
-  // and returns its base address.
+  // and returns its base address. Returns kMmapFailed on bad arguments;
+  // last_error() carries the reason.
   VirtAddr mmap(TaskId task, uint64_t addr_or_color, uint64_t length,
                 uint32_t prot, uint32_t flags = 0);
   // Unmaps a VMA previously returned by mmap and frees its frames.
-  void munmap(TaskId task, VirtAddr base, uint64_t length);
+  // Returns false (with last_error() set) on an unknown base or a
+  // partial-length unmap instead of aborting.
+  bool munmap(TaskId task, VirtAddr base, uint64_t length);
+  // Reason for the most recent failed mmap/munmap (kOk after a success).
+  AllocError last_error() const { return last_error_; }
 
   // --- memory access path ---
   struct TouchResult {
     uint64_t pa = 0;
     bool faulted = false;
     Cycles fault_cycles = 0;
+    // kOk on success. kOutOfMemory / kPoolExhausted / kHugeExhausted /
+    // kNodeOffline when the fault could not be served: pa is 0 and no
+    // mapping was created (the simulated SIGBUS). Touching outside any
+    // VMA is a genuine segfault and still aborts.
+    AllocError error = AllocError::kOk;
   };
   // Translates `va`, faulting in a frame on first touch using the
   // *calling* task's policy.
@@ -146,8 +175,10 @@ class Kernel {
   // --- Algorithm 1 (exposed for tests and the allocator bench) ---
   struct AllocOutcome {
     Pfn pfn = kNoPage;
-    bool colored = false;     // served from a color list
-    bool fell_back = false;   // colored request served by default path
+    bool colored = false;     // served from the task's own combos
+    bool fell_back = false;   // colored request served below kColored
+    AllocStage stage = AllocStage::kFailed;  // ladder stage that served it
+    AllocError error = AllocError::kOk;      // set when pfn == kNoPage
     unsigned refill_blocks = 0;
     unsigned refill_pages = 0;
   };
@@ -157,6 +188,38 @@ class Kernel {
   AllocOutcome alloc_pages(TaskId task, unsigned order,
                            uint64_t vpn_hint = ~0ULL);
   void free_pages(Pfn pfn, unsigned order);
+
+  // --- fault injection & node hotplug ---
+  FailPoints& failpoints() { return fail_; }
+  const FailPoints& failpoints() const { return fail_; }
+  // Offlines/onlines a node at runtime: allocation paths skip offline
+  // zones (counted in KernelStats::offline_node_skips); frees to an
+  // offline zone still land in its free lists, ready for re-onlining.
+  void set_node_online(unsigned node, bool online);
+  bool node_online(unsigned node) const {
+    TINT_DASSERT(node < node_online_.size());
+    return node_online_[node] != 0;
+  }
+
+  // --- frame-accounting invariants ---
+  // Cross-checks every frame pool against its counters by walking the
+  // actual lists: buddy free + color-parked + mapped + huge pool +
+  // warm-up pins (+ `expected_loose` frames handed out through the raw
+  // alloc_pages API without being mapped) must equal total frames, and
+  // no frame may appear in two pools at once.
+  struct InvariantReport {
+    bool ok = false;
+    uint64_t total = 0;
+    uint64_t buddy_free = 0;
+    uint64_t color_parked = 0;
+    uint64_t mapped = 0;
+    uint64_t huge_pool_pages = 0;
+    uint64_t pinned = 0;          // warm-up reserved pages
+    uint64_t loose = 0;           // allocated but unmapped frames
+    uint64_t double_counted = 0;  // frames found in more than one pool
+    std::string detail;           // first inconsistency, for diagnostics
+  };
+  InvariantReport check_invariants(uint64_t expected_loose = 0) const;
 
   // --- introspection ---
   BuddyAllocator& buddy() { return *buddy_; }
@@ -169,16 +232,37 @@ class Kernel {
   const KernelConfig& config() const { return cfg_; }
   // Unused blocks remaining in the boot-reserved huge pool.
   uint64_t huge_pool_blocks_free() const;
+  // Cached per-region default-path node decisions currently held; kept
+  // bounded by erasing a VMA's regions on munmap.
+  size_t region_cache_entries() const { return region_node_.size(); }
 
  private:
   // Colored path of Algorithm 1. Returns kNoPage when every candidate
   // color pool and its backing zones are exhausted.
   AllocOutcome alloc_colored(Task& t, uint64_t vpn_hint);
+  // Ladder stage 2: any parked page on the task's own nodes, relaxing
+  // the color constraint but keeping node locality (the in-kernel
+  // analogue of ColorAdvisor's widening advice).
+  Pfn widen_from_node_lists(const Task& t);
   // Huge-page fault: maps an aligned 2 MB block at once (node-aware).
   TouchResult fault_huge(Task& t, VirtAddr va, VirtAddr vma_base);
-  // Default path ("return page from normal_buddy_alloc").
-  Pfn alloc_default(Task& t, unsigned order, uint64_t vpn_hint);
   unsigned pick_default_node(const Task& t, uint64_t vpn_hint);
+  // Online and not transiently failed for the current allocation.
+  bool node_usable(unsigned node) const {
+    return node_online_[node] != 0 &&
+           static_cast<int64_t>(node) != transient_offline_;
+  }
+  // Invalidates the whole software TLB in O(1) via the generation
+  // counter (any frame may have been reclaimed).
+  void invalidate_tlb() {
+    ++tlb_epoch_;
+    ++stats_.tlb_invalidations;
+  }
+  VirtAddr fail_mmap(AllocError why) {
+    last_error_ = why;
+    ++stats_.failed_mmaps;
+    return kMmapFailed;
+  }
 
   hw::Topology topo_;
   const hw::AddressMapping& mapping_;
@@ -198,18 +282,30 @@ class Kernel {
   std::map<VirtAddr, Vma> vmas_;
   VirtAddr va_cursor_ = 0x100000000000ULL;  // heap VA bump pointer
   // Software translation cache in front of the page table (performance
-  // of the simulator only -- the TLB itself is not timed). Flushed on
-  // munmap.
+  // of the simulator only -- the TLB itself is not timed). Entries are
+  // stamped with a generation counter; free_pages/munmap bump the
+  // counter, invalidating every entry in O(1) so a reclaimed frame can
+  // never be returned through a stale translation.
   struct TlbEntry {
     uint64_t vpn = ~0ULL;
     Pfn pfn = kNoPage;
+    uint64_t epoch = 0;
   };
   static constexpr size_t kTlbSize = 4096;  // power of two
   std::vector<TlbEntry> tlb_ = std::vector<TlbEntry>(kTlbSize);
+  uint64_t tlb_epoch_ = 1;  // entries default to epoch 0 == invalid
   // Default-path node decision per virtual region (see KernelConfig).
+  // Entries covering a VMA are erased on munmap so long experiment
+  // sweeps do not grow the map without bound.
   std::unordered_map<uint64_t, unsigned> region_node_;
   // Boot-reserved huge blocks (hugetlbfs-style), one stack per node.
   std::vector<std::vector<Pfn>> huge_pool_;
+  // Node hotplug state (1 = online) and the per-allocation transient
+  // offline node injected by the kNodeOffline failpoint (-1 = none).
+  std::vector<uint8_t> node_online_;
+  int64_t transient_offline_ = -1;
+  FailPoints fail_;
+  AllocError last_error_ = AllocError::kOk;
   KernelStats stats_;
 };
 

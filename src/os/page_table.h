@@ -55,6 +55,9 @@ class PageTable {
 
   size_t mapped_pages() const { return map_.size(); }
 
+  // Read-only view of every live vpn -> pfn mapping (invariant checker).
+  const std::unordered_map<uint64_t, Pfn>& mappings() const { return map_; }
+
  private:
   unsigned page_bits_;
   std::unordered_map<uint64_t, Pfn> map_;

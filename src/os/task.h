@@ -24,6 +24,12 @@ struct TaskAllocStats {
   uint64_t refill_blocks = 0;      // buddy blocks colorized on our behalf
   uint64_t refill_pages = 0;       // pages scattered by those refills
   uint64_t remote_pages = 0;       // pages not on the task's local node
+  // Degradation-ladder detail (see os/errors.h). Widened and scavenged
+  // pages are *also* counted in default_pages/fallback_pages, preserving
+  // the page_faults == colored_pages + default_pages identity.
+  uint64_t widened_pages = 0;      // constraint relaxed, node kept
+  uint64_t scavenged_pages = 0;    // reclaimed stranded colorized frames
+  uint64_t failed_allocs = 0;      // faults the exhausted ladder rejected
 };
 
 class Task {

@@ -16,6 +16,8 @@ Cycles TraceRecorder::access(os::TaskId task, os::VirtAddr va, bool write,
                              Cycles now) {
   // Translate first (possibly faulting) so the record carries the frame.
   const os::Kernel::TouchResult tr = session_.kernel().touch(task, va, write);
+  TINT_ASSERT_MSG(tr.error == os::AllocError::kOk,
+                  "unserviceable fault during a traced access");
   const unsigned core = session_.kernel().task(task).core();
   const Cycles lat = session_.memsys().access(core, tr.pa, write, now);
   const Cycles total = tr.fault_cycles + lat;

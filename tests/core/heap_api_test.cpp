@@ -173,9 +173,10 @@ TEST_F(HeapApiTest, HugeFreeReturnsBlockToPool) {
   EXPECT_EQ(kernel_.page_table().mapped_pages(), 0u);
 }
 
-TEST_F(HeapApiTest, HugePoolExhaustionAborts) {
+TEST_F(HeapApiTest, HugePoolExhaustionReturnsTypedError) {
   // 2 blocks/node x 2 nodes reserved; the 4 KB zones are fragmented by
-  // warm-up, so a fifth huge block cannot be served.
+  // warm-up, so a fifth huge block cannot be served. The fault must
+  // report kHugeExhausted (pa = 0, nothing mapped) instead of aborting.
   std::vector<os::VirtAddr> held;
   for (int i = 0; i < 4; ++i) {
     const os::VirtAddr p = heap_.malloc_huge(2 << 20);
@@ -183,8 +184,18 @@ TEST_F(HeapApiTest, HugePoolExhaustionAborts) {
     held.push_back(p);
   }
   const os::VirtAddr p5 = heap_.malloc_huge(2 << 20);
-  EXPECT_DEATH(kernel_.touch(task_, p5, true), "huge");
+  const uint64_t mapped_before = kernel_.page_table().mapped_pages();
+  const auto tr = kernel_.touch(task_, p5, true);
+  EXPECT_EQ(tr.error, os::AllocError::kHugeExhausted);
+  EXPECT_EQ(tr.pa, 0u);
+  EXPECT_FALSE(tr.faulted);
+  EXPECT_EQ(kernel_.page_table().mapped_pages(), mapped_before);
+  EXPECT_EQ(kernel_.stats().alloc_failures, 1u);
+  EXPECT_EQ(kernel_.task(task_).alloc_stats().failed_allocs, 1u);
   for (const os::VirtAddr p : held) heap_.free(p);
+  // With the blocks back in the pool the same mapping now succeeds.
+  EXPECT_EQ(kernel_.touch(task_, p5, true).error, os::AllocError::kOk);
+  heap_.free(p5);
 }
 
 TEST_F(HeapApiTest, HugeSingleFaultCheaperThanFivehundredSmall) {

@@ -170,14 +170,43 @@ TEST_F(TintHeapTest, ManySizesStressNoCorruption) {
   EXPECT_EQ(unique.size(), live.size());
 }
 
-TEST_F(TintHeapTest, DoubleFreeDies) {
+TEST_F(TintHeapTest, DoubleFreeIsRejectedNotFatal) {
   const os::VirtAddr a = heap_.malloc(64);
   heap_.free(a);
-  EXPECT_DEATH(heap_.free(a), "unknown pointer");
+  const uint64_t frees_before = heap_.stats().frees;
+  heap_.free(a);  // must not abort and must not double-count
+  EXPECT_EQ(heap_.last_error(), os::AllocError::kInvalidArgument);
+  EXPECT_EQ(heap_.stats().invalid_frees, 1u);
+  EXPECT_EQ(heap_.stats().frees, frees_before);
 }
 
-TEST_F(TintHeapTest, FreeForeignPointerDies) {
-  EXPECT_DEATH(heap_.free(0x12345670), "unknown pointer");
+TEST_F(TintHeapTest, FreeForeignPointerIsRejectedNotFatal) {
+  heap_.free(0x12345670);
+  EXPECT_EQ(heap_.last_error(), os::AllocError::kInvalidArgument);
+  EXPECT_EQ(heap_.stats().invalid_frees, 1u);
+}
+
+TEST_F(TintHeapTest, ReallocUnknownPointerIsRejected) {
+  EXPECT_EQ(heap_.realloc(0xdead0000, 128), 0u);
+  EXPECT_EQ(heap_.last_error(), os::AllocError::kInvalidArgument);
+}
+
+TEST_F(TintHeapTest, CallocOverflowIsRejected) {
+  EXPECT_EQ(heap_.calloc(~uint64_t{0} / 2, 16), 0u);
+  EXPECT_EQ(heap_.last_error(), os::AllocError::kInvalidArgument);
+  EXPECT_EQ(heap_.stats().failed_mallocs, 1u);
+}
+
+TEST_F(TintHeapTest, AlignedAllocBadAlignmentIsRejected) {
+  EXPECT_EQ(heap_.aligned_alloc(24, 64), 0u);  // not a power of two
+  EXPECT_EQ(heap_.last_error(), os::AllocError::kInvalidArgument);
+  EXPECT_EQ(heap_.aligned_alloc(8, 64), 0u);  // below the minimum
+  EXPECT_EQ(heap_.last_error(), os::AllocError::kInvalidArgument);
+}
+
+TEST_F(TintHeapTest, UsableSizeUnknownPointerReturnsZero) {
+  EXPECT_EQ(heap_.usable_size(0xdead0000), 0u);
+  EXPECT_EQ(heap_.last_error(), os::AllocError::kInvalidArgument);
 }
 
 }  // namespace

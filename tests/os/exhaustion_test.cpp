@@ -1,0 +1,342 @@
+// Exhaustion and degradation-ladder behaviour of the kernel allocator:
+// every recoverable out-of-memory condition must surface as a typed
+// error (os/errors.h), the ladder stages must engage in order, and the
+// frame-accounting invariants must hold before, during, and after.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hw/pci_config.h"
+#include "os/kernel.h"
+
+namespace tint::os {
+namespace {
+
+class ExhaustionTest : public ::testing::Test {
+ protected:
+  ExhaustionTest()
+      : topo_(hw::Topology::tiny()),
+        pci_(hw::PciConfig::program_bios(topo_)),
+        map_(pci_, topo_) {}
+
+  Kernel make_kernel(KernelConfig cfg = {}, uint64_t seed = 42) {
+    return Kernel(topo_, map_, cfg, seed);
+  }
+
+  // Gives `task` one bank color on `node` via the mmap protocol.
+  void color_on_node(Kernel& k, TaskId task, unsigned node) {
+    const unsigned c = map_.make_bank_color(node, 0);
+    ASSERT_NE(k.mmap(task, c | SET_MEM_COLOR, 0, PROT_COLOR_ALLOC),
+              kMmapFailed);
+  }
+
+  hw::Topology topo_;
+  hw::PciConfig pci_;
+  hw::AddressMapping map_;
+};
+
+TEST_F(ExhaustionTest, BootStateSatisfiesInvariants) {
+  KernelConfig cfg;
+  cfg.huge_pool_blocks_per_node = 2;
+  Kernel k = make_kernel(cfg);
+  const auto rep = k.check_invariants();
+  EXPECT_TRUE(rep.ok) << rep.detail;
+  EXPECT_EQ(rep.total, topo_.total_pages());
+  EXPECT_GT(rep.huge_pool_pages, 0u);
+  EXPECT_GT(rep.pinned, 0u);  // warm-up fragmentation pins
+  EXPECT_EQ(rep.mapped, 0u);
+  EXPECT_EQ(rep.loose, 0u);
+}
+
+TEST_F(ExhaustionTest, BuddyExhaustionReturnsOutOfMemory) {
+  Kernel k = make_kernel();
+  const TaskId t = k.create_task(0);
+  const uint64_t free_before = k.buddy().total_free_pages();
+  std::vector<Pfn> held;
+  for (;;) {
+    const auto out = k.alloc_pages(t, 0);
+    if (out.pfn == kNoPage) {
+      EXPECT_EQ(out.error, AllocError::kOutOfMemory);
+      EXPECT_EQ(out.stage, AllocStage::kFailed);
+      break;
+    }
+    held.push_back(out.pfn);
+    ASSERT_LT(held.size(), topo_.total_pages() + 1);  // runaway guard
+  }
+  EXPECT_EQ(held.size(), free_before);  // every free frame was served
+  EXPECT_GE(k.stats().alloc_failures, 1u);
+  EXPECT_EQ(k.last_error(), AllocError::kOutOfMemory);
+
+  // Mid-pressure the books must still balance, with the held frames
+  // reported as loose (allocated through the raw API, never mapped).
+  const auto mid = k.check_invariants(/*expected_loose=*/held.size());
+  EXPECT_TRUE(mid.ok) << mid.detail;
+  EXPECT_EQ(mid.loose, held.size());
+
+  for (const Pfn p : held) k.free_pages(p, 0);
+  EXPECT_EQ(k.buddy().total_free_pages(), free_before);  // zero leaks
+  const auto after = k.check_invariants();
+  EXPECT_TRUE(after.ok) << after.detail;
+}
+
+TEST_F(ExhaustionTest, ColoredRequestWithAllZonesEmptyReportsPoolExhausted) {
+  // Strict mode (no fallback): once an uncolored hog has drained every
+  // zone, a colored request must fail with kPoolExhausted -- Algorithm 2
+  // has nothing left to refill from.
+  KernelConfig cfg;
+  cfg.colored_fallback_to_default = false;
+  Kernel k = make_kernel(cfg);
+  const TaskId hog = k.create_task(0);
+  std::vector<Pfn> held;
+  for (;;) {
+    const auto out = k.alloc_pages(hog, 0);
+    if (out.pfn == kNoPage) break;
+    held.push_back(out.pfn);
+  }
+  const TaskId colored = k.create_task(2);
+  color_on_node(k, colored, topo_.node_of_core(2));
+  const auto out = k.alloc_pages(colored, 0);
+  EXPECT_EQ(out.pfn, kNoPage);
+  EXPECT_EQ(out.error, AllocError::kPoolExhausted);
+  EXPECT_EQ(out.colored, false);
+  for (const Pfn p : held) k.free_pages(p, 0);
+}
+
+TEST_F(ExhaustionTest, RefillFailpointFallsBackWhenAllowed) {
+  // An injected refill failure looks like "all zones empty" to the
+  // colored path; with fallback enabled the request is served below
+  // kColored and marked fell_back.
+  Kernel k = make_kernel();
+  const TaskId t = k.create_task(0);
+  color_on_node(k, t, 0);
+  k.failpoints().arm(FailPoint::kColorRefill, FailSpec::always());
+  const auto out = k.alloc_pages(t, 0);
+  ASSERT_NE(out.pfn, kNoPage);
+  EXPECT_TRUE(out.fell_back);
+  EXPECT_FALSE(out.colored);
+  EXPECT_NE(out.stage, AllocStage::kColored);
+  EXPECT_GT(k.failpoints().stats(FailPoint::kColorRefill).fires, 0u);
+  k.free_pages(out.pfn, 0);
+}
+
+TEST_F(ExhaustionTest, RefillFailpointIsErrorWhenFallbackDisabled) {
+  KernelConfig cfg;
+  cfg.colored_fallback_to_default = false;
+  cfg.failpoints.emplace_back(FailPoint::kColorRefill, FailSpec::always());
+  Kernel k = make_kernel(cfg);
+  const TaskId t = k.create_task(0);
+  color_on_node(k, t, 0);
+  const auto out = k.alloc_pages(t, 0);
+  EXPECT_EQ(out.pfn, kNoPage);
+  EXPECT_EQ(out.error, AllocError::kPoolExhausted);
+}
+
+TEST_F(ExhaustionTest, HugePoolExhaustionReturnsTypedError) {
+  KernelConfig cfg;
+  cfg.huge_pool_blocks_per_node = 1;  // 2 blocks machine-wide
+  Kernel k = make_kernel(cfg);
+  const TaskId t = k.create_task(0);
+  const VirtAddr base =
+      k.mmap(t, 0, 3 * Kernel::kHugeBytes, 0, MAP_HUGE_2MB);
+  ASSERT_NE(base, kMmapFailed);
+  EXPECT_EQ(k.touch(t, base, true).error, AllocError::kOk);
+  EXPECT_EQ(k.touch(t, base + Kernel::kHugeBytes, true).error,
+            AllocError::kOk);
+  // Third block: pool dry and the warmed-up zones hold no order-9 run.
+  const auto tr = k.touch(t, base + 2 * Kernel::kHugeBytes, true);
+  EXPECT_EQ(tr.error, AllocError::kHugeExhausted);
+  EXPECT_EQ(tr.pa, 0u);
+  EXPECT_EQ(k.stats().alloc_failures, 1u);
+  EXPECT_EQ(k.task(t).alloc_stats().failed_allocs, 1u);
+  const auto rep = k.check_invariants();
+  EXPECT_TRUE(rep.ok) << rep.detail;
+}
+
+TEST_F(ExhaustionTest, HugePoolFailpointForcesExhaustionWithFullPool) {
+  KernelConfig cfg;
+  cfg.huge_pool_blocks_per_node = 2;
+  cfg.failpoints.emplace_back(FailPoint::kHugePool, FailSpec::always());
+  Kernel k = make_kernel(cfg);
+  const TaskId t = k.create_task(0);
+  const VirtAddr base = k.mmap(t, 0, Kernel::kHugeBytes, 0, MAP_HUGE_2MB);
+  const auto tr = k.touch(t, base, true);
+  EXPECT_EQ(tr.error, AllocError::kHugeExhausted);
+  EXPECT_EQ(k.huge_pool_blocks_free(), 4u);  // the pool was never touched
+}
+
+TEST_F(ExhaustionTest, LadderEngagesInOrderUnderRealPressure) {
+  // Drive a colored task through the whole ladder with page faults:
+  // colored -> widened -> default -> scavenged -> failed, watching the
+  // per-stage counters engage in that order.
+  Kernel k = make_kernel();
+  const TaskId a = k.create_task(0);                    // node 0
+  const TaskId b = k.create_task(2);                    // node 1
+  color_on_node(k, a, 0);
+  color_on_node(k, b, 1);
+
+  // b seeds node 1's color lists: its refills scatter whole buddy blocks
+  // across the matrix, parking pages b never claims.
+  const uint64_t page = topo_.page_bytes();
+  const VirtAddr vb = k.mmap(b, 0, 64 * page, 0);
+  for (unsigned i = 0; i < 64; ++i)
+    ASSERT_EQ(k.touch(b, vb + i * page, true).error, AllocError::kOk);
+
+  // a faults until the machine is exhausted.
+  const VirtAddr va = k.mmap(a, 0, 2 * topo_.total_pages() * page, 0);
+  ASSERT_NE(va, kMmapFailed);
+  uint64_t first_widened = 0, first_default = 0, first_scavenged = 0;
+  uint64_t i = 0;
+  AllocError final_error = AllocError::kOk;
+  for (;; ++i) {
+    const auto tr = k.touch(a, va + i * page, true);
+    if (tr.error != AllocError::kOk) {
+      final_error = tr.error;
+      break;
+    }
+    const KernelStats& s = k.stats();
+    if (!first_widened && s.ladder_widened) first_widened = i + 1;
+    if (!first_default && s.ladder_default) first_default = i + 1;
+    if (!first_scavenged && s.scavenged_pages) first_scavenged = i + 1;
+    ASSERT_LT(i, topo_.total_pages() + 1);  // runaway guard
+  }
+  EXPECT_EQ(final_error, AllocError::kOutOfMemory);
+
+  // Every stage served pages, and they engaged in ladder order.
+  const KernelStats& s = k.stats();
+  EXPECT_GT(s.ladder_colored, 0u);
+  EXPECT_GT(s.ladder_widened, 0u);
+  EXPECT_GT(s.ladder_default, 0u);
+  EXPECT_GT(s.scavenged_pages, 0u);
+  EXPECT_GT(first_widened, 0u);
+  EXPECT_GT(first_default, first_widened);
+  EXPECT_GT(first_scavenged, first_default);
+
+  // Per-task accounting identities survive the whole ladder.
+  const TaskAllocStats& as = k.task(a).alloc_stats();
+  EXPECT_EQ(as.page_faults, as.colored_pages + as.default_pages);
+  EXPECT_LE(as.fallback_pages, as.default_pages);
+  EXPECT_GT(as.widened_pages, 0u);
+  EXPECT_GT(as.scavenged_pages, 0u);
+  EXPECT_LE(as.widened_pages + as.scavenged_pages, as.default_pages);
+  EXPECT_EQ(as.failed_allocs, 1u);
+
+  // Exhausted means exhausted: no free frame anywhere reachable.
+  EXPECT_EQ(k.buddy().total_free_pages(), 0u);
+  EXPECT_EQ(k.color_lists().total_parked(), 0u);
+  const auto rep = k.check_invariants();
+  EXPECT_TRUE(rep.ok) << rep.detail;
+  EXPECT_EQ(rep.loose, 0u);
+}
+
+TEST_F(ExhaustionTest, OfflineNodeIsSkippedAndComesBack) {
+  KernelConfig cfg;
+  cfg.reuse_probability = 0.0;  // deterministic local placement
+  Kernel k = make_kernel(cfg);
+  const TaskId t = k.create_task(0);  // node 0
+  k.set_node_online(0, false);
+  EXPECT_FALSE(k.node_online(0));
+  const auto out = k.alloc_pages(t, 0);
+  ASSERT_NE(out.pfn, kNoPage);
+  EXPECT_EQ(k.pages()[out.pfn].node, 1u);  // routed around the dead node
+  EXPECT_GT(k.stats().offline_node_skips, 0u);
+  k.free_pages(out.pfn, 0);
+
+  k.set_node_online(0, true);
+  const auto back = k.alloc_pages(t, 0);
+  ASSERT_NE(back.pfn, kNoPage);
+  EXPECT_EQ(k.pages()[back.pfn].node, 0u);  // local again
+  k.free_pages(back.pfn, 0);
+}
+
+TEST_F(ExhaustionTest, AllNodesOfflineReportsNodeOffline) {
+  Kernel k = make_kernel();
+  const TaskId t = k.create_task(0);
+  k.set_node_online(0, false);
+  k.set_node_online(1, false);
+  const auto out = k.alloc_pages(t, 0);
+  EXPECT_EQ(out.pfn, kNoPage);
+  EXPECT_EQ(out.error, AllocError::kNodeOffline);
+  EXPECT_EQ(k.last_error(), AllocError::kNodeOffline);
+}
+
+TEST_F(ExhaustionTest, NodeOfflineFailpointDivertsOneAllocation) {
+  KernelConfig cfg;
+  cfg.reuse_probability = 0.0;
+  Kernel k = make_kernel(cfg);
+  const TaskId t = k.create_task(0);
+  k.failpoints().arm(FailPoint::kNodeOffline, FailSpec::one_shot(1));
+  const auto diverted = k.alloc_pages(t, 0);
+  ASSERT_NE(diverted.pfn, kNoPage);
+  EXPECT_EQ(k.pages()[diverted.pfn].node, 1u);  // transient loss of node 0
+  const auto normal = k.alloc_pages(t, 0);
+  ASSERT_NE(normal.pfn, kNoPage);
+  EXPECT_EQ(k.pages()[normal.pfn].node, 0u);    // back to local
+  k.free_pages(diverted.pfn, 0);
+  k.free_pages(normal.pfn, 0);
+}
+
+TEST_F(ExhaustionTest, TlbGenerationInvalidatesOnFreeAndUnmap) {
+  Kernel k = make_kernel();
+  const TaskId t = k.create_task(0);
+  const uint64_t page = topo_.page_bytes();
+  const VirtAddr base = k.mmap(t, 0, 4 * page, 0);
+  const auto r1 = k.touch(t, base, true);
+  ASSERT_TRUE(r1.faulted);
+  // TLB hit path: same translation, no new fault.
+  const auto r2 = k.touch(t, base + 8, false);
+  EXPECT_FALSE(r2.faulted);
+  EXPECT_EQ(r2.pa, r1.pa + 8);
+
+  const uint64_t inv_before = k.stats().tlb_invalidations;
+  // Reclaiming any frame bumps the generation so no stale entry can
+  // survive the frame's reuse...
+  const auto loose = k.alloc_pages(t, 0);
+  ASSERT_NE(loose.pfn, kNoPage);
+  k.free_pages(loose.pfn, 0);
+  EXPECT_GT(k.stats().tlb_invalidations, inv_before);
+  // ...and a post-bump touch re-translates correctly from the page table.
+  const auto r3 = k.touch(t, base + 16, false);
+  EXPECT_FALSE(r3.faulted);
+  EXPECT_EQ(r3.pa, r1.pa + 16);
+
+  const uint64_t inv_mid = k.stats().tlb_invalidations;
+  EXPECT_TRUE(k.munmap(t, base, 4 * page));
+  EXPECT_GT(k.stats().tlb_invalidations, inv_mid);
+}
+
+TEST_F(ExhaustionTest, MunmapBadArgsRejectedNotFatal) {
+  Kernel k = make_kernel();
+  const TaskId t = k.create_task(0);
+  const uint64_t page = topo_.page_bytes();
+  const VirtAddr base = k.mmap(t, 0, 4 * page, 0);
+  EXPECT_FALSE(k.munmap(t, base + page, page));  // not a VMA base
+  EXPECT_EQ(k.last_error(), AllocError::kInvalidArgument);
+  EXPECT_FALSE(k.munmap(t, base, page));         // partial unmap
+  EXPECT_EQ(k.last_error(), AllocError::kInvalidArgument);
+  EXPECT_EQ(k.stats().failed_munmaps, 2u);
+  EXPECT_TRUE(k.munmap(t, base, 4 * page));      // full unmap still fine
+  EXPECT_EQ(k.last_error(), AllocError::kOk);
+}
+
+TEST_F(ExhaustionTest, RegionCacheIsBoundedByLiveVmas) {
+  // Repeated map/fault/unmap cycles must not grow the default-path
+  // region cache without bound.
+  KernelConfig cfg;
+  cfg.reuse_probability = 1.0;  // every region caches a decision
+  Kernel k = make_kernel(cfg);
+  const TaskId t = k.create_task(0);
+  const uint64_t page = topo_.page_bytes();
+  const uint64_t len = cfg.reuse_region_pages * 4 * page;
+  for (int round = 0; round < 50; ++round) {
+    const VirtAddr base = k.mmap(t, 0, len, 0);
+    ASSERT_NE(base, kMmapFailed);
+    for (uint64_t off = 0; off < len; off += cfg.reuse_region_pages * page)
+      ASSERT_EQ(k.touch(t, base + off, true).error, AllocError::kOk);
+    EXPECT_GT(k.region_cache_entries(), 0u);
+    ASSERT_TRUE(k.munmap(t, base, len));
+    EXPECT_EQ(k.region_cache_entries(), 0u) << "round " << round;
+  }
+}
+
+}  // namespace
+}  // namespace tint::os

@@ -1,0 +1,168 @@
+#include "os/failpoints.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "hw/pci_config.h"
+#include "os/kernel.h"
+
+namespace tint::os {
+namespace {
+
+// --- FailPoints registry in isolation ---
+
+TEST(FailSpecTest, OffNeverFires) {
+  FailPoints fp;
+  for (int i = 0; i < 100; ++i)
+    EXPECT_FALSE(fp.should_fail(FailPoint::kBuddyAlloc));
+  // An unarmed site does not even count hits.
+  EXPECT_EQ(fp.stats(FailPoint::kBuddyAlloc).hits, 0u);
+  EXPECT_EQ(fp.stats(FailPoint::kBuddyAlloc).fires, 0u);
+}
+
+TEST(FailSpecTest, AlwaysFiresEveryHit) {
+  FailPoints fp;
+  fp.arm(FailPoint::kColorRefill, FailSpec::always());
+  for (int i = 0; i < 10; ++i)
+    EXPECT_TRUE(fp.should_fail(FailPoint::kColorRefill));
+  EXPECT_EQ(fp.stats(FailPoint::kColorRefill).hits, 10u);
+  EXPECT_EQ(fp.stats(FailPoint::kColorRefill).fires, 10u);
+}
+
+TEST(FailSpecTest, EveryNthFiresOnMultiples) {
+  FailPoints fp;
+  fp.arm(FailPoint::kBuddyAlloc, FailSpec::every_nth(3));
+  std::vector<int> fired;
+  for (int i = 1; i <= 9; ++i)
+    if (fp.should_fail(FailPoint::kBuddyAlloc)) fired.push_back(i);
+  EXPECT_EQ(fired, (std::vector<int>{3, 6, 9}));
+}
+
+TEST(FailSpecTest, OneShotFiresExactlyOnce) {
+  FailPoints fp;
+  fp.arm(FailPoint::kHugePool, FailSpec::one_shot(4));
+  int fires = 0, fired_at = 0;
+  for (int i = 1; i <= 20; ++i)
+    if (fp.should_fail(FailPoint::kHugePool)) {
+      ++fires;
+      fired_at = i;
+    }
+  EXPECT_EQ(fires, 1);
+  EXPECT_EQ(fired_at, 4);
+}
+
+TEST(FailSpecTest, ProbabilityIsDeterministicPerSeed) {
+  const auto run = [](uint64_t seed) {
+    FailPoints fp(seed);
+    fp.arm(FailPoint::kNodeOffline, FailSpec::probability(0.3));
+    std::vector<bool> fires;
+    for (int i = 0; i < 200; ++i)
+      fires.push_back(fp.should_fail(FailPoint::kNodeOffline));
+    return fires;
+  };
+  EXPECT_EQ(run(7), run(7));        // same seed, same firing pattern
+  EXPECT_NE(run(7), run(8));        // different seed, different pattern
+  const auto fires = run(7);
+  const auto n = std::count(fires.begin(), fires.end(), true);
+  EXPECT_GT(n, 200 * 0.3 / 3);      // roughly the requested rate
+  EXPECT_LT(n, 200 * 0.3 * 3);
+}
+
+TEST(FailSpecTest, RearmResetsCounters) {
+  FailPoints fp;
+  fp.arm(FailPoint::kBuddyAlloc, FailSpec::every_nth(2));
+  fp.should_fail(FailPoint::kBuddyAlloc);
+  EXPECT_TRUE(fp.should_fail(FailPoint::kBuddyAlloc));
+  fp.arm(FailPoint::kBuddyAlloc, FailSpec::every_nth(2));
+  EXPECT_EQ(fp.stats(FailPoint::kBuddyAlloc).hits, 0u);
+  EXPECT_FALSE(fp.should_fail(FailPoint::kBuddyAlloc));  // counting restarts
+}
+
+TEST(FailSpecTest, DisarmStopsFiring) {
+  FailPoints fp;
+  fp.arm(FailPoint::kColorRefill, FailSpec::always());
+  EXPECT_TRUE(fp.should_fail(FailPoint::kColorRefill));
+  fp.disarm(FailPoint::kColorRefill);
+  EXPECT_FALSE(fp.armed(FailPoint::kColorRefill));
+  EXPECT_FALSE(fp.should_fail(FailPoint::kColorRefill));
+  fp.arm(FailPoint::kColorRefill, FailSpec::always());
+  fp.arm(FailPoint::kBuddyAlloc, FailSpec::always());
+  fp.disarm_all();
+  EXPECT_FALSE(fp.should_fail(FailPoint::kColorRefill));
+  EXPECT_FALSE(fp.should_fail(FailPoint::kBuddyAlloc));
+}
+
+TEST(FailSpecTest, NameRoundTrip) {
+  for (unsigned i = 0; i < static_cast<unsigned>(FailPoint::kCount); ++i) {
+    const FailPoint p = static_cast<FailPoint>(i);
+    const auto back = failpoint_from_name(to_string(p));
+    ASSERT_TRUE(back.has_value()) << to_string(p);
+    EXPECT_EQ(*back, p);
+  }
+  EXPECT_FALSE(failpoint_from_name("no_such_point").has_value());
+  EXPECT_FALSE(failpoint_from_name("").has_value());
+}
+
+// --- failpoints wired through the kernel ---
+
+class KernelFailpointTest : public ::testing::Test {
+ protected:
+  KernelFailpointTest()
+      : topo_(hw::Topology::tiny()),
+        pci_(hw::PciConfig::program_bios(topo_)),
+        map_(pci_, topo_) {}
+
+  hw::Topology topo_;
+  hw::PciConfig pci_;
+  hw::AddressMapping map_;
+};
+
+TEST_F(KernelFailpointTest, ConfigArmsAtBootButNotDuringBoot) {
+  // Boot itself (huge-pool reservation + warm-up) allocates thousands of
+  // blocks; arming kBuddyAlloc via the config must not fail boot, only
+  // post-boot allocations.
+  KernelConfig cfg;
+  cfg.failpoints.emplace_back(FailPoint::kBuddyAlloc, FailSpec::always());
+  Kernel k(topo_, map_, cfg);
+  EXPECT_TRUE(k.failpoints().armed(FailPoint::kBuddyAlloc));
+  EXPECT_EQ(k.failpoints().stats(FailPoint::kBuddyAlloc).fires, 0u);
+
+  const TaskId t = k.create_task(0);
+  const auto out = k.alloc_pages(t, 0);
+  EXPECT_EQ(out.pfn, kNoPage);
+  EXPECT_GT(k.failpoints().stats(FailPoint::kBuddyAlloc).fires, 0u);
+}
+
+TEST_F(KernelFailpointTest, RuntimeArmAndDisarm) {
+  Kernel k(topo_, map_, {});
+  const TaskId t = k.create_task(0);
+  k.failpoints().arm(FailPoint::kBuddyAlloc, FailSpec::always());
+  auto out = k.alloc_pages(t, 0);
+  EXPECT_EQ(out.pfn, kNoPage);
+  EXPECT_EQ(out.error, AllocError::kOutOfMemory);
+  k.failpoints().disarm(FailPoint::kBuddyAlloc);
+  out = k.alloc_pages(t, 0);
+  ASSERT_NE(out.pfn, kNoPage);
+  k.free_pages(out.pfn, 0);
+}
+
+TEST_F(KernelFailpointTest, EveryNthBuddyFailureIsTransparentlyAbsorbed) {
+  // A buddy hiccup on every 5th allocation: order-0 requests still all
+  // succeed because the ladder retries other zones / scavenges.
+  Kernel k(topo_, map_, {});
+  const TaskId t = k.create_task(0);
+  k.failpoints().arm(FailPoint::kBuddyAlloc, FailSpec::every_nth(5));
+  std::vector<Pfn> got;
+  for (int i = 0; i < 200; ++i) {
+    const auto out = k.alloc_pages(t, 0);
+    ASSERT_NE(out.pfn, kNoPage) << "alloc " << i;
+    got.push_back(out.pfn);
+  }
+  EXPECT_GT(k.failpoints().stats(FailPoint::kBuddyAlloc).fires, 0u);
+  for (const Pfn p : got) k.free_pages(p, 0);
+}
+
+}  // namespace
+}  // namespace tint::os
