@@ -1,0 +1,159 @@
+// Multi-threaded allocation throughput of the locked kernel path:
+// real std::threads hammer mmap/touch/munmap (and the raw colored
+// alloc/free API) on one shared kernel, sweeping 1..32 threads with and
+// without coloring.
+//
+// Reported counters:
+//   * ops/sec (items_per_second) -- one op = one page faulted or freed,
+//   * ladder stage mix (colored/widened/default/scavenged per op) --
+//     under contention threads steal refilled pages from each other's
+//     combos, so the stage mix is itself a contention signal,
+//   * fault_races_lost/op -- how often two threads collided on a page.
+//
+// Thread counts beyond the host's cores still measure something real:
+// lock hand-off under oversubscription, which is exactly the regime a
+// CI container exposes.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/session.h"
+#include "util/rng.h"
+
+using namespace tint;
+
+namespace {
+
+core::MachineConfig machine() {
+  auto mc = core::MachineConfig::opteron6128();
+  // Enough DRAM that 32 threads never exhaust a node, small enough that
+  // kernel construction stays cheap.
+  mc.topo.dram_bytes_per_node = 256ULL << 20;
+  return mc;
+}
+
+// Shared per-benchmark state: one kernel + one pre-created task per
+// bench thread. Benchmark threads only synchronize at the state loop's
+// entry/exit barriers, so code before and after the loop races across
+// threads -- setup is first-arrival-wins under a mutex, and teardown
+// waits until every thread has checked in.
+struct Shared {
+  std::unique_ptr<core::Session> session;
+  std::vector<os::TaskId> tasks;
+};
+Shared g;
+std::mutex g_mu;
+std::atomic<int> g_done{0};
+
+void setup(benchmark::State& state, bool colored) {
+  std::lock_guard<std::mutex> lk(g_mu);
+  if (g.session) return;  // another thread already built this run's state
+  g.session = std::make_unique<core::Session>(machine());
+  g.tasks.clear();
+  const unsigned ncores = g.session->topology().num_cores();
+  const unsigned nb = g.session->mapping().num_bank_colors();
+  const unsigned nl = g.session->mapping().num_llc_colors();
+  for (int t = 0; t < state.threads(); ++t) {
+    const os::TaskId id =
+        g.session->create_task(static_cast<unsigned>(t) % ncores);
+    if (colored) {
+      // Two banks + one LLC color per thread, disjoint where possible --
+      // the paper's per-thread partitioning, scaled to the thread count.
+      const unsigned b0 = (2 * t) % nb;
+      core::ThreadColorPlan plan{{static_cast<uint16_t>(b0),
+                                  static_cast<uint16_t>((b0 + 1) % nb)},
+                                 {static_cast<uint8_t>(t % nl)}};
+      g.session->apply_colors(id, plan);
+    }
+    g.tasks.push_back(id);
+  }
+}
+
+void report(benchmark::State& state, uint64_t thread_ops) {
+  state.SetItemsProcessed(static_cast<int64_t>(thread_ops));
+  g_done.fetch_add(1, std::memory_order_acq_rel);
+  if (state.thread_index() != 0) return;
+  // Wait for every thread's post-loop cleanup before tearing down.
+  while (g_done.load(std::memory_order_acquire) < state.threads())
+    std::this_thread::yield();
+  const auto s = g.session->kernel().stats().snapshot();
+  const double served =
+      static_cast<double>(s.ladder_colored + s.ladder_widened +
+                          s.ladder_default + s.scavenged_pages);
+  if (served > 0) {
+    state.counters["colored_frac"] =
+        static_cast<double>(s.ladder_colored) / served;
+    state.counters["widened_frac"] =
+        static_cast<double>(s.ladder_widened) / served;
+    state.counters["default_frac"] =
+        static_cast<double>(s.ladder_default) / served;
+    state.counters["scavenged_frac"] =
+        static_cast<double>(s.scavenged_pages) / served;
+    state.counters["races_lost_frac"] =
+        static_cast<double>(s.fault_races_lost) / served;
+  }
+  g.session.reset();
+  g_done.store(0, std::memory_order_release);
+}
+
+// Full VMA lifecycle: mmap a small region, fault every page, munmap.
+// The dominant costs are the mm lock (shared fault vs exclusive
+// mmap/munmap) and the buddy zone locks.
+void BM_VmaChurn(benchmark::State& state, bool colored) {
+  setup(state, colored);
+  os::Kernel& k = g.session->kernel();
+  const os::TaskId task = g.tasks[static_cast<size_t>(state.thread_index())];
+  constexpr uint64_t kPages = 64;
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    const os::VirtAddr base = k.mmap(task, 0, kPages * 4096, 0);
+    for (uint64_t p = 0; p < kPages; ++p) {
+      benchmark::DoNotOptimize(k.touch(task, base + p * 4096, true).pa);
+      ++ops;
+    }
+    k.munmap(task, base, kPages * 4096);
+  }
+  report(state, ops);
+}
+
+// Raw colored allocate/free churn: no VMAs, just Algorithm 1 against
+// the color shards and the buddy zones -- the pure allocator hot path.
+void BM_RawAllocFree(benchmark::State& state, bool colored) {
+  setup(state, colored);
+  os::Kernel& k = g.session->kernel();
+  const os::TaskId task = g.tasks[static_cast<size_t>(state.thread_index())];
+  Rng rng(1234 + static_cast<uint64_t>(state.thread_index()));
+  std::vector<os::Pfn> held;
+  held.reserve(256);
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    if (held.size() < 256 && (held.empty() || rng.next_bool(0.55))) {
+      const auto out = k.alloc_pages(task, 0);
+      if (out.pfn != os::kNoPage) held.push_back(out.pfn);
+    } else {
+      k.free_pages(held.back(), 0);
+      held.pop_back();
+    }
+    ++ops;
+  }
+  for (const os::Pfn p : held) k.free_pages(p, 0);
+  report(state, ops);
+}
+
+void BM_VmaChurn_Buddy(benchmark::State& s) { BM_VmaChurn(s, false); }
+void BM_VmaChurn_Colored(benchmark::State& s) { BM_VmaChurn(s, true); }
+void BM_RawAllocFree_Buddy(benchmark::State& s) { BM_RawAllocFree(s, false); }
+void BM_RawAllocFree_Colored(benchmark::State& s) { BM_RawAllocFree(s, true); }
+
+}  // namespace
+
+BENCHMARK(BM_VmaChurn_Buddy)->ThreadRange(1, 32)->UseRealTime();
+BENCHMARK(BM_VmaChurn_Colored)->ThreadRange(1, 32)->UseRealTime();
+BENCHMARK(BM_RawAllocFree_Buddy)->ThreadRange(1, 32)->UseRealTime();
+BENCHMARK(BM_RawAllocFree_Colored)->ThreadRange(1, 32)->UseRealTime();
+
+BENCHMARK_MAIN();

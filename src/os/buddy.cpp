@@ -1,29 +1,32 @@
 #include "os/buddy.h"
 
 #include <algorithm>
-#include <numeric>
 
 #include "util/assert.h"
 
 namespace tint::os {
 
+using ZoneLock = util::RankedMutex<util::lock_rank::kBuddyZone>;
+
 BuddyAllocator::BuddyAllocator(const hw::Topology& topo,
                                std::vector<PageInfo>& pages)
     : pages_(pages),
       pages_per_node_(topo.pages_per_node()),
-      total_pages_(topo.total_pages()) {
+      total_pages_(topo.total_pages()),
+      num_nodes_(topo.num_nodes()) {
   TINT_ASSERT(pages_.size() == total_pages_);
   TINT_ASSERT_MSG(total_pages_ <= kNoPage, "pfn space exceeds 32 bits");
   TINT_ASSERT_MSG(pages_per_node_ % (1ULL << kMaxOrder) == 0,
                   "node zone must be a multiple of the maximal block");
-  lists_.assign(static_cast<size_t>(topo.num_nodes()) * (kMaxOrder + 1), {});
+  lists_.assign(static_cast<size_t>(num_nodes_) * (kMaxOrder + 1), {});
   next_.assign(total_pages_, kNoPage);
   prev_.assign(total_pages_, kNoPage);
   free_order_.assign(total_pages_, kNotFreeHead);
-  zone_free_pages_.assign(topo.num_nodes(), 0);
+  zone_free_pages_ = std::make_unique<std::atomic<uint64_t>[]>(num_nodes_);
+  zone_locks_ = std::make_unique<ZoneLock[]>(num_nodes_);
 
   // Fresh boot: every zone is a run of maximal blocks.
-  for (unsigned n = 0; n < topo.num_nodes(); ++n) {
+  for (unsigned n = 0; n < num_nodes_; ++n) {
     const Pfn base = static_cast<Pfn>(n * pages_per_node_);
     for (uint64_t b = 0; b < pages_per_node_ >> kMaxOrder; ++b)
       push(n, kMaxOrder, base + static_cast<Pfn>(b << kMaxOrder));
@@ -38,7 +41,7 @@ void BuddyAllocator::push(unsigned node, unsigned order, Pfn pfn) {
   if (fl.head != kNoPage) prev_[fl.head] = pfn;
   fl.head = pfn;
   free_order_[pfn] = static_cast<uint8_t>(order);
-  zone_free_pages_[node] += 1ULL << order;
+  zone_free_pages_[node].fetch_add(1ULL << order, std::memory_order_relaxed);
   pages_[pfn].state = PageState::kBuddyFree;
 }
 
@@ -51,7 +54,7 @@ void BuddyAllocator::remove(unsigned node, unsigned order, Pfn pfn) {
     fl.head = next_[pfn];
   if (next_[pfn] != kNoPage) prev_[next_[pfn]] = prev_[pfn];
   free_order_[pfn] = kNotFreeHead;
-  zone_free_pages_[node] -= 1ULL << order;
+  zone_free_pages_[node].fetch_sub(1ULL << order, std::memory_order_relaxed);
 }
 
 Pfn BuddyAllocator::pop(unsigned node, unsigned order) {
@@ -63,8 +66,9 @@ Pfn BuddyAllocator::pop(unsigned node, unsigned order) {
 }
 
 Pfn BuddyAllocator::alloc_block(unsigned node, unsigned order) {
-  TINT_ASSERT(order <= kMaxOrder && node < zone_free_pages_.size());
+  TINT_ASSERT(order <= kMaxOrder && node < num_nodes_);
   if (fail_ && fail_->should_fail(FailPoint::kBuddyAlloc)) return kNoPage;
+  std::lock_guard<ZoneLock> lk(zone_locks_[node]);
   unsigned o = order;
   Pfn pfn = kNoPage;
   for (; o <= kMaxOrder; ++o) {
@@ -75,10 +79,10 @@ Pfn BuddyAllocator::alloc_block(unsigned node, unsigned order) {
   // Split down, returning upper halves to the free lists.
   while (o > order) {
     --o;
-    ++stats_.splits;
+    stats_.splits.fetch_add(1, std::memory_order_relaxed);
     push(node, o, pfn + (Pfn{1} << o));
   }
-  ++stats_.allocs;
+  stats_.allocs.fetch_add(1, std::memory_order_relaxed);
   pages_[pfn].state = PageState::kAllocated;
   return pfn;
 }
@@ -86,10 +90,11 @@ Pfn BuddyAllocator::alloc_block(unsigned node, unsigned order) {
 std::optional<std::pair<Pfn, unsigned>> BuddyAllocator::pop_any_block(
     unsigned node, unsigned min_order) {
   if (fail_ && fail_->should_fail(FailPoint::kBuddyAlloc)) return std::nullopt;
+  std::lock_guard<ZoneLock> lk(zone_locks_[node]);
   for (unsigned o = min_order; o <= kMaxOrder; ++o) {
     const Pfn pfn = pop(node, o);
     if (pfn != kNoPage) {
-      ++stats_.allocs;
+      stats_.allocs.fetch_add(1, std::memory_order_relaxed);
       pages_[pfn].state = PageState::kAllocated;
       return std::make_pair(pfn, o);
     }
@@ -99,9 +104,10 @@ std::optional<std::pair<Pfn, unsigned>> BuddyAllocator::pop_any_block(
 
 void BuddyAllocator::free_block(Pfn pfn, unsigned order) {
   TINT_ASSERT(order <= kMaxOrder && pfn < total_pages_);
-  TINT_DASSERT(free_order_[pfn] == kNotFreeHead);
   const unsigned node = node_of(pfn);
-  ++stats_.frees;
+  std::lock_guard<ZoneLock> lk(zone_locks_[node]);
+  TINT_DASSERT(free_order_[pfn] == kNotFreeHead);
+  stats_.frees.fetch_add(1, std::memory_order_relaxed);
   // Coalesce while the buddy block is free at the same order and in the
   // same zone (zones are block-aligned so the node check is redundant but
   // cheap insurance).
@@ -109,7 +115,7 @@ void BuddyAllocator::free_block(Pfn pfn, unsigned order) {
     const Pfn buddy = pfn ^ (Pfn{1} << order);
     if (node_of(buddy) != node || free_order_[buddy] != order) break;
     remove(node, order, buddy);
-    ++stats_.merges;
+    stats_.merges.fetch_add(1, std::memory_order_relaxed);
     pfn = std::min(pfn, buddy);
     ++order;
   }
@@ -118,12 +124,13 @@ void BuddyAllocator::free_block(Pfn pfn, unsigned order) {
 
 bool BuddyAllocator::reserve_page(Pfn pfn) {
   TINT_ASSERT(pfn < total_pages_);
+  const unsigned node = node_of(pfn);
+  std::lock_guard<ZoneLock> lk(zone_locks_[node]);
   // Find the free block containing pfn: its head is pfn with the low
   // `order` bits cleared, for some order at which that head is free.
   for (unsigned o = 0; o <= kMaxOrder; ++o) {
     const Pfn head = pfn & ~((Pfn{1} << o) - 1);
     if (free_order_[head] != o) continue;
-    const unsigned node = node_of(head);
     remove(node, o, head);
     // Split until only `pfn` remains allocated; every split returns the
     // half not containing pfn to the free lists.
@@ -131,7 +138,7 @@ bool BuddyAllocator::reserve_page(Pfn pfn) {
     Pfn cur = head;
     while (order > 0) {
       --order;
-      ++stats_.splits;
+      stats_.splits.fetch_add(1, std::memory_order_relaxed);
       const Pfn lower = cur;
       const Pfn upper = cur + (Pfn{1} << order);
       if (pfn >= upper) {
@@ -144,7 +151,7 @@ bool BuddyAllocator::reserve_page(Pfn pfn) {
     }
     TINT_DASSERT(cur == pfn);
     pages_[pfn].state = PageState::kAllocated;
-    ++reserved_;
+    reserved_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
   return false;
@@ -154,7 +161,8 @@ void BuddyAllocator::warm_up(Rng& rng, unsigned episodes, unsigned frag_shift) {
   if (episodes == 0) return;
   const unsigned nodes = num_nodes();
   // Permute each zone's maximal-block list (fresh boot inserts them in
-  // descending pfn order, which is far too regular).
+  // descending pfn order, which is far too regular). Boot-time only:
+  // pop/push run without the zone lock here.
   for (unsigned n = 0; n < nodes; ++n) {
     std::vector<Pfn> blocks;
     for (Pfn p = pop(n, kMaxOrder); p != kNoPage; p = pop(n, kMaxOrder))
@@ -192,7 +200,11 @@ void BuddyAllocator::warm_up(Rng& rng, unsigned episodes, unsigned frag_shift) {
         reserve_page(static_cast<Pfn>(base + rng.next_below(pages_per_node_)));
     }
   }
-  stats_ = BuddyStats{};  // warm-up traffic is not part of any experiment
+  // Warm-up traffic is not part of any experiment.
+  stats_.allocs.store(0, std::memory_order_relaxed);
+  stats_.frees.store(0, std::memory_order_relaxed);
+  stats_.splits.store(0, std::memory_order_relaxed);
+  stats_.merges.store(0, std::memory_order_relaxed);
 }
 
 std::vector<std::pair<Pfn, unsigned>> BuddyAllocator::snapshot_free_blocks()
@@ -205,9 +217,19 @@ std::vector<std::pair<Pfn, unsigned>> BuddyAllocator::snapshot_free_blocks()
   return blocks;
 }
 
+void BuddyAllocator::freeze() const {
+  for (unsigned n = 0; n < num_nodes_; ++n) zone_locks_[n].lock();
+}
+
+void BuddyAllocator::thaw() const {
+  for (unsigned n = num_nodes_; n-- > 0;) zone_locks_[n].unlock();
+}
+
 uint64_t BuddyAllocator::total_free_pages() const {
-  return std::accumulate(zone_free_pages_.begin(), zone_free_pages_.end(),
-                         uint64_t{0});
+  uint64_t total = 0;
+  for (unsigned n = 0; n < num_nodes_; ++n)
+    total += zone_free_pages_[n].load(std::memory_order_relaxed);
+  return total;
 }
 
 bool BuddyAllocator::is_free_head(Pfn pfn, unsigned order) const {

@@ -7,6 +7,14 @@
 // with the buddy block. Intrusive doubly-linked lists over the pfn space
 // make all operations O(1) apart from the order scan.
 //
+// Thread safety: one lock per zone, exactly like the Linux per-zone
+// `zone->lock`. The intrusive link arrays are indexed by pfn and a
+// frame's node never changes, so each zone lock guards a disjoint slice
+// of them; `zone_free_pages_` counters are atomics readable without the
+// lock (the kernel's default path uses them for its free-page-weighted
+// node choice). `warm_up` is boot-time only and must run before any
+// concurrent caller exists.
+//
 // `warm_up()` emulates a long-running system: the pristine
 // every-block-is-maximal state of a fresh boot would make "default buddy"
 // placement unrealistically regular, whereas on the paper's testbed the
@@ -16,7 +24,10 @@
 // run-to-run variance visible in the paper's error bars.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -24,15 +35,29 @@
 #include "hw/topology.h"
 #include "os/failpoints.h"
 #include "os/page.h"
+#include "util/lock_rank.h"
 #include "util/rng.h"
 
 namespace tint::os {
 
 struct BuddyStats {
-  uint64_t allocs = 0;
-  uint64_t frees = 0;
-  uint64_t splits = 0;
-  uint64_t merges = 0;
+  std::atomic<uint64_t> allocs{0};
+  std::atomic<uint64_t> frees{0};
+  std::atomic<uint64_t> splits{0};
+  std::atomic<uint64_t> merges{0};
+
+  struct Snapshot {
+    uint64_t allocs = 0;
+    uint64_t frees = 0;
+    uint64_t splits = 0;
+    uint64_t merges = 0;
+  };
+  Snapshot snapshot() const {
+    return {allocs.load(std::memory_order_relaxed),
+            frees.load(std::memory_order_relaxed),
+            splits.load(std::memory_order_relaxed),
+            merges.load(std::memory_order_relaxed)};
+  }
 };
 
 class BuddyAllocator {
@@ -67,10 +92,13 @@ class BuddyAllocator {
   // fragmented into small, shuffled runs (a fresh-boot buddy would hand
   // out long physically contiguous runs, which no long-running system
   // does). Pass episodes = 0 to leave the zones pristine.
+  // Boot-time only: not safe against concurrent alloc/free.
   void warm_up(Rng& rng, unsigned episodes = 256, unsigned frag_shift = 6);
 
   // Pages pinned by warm-up fragmentation (never returned).
-  uint64_t reserved_pages() const { return reserved_; }
+  uint64_t reserved_pages() const {
+    return reserved_.load(std::memory_order_relaxed);
+  }
 
   // Wires the kernel's fault-injection registry into the allocation
   // entry points: an armed kBuddyAlloc failpoint makes alloc_block /
@@ -79,12 +107,20 @@ class BuddyAllocator {
 
   // Snapshot of every free block as {head pfn, order}, by walking the
   // intrusive lists -- the invariant checker cross-checks this against
-  // the per-zone page counters.
+  // the per-zone page counters. Callers must hold the freeze (or
+  // otherwise guarantee quiescence).
   std::vector<std::pair<Pfn, unsigned>> snapshot_free_blocks() const;
 
-  uint64_t free_pages(unsigned node) const { return zone_free_pages_[node]; }
+  // Stop-the-world support: acquires/releases every zone lock in
+  // ascending node order (equal-rank acquisitions, see lock_rank.h).
+  void freeze() const;
+  void thaw() const;
+
+  uint64_t free_pages(unsigned node) const {
+    return zone_free_pages_[node].load(std::memory_order_relaxed);
+  }
   uint64_t total_free_pages() const;
-  unsigned num_nodes() const { return static_cast<unsigned>(zone_free_pages_.size()); }
+  unsigned num_nodes() const { return num_nodes_; }
   const BuddyStats& stats() const { return stats_; }
 
   // Test hook: is `pfn` the head of a free block of `order`?
@@ -104,6 +140,8 @@ class BuddyAllocator {
   const FreeList& list(unsigned node, unsigned order) const {
     return lists_[node * (kMaxOrder + 1) + order];
   }
+  // The push/remove/pop primitives require the zone's lock to be held
+  // (or boot-time quiescence, for the constructor and warm_up).
   void push(unsigned node, unsigned order, Pfn pfn);
   void remove(unsigned node, unsigned order, Pfn pfn);
   Pfn pop(unsigned node, unsigned order);
@@ -111,13 +149,16 @@ class BuddyAllocator {
   std::vector<PageInfo>& pages_;
   uint64_t pages_per_node_;
   uint64_t total_pages_;
+  unsigned num_nodes_;
   std::vector<FreeList> lists_;          // [node][order]
   std::vector<Pfn> next_, prev_;         // intrusive links, indexed by pfn
   std::vector<uint8_t> free_order_;      // order if free head, kNotFree else
-  std::vector<uint64_t> zone_free_pages_;
-  uint64_t reserved_ = 0;
+  std::unique_ptr<std::atomic<uint64_t>[]> zone_free_pages_;
+  std::atomic<uint64_t> reserved_{0};
   FailPoints* fail_ = nullptr;
   BuddyStats stats_;
+  mutable std::unique_ptr<util::RankedMutex<util::lock_rank::kBuddyZone>[]>
+      zone_locks_;
 
   static constexpr uint8_t kNotFreeHead = 0xFF;
 };

@@ -4,12 +4,16 @@
 
 namespace tint::os {
 
+using Shard = util::RankedMutex<util::lock_rank::kColorShard>;
+
 ColorLists::ColorLists(unsigned num_bank_colors, unsigned num_llc_colors,
                        uint64_t total_pages)
     : nb_(num_bank_colors), nl_(num_llc_colors) {
   heads_.assign(static_cast<size_t>(nb_) * nl_, kNoPage);
-  counts_.assign(static_cast<size_t>(nb_) * nl_, 0);
+  counts_ = std::make_unique<std::atomic<uint64_t>[]>(
+      static_cast<size_t>(nb_) * nl_);
   next_.assign(total_pages, kNoPage);
+  shards_ = std::make_unique<Shard[]>(kShards);
 }
 
 void ColorLists::create_color_list(Pfn head, unsigned order,
@@ -19,22 +23,24 @@ void ColorLists::create_color_list(Pfn head, unsigned order,
     const Pfn pfn = head + i;
     PageInfo& pi = pages[pfn];
     const size_t k = idx(pi.bank_color, pi.llc_color);
+    std::lock_guard<Shard> lk(shard(k));
     next_[pfn] = heads_[k];
     heads_[k] = pfn;
-    ++counts_[k];
-    ++total_;
+    counts_[k].fetch_add(1, std::memory_order_relaxed);
+    total_.fetch_add(1, std::memory_order_relaxed);
     pi.state = PageState::kColorFree;
   }
 }
 
 Pfn ColorLists::pop(unsigned mem_id, unsigned llc_id) {
   const size_t k = idx(mem_id, llc_id);
+  std::lock_guard<Shard> lk(shard(k));
   const Pfn pfn = heads_[k];
   if (pfn == kNoPage) return kNoPage;
   heads_[k] = next_[pfn];
   next_[pfn] = kNoPage;
-  --counts_[k];
-  --total_;
+  counts_[k].fetch_sub(1, std::memory_order_relaxed);
+  total_.fetch_sub(1, std::memory_order_relaxed);
   return pfn;
 }
 
@@ -42,7 +48,11 @@ Pfn ColorLists::pop_any_in_bank_range(unsigned mem_lo, unsigned mem_hi) {
   TINT_DASSERT(mem_lo < mem_hi && mem_hi <= nb_);
   for (unsigned m = mem_lo; m < mem_hi; ++m) {
     for (unsigned l = 0; l < nl_; ++l) {
-      if (counts_[idx(m, l)] > 0) return pop(m, l);
+      // Unlocked population peek; pop() re-checks under the shard lock,
+      // so a concurrent drain just makes us scan on.
+      if (counts_[idx(m, l)].load(std::memory_order_relaxed) == 0) continue;
+      const Pfn pfn = pop(m, l);
+      if (pfn != kNoPage) return pfn;
     }
   }
   return kNoPage;
@@ -50,20 +60,29 @@ Pfn ColorLists::pop_any_in_bank_range(unsigned mem_lo, unsigned mem_hi) {
 
 std::vector<Pfn> ColorLists::snapshot_parked() const {
   std::vector<Pfn> parked;
-  parked.reserve(total_);
+  parked.reserve(total_parked());
   for (const Pfn head : heads_)
     for (Pfn p = head; p != kNoPage; p = next_[p]) parked.push_back(p);
   return parked;
+}
+
+void ColorLists::freeze() const {
+  for (unsigned s = 0; s < kShards; ++s) shards_[s].lock();
+}
+
+void ColorLists::thaw() const {
+  for (unsigned s = kShards; s-- > 0;) shards_[s].unlock();
 }
 
 void ColorLists::push(Pfn pfn, std::vector<PageInfo>& pages) {
   PageInfo& pi = pages[pfn];
   TINT_DASSERT(pi.state != PageState::kColorFree);
   const size_t k = idx(pi.bank_color, pi.llc_color);
+  std::lock_guard<Shard> lk(shard(k));
   next_[pfn] = heads_[k];
   heads_[k] = pfn;
-  ++counts_[k];
-  ++total_;
+  counts_[k].fetch_add(1, std::memory_order_relaxed);
+  total_.fetch_add(1, std::memory_order_relaxed);
   pi.state = PageState::kColorFree;
   pi.owner = kNoTask;
 }

@@ -9,17 +9,33 @@
 // 4 KB pages; they are handed out by Algorithm 1 (in kernel.cpp) and
 // returned here by free(). Pages never migrate back to the buddy
 // allocator (as in the paper: once colorized, a frame stays colorized).
+//
+// Thread safety: the matrix is guarded by kShards mutexes, keyed by the
+// (MEM_ID, LLC_ID) combo index, so concurrent tasks popping different
+// combos never contend (per-task color sets exist precisely so parallel
+// allocations don't collide -- the sharding mirrors that). Per-list and
+// total populations are atomics, readable without a lock. A frame's
+// intrusive `next_` link is owned by whichever list currently parks it;
+// ownership handoffs synchronize through the shard mutexes.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "os/page.h"
+#include "util/lock_rank.h"
 
 namespace tint::os {
 
 class ColorLists {
  public:
+  // Shard count: power of two, >= typical combo working sets, small
+  // enough that a stop-the-world freeze stays cheap.
+  static constexpr unsigned kShards = 64;
+
   ColorLists(unsigned num_bank_colors, unsigned num_llc_colors,
              uint64_t total_pages);
 
@@ -41,27 +57,40 @@ class ColorLists {
   void push(Pfn pfn, std::vector<PageInfo>& pages);
 
   uint64_t size(unsigned mem_id, unsigned llc_id) const {
-    return counts_[idx(mem_id, llc_id)];
+    return counts_[idx(mem_id, llc_id)].load(std::memory_order_relaxed);
   }
-  uint64_t total_parked() const { return total_; }
+  uint64_t total_parked() const {
+    return total_.load(std::memory_order_relaxed);
+  }
   unsigned num_bank_colors() const { return nb_; }
   unsigned num_llc_colors() const { return nl_; }
 
   // Every parked pfn, by walking the matrix lists -- the invariant
-  // checker cross-checks this against the per-list counters.
+  // checker cross-checks this against the per-list counters. Callers
+  // must hold the freeze (or otherwise guarantee quiescence).
   std::vector<Pfn> snapshot_parked() const;
+
+  // Stop-the-world support: acquires/releases every shard lock in
+  // ascending index order (equal-rank acquisitions, see lock_rank.h).
+  void freeze() const;
+  void thaw() const;
 
  private:
   size_t idx(unsigned mem_id, unsigned llc_id) const {
     TINT_DASSERT(mem_id < nb_ && llc_id < nl_);
     return static_cast<size_t>(mem_id) * nl_ + llc_id;
   }
+  util::RankedMutex<util::lock_rank::kColorShard>& shard(size_t k) const {
+    return shards_[k % kShards];
+  }
 
   unsigned nb_, nl_;
   std::vector<Pfn> heads_;        // matrix of singly-linked stacks
-  std::vector<uint64_t> counts_;  // per-list population
+  std::unique_ptr<std::atomic<uint64_t>[]> counts_;  // per-list population
   std::vector<Pfn> next_;         // intrusive links by pfn
-  uint64_t total_ = 0;
+  std::atomic<uint64_t> total_{0};
+  mutable std::unique_ptr<util::RankedMutex<util::lock_rank::kColorShard>[]>
+      shards_;
 };
 
 }  // namespace tint::os

@@ -9,17 +9,28 @@
 // ladder (see errors.h) without needing to construct a genuinely
 // exhausted machine first.
 //
-// Triggers are deterministic and seedable: the probabilistic mode draws
-// from its own xoshiro stream, so a given (seed, call sequence) always
-// fires the same way -- the repository-wide reproducibility rule applies
-// to injected faults too.
+// Triggers are deterministic and seedable. Each point owns its own
+// xoshiro stream, seeded from the registry seed and the point's index
+// and reseeded on every arm(), so a given (seed, point, hit sequence)
+// always fires the same way no matter what the *other* points do -- the
+// repository-wide reproducibility rule applies to injected faults too.
+//
+// Thread safety: should_fail/arm/disarm may be called concurrently from
+// any thread. Each point carries its own leaf-rank mutex (see
+// util/lock_rank.h) guarding its spec and rng; hit/fire counters are
+// atomic so stats() reads never tear. Under concurrent hits the per-hit
+// *ordering* across threads is whatever the race resolves to, but every
+// hit draws from the point's own deterministic stream position.
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string_view>
 
+#include "util/lock_rank.h"
 #include "util/rng.h"
 
 namespace tint::os {
@@ -69,67 +80,105 @@ struct FailSpec {
 };
 
 struct FailPointStats {
-  uint64_t hits = 0;   // times the site was evaluated while armed or not
-  uint64_t fires = 0;  // times the fault was actually injected
+  std::atomic<uint64_t> hits{0};   // times the site was evaluated while armed
+  std::atomic<uint64_t> fires{0};  // times the fault was actually injected
+
+  struct Snapshot {
+    uint64_t hits = 0;
+    uint64_t fires = 0;
+  };
+  Snapshot snapshot() const {
+    return {hits.load(std::memory_order_relaxed),
+            fires.load(std::memory_order_relaxed)};
+  }
 };
 
 class FailPoints {
  public:
-  explicit FailPoints(uint64_t seed = 0xfa11fa11ULL) : rng_(seed) {}
+  explicit FailPoints(uint64_t seed = 0xfa11fa11ULL) : seed_(seed) {
+    for (size_t i = 0; i < kN; ++i) points_[i].rng.reseed(stream_seed(i));
+  }
 
-  // Arms (or re-arms) a point; resets its hit/fire counters so every-Nth
-  // and one-shot triggers count from "now".
+  // Arms (or re-arms) a point; resets its hit/fire counters and reseeds
+  // its stream so every-Nth, one-shot and probability triggers count
+  // (and draw) from "now".
   void arm(FailPoint p, FailSpec spec) {
-    specs_[index(p)] = spec;
-    stats_[index(p)] = FailPointStats{};
+    Point& pt = points_[index(p)];
+    std::lock_guard<util::RankedMutex<util::lock_rank::kFailPoint>> lk(pt.mu);
+    pt.spec = spec;
+    pt.stats.hits.store(0, std::memory_order_relaxed);
+    pt.stats.fires.store(0, std::memory_order_relaxed);
+    pt.rng.reseed(stream_seed(index(p)));
+    pt.armed.store(spec.mode != FailSpec::Mode::kOff,
+                   std::memory_order_release);
   }
   void disarm(FailPoint p) { arm(p, FailSpec::off()); }
   void disarm_all() {
-    for (auto& s : specs_) s = FailSpec::off();
-    for (auto& s : stats_) s = FailPointStats{};
+    for (size_t i = 0; i < kN; ++i)
+      arm(static_cast<FailPoint>(i), FailSpec::off());
   }
 
   bool armed(FailPoint p) const {
-    return specs_[index(p)].mode != FailSpec::Mode::kOff;
+    return points_[index(p)].armed.load(std::memory_order_acquire);
   }
-  const FailSpec& spec(FailPoint p) const { return specs_[index(p)]; }
-  const FailPointStats& stats(FailPoint p) const { return stats_[index(p)]; }
+  // By value: the spec can be re-armed concurrently.
+  FailSpec spec(FailPoint p) const {
+    const Point& pt = points_[index(p)];
+    std::lock_guard<util::RankedMutex<util::lock_rank::kFailPoint>> lk(pt.mu);
+    return pt.spec;
+  }
+  const FailPointStats& stats(FailPoint p) const {
+    return points_[index(p)].stats;
+  }
 
   // Evaluated at the failpoint site: counts a hit and reports whether the
-  // fault should be injected now.
+  // fault should be injected now. The unarmed fast path is a single
+  // atomic load -- hot allocation paths pay nothing while no fault
+  // scenario is active.
   bool should_fail(FailPoint p) {
-    FailSpec& spec = specs_[index(p)];
-    if (spec.mode == FailSpec::Mode::kOff) return false;
-    FailPointStats& st = stats_[index(p)];
-    ++st.hits;
+    Point& pt = points_[index(p)];
+    if (!pt.armed.load(std::memory_order_acquire)) return false;
+    std::lock_guard<util::RankedMutex<util::lock_rank::kFailPoint>> lk(pt.mu);
+    if (pt.spec.mode == FailSpec::Mode::kOff) return false;  // lost a disarm
+    const uint64_t hit = pt.stats.hits.fetch_add(1, std::memory_order_relaxed) + 1;
     bool fire = false;
-    switch (spec.mode) {
+    switch (pt.spec.mode) {
       case FailSpec::Mode::kOff:
         break;
       case FailSpec::Mode::kAlways:
         fire = true;
         break;
       case FailSpec::Mode::kProbability:
-        fire = rng_.next_bool(spec.p);
+        fire = pt.rng.next_bool(pt.spec.p);
         break;
       case FailSpec::Mode::kEveryNth:
-        fire = spec.n > 0 && st.hits % spec.n == 0;
+        fire = pt.spec.n > 0 && hit % pt.spec.n == 0;
         break;
       case FailSpec::Mode::kOneShot:
-        fire = st.hits == spec.n;
+        fire = hit == pt.spec.n;
         break;
     }
-    if (fire) ++st.fires;
+    if (fire) pt.stats.fires.fetch_add(1, std::memory_order_relaxed);
     return fire;
   }
 
  private:
   static constexpr size_t kN = static_cast<size_t>(FailPoint::kCount);
   static size_t index(FailPoint p) { return static_cast<size_t>(p); }
+  uint64_t stream_seed(size_t i) const {
+    return mix64(seed_ ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+  }
 
-  Rng rng_;
-  std::array<FailSpec, kN> specs_{};
-  std::array<FailPointStats, kN> stats_{};
+  struct Point {
+    mutable util::RankedMutex<util::lock_rank::kFailPoint> mu;
+    std::atomic<bool> armed{false};
+    FailSpec spec;
+    Rng rng{0};  // reseeded per-point from the table seed before use
+    FailPointStats stats;
+  };
+
+  uint64_t seed_;
+  std::array<Point, kN> points_{};
 };
 
 }  // namespace tint::os

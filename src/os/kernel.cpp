@@ -6,17 +6,27 @@
 
 namespace tint::os {
 
+namespace {
+using MmLock = util::RankedSharedMutex<util::lock_rank::kMm>;
+using DefaultLock = util::RankedMutex<util::lock_rank::kDefaultPath>;
+using PtLock = util::RankedSharedMutex<util::lock_rank::kPageTable>;
+using HugeLock = util::RankedMutex<util::lock_rank::kHugePool>;
+}  // namespace
+
 Kernel::Kernel(const hw::Topology& topo, const hw::AddressMapping& mapping,
                KernelConfig cfg, uint64_t seed)
-    : topo_(topo), mapping_(mapping), cfg_(cfg), rng_(seed),
+    : topo_(topo), mapping_(mapping), cfg_(cfg),
       pages_(build_page_table_metadata(mapping, topo.total_pages())),
-      page_table_(topo.page_bits),
+      page_table_(topo.page_bits), rng_(seed),
       fail_(mix64(seed ^ 0xfa11fa11ULL)) {
+  // Boot runs strictly single-threaded; no locks are taken here.
   buddy_ = std::make_unique<BuddyAllocator>(topo, pages_);
   colors_ = std::make_unique<ColorLists>(mapping.num_bank_colors(),
                                          mapping.num_llc_colors(),
                                          topo.total_pages());
-  node_online_.assign(topo.num_nodes(), 1);
+  node_online_ = std::make_unique<std::atomic<uint8_t>[]>(topo.num_nodes());
+  for (unsigned n = 0; n < topo.num_nodes(); ++n)
+    node_online_[n].store(1, std::memory_order_relaxed);
   // Reserve the huge-page pool while the zones are still pristine
   // (hugetlbfs-style boot reservation); warm-up fragmentation would
   // otherwise leave no contiguous 2 MB block behind.
@@ -39,26 +49,26 @@ Kernel::Kernel(const hw::Topology& topo, const hw::AddressMapping& mapping,
 }
 
 void Kernel::set_node_online(unsigned node, bool online) {
-  TINT_ASSERT(node < node_online_.size());
-  node_online_[node] = online ? 1 : 0;
+  TINT_ASSERT(node < topo_.num_nodes());
+  node_online_[node].store(online ? 1 : 0, std::memory_order_release);
 }
 
 TaskId Kernel::create_task(unsigned pinned_core) {
   TINT_ASSERT(pinned_core < topo_.num_cores());
-  const TaskId id = static_cast<TaskId>(tasks_.size());
-  tasks_.push_back(std::make_unique<Task>(
-      id, pinned_core, topo_.node_of_core(pinned_core),
-      mapping_.num_bank_colors(), mapping_.num_llc_colors()));
-  return id;
+  return tasks_.create(pinned_core, topo_.node_of_core(pinned_core),
+                       mapping_.num_bank_colors(), mapping_.num_llc_colors());
 }
 
 VirtAddr Kernel::mmap(TaskId task_id, uint64_t addr_or_color, uint64_t length,
                       uint32_t prot, uint32_t flags) {
   (void)flags;
-  Task& t = task(task_id);
 
-  // Zero-length + PROT_COLOR_ALLOC: color-control call (Fig. 6).
+  // Zero-length + PROT_COLOR_ALLOC: color-control call (Fig. 6). The
+  // color sets are written without a lock under the TCB single-owner
+  // rule (see os/task.h): a task's colors are set by its own thread, and
+  // never concurrently with that task's faults.
   if (length == 0 && (prot & PROT_COLOR_ALLOC)) {
+    Task& t = tasks_.at(task_id);
     ++stats_.color_control_calls;
     const uint64_t op = addr_or_color & ~kColorMask;
     const unsigned color = static_cast<unsigned>(addr_or_color & kColorMask);
@@ -86,7 +96,7 @@ VirtAddr Kernel::mmap(TaskId task_id, uint64_t addr_or_color, uint64_t length,
       default:
         return fail_mmap(AllocError::kInvalidArgument);
     }
-    last_error_ = AllocError::kOk;
+    set_last_error(AllocError::kOk);
     return 0;
   }
 
@@ -96,10 +106,11 @@ VirtAddr Kernel::mmap(TaskId task_id, uint64_t addr_or_color, uint64_t length,
 
   // Reserve a fresh VMA; frames arrive lazily at first touch.
   ++stats_.mmap_calls;
-  last_error_ = AllocError::kOk;
+  set_last_error(AllocError::kOk);
   const bool huge = (flags & MAP_HUGE_2MB) != 0;
   const uint64_t gran = huge ? kHugeBytes : topo_.page_bytes();
   const uint64_t len = (length + gran - 1) & ~(gran - 1);
+  std::unique_lock mm(mm_lock_);
   va_cursor_ = (va_cursor_ + gran - 1) & ~(gran - 1);
   const VirtAddr base = va_cursor_;
   va_cursor_ += len + gran;  // one guard gap
@@ -110,10 +121,14 @@ VirtAddr Kernel::mmap(TaskId task_id, uint64_t addr_or_color, uint64_t length,
 bool Kernel::munmap(TaskId task_id, VirtAddr base, uint64_t length) {
   (void)task_id;  // any task of the process may unmap
   ++stats_.munmap_calls;
+  // Exclusive mm hold for the whole teardown: in-flight faults hold the
+  // mm lock shared end-to-end, so by the time we own it exclusively no
+  // fault can still be installing frames into this VMA.
+  std::unique_lock mm(mm_lock_);
   const auto it = vmas_.find(base);
   if (it == vmas_.end()) {
     // Unknown base: reject like EINVAL instead of aborting.
-    last_error_ = AllocError::kInvalidArgument;
+    set_last_error(AllocError::kInvalidArgument);
     ++stats_.failed_munmaps;
     return false;
   }
@@ -121,28 +136,40 @@ bool Kernel::munmap(TaskId task_id, VirtAddr base, uint64_t length) {
   const uint64_t len = (length + gran - 1) & ~(gran - 1);
   if (len != it->second.length) {
     // Partial unmaps are not supported; reject instead of aborting.
-    last_error_ = AllocError::kInvalidArgument;
+    set_last_error(AllocError::kInvalidArgument);
     ++stats_.failed_munmaps;
     return false;
   }
   if (it->second.huge) {
     // Free whole 2 MB blocks (all-or-nothing mappings).
     const uint64_t pages_per_huge = kHugeBytes / topo_.page_bytes();
-    for (VirtAddr va = base; va < base + len; va += kHugeBytes) {
-      const auto head = page_table_.unmap(page_table_.vpn_of(va));
-      if (!head) continue;
-      for (uint64_t i = 1; i < pages_per_huge; ++i)
-        page_table_.unmap(page_table_.vpn_of(va + i * topo_.page_bytes()));
-      pages_[*head].owner = kNoTask;
-      pages_[*head].state = PageState::kBuddyFree;
+    std::vector<Pfn> heads;
+    {
+      std::unique_lock pt(pt_lock_);
+      for (VirtAddr va = base; va < base + len; va += kHugeBytes) {
+        const auto head = page_table_.unmap(page_table_.vpn_of(va));
+        if (!head) continue;
+        for (uint64_t i = 1; i < pages_per_huge; ++i)
+          page_table_.unmap(page_table_.vpn_of(va + i * topo_.page_bytes()));
+        heads.push_back(*head);
+      }
+    }
+    for (const Pfn head : heads) {
+      pages_[head].owner = kNoTask;
+      pages_[head].state = PageState::kBuddyFree;
       // Huge frames return to the reserved pool, not the 4 KB buddy.
-      huge_pool_[*head / topo_.pages_per_node()].push_back(*head);
+      std::lock_guard<HugeLock> hl(huge_lock_);
+      huge_pool_[head / topo_.pages_per_node()].push_back(head);
     }
   } else {
-    for (VirtAddr va = base; va < base + len; va += gran) {
-      if (const auto pfn = page_table_.unmap(page_table_.vpn_of(va)))
-        free_pages(*pfn, 0);
+    std::vector<Pfn> freed;
+    {
+      std::unique_lock pt(pt_lock_);
+      for (VirtAddr va = base; va < base + len; va += gran)
+        if (const auto pfn = page_table_.unmap(page_table_.vpn_of(va)))
+          freed.push_back(*pfn);
     }
+    for (const Pfn pfn : freed) free_pages(pfn, 0);
   }
   // Drop the cached default-path node decisions for the unmapped region
   // range so the cache stays bounded by the live VMA footprint (and a
@@ -151,45 +178,89 @@ bool Kernel::munmap(TaskId task_id, VirtAddr base, uint64_t length) {
     const uint64_t first = page_table_.vpn_of(base) / cfg_.reuse_region_pages;
     const uint64_t last =
         page_table_.vpn_of(base + len - 1) / cfg_.reuse_region_pages;
+    std::lock_guard<DefaultLock> dl(default_lock_);
     for (uint64_t r = first; r <= last; ++r) region_node_.erase(r);
   }
   vmas_.erase(it);
   invalidate_tlb();
-  last_error_ = AllocError::kOk;
+  set_last_error(AllocError::kOk);
   return true;
+}
+
+std::optional<uint64_t> Kernel::tlb_lookup(uint64_t vpn) const {
+  const TlbSlot& s = tlb_[vpn & (kTlbSize - 1)];
+  const uint32_t seq = s.seq.load(std::memory_order_acquire);
+  if (seq & 1) return std::nullopt;  // fill in progress
+  const uint64_t e = s.epoch.load(std::memory_order_relaxed);
+  const uint64_t v = s.vpn.load(std::memory_order_relaxed);
+  const uint64_t p = s.pfn.load(std::memory_order_relaxed);
+  // Validate the sequence to reject a torn read across a concurrent
+  // fill; the epoch check then rejects entries from before the last
+  // invalidation.
+  if (s.seq.load(std::memory_order_acquire) != seq) return std::nullopt;
+  if (v != vpn || e != tlb_epoch_.load(std::memory_order_acquire))
+    return std::nullopt;
+  return p;
+}
+
+void Kernel::tlb_fill(uint64_t vpn, Pfn pfn, uint64_t epoch) {
+  TlbSlot& s = tlb_[vpn & (kTlbSize - 1)];
+  uint32_t seq = s.seq.load(std::memory_order_relaxed);
+  if (seq & 1) return;  // another thread is filling this slot: skip
+  // Claim the slot by moving the sequence to odd; fills are best-effort,
+  // so losing the CAS just skips the cache update.
+  if (!s.seq.compare_exchange_strong(seq, seq + 1,
+                                     std::memory_order_acquire,
+                                     std::memory_order_relaxed))
+    return;
+  s.vpn.store(vpn, std::memory_order_relaxed);
+  s.pfn.store(pfn, std::memory_order_relaxed);
+  s.epoch.store(epoch, std::memory_order_relaxed);
+  s.seq.store(seq + 2, std::memory_order_release);
+}
+
+std::optional<uint64_t> Kernel::translate(VirtAddr va) const {
+  std::shared_lock pt(pt_lock_);
+  return page_table_.translate(va);
 }
 
 Kernel::TouchResult Kernel::touch(TaskId task_id, VirtAddr va, bool write) {
   (void)write;
   TouchResult res;
   const uint64_t want_vpn = page_table_.vpn_of(va);
-  TlbEntry& te = tlb_[want_vpn & (kTlbSize - 1)];
-  if (te.vpn == want_vpn && te.epoch == tlb_epoch_) {
-    res.pa = (static_cast<uint64_t>(te.pfn) << topo_.page_bits) |
-             (va & (topo_.page_bytes() - 1));
+  const uint64_t page_off = va & (topo_.page_bytes() - 1);
+  if (const auto pfn = tlb_lookup(want_vpn)) {
+    res.pa = (*pfn << topo_.page_bits) | page_off;
     return res;
   }
-  if (const auto pa = page_table_.translate(va)) {
-    te.vpn = want_vpn;
-    te.pfn = static_cast<Pfn>(*pa >> topo_.page_bits);
-    te.epoch = tlb_epoch_;
-    res.pa = *pa;
-    return res;
+  // Epoch for any TLB fill below: loaded before the translation it
+  // caches is read (see tlb_fill).
+  const uint64_t epoch = tlb_epoch_.load(std::memory_order_acquire);
+  {
+    std::shared_lock pt(pt_lock_);
+    if (const auto pa = page_table_.translate(va)) {
+      res.pa = *pa;
+      tlb_fill(want_vpn, static_cast<Pfn>(*pa >> topo_.page_bits), epoch);
+      return res;
+    }
   }
 
-  // Page fault. The faulting VA must belong to a VMA; touching unmapped
-  // address space is a genuine segfault (programming error), not a
-  // recoverable condition, so it still aborts.
+  // Page fault. Held shared across the whole fault, like Linux's
+  // mmap_lock: keeps the VMA alive and lets munmap / the stop-the-world
+  // invariant walk drain in-flight faults by acquiring it exclusively.
+  std::shared_lock mm(mm_lock_);
+  // The faulting VA must belong to a VMA; touching unmapped address
+  // space is a genuine segfault (programming error), not a recoverable
+  // condition, so it still aborts.
   auto it = vmas_.upper_bound(va);
   TINT_ASSERT_MSG(it != vmas_.begin(), "fault outside any VMA (segfault)");
   --it;
   TINT_ASSERT_MSG(va < it->first + it->second.length,
                   "fault outside any VMA (segfault)");
 
-  Task& t = task(task_id);
+  Task& t = tasks_.at(task_id);
   if (it->second.huge) return fault_huge(t, va, it->first);
-  const uint64_t vpn = page_table_.vpn_of(va);
-  const AllocOutcome out = alloc_pages(task_id, 0, vpn);
+  const AllocOutcome out = alloc_pages(task_id, 0, want_vpn);
   if (out.pfn == kNoPage) {
     // Ladder exhausted: report instead of aborting (simulated SIGBUS /
     // mmap error, Section III.B "returns an error").
@@ -197,11 +268,26 @@ Kernel::TouchResult Kernel::touch(TaskId task_id, VirtAddr va, bool write) {
     res.error = out.error;
     return res;
   }
-  page_table_.map(vpn, out.pfn);
+  // Frame metadata is written *before* the mapping is published: any
+  // thread that can observe the translation (under the page-table lock)
+  // then also observes an initialized PageInfo.
   PageInfo& pi = pages_[out.pfn];
   pi.state = PageState::kAllocated;
   pi.owner = task_id;
   pi.colored_alloc = out.colored;
+  Pfn winner;
+  {
+    std::unique_lock pt(pt_lock_);
+    winner = page_table_.map_or_get(want_vpn, out.pfn);
+  }
+  if (winner != out.pfn) {
+    // Another thread faulted the same page first: undo our allocation
+    // and adopt the winner's translation. Never taken serially.
+    free_pages(out.pfn, 0);
+    ++stats_.fault_races_lost;
+    res.pa = (static_cast<uint64_t>(winner) << topo_.page_bits) | page_off;
+    return res;
+  }
 
   ++stats_.page_faults;
   TaskAllocStats& as = t.alloc_stats();
@@ -233,8 +319,7 @@ Kernel::TouchResult Kernel::touch(TaskId task_id, VirtAddr va, bool write) {
   res.fault_cycles = cfg_.fault_base_cycles +
                      cfg_.refill_block_cycles * out.refill_blocks +
                      cfg_.refill_page_cycles * out.refill_pages;
-  res.pa = (static_cast<uint64_t>(out.pfn) << topo_.page_bits) |
-           (va & (topo_.page_bytes() - 1));
+  res.pa = (static_cast<uint64_t>(out.pfn) << topo_.page_bits) | page_off;
   return res;
 }
 
@@ -244,10 +329,12 @@ Kernel::TouchResult Kernel::fault_huge(Task& t, VirtAddr va,
   const uint64_t pages_per_huge = kHugeBytes / topo_.page_bytes();
   const VirtAddr huge_base = vma_base + ((va - vma_base) & ~(kHugeBytes - 1));
 
-  // Transient controller loss injected for just this allocation.
-  transient_offline_ = fail_.should_fail(FailPoint::kNodeOffline)
-                           ? static_cast<int64_t>(t.local_node())
-                           : -1;
+  // Transient controller loss injected for just this allocation; a local
+  // so concurrent faults cannot observe each other's injected outages.
+  const int64_t transient_offline =
+      fail_.should_fail(FailPoint::kNodeOffline)
+          ? static_cast<int64_t>(t.local_node())
+          : -1;
 
   // Controller-aware placement: the node of the task's bank colors if it
   // has any, else the default policy's choice.
@@ -258,13 +345,15 @@ Kernel::TouchResult Kernel::fault_huge(Task& t, VirtAddr va,
     preferred = pick_default_node(t, page_table_.vpn_of(huge_base));
   }
   Pfn head = kNoPage;
+  bool from_pool = false;
   const unsigned nn = mapping_.num_nodes();
   // An armed kHugePool failpoint makes the boot reservation look empty,
   // forcing the (usually fruitless) buddy attempt below.
   if (!fail_.should_fail(FailPoint::kHugePool)) {
+    std::lock_guard<HugeLock> hl(huge_lock_);
     for (unsigned k = 0; k < nn && head == kNoPage; ++k) {
       const unsigned node = (preferred + k) % nn;
-      if (!node_usable(node)) {
+      if (!node_usable(node, transient_offline)) {
         ++stats_.offline_node_skips;
         continue;
       }
@@ -272,6 +361,7 @@ Kernel::TouchResult Kernel::fault_huge(Task& t, VirtAddr va,
       if (!pool.empty()) {
         head = pool.back();
         pool.pop_back();
+        from_pool = true;
       }
     }
   }
@@ -279,7 +369,7 @@ Kernel::TouchResult Kernel::fault_huge(Task& t, VirtAddr va,
   // zones -- real kernels would have to compact here).
   for (unsigned k = 0; k < nn && head == kNoPage; ++k) {
     const unsigned node = (preferred + k) % nn;
-    if (!node_usable(node)) {
+    if (!node_usable(node, transient_offline)) {
       ++stats_.offline_node_skips;
       continue;
     }
@@ -290,18 +380,45 @@ Kernel::TouchResult Kernel::fault_huge(Task& t, VirtAddr va,
     // hugetlbfs mapping takes when its reservation is gone.
     ++stats_.alloc_failures;
     ++t.alloc_stats().failed_allocs;
-    last_error_ = AllocError::kHugeExhausted;
+    set_last_error(AllocError::kHugeExhausted);
     TouchResult res;
     res.error = AllocError::kHugeExhausted;
     return res;
   }
 
+  // Frame metadata before the mapping is published (as in touch()).
   for (uint64_t i = 0; i < pages_per_huge; ++i) {
-    page_table_.map(page_table_.vpn_of(huge_base) + i,
-                    head + static_cast<Pfn>(i));
     pages_[head + i].state = PageState::kAllocated;
     pages_[head + i].owner = t.id();
     pages_[head + i].colored_alloc = false;
+  }
+  const uint64_t head_vpn = page_table_.vpn_of(huge_base);
+  Pfn winner;
+  {
+    std::unique_lock pt(pt_lock_);
+    winner = page_table_.map_or_get(head_vpn, head);
+    if (winner == head)
+      for (uint64_t i = 1; i < pages_per_huge; ++i)
+        page_table_.map(head_vpn + i, head + static_cast<Pfn>(i));
+  }
+  if (winner != head) {
+    // Another thread faulted this 2 MB block first: return our block
+    // whence it came and adopt the winner's frames. Never taken serially.
+    for (uint64_t i = 0; i < pages_per_huge; ++i) {
+      pages_[head + i].owner = kNoTask;
+      pages_[head + i].state = PageState::kBuddyFree;
+    }
+    if (from_pool) {
+      std::lock_guard<HugeLock> hl(huge_lock_);
+      huge_pool_[head / topo_.pages_per_node()].push_back(head);
+    } else {
+      buddy_->free_block(head, kHugeOrder);
+    }
+    ++stats_.fault_races_lost;
+    TouchResult res;
+    res.pa = (static_cast<uint64_t>(winner) << topo_.page_bits) +
+             (va - huge_base);
+    return res;
   }
   ++stats_.page_faults;
   ++stats_.huge_faults;
@@ -320,20 +437,22 @@ Kernel::TouchResult Kernel::fault_huge(Task& t, VirtAddr va,
 
 Kernel::AllocOutcome Kernel::alloc_pages(TaskId task_id, unsigned order,
                                          uint64_t vpn_hint) {
-  Task& t = task(task_id);
+  Task& t = tasks_.at(task_id);
   AllocOutcome out;
 
   // Transient controller loss injected for just this allocation: the
   // ladder below must route around the task's own node and still serve
-  // (or fail with kNodeOffline when nothing is left).
-  transient_offline_ = fail_.should_fail(FailPoint::kNodeOffline)
-                           ? static_cast<int64_t>(t.local_node())
-                           : -1;
+  // (or fail with kNodeOffline when nothing is left). Threaded through
+  // by value -- concurrent allocations never see each other's outage.
+  const int64_t transient_offline =
+      fail_.should_fail(FailPoint::kNodeOffline)
+          ? static_cast<int64_t>(t.local_node())
+          : -1;
 
   // Stage 1 -- colored pool (Algorithm 1, line 3: only order-0 requests
   // of coloring tasks take the colored path).
   if (order == 0 && (t.using_bank() || t.using_llc())) {
-    out = alloc_colored(t, vpn_hint);
+    out = alloc_colored(t, vpn_hint, transient_offline);
     if (out.pfn != kNoPage) {
       out.stage = AllocStage::kColored;
       ++stats_.ladder_colored;
@@ -345,7 +464,7 @@ Kernel::AllocOutcome Kernel::alloc_pages(TaskId task_id, unsigned order,
       out.stage = AllocStage::kFailed;
       out.error = AllocError::kPoolExhausted;
       ++stats_.alloc_failures;
-      last_error_ = out.error;
+      set_last_error(out.error);
       return out;
     }
     const AllocOutcome colored_attempt = out;
@@ -357,7 +476,7 @@ Kernel::AllocOutcome Kernel::alloc_pages(TaskId task_id, unsigned order,
     // Stage 2 -- widen: relax the color constraint but keep the node
     // placement, reclaiming pages parked under other colors on the
     // task's own nodes.
-    const Pfn widened = widen_from_node_lists(t);
+    const Pfn widened = widen_from_node_lists(t, transient_offline);
     if (widened != kNoPage) {
       out.pfn = widened;
       out.stage = AllocStage::kWidened;
@@ -372,7 +491,7 @@ Kernel::AllocOutcome Kernel::alloc_pages(TaskId task_id, unsigned order,
   unsigned usable_nodes = 0;
   for (unsigned k = 0; k < nn; ++k) {
     const unsigned node = (preferred + k) % nn;
-    if (!node_usable(node)) {
+    if (!node_usable(node, transient_offline)) {
       ++stats_.offline_node_skips;
       continue;
     }
@@ -394,7 +513,7 @@ Kernel::AllocOutcome Kernel::alloc_pages(TaskId task_id, unsigned order,
     const unsigned bpn = mapping_.banks_per_node();
     for (unsigned k = 0; k < nn; ++k) {
       const unsigned node = (preferred + k) % nn;
-      if (!node_usable(node)) continue;
+      if (!node_usable(node, transient_offline)) continue;
       const Pfn pfn =
           colors_->pop_any_in_bank_range(node * bpn, (node + 1) * bpn);
       if (pfn != kNoPage) {
@@ -411,17 +530,17 @@ Kernel::AllocOutcome Kernel::alloc_pages(TaskId task_id, unsigned order,
   out.error = usable_nodes == 0 ? AllocError::kNodeOffline
                                 : AllocError::kOutOfMemory;
   ++stats_.alloc_failures;
-  last_error_ = out.error;
+  set_last_error(out.error);
   return out;
 }
 
-Pfn Kernel::widen_from_node_lists(const Task& t) {
+Pfn Kernel::widen_from_node_lists(const Task& t, int64_t transient_offline) {
   const unsigned bpn = mapping_.banks_per_node();
   if (t.using_bank()) {
     // Any parked page on a node the task's bank colors live on.
     for (const uint16_t m : t.mem_color_list()) {
       const unsigned node = mapping_.node_of_bank_color(m);
-      if (!node_usable(node)) continue;
+      if (!node_usable(node, transient_offline)) continue;
       const Pfn pfn =
           colors_->pop_any_in_bank_range(node * bpn, (node + 1) * bpn);
       if (pfn != kNoPage) return pfn;
@@ -432,11 +551,12 @@ Pfn Kernel::widen_from_node_lists(const Task& t) {
   // visited every node for the task's LLC colors, so all that is left to
   // relax is the LLC constraint itself.
   const unsigned node = t.local_node();
-  if (!node_usable(node)) return kNoPage;
+  if (!node_usable(node, transient_offline)) return kNoPage;
   return colors_->pop_any_in_bank_range(node * bpn, (node + 1) * bpn);
 }
 
-Kernel::AllocOutcome Kernel::alloc_colored(Task& t, uint64_t vpn_hint) {
+Kernel::AllocOutcome Kernel::alloc_colored(Task& t, uint64_t vpn_hint,
+                                           int64_t transient_offline) {
   AllocOutcome out;
   // Candidate (MEM_ID, LLC_ID) combinations per the TCB flags
   // (Algorithm 1 lines 5-13).
@@ -469,7 +589,9 @@ Kernel::AllocOutcome Kernel::alloc_colored(Task& t, uint64_t vpn_hint) {
   // Algorithm 2 refill from one node; false when the zone is empty.
   // An armed kColorRefill failpoint makes every refill attempt see a dry
   // zone, exercising the pool-exhaustion ladder without actually
-  // draining memory.
+  // draining memory. (The zone lock and the shard locks are never held
+  // together: pop_any_block releases the zone before create_color_list
+  // parks the pages.)
   const auto refill_from = [&](unsigned node) {
     if (fail_.should_fail(FailPoint::kColorRefill)) return false;
     const auto blk = buddy_->pop_any_block(node, 0);
@@ -490,7 +612,7 @@ Kernel::AllocOutcome Kernel::alloc_colored(Task& t, uint64_t vpn_hint) {
     std::vector<uint16_t> mems;
     mems.reserve(t.mem_color_list().size());
     for (const uint16_t m : t.mem_color_list()) {
-      if (node_usable(mapping_.node_of_bank_color(m)))
+      if (node_usable(mapping_.node_of_bank_color(m), transient_offline))
         mems.push_back(m);
       else
         ++stats_.offline_node_skips;
@@ -544,7 +666,7 @@ Kernel::AllocOutcome Kernel::alloc_colored(Task& t, uint64_t vpn_hint) {
   const unsigned nn = mapping_.num_nodes();
   for (unsigned step = 0; step < nn; ++step) {
     const unsigned node = (start_node + step) % nn;
-    if (!node_usable(node)) {
+    if (!node_usable(node, transient_offline)) {
       ++stats_.offline_node_skips;
       continue;
     }
@@ -566,14 +688,25 @@ Kernel::AllocOutcome Kernel::alloc_colored(Task& t, uint64_t vpn_hint) {
 }
 
 uint64_t Kernel::huge_pool_blocks_free() const {
+  std::lock_guard<HugeLock> hl(huge_lock_);
   uint64_t n = 0;
   for (const auto& pool : huge_pool_) n += pool.size();
   return n;
 }
 
+size_t Kernel::region_cache_entries() const {
+  std::lock_guard<DefaultLock> dl(default_lock_);
+  return region_node_.size();
+}
+
 unsigned Kernel::pick_default_node(const Task& t, uint64_t vpn_hint) {
   const unsigned nn = mapping_.num_nodes();
   if (nn == 1) return 0;
+
+  // One lock guards the kernel rng and the region cache: default-path
+  // node decisions are serialized, which also keeps the rng stream
+  // well-defined (and, serially, identical to the unlocked original).
+  std::lock_guard<DefaultLock> dl(default_lock_);
 
   // The recycle decision is cached per virtual region so that remote
   // memory arrives in arena-sized runs (see KernelConfig).
@@ -620,7 +753,28 @@ void Kernel::free_pages(Pfn pfn, unsigned order) {
   buddy_->free_block(pfn, order);
 }
 
-Kernel::InvariantReport Kernel::check_invariants(uint64_t expected_loose) const {
+Kernel::InvariantReport Kernel::check_invariants(uint64_t expected_loose,
+                                                 bool stop_the_world) const {
+  // Stop-the-world mode freezes the entire allocation path in ascending
+  // rank order (mm -> default -> page table -> huge pool -> color shards
+  // -> buddy zones), so the structural walk below is sound while real
+  // threads keep running: faults hold the mm lock shared end-to-end, so
+  // the exclusive acquisition drains every in-flight fault first. Raw
+  // alloc_pages/free_pages callers are not covered by the mm lock; the
+  // caller quiesces them (or passes their frames as expected_loose).
+  std::unique_lock<MmLock> mm(mm_lock_, std::defer_lock);
+  std::unique_lock<DefaultLock> dl(default_lock_, std::defer_lock);
+  std::unique_lock<PtLock> pt(pt_lock_, std::defer_lock);
+  std::unique_lock<HugeLock> hl(huge_lock_, std::defer_lock);
+  if (stop_the_world) {
+    mm.lock();
+    dl.lock();
+    pt.lock();
+    hl.lock();
+    colors_->freeze();
+    buddy_->freeze();
+  }
+
   InvariantReport rep;
   rep.total = topo_.total_pages();
   rep.pinned = buddy_->reserved_pages();
@@ -685,6 +839,12 @@ Kernel::InvariantReport Kernel::check_invariants(uint64_t expected_loose) const 
     rep.ok = false;
     rep.detail = "color-list walk disagrees with its counter";
   }
+
+  if (stop_the_world) {
+    buddy_->thaw();
+    colors_->thaw();
+  }
+  // hl/pt/dl/mm release in reverse declaration order (descending rank).
   return rep;
 }
 

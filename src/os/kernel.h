@@ -19,11 +19,24 @@
 // cache). `KernelConfig::reuse_probability` models that fraction; it is
 // the knob that gives the buddy baseline its remote accesses (Fig. 7)
 // and its run-to-run variance (error bars in Fig. 11).
+//
+// Thread safety: the whole allocation path -- mmap/munmap, page faults,
+// alloc_pages/free_pages, color control, failpoint arming and node
+// hotplug -- is safe under concurrent callers from real threads. The
+// lock-ordering contract (what each lock protects and the rank each one
+// carries) is documented in DESIGN.md section 10 and enforced in debug
+// builds by util/lock_rank.h. The single-threaded discrete-event engine
+// takes exactly the same code path in the same order, so serial results
+// stay bit-for-bit identical (determinism_test pins this).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -38,6 +51,7 @@
 #include "os/page.h"
 #include "os/page_table.h"
 #include "os/task.h"
+#include "util/lock_rank.h"
 #include "util/rng.h"
 
 namespace tint::os {
@@ -102,27 +116,63 @@ struct KernelConfig {
 };
 
 struct KernelStats {
-  uint64_t color_control_calls = 0;
-  uint64_t huge_faults = 0;
-  uint64_t mmap_calls = 0;
-  uint64_t munmap_calls = 0;
-  uint64_t page_faults = 0;
-  uint64_t refill_blocks = 0;
-  uint64_t refill_pages = 0;
+  std::atomic<uint64_t> color_control_calls{0};
+  std::atomic<uint64_t> huge_faults{0};
+  std::atomic<uint64_t> mmap_calls{0};
+  std::atomic<uint64_t> munmap_calls{0};
+  std::atomic<uint64_t> page_faults{0};
+  std::atomic<uint64_t> refill_blocks{0};
+  std::atomic<uint64_t> refill_pages{0};
   // --- degradation-ladder counters (one per served order-0 request;
   // see os/errors.h for stage semantics) ---
-  uint64_t ladder_colored = 0;    // served from the task's own combos
-  uint64_t ladder_widened = 0;    // constraint relaxed, node kept
-  uint64_t ladder_default = 0;    // stock buddy path (any order)
+  std::atomic<uint64_t> ladder_colored{0};  // served from the task's combos
+  std::atomic<uint64_t> ladder_widened{0};  // constraint relaxed, node kept
+  std::atomic<uint64_t> ladder_default{0};  // stock buddy path (any order)
   // Pages reclaimed from the color lists under memory pressure -- the
   // ladder's last resort before failing.
-  uint64_t scavenged_pages = 0;
-  uint64_t alloc_failures = 0;    // requests the exhausted ladder rejected
+  std::atomic<uint64_t> scavenged_pages{0};
+  std::atomic<uint64_t> alloc_failures{0};  // requests the ladder rejected
   // --- error/robustness bookkeeping ---
-  uint64_t failed_mmaps = 0;          // mmap calls that returned kMmapFailed
-  uint64_t failed_munmaps = 0;        // munmap calls rejected (bad args)
-  uint64_t offline_node_skips = 0;    // allocation loops skipping a node
-  uint64_t tlb_invalidations = 0;     // software-TLB generation bumps
+  std::atomic<uint64_t> failed_mmaps{0};    // mmap calls that kMmapFailed
+  std::atomic<uint64_t> failed_munmaps{0};  // munmap calls rejected
+  std::atomic<uint64_t> offline_node_skips{0};  // alloc loops skipping a node
+  std::atomic<uint64_t> tlb_invalidations{0};   // software-TLB epoch bumps
+  // Page faults that lost a same-page race: the frame was freed back and
+  // the winner's mapping adopted (concurrent callers only; always 0 in
+  // the serial engine).
+  std::atomic<uint64_t> fault_races_lost{0};
+
+  struct Snapshot {
+    uint64_t color_control_calls = 0;
+    uint64_t huge_faults = 0;
+    uint64_t mmap_calls = 0;
+    uint64_t munmap_calls = 0;
+    uint64_t page_faults = 0;
+    uint64_t refill_blocks = 0;
+    uint64_t refill_pages = 0;
+    uint64_t ladder_colored = 0;
+    uint64_t ladder_widened = 0;
+    uint64_t ladder_default = 0;
+    uint64_t scavenged_pages = 0;
+    uint64_t alloc_failures = 0;
+    uint64_t failed_mmaps = 0;
+    uint64_t failed_munmaps = 0;
+    uint64_t offline_node_skips = 0;
+    uint64_t tlb_invalidations = 0;
+    uint64_t fault_races_lost = 0;
+  };
+  Snapshot snapshot() const {
+    const auto ld = [](const std::atomic<uint64_t>& a) {
+      return a.load(std::memory_order_relaxed);
+    };
+    return {ld(color_control_calls), ld(huge_faults),    ld(mmap_calls),
+            ld(munmap_calls),        ld(page_faults),    ld(refill_blocks),
+            ld(refill_pages),        ld(ladder_colored), ld(ladder_widened),
+            ld(ladder_default),      ld(scavenged_pages), ld(alloc_failures),
+            ld(failed_mmaps),        ld(failed_munmaps),
+            ld(offline_node_skips),  ld(tlb_invalidations),
+            ld(fault_races_lost)};
+  }
 };
 
 class Kernel {
@@ -136,8 +186,8 @@ class Kernel {
 
   // --- tasks ---
   TaskId create_task(unsigned pinned_core);
-  Task& task(TaskId id) { return *tasks_.at(id); }
-  const Task& task(TaskId id) const { return *tasks_.at(id); }
+  Task& task(TaskId id) { return tasks_.at(id); }
+  const Task& task(TaskId id) const { return tasks_.at(id); }
   size_t num_tasks() const { return tasks_.size(); }
 
   // --- system calls ---
@@ -152,7 +202,11 @@ class Kernel {
   // partial-length unmap instead of aborting.
   bool munmap(TaskId task, VirtAddr base, uint64_t length);
   // Reason for the most recent failed mmap/munmap (kOk after a success).
-  AllocError last_error() const { return last_error_; }
+  // Kernel-wide, like a shared errno: under concurrent callers prefer
+  // the per-call results (TouchResult::error, AllocOutcome::error).
+  AllocError last_error() const {
+    return last_error_.load(std::memory_order_relaxed);
+  }
 
   // --- memory access path ---
   struct TouchResult {
@@ -168,9 +222,7 @@ class Kernel {
   // Translates `va`, faulting in a frame on first touch using the
   // *calling* task's policy.
   TouchResult touch(TaskId task, VirtAddr va, bool write);
-  std::optional<uint64_t> translate(VirtAddr va) const {
-    return page_table_.translate(va);
-  }
+  std::optional<uint64_t> translate(VirtAddr va) const;
 
   // --- Algorithm 1 (exposed for tests and the allocator bench) ---
   struct AllocOutcome {
@@ -195,10 +247,11 @@ class Kernel {
   // Offlines/onlines a node at runtime: allocation paths skip offline
   // zones (counted in KernelStats::offline_node_skips); frees to an
   // offline zone still land in its free lists, ready for re-onlining.
+  // Safe to call concurrently with allocations (node hotplug torture).
   void set_node_online(unsigned node, bool online);
   bool node_online(unsigned node) const {
-    TINT_DASSERT(node < node_online_.size());
-    return node_online_[node] != 0;
+    TINT_DASSERT(node < topo_.num_nodes());
+    return node_online_[node].load(std::memory_order_acquire) != 0;
   }
 
   // --- frame-accounting invariants ---
@@ -219,9 +272,19 @@ class Kernel {
     uint64_t double_counted = 0;  // frames found in more than one pool
     std::string detail;           // first inconsistency, for diagnostics
   };
-  InvariantReport check_invariants(uint64_t expected_loose = 0) const;
+  // `stop_the_world` freezes every allocation-path lock (in rank order)
+  // for the duration of the walk, so the check stays sound while real
+  // threads keep faulting through the VMA path: in-flight faults hold
+  // the mm lock shared, so the exclusive acquisition drains them first.
+  // Raw alloc_pages/free_pages callers bypass the mm lock; they must be
+  // quiesced (or accounted via expected_loose) by the caller.
+  InvariantReport check_invariants(uint64_t expected_loose = 0,
+                                   bool stop_the_world = false) const;
 
   // --- introspection ---
+  // The subsystem references are safe to *read* concurrently through
+  // their own APIs; structural walks (snapshot_*) require quiescence or
+  // the stop-the-world invariant checker.
   BuddyAllocator& buddy() { return *buddy_; }
   ColorLists& color_lists() { return *colors_; }
   const std::vector<PageInfo>& pages() const { return pages_; }
@@ -234,78 +297,109 @@ class Kernel {
   uint64_t huge_pool_blocks_free() const;
   // Cached per-region default-path node decisions currently held; kept
   // bounded by erasing a VMA's regions on munmap.
-  size_t region_cache_entries() const { return region_node_.size(); }
+  size_t region_cache_entries() const;
 
  private:
   // Colored path of Algorithm 1. Returns kNoPage when every candidate
-  // color pool and its backing zones are exhausted.
-  AllocOutcome alloc_colored(Task& t, uint64_t vpn_hint);
+  // color pool and its backing zones are exhausted. `transient_offline`
+  // is the per-allocation node injected by the kNodeOffline failpoint
+  // (-1 = none); it is threaded through by value so concurrent
+  // allocations cannot observe each other's injected outages.
+  AllocOutcome alloc_colored(Task& t, uint64_t vpn_hint,
+                             int64_t transient_offline);
   // Ladder stage 2: any parked page on the task's own nodes, relaxing
   // the color constraint but keeping node locality (the in-kernel
   // analogue of ColorAdvisor's widening advice).
-  Pfn widen_from_node_lists(const Task& t);
+  Pfn widen_from_node_lists(const Task& t, int64_t transient_offline);
   // Huge-page fault: maps an aligned 2 MB block at once (node-aware).
+  // Caller holds the mm lock shared.
   TouchResult fault_huge(Task& t, VirtAddr va, VirtAddr vma_base);
   unsigned pick_default_node(const Task& t, uint64_t vpn_hint);
   // Online and not transiently failed for the current allocation.
-  bool node_usable(unsigned node) const {
-    return node_online_[node] != 0 &&
-           static_cast<int64_t>(node) != transient_offline_;
+  bool node_usable(unsigned node, int64_t transient_offline) const {
+    return node_online(node) &&
+           static_cast<int64_t>(node) != transient_offline;
   }
   // Invalidates the whole software TLB in O(1) via the generation
   // counter (any frame may have been reclaimed).
   void invalidate_tlb() {
-    ++tlb_epoch_;
+    tlb_epoch_.fetch_add(1, std::memory_order_release);
     ++stats_.tlb_invalidations;
   }
   VirtAddr fail_mmap(AllocError why) {
-    last_error_ = why;
+    last_error_.store(why, std::memory_order_relaxed);
     ++stats_.failed_mmaps;
     return kMmapFailed;
+  }
+  void set_last_error(AllocError why) {
+    last_error_.store(why, std::memory_order_relaxed);
   }
 
   hw::Topology topo_;
   const hw::AddressMapping& mapping_;
   KernelConfig cfg_;
-  Rng rng_;
   std::vector<PageInfo> pages_;
   std::unique_ptr<BuddyAllocator> buddy_;
   std::unique_ptr<ColorLists> colors_;
   PageTable page_table_;
-  std::vector<std::unique_ptr<Task>> tasks_;
+  TaskTable tasks_;
+
+  // --- locks (ranks from util/lock_rank.h; full contract in DESIGN.md
+  // section 10) ---
+  // mm lock: VMA table + VA cursor. Faults hold it shared end-to-end
+  // (like Linux's mmap_lock), mmap/munmap hold it exclusive -- which is
+  // also what lets the stop-the-world invariant walk drain in-flight
+  // faults.
+  mutable util::RankedSharedMutex<util::lock_rank::kMm> mm_lock_;
+  // Default-path state: kernel rng + per-region node cache.
+  mutable util::RankedMutex<util::lock_rank::kDefaultPath> default_lock_;
+  // Page-table lock: shared for translation, exclusive for map/unmap.
+  mutable util::RankedSharedMutex<util::lock_rank::kPageTable> pt_lock_;
+  // Huge-pool lock: the per-node reserved 2 MB block stacks.
+  mutable util::RankedMutex<util::lock_rank::kHugePool> huge_lock_;
+
+  Rng rng_;  // guarded by default_lock_ after boot
 
   struct Vma {
     uint64_t length = 0;
     TaskId creator = kNoTask;
     bool huge = false;  // 2 MB frames (MAP_HUGE_2MB)
   };
-  std::map<VirtAddr, Vma> vmas_;
-  VirtAddr va_cursor_ = 0x100000000000ULL;  // heap VA bump pointer
+  std::map<VirtAddr, Vma> vmas_;            // guarded by mm_lock_
+  VirtAddr va_cursor_ = 0x100000000000ULL;  // heap VA bump pointer (mm_lock_)
   // Software translation cache in front of the page table (performance
   // of the simulator only -- the TLB itself is not timed). Entries are
   // stamped with a generation counter; free_pages/munmap bump the
   // counter, invalidating every entry in O(1) so a reclaimed frame can
-  // never be returned through a stale translation.
-  struct TlbEntry {
-    uint64_t vpn = ~0ULL;
-    Pfn pfn = kNoPage;
-    uint64_t epoch = 0;
+  // never be returned through a stale translation. Each slot is a tiny
+  // seqlock (sequence count + relaxed-atomic payload) so concurrent
+  // readers never observe a torn (vpn, pfn, epoch) triple; fills are
+  // best-effort and skip the slot if another thread is mid-write.
+  struct TlbSlot {
+    std::atomic<uint32_t> seq{0};  // odd = write in progress
+    std::atomic<uint64_t> vpn{~0ULL};
+    std::atomic<uint64_t> pfn{kNoPage};
+    std::atomic<uint64_t> epoch{0};
   };
   static constexpr size_t kTlbSize = 4096;  // power of two
-  std::vector<TlbEntry> tlb_ = std::vector<TlbEntry>(kTlbSize);
-  uint64_t tlb_epoch_ = 1;  // entries default to epoch 0 == invalid
+  std::vector<TlbSlot> tlb_ = std::vector<TlbSlot>(kTlbSize);
+  std::atomic<uint64_t> tlb_epoch_{1};  // slots default to epoch 0 == invalid
+  std::optional<uint64_t> tlb_lookup(uint64_t vpn) const;
+  // `epoch` must have been loaded *before* the translation that produced
+  // `pfn` was read, so a concurrent invalidation can never be stamped
+  // over (the stale fill lands with an already-dead epoch instead).
+  void tlb_fill(uint64_t vpn, Pfn pfn, uint64_t epoch);
   // Default-path node decision per virtual region (see KernelConfig).
   // Entries covering a VMA are erased on munmap so long experiment
-  // sweeps do not grow the map without bound.
+  // sweeps do not grow the map without bound. Guarded by default_lock_.
   std::unordered_map<uint64_t, unsigned> region_node_;
   // Boot-reserved huge blocks (hugetlbfs-style), one stack per node.
+  // Guarded by huge_lock_ after boot.
   std::vector<std::vector<Pfn>> huge_pool_;
-  // Node hotplug state (1 = online) and the per-allocation transient
-  // offline node injected by the kNodeOffline failpoint (-1 = none).
-  std::vector<uint8_t> node_online_;
-  int64_t transient_offline_ = -1;
+  // Node hotplug state (1 = online).
+  std::unique_ptr<std::atomic<uint8_t>[]> node_online_;
   FailPoints fail_;
-  AllocError last_error_ = AllocError::kOk;
+  std::atomic<AllocError> last_error_{AllocError::kOk};
   KernelStats stats_;
 };
 

@@ -4,6 +4,11 @@
 // tasks (threads). Mappings are created lazily by the page-fault path --
 // Linux/TintMalloc first-touch semantics: the *faulting* task's policy
 // decides the frame, no matter which task created the VMA.
+//
+// The table itself is an unlocked data structure; the kernel guards all
+// access with its page-table lock (rank kPageTable, see util/lock_rank.h
+// and DESIGN.md section 10), shared for translation, exclusive for
+// map/unmap.
 #pragma once
 
 #include <cstdint>
@@ -42,6 +47,14 @@ class PageTable {
   void map(uint64_t vpn, Pfn pfn) {
     const bool inserted = map_.emplace(vpn, pfn).second;
     TINT_ASSERT_MSG(inserted, "double mapping of a virtual page");
+  }
+
+  // Maps vpn -> pfn unless vpn is already mapped; returns the winning
+  // pfn either way. The fault path uses this to resolve two threads
+  // faulting the same page concurrently: the loser frees its frame and
+  // adopts the winner's mapping instead of aborting.
+  Pfn map_or_get(uint64_t vpn, Pfn pfn) {
+    return map_.emplace(vpn, pfn).first->second;
   }
 
   // Removes a mapping; returns the pfn that was mapped, if any.

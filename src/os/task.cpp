@@ -55,4 +55,13 @@ void Task::rebuild_lists() {
     if (llc_colors_[i]) llc_list_.push_back(static_cast<uint8_t>(i));
 }
 
+TaskId TaskTable::create(unsigned core, unsigned local_node,
+                         unsigned num_bank_colors, unsigned num_llc_colors) {
+  std::unique_lock lk(mu_);
+  const TaskId id = static_cast<TaskId>(tasks_.size());
+  tasks_.push_back(std::make_unique<Task>(id, core, local_node,
+                                          num_bank_colors, num_llc_colors));
+  return id;
+}
+
 }  // namespace tint::os

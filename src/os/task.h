@@ -7,29 +7,64 @@
 //
 // A task also records its core pinning (the paper assumes task-to-core
 // assignment is static) and allocation statistics.
+//
+// Thread safety: allocation statistics and the combo cursor are atomics
+// -- any thread's fault may bump them. The color sets themselves follow
+// the task_struct ownership rule: they are written by the task's own
+// thread (the paper's opt-in happens during that thread's init), so
+// color-control calls for a task must not race with that same task's
+// faults. The `TaskTable` below makes creation and lookup safe from any
+// thread.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <vector>
 
 #include "os/page.h"
+#include "util/lock_rank.h"
 
 namespace tint::os {
 
 struct TaskAllocStats {
-  uint64_t page_faults = 0;
-  uint64_t colored_pages = 0;      // pages served from color lists
-  uint64_t default_pages = 0;      // pages served by the default path
-  uint64_t fallback_pages = 0;     // colored request that fell back (pool dry)
-  uint64_t refill_blocks = 0;      // buddy blocks colorized on our behalf
-  uint64_t refill_pages = 0;       // pages scattered by those refills
-  uint64_t remote_pages = 0;       // pages not on the task's local node
+  std::atomic<uint64_t> page_faults{0};
+  std::atomic<uint64_t> colored_pages{0};   // pages served from color lists
+  std::atomic<uint64_t> default_pages{0};   // pages served by the default path
+  std::atomic<uint64_t> fallback_pages{0};  // colored request fell back (dry)
+  std::atomic<uint64_t> refill_blocks{0};   // buddy blocks colorized for us
+  std::atomic<uint64_t> refill_pages{0};    // pages scattered by those refills
+  std::atomic<uint64_t> remote_pages{0};    // pages not on the local node
   // Degradation-ladder detail (see os/errors.h). Widened and scavenged
   // pages are *also* counted in default_pages/fallback_pages, preserving
   // the page_faults == colored_pages + default_pages identity.
-  uint64_t widened_pages = 0;      // constraint relaxed, node kept
-  uint64_t scavenged_pages = 0;    // reclaimed stranded colorized frames
-  uint64_t failed_allocs = 0;      // faults the exhausted ladder rejected
+  std::atomic<uint64_t> widened_pages{0};   // constraint relaxed, node kept
+  std::atomic<uint64_t> scavenged_pages{0}; // reclaimed stranded frames
+  std::atomic<uint64_t> failed_allocs{0};   // faults the ladder rejected
+
+  struct Snapshot {
+    uint64_t page_faults = 0;
+    uint64_t colored_pages = 0;
+    uint64_t default_pages = 0;
+    uint64_t fallback_pages = 0;
+    uint64_t refill_blocks = 0;
+    uint64_t refill_pages = 0;
+    uint64_t remote_pages = 0;
+    uint64_t widened_pages = 0;
+    uint64_t scavenged_pages = 0;
+    uint64_t failed_allocs = 0;
+  };
+  Snapshot snapshot() const {
+    const auto ld = [](const std::atomic<uint64_t>& a) {
+      return a.load(std::memory_order_relaxed);
+    };
+    return {ld(page_faults),  ld(colored_pages),   ld(default_pages),
+            ld(fallback_pages), ld(refill_blocks), ld(refill_pages),
+            ld(remote_pages), ld(widened_pages),   ld(scavenged_pages),
+            ld(failed_allocs)};
+  }
 };
 
 class Task {
@@ -60,7 +95,9 @@ class Task {
   // Round-robin cursor so consecutive faults spread over the task's
   // (MEM_ID, LLC_ID) combinations -- keeps a task's heap striped across
   // its own banks/LLC slices for intra-task bank parallelism.
-  uint64_t next_combo_cursor() { return combo_cursor_++; }
+  uint64_t next_combo_cursor() {
+    return combo_cursor_.fetch_add(1, std::memory_order_relaxed);
+  }
 
   TaskAllocStats& alloc_stats() { return stats_; }
   const TaskAllocStats& alloc_stats() const { return stats_; }
@@ -79,8 +116,39 @@ class Task {
   std::vector<uint8_t> llc_list_;
   // Starts at a per-task phase so tasks sharing a bank pool do not walk
   // the banks in lockstep (which would make them collide persistently).
-  uint64_t combo_cursor_;
+  std::atomic<uint64_t> combo_cursor_;
   TaskAllocStats stats_;
+};
+
+// Growable task registry safe for concurrent create + lookup (the
+// simulated analogue of the kernel's pid table). Task objects live
+// behind unique_ptrs, so a Task& stays valid while other threads keep
+// creating tasks; tasks are never destroyed before the kernel itself.
+class TaskTable {
+ public:
+  // Appends a task and returns its id.
+  TaskId create(unsigned core, unsigned local_node, unsigned num_bank_colors,
+                unsigned num_llc_colors);
+
+  Task& at(TaskId id) {
+    std::shared_lock lk(mu_);
+    TINT_ASSERT_MSG(id < tasks_.size(), "unknown task id");
+    return *tasks_[id];
+  }
+  const Task& at(TaskId id) const {
+    std::shared_lock lk(mu_);
+    TINT_ASSERT_MSG(id < tasks_.size(), "unknown task id");
+    return *tasks_[id];
+  }
+
+  size_t size() const {
+    std::shared_lock lk(mu_);
+    return tasks_.size();
+  }
+
+ private:
+  mutable util::RankedSharedMutex<util::lock_rank::kTaskTable> mu_;
+  std::vector<std::unique_ptr<Task>> tasks_;
 };
 
 }  // namespace tint::os

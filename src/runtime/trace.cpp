@@ -14,6 +14,9 @@ TraceRecorder::TraceRecorder(core::Session& session, size_t capacity)
 
 Cycles TraceRecorder::access(os::TaskId task, os::VirtAddr va, bool write,
                              Cycles now) {
+  // Held across touch + memsys access: rank kTrace sits below every
+  // kernel lock, so faulting inside the critical section is safe.
+  std::lock_guard<Mutex> lk(mu_);
   // Translate first (possibly faulting) so the record carries the frame.
   const os::Kernel::TouchResult tr = session_.kernel().touch(task, va, write);
   TINT_ASSERT_MSG(tr.error == os::AllocError::kOk,
@@ -43,11 +46,13 @@ Cycles TraceRecorder::access(os::TaskId task, os::VirtAddr va, bool write,
 }
 
 void TraceRecorder::clear() {
+  std::lock_guard<Mutex> lk(mu_);
   records_.clear();
   dropped_ = 0;
 }
 
 std::string TraceRecorder::to_csv() const {
+  std::lock_guard<Mutex> lk(mu_);
   std::ostringstream os;
   os << "va,pa,start,latency,task,node,bank,llc,write,faulted\n";
   for (const TraceRecord& r : records_) {

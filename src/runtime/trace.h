@@ -10,11 +10,13 @@
 //   * exported as CSV for external tooling.
 #pragma once
 
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/session.h"
 #include "runtime/sim_thread.h"
+#include "util/lock_rank.h"
 #include "util/stats.h"
 
 namespace tint::runtime {
@@ -38,21 +40,34 @@ class TraceRecorder {
   // and later ones dropped once full (dropped count is reported).
   explicit TraceRecorder(core::Session& session, size_t capacity = 1 << 20);
 
-  // Timed access through the session, recorded.
+  // Timed access through the session, recorded. Safe to call from
+  // concurrent threads: the recorder mutex (rank kTrace, below every
+  // kernel lock) is held across the whole access so the record sequence
+  // stays a coherent interleaving and the memory-system model is never
+  // entered concurrently. Every over-capacity access is counted in
+  // dropped() -- the count cannot under-report under contention.
   Cycles access(os::TaskId task, os::VirtAddr va, bool write, Cycles now);
 
+  // The records vector is only safe to read once concurrent access()
+  // callers have quiesced (joined); the accessors below do not copy.
   const std::vector<TraceRecord>& records() const { return records_; }
-  uint64_t dropped() const { return dropped_; }
+  uint64_t dropped() const {
+    std::lock_guard<Mutex> lk(mu_);
+    return dropped_;
+  }
   void clear();
 
   // Writes "va,pa,start,latency,task,node,bank,llc,write,faulted" rows.
   std::string to_csv() const;
 
  private:
+  using Mutex = util::RankedMutex<util::lock_rank::kTrace>;
+
   core::Session& session_;
   size_t capacity_;
-  std::vector<TraceRecord> records_;
-  uint64_t dropped_ = 0;
+  mutable Mutex mu_;
+  std::vector<TraceRecord> records_;  // guarded by mu_
+  uint64_t dropped_ = 0;              // guarded by mu_
 };
 
 // Aggregate view of a trace.

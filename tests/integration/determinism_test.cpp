@@ -2,6 +2,9 @@
 // bit-for-bit -- the foundation of every comparison in the benches.
 #include <gtest/gtest.h>
 
+#include <bit>
+#include <cstdint>
+
 #include "runtime/experiment.h"
 #include "runtime/workload.h"
 
@@ -39,6 +42,43 @@ TEST(Determinism, IdenticalSeedsIdenticalRuns) {
     EXPECT_EQ(a.remote_pages, b.remote_pages);
     EXPECT_EQ(a.pages_touched, b.pages_touched);
     EXPECT_DOUBLE_EQ(a.avg_access_latency, b.avg_access_latency);
+  }
+}
+
+// Pinned golden results from the serial engine, captured before the
+// allocation stack grew its locks. Any change to lock placement, stat
+// atomics or the TLB must leave the single-threaded simulation
+// *bit-for-bit* identical -- not merely self-consistent -- so the values
+// are asserted against these literals, not against a second run.
+// avg_access_latency is compared through its IEEE-754 bit pattern.
+TEST(Determinism, SerialResultsMatchPreLockingGoldens) {
+  struct Golden {
+    core::Policy policy;
+    uint64_t total_runtime;
+    uint64_t total_idle;
+    uint64_t pages_touched;
+    uint64_t remote_pages;
+    uint64_t avg_latency_bits;
+  };
+  const Golden goldens[] = {
+      {core::Policy::kBuddy, 1082261ull, 401864ull, 272ull, 144ull,
+       0x40557d116b835c7full},
+      {core::Policy::kBpm, 1040799ull, 240303ull, 272ull, 176ull,
+       0x4054edbabed17707ull},
+      {core::Policy::kMemLlc, 766193ull, 141616ull, 272ull, 0ull,
+       0x404ca98ac98c5b88ull},
+  };
+  WorkloadRunner runner(core::MachineConfig::tiny());
+  const std::vector<unsigned> cores = {0, 1, 2, 3};
+  for (const Golden& g : goldens) {
+    const RunResult r = runner.run(spec(), g.policy, cores, 99);
+    EXPECT_EQ(r.total_runtime, g.total_runtime) << core::to_string(g.policy);
+    EXPECT_EQ(r.total_idle, g.total_idle) << core::to_string(g.policy);
+    EXPECT_EQ(r.pages_touched, g.pages_touched) << core::to_string(g.policy);
+    EXPECT_EQ(r.remote_pages, g.remote_pages) << core::to_string(g.policy);
+    EXPECT_EQ(std::bit_cast<uint64_t>(r.avg_access_latency),
+              g.avg_latency_bits)
+        << core::to_string(g.policy);
   }
 }
 

@@ -1,0 +1,93 @@
+// The lock-rank checker itself: ascending acquisition is legal, a
+// descending acquisition aborts (debug builds), and the ranked wrappers
+// behave as plain lockables otherwise.
+#include "util/lock_rank.h"
+
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+
+namespace tint::util {
+namespace {
+
+TEST(LockRank, AscendingOrderIsLegal) {
+  RankedMutex<lock_rank::kMm> mm;
+  RankedMutex<lock_rank::kPageTable> pt;
+  RankedMutex<lock_rank::kBuddyZone> zone;
+  std::lock_guard<RankedMutex<lock_rank::kMm>> a(mm);
+  std::lock_guard<RankedMutex<lock_rank::kPageTable>> b(pt);
+  std::lock_guard<RankedMutex<lock_rank::kBuddyZone>> c(zone);
+  SUCCEED();
+}
+
+TEST(LockRank, EqualRankIsLegal) {
+  // Stop-the-world freezes take many same-rank locks (shard 0, 1, ...).
+  RankedMutex<lock_rank::kColorShard> s0, s1;
+  std::lock_guard<RankedMutex<lock_rank::kColorShard>> a(s0);
+  std::lock_guard<RankedMutex<lock_rank::kColorShard>> b(s1);
+  SUCCEED();
+}
+
+TEST(LockRank, ReacquireAfterReleaseIsLegal) {
+  RankedMutex<lock_rank::kBuddyZone> zone;
+  RankedMutex<lock_rank::kMm> mm;
+  zone.lock();
+  zone.unlock();
+  // Dropping back to an empty held-set makes any rank legal again.
+  mm.lock();
+  mm.unlock();
+  SUCCEED();
+}
+
+TEST(LockRank, SharedHoldsParticipate) {
+  RankedSharedMutex<lock_rank::kMm> mm;
+  RankedSharedMutex<lock_rank::kPageTable> pt;
+  std::shared_lock<RankedSharedMutex<lock_rank::kMm>> a(mm);
+  std::shared_lock<RankedSharedMutex<lock_rank::kPageTable>> b(pt);
+  SUCCEED();
+}
+
+TEST(LockRank, HeldSetIsPerThread) {
+  // A high rank held on one thread must not constrain another thread.
+  RankedMutex<lock_rank::kFailPoint> leaf;
+  leaf.lock();
+  std::thread other([] {
+    RankedMutex<lock_rank::kMm> mm;
+    mm.lock();
+    mm.unlock();
+  });
+  other.join();
+  leaf.unlock();
+  SUCCEED();
+}
+
+#ifdef TINT_DEBUG_CHECKS
+using LockRankDeathTest = ::testing::Test;
+
+TEST(LockRankDeathTest, DescendingAcquisitionAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        RankedMutex<lock_rank::kBuddyZone> zone;
+        RankedMutex<lock_rank::kMm> mm;
+        zone.lock();
+        mm.lock();  // rank 10 under rank 70: ordering violation
+      },
+      "lock-rank violation");
+}
+
+TEST(LockRankDeathTest, UnlockingUnheldRankAborts) {
+  ::testing::GTEST_FLAG(death_test_style) = "threadsafe";
+  EXPECT_DEATH(
+      {
+        RankedMutex<lock_rank::kMm> mm;
+        mm.unlock();  // never locked on this thread
+      },
+      "lock-rank violation");
+}
+#endif  // TINT_DEBUG_CHECKS
+
+}  // namespace
+}  // namespace tint::util
