@@ -5,12 +5,21 @@
 //   TINT_REPS   repetitions per cell   (default 2; paper used 10)
 // so `for b in build/bench/*; do $b; done` stays fast by default while a
 // full-fidelity run is one env var away.
+//
+// Benches built on Google Benchmark use run_gbench_main() instead of
+// BENCHMARK_MAIN(): it adds a `--json <path>` flag that mirrors the full
+// machine-readable report (per-benchmark timings + counters) to a file
+// while keeping the console output, so CI can diff runs without scraping
+// stdout.
 #pragma once
+
+#include <benchmark/benchmark.h>
 
 #include <bit>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "runtime/experiment.h"
 #include "runtime/workload.h"
@@ -76,6 +85,34 @@ inline FigureCell run_cell(runtime::ExperimentDriver& driver,
 
 inline std::string norm(double value, double base, int precision = 3) {
   return base > 0 ? Table::fmt(value / base, precision) : "-";
+}
+
+// Rewrites `--json <path>` into Google Benchmark's own output flags
+// (`--benchmark_out=<path> --benchmark_out_format=json`), then runs the
+// registered benchmarks: console output stays on stdout, and the full
+// machine-readable report (timings + counters) lands in <path>.
+inline int run_gbench_main(int argc, char** argv) {
+  std::vector<std::string> storage(argv, argv + argc);
+  for (auto it = storage.begin(); it != storage.end();) {
+    if (*it == "--json" && it + 1 != storage.end()) {
+      const std::string path = *(it + 1);
+      it = storage.erase(it, it + 2);
+      it = storage.insert(it, "--benchmark_out=" + path);
+      it = storage.insert(it + 1, "--benchmark_out_format=json");
+      ++it;
+    } else {
+      ++it;
+    }
+  }
+  std::vector<char*> args;
+  args.reserve(storage.size());
+  for (std::string& s : storage) args.push_back(s.data());
+  int n = static_cast<int>(args.size());
+  benchmark::Initialize(&n, args.data());
+  if (benchmark::ReportUnrecognizedArguments(n, args.data())) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
 }
 
 }  // namespace tint::bench

@@ -21,6 +21,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/common.h"
 #include "core/session.h"
 #include "util/rng.h"
 
@@ -156,4 +157,6 @@ BENCHMARK(BM_VmaChurn_Colored)->ThreadRange(1, 32)->UseRealTime();
 BENCHMARK(BM_RawAllocFree_Buddy)->ThreadRange(1, 32)->UseRealTime();
 BENCHMARK(BM_RawAllocFree_Colored)->ThreadRange(1, 32)->UseRealTime();
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return tint::bench::run_gbench_main(argc, argv);
+}

@@ -11,6 +11,7 @@
 
 #include <vector>
 
+#include "bench/common.h"
 #include "core/tintmalloc.h"
 #include "hw/pci_config.h"
 
@@ -108,4 +109,6 @@ BENCHMARK(BM_PressureSoak)
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return tint::bench::run_gbench_main(argc, argv);
+}

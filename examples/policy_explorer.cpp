@@ -44,7 +44,8 @@ int main(int argc, char** argv) {
   Table table(spec.name + " @ " + config.name + " (scale " +
               Table::fmt(scale, 2) + ", " + std::to_string(reps) + " reps)");
   table.set_header({"policy", "runtime", "norm", "idle", "norm", "spread",
-                    "maxidle", "remote%", "fallback%", "llcmiss%"});
+                    "maxidle", "remote%", "fallback%", "llcmiss%", "poisoned",
+                    "migrated", "retired"});
 
   double base_rt = 0, base_idle = 0;
   for (const core::Policy p : core::all_policies()) {
@@ -62,7 +63,11 @@ int main(int argc, char** argv) {
          Table::fmt(r.max_thread_idle.mean() / 1e6, 2),
          Table::fmt(100 * r.remote_fraction, 1),
          Table::fmt(100 * r.fallback_fraction, 2),
-         Table::fmt(100 * r.llc_miss_rate, 1)});
+         Table::fmt(100 * r.llc_miss_rate, 1),
+         // RAS columns: nonzero only when a DRAM fault model or ECC
+         // failpoints were injected into the run.
+         std::to_string(r.frames_poisoned), std::to_string(r.pages_migrated),
+         std::to_string(r.colors_retired)});
   }
   table.print();
   return 0;

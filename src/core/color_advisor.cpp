@@ -58,12 +58,47 @@ std::vector<TaskAdvice> ColorAdvisor::analyze(
       ++node_llc_claims[t.local_node()][c];
   }
 
+  // RAS-retired banks: never suggest them, and tell tasks still holding
+  // them to swap in healthy replacements.
+  std::vector<uint8_t> retired(mapping_.num_bank_colors(), 0);
+  for (const unsigned c : kernel.retired_colors()) retired[c] = 1;
+
   std::vector<TaskAdvice> out;
   for (os::TaskId id = 0; id < kernel.num_tasks(); ++id) {
     const os::Task& t = kernel.task(id);
     const os::TaskAllocStats& as = t.alloc_stats();
     TaskAdvice advice;
     advice.task = id;
+
+    // Retired colors outrank fallback pressure: a retired bank serves no
+    // new frames, so the task's pool has silently shrunk even if its
+    // fallback fraction still looks healthy.
+    if (t.using_bank()) {
+      for (const uint16_t c : t.mem_color_list())
+        if (retired[c])
+          advice.removals.mem_colors.push_back(c);
+      if (!advice.removals.mem_colors.empty()) {
+        for (unsigned b = 0; b < mapping_.banks_per_node() &&
+                             advice.additions.mem_colors.size() <
+                                 advice.removals.mem_colors.size();
+             ++b) {
+          const unsigned color = mapping_.make_bank_color(t.local_node(), b);
+          if (!retired[color] && bank_claims[color] == 0 &&
+              !t.has_mem_color(color))
+            advice.additions.mem_colors.push_back(
+                static_cast<uint16_t>(color));
+        }
+        advice.kind = TaskAdvice::Kind::kReplaceRetired;
+        advice.reason =
+            std::to_string(advice.removals.mem_colors.size()) +
+            " bank color(s) retired by RAS" +
+            (advice.additions.mem_colors.empty()
+                 ? "; no unclaimed local replacement -- dropping only"
+                 : "; replacing with unclaimed local banks");
+        out.push_back(std::move(advice));
+        continue;
+      }
+    }
 
     const double fb =
         as.page_faults ? static_cast<double>(as.fallback_pages) /
@@ -79,7 +114,8 @@ std::vector<TaskAdvice> ColorAdvisor::analyze(
     if (t.using_bank()) {
       for (unsigned b = 0; b < mapping_.banks_per_node(); ++b) {
         const unsigned color = mapping_.make_bank_color(t.local_node(), b);
-        if (bank_claims[color] == 0 && !t.has_mem_color(color))
+        if (bank_claims[color] == 0 && !retired[color] &&
+            !t.has_mem_color(color))
           advice.additions.mem_colors.push_back(
               static_cast<uint16_t>(color));
       }
@@ -119,7 +155,20 @@ std::vector<TaskAdvice> ColorAdvisor::analyze(
 unsigned ColorAdvisor::apply(os::Kernel& kernel,
                              const TaskAdvice& advice) const {
   if (advice.kind == TaskAdvice::Kind::kOk) return 0;
-  return apply_thread_colors(kernel, advice.task, advice.additions);
+  unsigned calls = 0;
+  for (const uint16_t c : advice.removals.mem_colors) {
+    const os::VirtAddr r = kernel.mmap(
+        advice.task, c | os::CLEAR_MEM_COLOR, 0, os::PROT_COLOR_ALLOC);
+    TINT_ASSERT_MSG(r != os::kMmapFailed, "CLEAR_MEM_COLOR rejected");
+    ++calls;
+  }
+  for (const uint8_t c : advice.removals.llc_colors) {
+    const os::VirtAddr r = kernel.mmap(
+        advice.task, c | os::CLEAR_LLC_COLOR, 0, os::PROT_COLOR_ALLOC);
+    TINT_ASSERT_MSG(r != os::kMmapFailed, "CLEAR_LLC_COLOR rejected");
+    ++calls;
+  }
+  return calls + apply_thread_colors(kernel, advice.task, advice.additions);
 }
 
 }  // namespace tint::core

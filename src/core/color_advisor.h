@@ -24,9 +24,10 @@ namespace tint::core {
 
 struct TaskAdvice {
   enum class Kind {
-    kOk,          // no action needed
-    kWidenBanks,  // add the suggested bank colors (free on local node)
-    kShareLlc,    // add LLC colors already used by same-node tasks
+    kOk,              // no action needed
+    kWidenBanks,      // add the suggested bank colors (free on local node)
+    kShareLlc,        // add LLC colors already used by same-node tasks
+    kReplaceRetired,  // drop RAS-retired bank colors, add healthy ones
   };
 
   os::TaskId task = os::kNoTask;
@@ -34,6 +35,11 @@ struct TaskAdvice {
   std::string reason;
   // Colors to add (empty for kOk).
   ThreadColorPlan additions;
+  // Colors to drop first (kReplaceRetired only): banks the kernel's RAS
+  // layer retired after repeated poisoning. alloc_colored() already skips
+  // them, so they only shrink the task's pool -- clearing them makes the
+  // plan honest and lets capacity checks see the real geometry.
+  ThreadColorPlan removals;
 };
 
 class ColorAdvisor {
@@ -56,8 +62,9 @@ class ColorAdvisor {
   std::vector<TaskAdvice> analyze(const os::Kernel& kernel,
                                   double fallback_tolerance = 0.02) const;
 
-  // Applies one piece of advice through the mmap color protocol.
-  // Returns the number of color-control calls issued.
+  // Applies one piece of advice through the mmap color protocol
+  // (CLEAR_* for removals first, then SET_* for additions). Returns the
+  // number of color-control calls issued.
   unsigned apply(os::Kernel& kernel, const TaskAdvice& advice) const;
 
  private:

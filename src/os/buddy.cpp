@@ -122,7 +122,7 @@ void BuddyAllocator::free_block(Pfn pfn, unsigned order) {
   push(node, order, pfn);
 }
 
-bool BuddyAllocator::reserve_page(Pfn pfn) {
+bool BuddyAllocator::carve_page(Pfn pfn) {
   TINT_ASSERT(pfn < total_pages_);
   const unsigned node = node_of(pfn);
   std::lock_guard<ZoneLock> lk(zone_locks_[node]);
@@ -151,10 +151,15 @@ bool BuddyAllocator::reserve_page(Pfn pfn) {
     }
     TINT_DASSERT(cur == pfn);
     pages_[pfn].state = PageState::kAllocated;
-    reserved_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
   return false;
+}
+
+bool BuddyAllocator::reserve_page(Pfn pfn) {
+  if (!carve_page(pfn)) return false;
+  reserved_.fetch_add(1, std::memory_order_relaxed);
+  return true;
 }
 
 void BuddyAllocator::warm_up(Rng& rng, unsigned episodes, unsigned frag_shift) {

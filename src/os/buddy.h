@@ -82,8 +82,13 @@ class BuddyAllocator {
 
   // Carves a specific page out of whatever free block contains it
   // (splitting as needed) and marks it allocated. Returns false if the
-  // page is not currently free. Used by warm-up to emulate pinned
-  // kernel/page-cache pages that keep the free lists fragmented.
+  // page is not currently free. The RAS path uses this to pull a faulty
+  // frame out of the free lists for quarantine.
+  bool carve_page(Pfn pfn);
+
+  // carve_page + counts the page as permanently pinned. Used by warm-up
+  // to emulate pinned kernel/page-cache pages that keep the free lists
+  // fragmented.
   bool reserve_page(Pfn pfn);
 
   // Emulates a warmed-up system (see file comment): shuffles block

@@ -58,6 +58,49 @@ Pfn ColorLists::pop_any_in_bank_range(unsigned mem_lo, unsigned mem_hi) {
   return kNoPage;
 }
 
+bool ColorLists::remove(Pfn pfn, const std::vector<PageInfo>& pages) {
+  const PageInfo& pi = pages[pfn];
+  const size_t k = idx(pi.bank_color, pi.llc_color);
+  std::lock_guard<Shard> lk(shard(k));
+  Pfn prev = kNoPage;
+  for (Pfn p = heads_[k]; p != kNoPage; prev = p, p = next_[p]) {
+    if (p != pfn) continue;
+    if (prev == kNoPage)
+      heads_[k] = next_[p];
+    else
+      next_[prev] = next_[p];
+    next_[p] = kNoPage;
+    counts_[k].fetch_sub(1, std::memory_order_relaxed);
+    total_.fetch_sub(1, std::memory_order_relaxed);
+    return true;
+  }
+  return false;
+}
+
+std::vector<Pfn> ColorLists::drain_bank_range(unsigned mem_lo,
+                                              unsigned mem_hi) {
+  TINT_DASSERT(mem_lo < mem_hi && mem_hi <= nb_);
+  std::vector<Pfn> drained;
+  for (unsigned m = mem_lo; m < mem_hi; ++m) {
+    for (unsigned l = 0; l < nl_; ++l) {
+      const size_t k = idx(m, l);
+      if (counts_[k].load(std::memory_order_relaxed) == 0) continue;
+      std::lock_guard<Shard> lk(shard(k));
+      uint64_t taken = 0;
+      for (Pfn p = heads_[k]; p != kNoPage; ++taken) {
+        const Pfn nxt = next_[p];
+        next_[p] = kNoPage;
+        drained.push_back(p);
+        p = nxt;
+      }
+      heads_[k] = kNoPage;
+      counts_[k].fetch_sub(taken, std::memory_order_relaxed);
+      total_.fetch_sub(taken, std::memory_order_relaxed);
+    }
+  }
+  return drained;
+}
+
 std::vector<Pfn> ColorLists::snapshot_parked() const {
   std::vector<Pfn> parked;
   parked.reserve(total_parked());

@@ -56,6 +56,18 @@ class ColorLists {
   // Returns a previously popped page (free of colored heap space).
   void push(Pfn pfn, std::vector<PageInfo>& pages);
 
+  // Unlinks one specific parked page (the frame's own colors name its
+  // list). Returns false if the page is not currently parked there --
+  // e.g. a concurrent pop claimed it first. The RAS path uses this to
+  // quarantine a faulty frame in place.
+  bool remove(Pfn pfn, const std::vector<PageInfo>& pages);
+
+  // Takes *every* parked page whose bank color lies in [mem_lo, mem_hi)
+  // in one pass (whole chains per combo, not repeated scans) -- the
+  // node-offline drain. The frames are returned still in kColorFree
+  // state, like pop(); the caller re-homes them.
+  std::vector<Pfn> drain_bank_range(unsigned mem_lo, unsigned mem_hi);
+
   uint64_t size(unsigned mem_id, unsigned llc_id) const {
     return counts_[idx(mem_id, llc_id)].load(std::memory_order_relaxed);
   }

@@ -32,6 +32,16 @@ enum class AllocError : uint8_t {
   kOutOfMemory,      // degradation ladder fully exhausted (ENOMEM)
   kHugeExhausted,    // huge pool dry and every zone fragmented/offline
   kNodeOffline,      // no online node could serve the request
+  // An uncorrectable DRAM error consumed the page's data: the frame was
+  // hard-offlined (poisoned, mapping dropped). The next touch of the
+  // same virtual page faults in a fresh zeroed frame (the simulated
+  // SIGBUS + MCE recovery contract; see DESIGN.md section 11).
+  kEccUncorrected,
+  // Live migration lost its race: the translation changed between the
+  // replacement allocation and the swap (another thread migrated or
+  // unmapped the page first). Nothing was corrupted; the page simply no
+  // longer needed this migration.
+  kMigrationRace,
 };
 
 enum class AllocStage : uint8_t {
@@ -50,6 +60,8 @@ constexpr const char* to_string(AllocError e) {
     case AllocError::kOutOfMemory: return "out-of-memory";
     case AllocError::kHugeExhausted: return "huge-exhausted";
     case AllocError::kNodeOffline: return "node-offline";
+    case AllocError::kEccUncorrected: return "ecc-uncorrected";
+    case AllocError::kMigrationRace: return "migration-race";
   }
   return "?";
 }

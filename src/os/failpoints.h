@@ -40,6 +40,12 @@ enum class FailPoint : uint8_t {
   kColorRefill,     // Algorithm 2 refill (create_color_list feed) fails
   kHugePool,        // reserved 2 MB pool treated as dry for one fault
   kNodeOffline,     // faulting task's local node unreachable for one alloc
+  // --- RAS family (see DESIGN.md section 11) ---
+  kEccCorrected,    // a touched frame reports a corrected (flaky) DRAM
+                    // error: the kernel soft-offlines it (migrate+poison)
+  kEccUncorrected,  // a touched frame reports an uncorrectable error:
+                    // hard offline (poison, drop mapping, kEccUncorrected)
+  kMigrateTarget,   // the replacement allocation inside migrate_page fails
   kCount,
 };
 
@@ -49,6 +55,9 @@ constexpr const char* to_string(FailPoint p) {
     case FailPoint::kColorRefill: return "color_refill";
     case FailPoint::kHugePool: return "huge_pool";
     case FailPoint::kNodeOffline: return "node_offline";
+    case FailPoint::kEccCorrected: return "ecc_corrected";
+    case FailPoint::kEccUncorrected: return "ecc_uncorrected";
+    case FailPoint::kMigrateTarget: return "migrate_target";
     case FailPoint::kCount: break;
   }
   return "?";

@@ -11,6 +11,7 @@ using MmLock = util::RankedSharedMutex<util::lock_rank::kMm>;
 using DefaultLock = util::RankedMutex<util::lock_rank::kDefaultPath>;
 using PtLock = util::RankedSharedMutex<util::lock_rank::kPageTable>;
 using HugeLock = util::RankedMutex<util::lock_rank::kHugePool>;
+using RasLock = util::RankedMutex<util::lock_rank::kRas>;
 }  // namespace
 
 Kernel::Kernel(const hw::Topology& topo, const hw::AddressMapping& mapping,
@@ -27,6 +28,11 @@ Kernel::Kernel(const hw::Topology& topo, const hw::AddressMapping& mapping,
   node_online_ = std::make_unique<std::atomic<uint8_t>[]>(topo.num_nodes());
   for (unsigned n = 0; n < topo.num_nodes(); ++n)
     node_online_[n].store(1, std::memory_order_relaxed);
+  poison_per_color_.assign(mapping.num_bank_colors(), 0);
+  color_retired_ =
+      std::make_unique<std::atomic<uint8_t>[]>(mapping.num_bank_colors());
+  for (unsigned c = 0; c < mapping.num_bank_colors(); ++c)
+    color_retired_[c].store(0, std::memory_order_relaxed);
   // Reserve the huge-page pool while the zones are still pristine
   // (hugetlbfs-style boot reservation); warm-up fragmentation would
   // otherwise leave no contiguous 2 MB block behind.
@@ -51,6 +57,19 @@ Kernel::Kernel(const hw::Topology& topo, const hw::AddressMapping& mapping,
 void Kernel::set_node_online(unsigned node, bool online) {
   TINT_ASSERT(node < topo_.num_nodes());
   node_online_[node].store(online ? 1 : 0, std::memory_order_release);
+  if (online) return;
+  // Going offline: nothing may stay parked behind a dead controller.
+  // Return the node's colored free pages to its buddy zones in one
+  // drain, so re-onlining starts from coalesced blocks and the zone
+  // counters keep reflecting the node's real free capacity. Allocations
+  // racing with the drain either grabbed their page first (they already
+  // skipped the online check) or find the lists empty.
+  const unsigned bpn = mapping_.banks_per_node();
+  const std::vector<Pfn> drained =
+      colors_->drain_bank_range(node * bpn, (node + 1) * bpn);
+  for (const Pfn pfn : drained) buddy_->free_block(pfn, 0);
+  stats_.offline_drained_pages.fetch_add(drained.size(),
+                                         std::memory_order_relaxed);
 }
 
 TaskId Kernel::create_task(unsigned pinned_core) {
@@ -154,9 +173,13 @@ bool Kernel::munmap(TaskId task_id, VirtAddr base, uint64_t length) {
         heads.push_back(*head);
       }
     }
+    const uint64_t pph = kHugeBytes / topo_.page_bytes();
     for (const Pfn head : heads) {
-      pages_[head].owner = kNoTask;
-      pages_[head].state = PageState::kBuddyFree;
+      for (uint64_t i = 0; i < pph; ++i) {
+        pages_[head + i].owner = kNoTask;
+        pages_[head + i].state = PageState::kBuddyFree;
+        pages_[head + i].huge = false;
+      }
       // Huge frames return to the reserved pool, not the 4 KB buddy.
       std::lock_guard<HugeLock> hl(huge_lock_);
       huge_pool_[head / topo_.pages_per_node()].push_back(head);
@@ -236,13 +259,61 @@ Kernel::TouchResult Kernel::touch(TaskId task_id, VirtAddr va, bool write) {
   // Epoch for any TLB fill below: loaded before the translation it
   // caches is read (see tlb_fill).
   const uint64_t epoch = tlb_epoch_.load(std::memory_order_acquire);
+  std::optional<uint64_t> translated;
   {
     std::shared_lock pt(pt_lock_);
-    if (const auto pa = page_table_.translate(va)) {
-      res.pa = *pa;
-      tlb_fill(want_vpn, static_cast<Pfn>(*pa >> topo_.page_bits), epoch);
-      return res;
+    translated = page_table_.translate(va);
+  }
+  if (translated) {
+    const Pfn pfn = static_cast<Pfn>(*translated >> topo_.page_bits);
+    // RAS detection point: does this mapped frame report a DRAM error?
+    // Failpoints give deterministic injection; the fault model ties
+    // errors to real (node, channel, rank, bank, row) coordinates. Huge
+    // frames are exempt (a 2 MB frame cannot be re-colored page-wise).
+    // The TLB-hit path above is deliberately unchecked -- like real ECC,
+    // errors surface on the slower path, and offlining invalidates the
+    // TLB so the very next touch of the page comes back through here.
+    if (cfg_.ras.enabled && !pages_[pfn].huge) {
+      sim::FrameHealth health = sim::FrameHealth::kHealthy;
+      if (fail_.should_fail(FailPoint::kEccUncorrected)) {
+        health = sim::FrameHealth::kDead;
+      } else if (fail_.should_fail(FailPoint::kEccCorrected)) {
+        health = sim::FrameHealth::kFlaky;
+      } else if (const auto* model =
+                     fault_model_.load(std::memory_order_acquire);
+                 model && !model->empty()) {
+        health = model->frame_health(frame_base(pfn));
+      }
+      if (health == sim::FrameHealth::kDead) {
+        // Uncorrectable: the data is gone. Hard-offline and report; the
+        // next touch faults in a fresh zeroed frame.
+        ++stats_.ecc_uncorrected;
+        std::shared_lock mm(mm_lock_);
+        hard_offline_locked(want_vpn, pfn);
+        res.error = AllocError::kEccUncorrected;
+        return res;
+      }
+      if (health == sim::FrameHealth::kFlaky) {
+        // Corrected error: the data is still readable, so move it off
+        // the weak frame before it degrades further (soft offline).
+        ++stats_.ecc_corrected;
+        std::shared_lock mm(mm_lock_);
+        const MigrateResult mig = migrate_locked(va, /*poison_old=*/true);
+        if (mig.ok) {
+          res.faulted = false;
+          res.fault_cycles = mig.cycles;
+          res.pa = (static_cast<uint64_t>(mig.new_pfn) << topo_.page_bits) |
+                   page_off;
+          return res;
+        }
+        // Migration unavailable (ladder dry or raced): the frame is
+        // flaky, not dead -- keep serving it rather than killing the
+        // task. migration_failures/migration_races carry the evidence.
+      }
     }
+    res.pa = *translated;
+    tlb_fill(want_vpn, pfn, epoch);
+    return res;
   }
 
   // Page fault. Held shared across the whole fault, like Linux's
@@ -260,7 +331,7 @@ Kernel::TouchResult Kernel::touch(TaskId task_id, VirtAddr va, bool write) {
 
   Task& t = tasks_.at(task_id);
   if (it->second.huge) return fault_huge(t, va, it->first);
-  const AllocOutcome out = alloc_pages(task_id, 0, want_vpn);
+  const AllocOutcome out = alloc_screened(task_id, want_vpn);
   if (out.pfn == kNoPage) {
     // Ladder exhausted: report instead of aborting (simulated SIGBUS /
     // mmap error, Section III.B "returns an error").
@@ -391,6 +462,7 @@ Kernel::TouchResult Kernel::fault_huge(Task& t, VirtAddr va,
     pages_[head + i].state = PageState::kAllocated;
     pages_[head + i].owner = t.id();
     pages_[head + i].colored_alloc = false;
+    pages_[head + i].huge = true;  // exempts the frame from RAS handling
   }
   const uint64_t head_vpn = page_table_.vpn_of(huge_base);
   Pfn winner;
@@ -407,6 +479,7 @@ Kernel::TouchResult Kernel::fault_huge(Task& t, VirtAddr va,
     for (uint64_t i = 0; i < pages_per_huge; ++i) {
       pages_[head + i].owner = kNoTask;
       pages_[head + i].state = PageState::kBuddyFree;
+      pages_[head + i].huge = false;
     }
     if (from_pool) {
       std::lock_guard<HugeLock> hl(huge_lock_);
@@ -612,6 +685,7 @@ Kernel::AllocOutcome Kernel::alloc_colored(Task& t, uint64_t vpn_hint,
     std::vector<uint16_t> mems;
     mems.reserve(t.mem_color_list().size());
     for (const uint16_t m : t.mem_color_list()) {
+      if (color_retired(m)) continue;  // RAS pulled this bank from service
       if (node_usable(mapping_.node_of_bank_color(m), transient_offline))
         mems.push_back(m);
       else
@@ -675,6 +749,7 @@ Kernel::AllocOutcome Kernel::alloc_colored(Task& t, uint64_t vpn_hint,
         const size_t i = (cursor + k) % (bpn * n_llc);
         const unsigned mem = mapping_.make_bank_color(
             node, static_cast<unsigned>(i % bpn));
+        if (color_retired(mem)) continue;
         const Pfn pfn = colors_->pop(mem, llcs[i / bpn]);
         if (pfn != kNoPage) {
           found(pfn);
@@ -753,6 +828,301 @@ void Kernel::free_pages(Pfn pfn, unsigned order) {
   buddy_->free_block(pfn, order);
 }
 
+// --- RAS: poisoning, migration, offlining, scrubbing (DESIGN.md
+// section 11) ---
+
+void Kernel::note_poisoned_locked(Pfn pfn) {
+  ++stats_.frames_poisoned;
+  const uint16_t bc = pages_[pfn].bank_color;
+  const uint32_t count = ++poison_per_color_[bc];
+  if (cfg_.ras.retire_threshold > 0 && count >= cfg_.ras.retire_threshold &&
+      color_retired_[bc].load(std::memory_order_relaxed) == 0) {
+    color_retired_[bc].store(1, std::memory_order_release);
+    ++stats_.colors_retired;
+  }
+}
+
+bool Kernel::poison_frame(Pfn pfn) {
+  TINT_ASSERT(pfn < topo_.total_pages());
+  if (!cfg_.ras.enabled || pages_[pfn].huge) return false;
+  std::lock_guard<RasLock> ras(ras_lock_);
+  if (!poisoned_.insert(pfn).second) return false;  // already quarantined
+  // Pull the frame out of whichever free pool holds it. Membership is
+  // validated under the pool's own lock (never by peeking at the frame
+  // state from here, which would race with the owner's writes), so a
+  // frame that is allocated -- or mid-flight between pools -- is simply
+  // not captured. Its current holder must route it through soft/hard
+  // offline instead.
+  if (buddy_->carve_page(pfn) || colors_->remove(pfn, pages_)) {
+    pages_[pfn].state = PageState::kPoisoned;
+    pages_[pfn].owner = kNoTask;
+    note_poisoned_locked(pfn);
+    return true;
+  }
+  poisoned_.erase(pfn);
+  return false;
+}
+
+void Kernel::quarantine_loose_frame(Pfn pfn) {
+  // The caller exclusively holds this frame (allocated, no mapping
+  // published), so unlike poison_frame there is no pool to race with.
+  TINT_DASSERT(pages_[pfn].state == PageState::kAllocated);
+  std::lock_guard<RasLock> ras(ras_lock_);
+  const bool fresh = poisoned_.insert(pfn).second;
+  TINT_ASSERT_MSG(fresh, "frame quarantined twice");
+  pages_[pfn].state = PageState::kPoisoned;
+  pages_[pfn].owner = kNoTask;
+  note_poisoned_locked(pfn);
+}
+
+Kernel::AllocOutcome Kernel::alloc_screened(TaskId task, uint64_t vpn_hint) {
+  const sim::DramFaultModel* model =
+      cfg_.ras.enabled ? fault_model_.load(std::memory_order_acquire)
+                       : nullptr;
+  for (unsigned attempt = 0;; ++attempt) {
+    AllocOutcome out = alloc_pages(task, 0, vpn_hint);
+    if (out.pfn == kNoPage) return out;
+    pages_[out.pfn].state = PageState::kAllocated;
+    if (!model || model->empty() ||
+        model->frame_health(frame_base(out.pfn)) ==
+            sim::FrameHealth::kHealthy)
+      return out;
+    // The ladder handed us a frame the fault model says is faulty:
+    // quarantine it on the spot and ask again, bounded so a large faulty
+    // region cannot spin the fault path forever.
+    ++stats_.ras_screened_frames;
+    quarantine_loose_frame(out.pfn);
+    if (attempt + 1 >= cfg_.ras.max_screen_retries) {
+      AllocOutcome fail;
+      fail.stage = AllocStage::kFailed;
+      fail.error = AllocError::kOutOfMemory;
+      ++stats_.alloc_failures;
+      set_last_error(fail.error);
+      return fail;
+    }
+  }
+}
+
+Kernel::MigrateResult Kernel::migrate_page(VirtAddr va) {
+  std::shared_lock mm(mm_lock_);
+  return migrate_locked(va, /*poison_old=*/false);
+}
+
+Kernel::MigrateResult Kernel::soft_offline_page(VirtAddr va) {
+  std::shared_lock mm(mm_lock_);
+  // With RAS disabled this degrades to a plain migration (nothing may
+  // enter the quarantine).
+  return migrate_locked(va, /*poison_old=*/cfg_.ras.enabled);
+}
+
+AllocError Kernel::hard_offline_page(VirtAddr va) {
+  if (!cfg_.ras.enabled) return AllocError::kInvalidArgument;
+  std::shared_lock mm(mm_lock_);
+  const uint64_t vpn = page_table_.vpn_of(va);
+  Pfn pfn = kNoPage;
+  {
+    std::shared_lock pt(pt_lock_);
+    if (const auto p = page_table_.lookup(va)) pfn = *p;
+  }
+  if (pfn == kNoPage || pages_[pfn].huge) return AllocError::kInvalidArgument;
+  return hard_offline_locked(vpn, pfn) ? AllocError::kOk
+                                       : AllocError::kMigrationRace;
+}
+
+Kernel::MigrateResult Kernel::migrate_locked(VirtAddr va, bool poison_old,
+                                             Pfn expected) {
+  MigrateResult res;
+  const uint64_t vpn = page_table_.vpn_of(va);
+  Pfn old_pfn = kNoPage;
+  {
+    std::shared_lock pt(pt_lock_);
+    if (const auto p = page_table_.lookup(va)) old_pfn = *p;
+  }
+  if (old_pfn == kNoPage || pages_[old_pfn].huge) {
+    res.error = AllocError::kInvalidArgument;
+    return res;
+  }
+  if (expected != kNoPage && old_pfn != expected) {
+    ++stats_.migration_races;
+    res.error = AllocError::kMigrationRace;
+    return res;
+  }
+  res.old_pfn = old_pfn;
+  const TaskId owner = pages_[old_pfn].owner;
+  if (owner == kNoTask) {
+    res.error = AllocError::kInvalidArgument;
+    return res;
+  }
+
+  // Replacement frame under the *owner's* color constraints -- a colored
+  // task's page stays on its banks if at all possible, and otherwise
+  // falls down the same ladder as a fresh fault (stage recorded in the
+  // result). An armed kMigrateTarget failpoint fails the allocation
+  // outright, exercising the flaky-frame-kept path.
+  if (fail_.should_fail(FailPoint::kMigrateTarget)) {
+    ++stats_.migration_failures;
+    res.error = AllocError::kOutOfMemory;
+    return res;
+  }
+  const AllocOutcome out = alloc_screened(owner, vpn);
+  if (out.pfn == kNoPage) {
+    ++stats_.migration_failures;
+    res.error = out.error;
+    return res;
+  }
+  res.stage = out.stage;
+
+  // Frame metadata before the mapping is published (as in touch()).
+  PageInfo& npi = pages_[out.pfn];
+  npi.state = PageState::kAllocated;
+  npi.owner = owner;
+  npi.colored_alloc = out.colored;
+  // The commit point: swap the translation iff it still maps the frame
+  // we read above. A concurrent migration or munmap makes this fail --
+  // discard the replacement and report instead of corrupting the swap.
+  bool swapped;
+  {
+    std::unique_lock pt(pt_lock_);
+    swapped = page_table_.remap(vpn, old_pfn, out.pfn);
+  }
+  if (!swapped) {
+    ++stats_.migration_races;
+    free_pages(out.pfn, 0);
+    res.error = AllocError::kMigrationRace;
+    return res;
+  }
+  // No stale translation of the old frame may survive the swap.
+  invalidate_tlb();
+  ++stats_.pages_migrated;
+  ++tasks_.at(owner).alloc_stats().migrated_pages;
+  res.new_pfn = out.pfn;
+  res.cycles = cfg_.ras.migrate_copy_cycles;
+  res.ok = true;
+  if (poison_old) {
+    ++stats_.soft_offlines;
+    quarantine_loose_frame(old_pfn);
+  } else {
+    free_pages(old_pfn, 0);
+  }
+  return res;
+}
+
+bool Kernel::hard_offline_locked(uint64_t vpn, Pfn expected) {
+  // Drop the mapping iff it still points at the dead frame; a concurrent
+  // migration/munmap got there first otherwise and the frame is no
+  // longer ours to quarantine.
+  bool unmapped;
+  {
+    std::unique_lock pt(pt_lock_);
+    unmapped = page_table_.unmap_if(vpn, expected);
+  }
+  if (!unmapped) {
+    ++stats_.migration_races;
+    return false;
+  }
+  invalidate_tlb();
+  ++stats_.hard_offlines;
+  quarantine_loose_frame(expected);
+  return true;
+}
+
+Kernel::ScrubReport Kernel::scrub() {
+  ScrubReport rep;
+  const sim::DramFaultModel* model =
+      fault_model_.load(std::memory_order_acquire);
+  if (!cfg_.ras.enabled || !model || model->empty()) return rep;
+  ++stats_.scrub_passes;
+
+  // Sweep phase: freeze the allocation path (same order as
+  // check_invariants) and collect every frame the fault model flags.
+  // Only the model is consulted -- probability failpoints would fire
+  // thousands of independent events in one pass, which is not what a
+  // scrubber is for.
+  struct FreeVictim {
+    Pfn pfn;
+  };
+  struct MappedVictim {
+    uint64_t vpn;
+    Pfn pfn;
+    sim::FrameHealth health;
+  };
+  std::vector<FreeVictim> free_victims;
+  std::vector<MappedVictim> mapped_victims;
+  {
+    std::unique_lock<MmLock> mm(mm_lock_);
+    std::unique_lock<DefaultLock> dl(default_lock_);
+    std::unique_lock<PtLock> pt(pt_lock_);
+    std::unique_lock<HugeLock> hl(huge_lock_);
+    colors_->freeze();
+    buddy_->freeze();
+    for (const auto& [head, order] : buddy_->snapshot_free_blocks()) {
+      const uint64_t n = uint64_t{1} << order;
+      for (uint64_t i = 0; i < n; ++i) {
+        const Pfn pfn = head + static_cast<Pfn>(i);
+        if (model->frame_health(frame_base(pfn)) !=
+            sim::FrameHealth::kHealthy)
+          free_victims.push_back({pfn});
+      }
+    }
+    for (const Pfn pfn : colors_->snapshot_parked())
+      if (model->frame_health(frame_base(pfn)) != sim::FrameHealth::kHealthy)
+        free_victims.push_back({pfn});
+    for (const auto& [vpn, pfn] : page_table_.mappings()) {
+      if (pages_[pfn].huge) continue;  // 2 MB frames are exempt
+      const sim::FrameHealth h = model->frame_health(frame_base(pfn));
+      if (h != sim::FrameHealth::kHealthy)
+        mapped_victims.push_back({vpn, pfn, h});
+    }
+    buddy_->thaw();
+    colors_->thaw();
+  }
+  rep.frames_flagged = free_victims.size() + mapped_victims.size();
+  stats_.scrub_frames_flagged.fetch_add(rep.frames_flagged,
+                                        std::memory_order_relaxed);
+
+  // Repair phase, unfrozen: each victim is re-validated by its repair
+  // primitive (carve/remove/remap/unmap_if), so frames that moved since
+  // the sweep are skipped and the next pass sees them.
+  for (const FreeVictim& v : free_victims) {
+    if (poison_frame(v.pfn))
+      ++rep.poisoned_free;
+    else
+      ++rep.skipped;
+  }
+  for (const MappedVictim& v : mapped_victims) {
+    const VirtAddr va = v.vpn << topo_.page_bits;
+    if (v.health == sim::FrameHealth::kDead) {
+      std::shared_lock mm(mm_lock_);
+      if (hard_offline_locked(v.vpn, v.pfn))
+        ++rep.hard_offlined;
+      else
+        ++rep.skipped;
+    } else {
+      std::shared_lock mm(mm_lock_);
+      const MigrateResult mig =
+          migrate_locked(va, /*poison_old=*/true, /*expected=*/v.pfn);
+      if (mig.ok)
+        ++rep.soft_offlined;
+      else
+        ++rep.skipped;
+    }
+  }
+  return rep;
+}
+
+std::vector<uint16_t> Kernel::retired_colors() const {
+  std::vector<uint16_t> out;
+  for (unsigned c = 0; c < mapping_.num_bank_colors(); ++c)
+    if (color_retired_[c].load(std::memory_order_acquire) != 0)
+      out.push_back(static_cast<uint16_t>(c));
+  return out;
+}
+
+uint64_t Kernel::poisoned_frames() const {
+  std::lock_guard<RasLock> ras(ras_lock_);
+  return poisoned_.size();
+}
+
 Kernel::InvariantReport Kernel::check_invariants(uint64_t expected_loose,
                                                  bool stop_the_world) const {
   // Stop-the-world mode freezes the entire allocation path in ascending
@@ -766,13 +1136,21 @@ Kernel::InvariantReport Kernel::check_invariants(uint64_t expected_loose,
   std::unique_lock<DefaultLock> dl(default_lock_, std::defer_lock);
   std::unique_lock<PtLock> pt(pt_lock_, std::defer_lock);
   std::unique_lock<HugeLock> hl(huge_lock_, std::defer_lock);
+  std::unique_lock<RasLock> rl(ras_lock_, std::defer_lock);
   if (stop_the_world) {
     mm.lock();
     dl.lock();
     pt.lock();
     hl.lock();
+    // The ras lock sits between the huge pool and the color shards in
+    // rank order; holding it excludes half-finished quarantines (a
+    // frame inserted into the poisoned set but not yet carved out of
+    // its pool would double-count below).
+    rl.lock();
     colors_->freeze();
     buddy_->freeze();
+  } else {
+    rl.lock();  // the poisoned set still needs its own lock to walk
   }
 
   InvariantReport rep;
@@ -782,7 +1160,8 @@ Kernel::InvariantReport Kernel::check_invariants(uint64_t expected_loose,
   // Walk every pool's actual data structure (not its counters) and mark
   // which pool claims each frame; a frame claimed twice or a counter
   // that disagrees with its walk is a corruption.
-  enum : uint8_t { kBuddy = 1, kColor = 2, kMapped = 4, kHuge = 8 };
+  enum : uint8_t { kBuddy = 1, kColor = 2, kMapped = 4, kHuge = 8,
+                   kPoison = 16 };
   std::vector<uint8_t> claimed(rep.total, 0);
   const auto claim = [&](Pfn pfn, uint8_t who) {
     if (claimed[pfn]) ++rep.double_counted;
@@ -809,6 +1188,12 @@ Kernel::InvariantReport Kernel::check_invariants(uint64_t expected_loose,
       for (uint64_t i = 0; i < pages_per_huge; ++i)
         claim(head + static_cast<Pfn>(i), kHuge);
     }
+  bool poison_state_ok = true;
+  for (const Pfn pfn : poisoned_) {
+    ++rep.poisoned;
+    claim(pfn, kPoison);
+    if (pages_[pfn].state != PageState::kPoisoned) poison_state_ok = false;
+  }
 
   // Whatever no pool claims is either a warm-up pin or a frame handed
   // out through the raw alloc_pages API without a mapping ("loose").
@@ -818,11 +1203,15 @@ Kernel::InvariantReport Kernel::check_invariants(uint64_t expected_loose,
   rep.loose = unclaimed >= rep.pinned ? unclaimed - rep.pinned : 0;
 
   const uint64_t accounted = rep.buddy_free + rep.color_parked + rep.mapped +
-                             rep.huge_pool_pages + rep.pinned + rep.loose;
+                             rep.huge_pool_pages + rep.poisoned +
+                             rep.pinned + rep.loose;
   rep.ok = true;
   if (rep.double_counted != 0) {
     rep.ok = false;
     rep.detail = "frame present in more than one pool";
+  } else if (!poison_state_ok) {
+    rep.ok = false;
+    rep.detail = "quarantined frame not in kPoisoned state";
   } else if (unclaimed < rep.pinned) {
     rep.ok = false;
     rep.detail = "warm-up pinned frames reappeared in a pool";
@@ -844,7 +1233,7 @@ Kernel::InvariantReport Kernel::check_invariants(uint64_t expected_loose,
     buddy_->thaw();
     colors_->thaw();
   }
-  // hl/pt/dl/mm release in reverse declaration order (descending rank).
+  // rl/hl/pt/dl/mm release in reverse declaration order (descending rank).
   return rep;
 }
 

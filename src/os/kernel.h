@@ -39,6 +39,7 @@
 #include <shared_mutex>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -51,6 +52,7 @@
 #include "os/page.h"
 #include "os/page_table.h"
 #include "os/task.h"
+#include "sim/dram_fault.h"
 #include "util/lock_rank.h"
 #include "util/rng.h"
 
@@ -113,6 +115,21 @@ struct KernelConfig {
   // warm-up, so boot itself cannot be failed). More can be armed at
   // runtime through Kernel::failpoints().
   std::vector<std::pair<FailPoint, FailSpec>> failpoints;
+  // --- RAS: poisoning, migration, offlining (DESIGN.md section 11) ---
+  struct RasConfig {
+    // Master switch. Off: poison/offline/scrub are no-ops and the touch
+    // path performs no error detection, even with a fault model attached.
+    bool enabled = true;
+    // Poisoned frames of one bank color before that color is retired
+    // from colored placement (0 = never retire).
+    unsigned retire_threshold = 32;
+    // Faulty replacement frames the fault/migration paths will
+    // quarantine-and-retry before failing the request.
+    unsigned max_screen_retries = 4;
+    // Cost model: copying one 4 KB page during live migration.
+    Cycles migrate_copy_cycles = 2000;
+  };
+  RasConfig ras;
 };
 
 struct KernelStats {
@@ -141,6 +158,25 @@ struct KernelStats {
   // the winner's mapping adopted (concurrent callers only; always 0 in
   // the serial engine).
   std::atomic<uint64_t> fault_races_lost{0};
+  // --- RAS counters (DESIGN.md section 11). The extended conservation
+  // law: every ladder-served order-0 allocation is consumed by exactly
+  // one of page_faults-huge_faults, fault_races_lost, pages_migrated,
+  // migration_races, ras_screened_frames, or a raw alloc_pages caller.
+  std::atomic<uint64_t> frames_poisoned{0};     // quarantined frames (total)
+  std::atomic<uint64_t> pages_migrated{0};      // successful live migrations
+  std::atomic<uint64_t> migration_failures{0};  // no replacement frame
+  std::atomic<uint64_t> migration_races{0};     // translation changed mid-swap
+  std::atomic<uint64_t> soft_offlines{0};       // migrate-then-poison
+  std::atomic<uint64_t> hard_offlines{0};       // poison + mapping dropped
+  std::atomic<uint64_t> colors_retired{0};      // bank colors over threshold
+  std::atomic<uint64_t> scrub_passes{0};
+  std::atomic<uint64_t> scrub_frames_flagged{0};
+  std::atomic<uint64_t> ecc_corrected{0};       // flaky-frame touch events
+  std::atomic<uint64_t> ecc_uncorrected{0};     // dead-frame touch events
+  // Faulty frames the ladder handed out and RAS rejected on the spot.
+  std::atomic<uint64_t> ras_screened_frames{0};
+  // Color-parked frames returned to the buddy when their node went offline.
+  std::atomic<uint64_t> offline_drained_pages{0};
 
   struct Snapshot {
     uint64_t color_control_calls = 0;
@@ -160,6 +196,19 @@ struct KernelStats {
     uint64_t offline_node_skips = 0;
     uint64_t tlb_invalidations = 0;
     uint64_t fault_races_lost = 0;
+    uint64_t frames_poisoned = 0;
+    uint64_t pages_migrated = 0;
+    uint64_t migration_failures = 0;
+    uint64_t migration_races = 0;
+    uint64_t soft_offlines = 0;
+    uint64_t hard_offlines = 0;
+    uint64_t colors_retired = 0;
+    uint64_t scrub_passes = 0;
+    uint64_t scrub_frames_flagged = 0;
+    uint64_t ecc_corrected = 0;
+    uint64_t ecc_uncorrected = 0;
+    uint64_t ras_screened_frames = 0;
+    uint64_t offline_drained_pages = 0;
   };
   Snapshot snapshot() const {
     const auto ld = [](const std::atomic<uint64_t>& a) {
@@ -171,7 +220,13 @@ struct KernelStats {
             ld(ladder_default),      ld(scavenged_pages), ld(alloc_failures),
             ld(failed_mmaps),        ld(failed_munmaps),
             ld(offline_node_skips),  ld(tlb_invalidations),
-            ld(fault_races_lost)};
+            ld(fault_races_lost),    ld(frames_poisoned),
+            ld(pages_migrated),      ld(migration_failures),
+            ld(migration_races),     ld(soft_offlines),  ld(hard_offlines),
+            ld(colors_retired),      ld(scrub_passes),
+            ld(scrub_frames_flagged), ld(ecc_corrected),
+            ld(ecc_uncorrected),     ld(ras_screened_frames),
+            ld(offline_drained_pages)};
   }
 };
 
@@ -215,8 +270,11 @@ class Kernel {
     Cycles fault_cycles = 0;
     // kOk on success. kOutOfMemory / kPoolExhausted / kHugeExhausted /
     // kNodeOffline when the fault could not be served: pa is 0 and no
-    // mapping was created (the simulated SIGBUS). Touching outside any
-    // VMA is a genuine segfault and still aborts.
+    // mapping was created (the simulated SIGBUS). kEccUncorrected when
+    // the touched frame was dead and has been hard-offlined: the data is
+    // lost, pa is 0, and the *next* touch faults in a fresh zeroed
+    // frame. Touching outside any VMA is a genuine segfault and still
+    // aborts.
     AllocError error = AllocError::kOk;
   };
   // Translates `va`, faulting in a frame on first touch using the
@@ -254,6 +312,76 @@ class Kernel {
     return node_online_[node].load(std::memory_order_acquire) != 0;
   }
 
+  // --- RAS: error injection, poisoning, migration, retirement (DESIGN.md
+  // section 11) ---
+  // Attaches (or detaches, with nullptr) a DRAM fault model. The model
+  // is consulted by the touch path (is this mapped frame flaky/dead?),
+  // by allocation screening (is this fresh frame faulty?) and by the
+  // scrubber. The caller keeps the model alive for the kernel's
+  // lifetime; an empty model costs one atomic load per check.
+  void attach_fault_model(const sim::DramFaultModel* model) {
+    fault_model_.store(model, std::memory_order_release);
+  }
+  const sim::DramFaultModel* fault_model() const {
+    return fault_model_.load(std::memory_order_acquire);
+  }
+
+  // Quarantines a currently *free* frame (buddy or color-parked): pulls
+  // it out of its free pool so it can never be handed out again, and
+  // counts it toward its bank color's retirement threshold. Returns
+  // false when the frame is already poisoned, allocated (mapped frames
+  // go through soft/hard offline instead), part of a huge mapping, or
+  // RAS is disabled. Safe from any thread.
+  bool poison_frame(Pfn pfn);
+
+  struct MigrateResult {
+    bool ok = false;
+    Pfn old_pfn = kNoPage;
+    Pfn new_pfn = kNoPage;
+    AllocStage stage = AllocStage::kFailed;  // ladder stage of the replacement
+    AllocError error = AllocError::kOk;      // set when !ok
+    Cycles cycles = 0;                       // simulated copy cost
+  };
+  // Live migration: allocates a replacement frame under the *owner's*
+  // color constraints (falling down the usual ladder when the colored
+  // pool is dry), copies the page, swaps the translation, and frees the
+  // old frame. Fails gracefully (kMigrationRace) when a concurrent
+  // migration/munmap changed the translation mid-swap.
+  MigrateResult migrate_page(VirtAddr va);
+  // Soft offline (flaky frame): migrate, then poison the old frame
+  // instead of freeing it. With RAS disabled this degrades to a plain
+  // migration.
+  MigrateResult soft_offline_page(VirtAddr va);
+  // Hard offline (dead frame): poison the frame and drop its mapping.
+  // The data is lost; the next touch of the page faults in a fresh
+  // zeroed frame. Returns kOk on success, kMigrationRace when the
+  // translation changed first.
+  AllocError hard_offline_page(VirtAddr va);
+
+  // Background scrubber: one stop-the-world sweep (same freeze order as
+  // check_invariants) collecting every frame the fault model flags, then
+  // a repair phase -- free faulty frames are poisoned, mapped flaky
+  // frames soft-offlined, mapped dead frames hard-offlined. Frames that
+  // move between sweep and repair are skipped (the next pass sees them).
+  struct ScrubReport {
+    uint64_t frames_flagged = 0;
+    uint64_t poisoned_free = 0;
+    uint64_t soft_offlined = 0;
+    uint64_t hard_offlined = 0;
+    uint64_t skipped = 0;  // moved/failed between sweep and repair
+  };
+  ScrubReport scrub();
+
+  // A bank color whose poisoned-frame count crossed the retirement
+  // threshold: colored placement (ladder stage 1) skips it; parked
+  // frames of that color remain reachable through widening/scavenging.
+  bool color_retired(unsigned bank_color) const {
+    TINT_DASSERT(bank_color < mapping_.num_bank_colors());
+    return color_retired_[bank_color].load(std::memory_order_acquire) != 0;
+  }
+  std::vector<uint16_t> retired_colors() const;
+  uint64_t poisoned_frames() const;
+
   // --- frame-accounting invariants ---
   // Cross-checks every frame pool against its counters by walking the
   // actual lists: buddy free + color-parked + mapped + huge pool +
@@ -268,6 +396,7 @@ class Kernel {
     uint64_t mapped = 0;
     uint64_t huge_pool_pages = 0;
     uint64_t pinned = 0;          // warm-up reserved pages
+    uint64_t poisoned = 0;        // RAS-quarantined frames
     uint64_t loose = 0;           // allocated but unmapped frames
     uint64_t double_counted = 0;  // frames found in more than one pool
     std::string detail;           // first inconsistency, for diagnostics
@@ -315,6 +444,29 @@ class Kernel {
   // Caller holds the mm lock shared.
   TouchResult fault_huge(Task& t, VirtAddr va, VirtAddr vma_base);
   unsigned pick_default_node(const Task& t, uint64_t vpn_hint);
+  // --- RAS internals ---
+  hw::PhysAddr frame_base(Pfn pfn) const {
+    return static_cast<hw::PhysAddr>(pfn) * topo_.page_bytes();
+  }
+  // alloc_pages + fault-model screening: faulty candidates are
+  // quarantined on the spot and the ladder is asked again (bounded by
+  // max_screen_retries). The returned frame is in kAllocated state.
+  AllocOutcome alloc_screened(TaskId task, uint64_t vpn_hint);
+  // Quarantines a frame the caller exclusively holds (allocated but not
+  // mapped) -- the old frame of a soft/hard offline, or a faulty frame
+  // rejected by screening.
+  void quarantine_loose_frame(Pfn pfn);
+  // Bookkeeping common to every poisoning path: per-color count +
+  // retirement threshold. Caller holds ras_lock_.
+  void note_poisoned_locked(Pfn pfn);
+  // Migration/offline bodies; caller holds the mm lock shared (they are
+  // reached from inside the fault/touch path, which already does).
+  // `expected` != kNoPage pins the migration to a specific old frame:
+  // if the page no longer maps it, the call fails with kMigrationRace
+  // instead of migrating whatever frame took its place (scrubber).
+  MigrateResult migrate_locked(VirtAddr va, bool poison_old,
+                               Pfn expected = kNoPage);
+  bool hard_offline_locked(uint64_t vpn, Pfn expected);
   // Online and not transiently failed for the current allocation.
   bool node_usable(unsigned node, int64_t transient_offline) const {
     return node_online(node) &&
@@ -357,6 +509,11 @@ class Kernel {
   mutable util::RankedSharedMutex<util::lock_rank::kPageTable> pt_lock_;
   // Huge-pool lock: the per-node reserved 2 MB block stacks.
   mutable util::RankedMutex<util::lock_rank::kHugePool> huge_lock_;
+  // RAS lock: the poisoned-frame set and per-color poison counts. Held
+  // across a whole quarantine transition (set insert + pool carve), so
+  // the stop-the-world freeze -- which acquires it between the huge pool
+  // and the color shards -- excludes half-finished poisonings.
+  mutable util::RankedMutex<util::lock_rank::kRas> ras_lock_;
 
   Rng rng_;  // guarded by default_lock_ after boot
 
@@ -398,6 +555,14 @@ class Kernel {
   std::vector<std::vector<Pfn>> huge_pool_;
   // Node hotplug state (1 = online).
   std::unique_ptr<std::atomic<uint8_t>[]> node_online_;
+  // --- RAS state ---
+  // Quarantined frames + per-bank-color poison counts (ras_lock_).
+  std::unordered_set<Pfn> poisoned_;
+  std::vector<uint32_t> poison_per_color_;
+  // Retirement flags, one per bank color: lock-free reads so the colored
+  // allocation path can skip retired colors without taking ras_lock_.
+  std::unique_ptr<std::atomic<uint8_t>[]> color_retired_;
+  std::atomic<const sim::DramFaultModel*> fault_model_{nullptr};
   FailPoints fail_;
   std::atomic<AllocError> last_error_{AllocError::kOk};
   KernelStats stats_;

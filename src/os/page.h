@@ -24,6 +24,8 @@ enum class PageState : uint8_t {
   kBuddyFree,   // inside a buddy free block
   kColorFree,   // parked on a color_list[MEM_ID][LLC_ID]
   kAllocated,   // mapped into some task
+  kPoisoned,    // quarantined by the RAS subsystem (hwpoison analogue):
+                // in no free pool and never handed out again
 };
 
 struct PageInfo {
@@ -34,6 +36,10 @@ struct PageInfo {
   // Allocated through the colored path (and therefore returned to the
   // color lists on free, per Section III.C).
   bool colored_alloc = false;
+  // Part of a mapped 2 MB huge block. RAS detection/migration covers
+  // order-0 frames only; huge frames are skipped (one 2 MB frame cannot
+  // be re-colored page-wise).
+  bool huge = false;
   TaskId owner = kNoTask;
 };
 

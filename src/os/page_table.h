@@ -57,6 +57,26 @@ class PageTable {
     return map_.emplace(vpn, pfn).first->second;
   }
 
+  // Swaps vpn's frame from `expected` to `replacement` -- the live-
+  // migration commit point. Returns false (and changes nothing) when vpn
+  // is unmapped or maps a different frame: the caller lost the race to a
+  // concurrent migration or munmap and must discard its replacement.
+  bool remap(uint64_t vpn, Pfn expected, Pfn replacement) {
+    const auto it = map_.find(vpn);
+    if (it == map_.end() || it->second != expected) return false;
+    it->second = replacement;
+    return true;
+  }
+
+  // Removes vpn's mapping only while it still maps `expected` -- the
+  // hard-offline commit point (the conditional twin of remap()).
+  bool unmap_if(uint64_t vpn, Pfn expected) {
+    const auto it = map_.find(vpn);
+    if (it == map_.end() || it->second != expected) return false;
+    map_.erase(it);
+    return true;
+  }
+
   // Removes a mapping; returns the pfn that was mapped, if any.
   std::optional<Pfn> unmap(uint64_t vpn) {
     const auto it = map_.find(vpn);

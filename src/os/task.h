@@ -43,6 +43,10 @@ struct TaskAllocStats {
   std::atomic<uint64_t> widened_pages{0};   // constraint relaxed, node kept
   std::atomic<uint64_t> scavenged_pages{0}; // reclaimed stranded frames
   std::atomic<uint64_t> failed_allocs{0};   // faults the ladder rejected
+  // Pages the RAS subsystem moved off a faulty frame on our behalf.
+  // Counted on top of the fault-time counters above: a migrated page was
+  // already attributed to a ladder stage when it first faulted in.
+  std::atomic<uint64_t> migrated_pages{0};
 
   struct Snapshot {
     uint64_t page_faults = 0;
@@ -55,6 +59,7 @@ struct TaskAllocStats {
     uint64_t widened_pages = 0;
     uint64_t scavenged_pages = 0;
     uint64_t failed_allocs = 0;
+    uint64_t migrated_pages = 0;
   };
   Snapshot snapshot() const {
     const auto ld = [](const std::atomic<uint64_t>& a) {
@@ -63,7 +68,7 @@ struct TaskAllocStats {
     return {ld(page_faults),  ld(colored_pages),   ld(default_pages),
             ld(fallback_pages), ld(refill_blocks), ld(refill_pages),
             ld(remote_pages), ld(widened_pages),   ld(scavenged_pages),
-            ld(failed_allocs)};
+            ld(failed_allocs), ld(migrated_pages)};
   }
 };
 

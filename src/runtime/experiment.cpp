@@ -75,6 +75,9 @@ AggregateResult ExperimentDriver::run(const WorkloadSpec& spec,
     agg.llc_miss_rate += r.llc_miss_rate;
     agg.row_hit_rate += r.row_hit_rate;
     agg.avg_access_latency += r.avg_access_latency;
+    agg.frames_poisoned += r.frames_poisoned;
+    agg.pages_migrated += r.pages_migrated;
+    agg.colors_retired += r.colors_retired;
   }
   const double n = static_cast<double>(reps_);
   for (unsigned t = 0; t < T; ++t) {

@@ -51,6 +51,10 @@ struct AggregateResult {
   double llc_miss_rate = 0;
   double row_hit_rate = 0;
   double avg_access_latency = 0;
+  // RAS counters, summed over reps (zero without injected DRAM faults).
+  uint64_t frames_poisoned = 0;
+  uint64_t pages_migrated = 0;
+  uint64_t colors_retired = 0;
 };
 
 class ExperimentDriver {

@@ -447,6 +447,10 @@ RunResult WorkloadRunner::run(const WorkloadSpec& spec, core::Policy policy,
   res.row_hit_rate = dram_acc ? static_cast<double>(row_hits) /
                                     static_cast<double>(dram_acc)
                               : 0.0;
+  const os::KernelStats::Snapshot ks = session.kernel().stats().snapshot();
+  res.frames_poisoned = ks.frames_poisoned;
+  res.pages_migrated = ks.pages_migrated;
+  res.colors_retired = ks.colors_retired;
   return res;
 }
 

@@ -194,6 +194,11 @@ struct RunResult {
   double llc_miss_rate = 0;
   double avg_access_latency = 0;
   double row_hit_rate = 0;
+  // RAS behaviour (all zero unless a DRAM fault model or ECC failpoints
+  // were active during the run).
+  uint64_t frames_poisoned = 0;
+  uint64_t pages_migrated = 0;
+  uint64_t colors_retired = 0;
 };
 
 // Executes one benchmark run: fresh machine, `cores[i]` hosts thread i,

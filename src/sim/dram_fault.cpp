@@ -1,0 +1,64 @@
+#include "sim/dram_fault.h"
+
+namespace tint::sim {
+
+using FaultLock = util::RankedMutex<util::lock_rank::kDramFault>;
+
+void DramFaultModel::inject(const DramFaultRegion& region) {
+  TINT_ASSERT(region.node < mapping_.num_nodes());
+  TINT_ASSERT((region.row_lo < 0) == (region.row_hi < 0));
+  TINT_ASSERT(region.row_lo <= region.row_hi);
+  std::lock_guard<FaultLock> lk(mu_);
+  regions_.push_back(region);
+  region_count_.store(regions_.size(), std::memory_order_release);
+}
+
+void DramFaultModel::inject_bank_of(hw::PhysAddr frame_base,
+                                    FrameHealth severity) {
+  const hw::DramCoord c = mapping_.decode(frame_base);
+  DramFaultRegion r;
+  r.node = c.node;
+  r.channel = static_cast<int>(c.channel);
+  r.rank = static_cast<int>(c.rank);
+  r.bank = static_cast<int>(c.bank);
+  r.severity = severity;
+  inject(r);
+}
+
+void DramFaultModel::inject_row_of(hw::PhysAddr frame_base,
+                                   FrameHealth severity) {
+  const hw::DramCoord c = mapping_.decode(frame_base);
+  DramFaultRegion r;
+  r.node = c.node;
+  r.channel = static_cast<int>(c.channel);
+  r.rank = static_cast<int>(c.rank);
+  r.bank = static_cast<int>(c.bank);
+  r.row_lo = static_cast<int64_t>(c.row);
+  r.row_hi = static_cast<int64_t>(c.row);
+  r.severity = severity;
+  inject(r);
+}
+
+void DramFaultModel::clear() {
+  std::lock_guard<FaultLock> lk(mu_);
+  regions_.clear();
+  region_count_.store(0, std::memory_order_release);
+}
+
+FrameHealth DramFaultModel::frame_health(hw::PhysAddr frame_base) const {
+  if (empty()) return FrameHealth::kHealthy;
+  const hw::DramCoord c = mapping_.decode(frame_base);
+  std::lock_guard<FaultLock> lk(mu_);
+  stats_.probes.fetch_add(1, std::memory_order_relaxed);
+  FrameHealth worst = FrameHealth::kHealthy;
+  for (const DramFaultRegion& r : regions_) {
+    if (!r.matches(c)) continue;
+    if (r.severity > worst) worst = r.severity;
+    if (worst == FrameHealth::kDead) break;
+  }
+  if (worst != FrameHealth::kHealthy)
+    stats_.hits.fetch_add(1, std::memory_order_relaxed);
+  return worst;
+}
+
+}  // namespace tint::sim

@@ -1,0 +1,129 @@
+// DRAM fault model: which physical regions return corrupted data.
+//
+// Real DRAM fails along its own geometry -- a weak row, a dead bank, a
+// flaky rank behind one controller -- not along OS-visible page ranges.
+// The model therefore marks *coordinate* regions (node, channel, rank,
+// bank, row range) as flaky or dead, and health queries decode a frame's
+// physical address through the same PCI-derived `hw::AddressMapping` the
+// coloring kernel uses. An injected bank fault thus lands exactly on the
+// frames of one Eq. 1 bank color, which is what lets the RAS subsystem
+// retire that color once enough of its frames are poisoned.
+//
+//   kFlaky  the region still returns data, but unreliably: frames are
+//           soft-offlined (migrated away, then poisoned).
+//   kDead   reads are lost: frames are hard-offlined (poisoned, mapping
+//           dropped, the touch reports kEccUncorrected).
+//
+// Thread safety: inject/clear/frame_health may be called from any
+// thread. Regions live behind a leaf-rank mutex (util/lock_rank.h,
+// kDramFault) so health queries are legal while the kernel holds any of
+// its allocation locks -- the scrubber evaluates health during the
+// stop-the-world walk. The empty() fast path is one atomic load, so an
+// attached-but-unused model costs the allocation path nothing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "hw/address_mapping.h"
+#include "util/lock_rank.h"
+
+namespace tint::sim {
+
+enum class FrameHealth : uint8_t {
+  kHealthy = 0,
+  kFlaky,  // unreliable but readable: migrate the data, then quarantine
+  kDead,   // data already lost: quarantine, surface kEccUncorrected
+};
+
+constexpr const char* to_string(FrameHealth h) {
+  switch (h) {
+    case FrameHealth::kHealthy: return "healthy";
+    case FrameHealth::kFlaky: return "flaky";
+    case FrameHealth::kDead: return "dead";
+  }
+  return "?";
+}
+
+// One faulty region in DRAM coordinates. Negative fields are wildcards,
+// so a whole bank ({node, channel, rank, bank}), a rank ({node, channel,
+// rank}) or a single weak row ({..., row_lo == row_hi}) are all
+// expressible. `row` uses the decode convention of hw::AddressMapping
+// (every in-node bit at or above the row base), so a row region selects
+// a physically contiguous stripe of frames within one node.
+struct DramFaultRegion {
+  unsigned node = 0;
+  int channel = -1;   // -1 = every channel
+  int rank = -1;      // -1 = every rank
+  int bank = -1;      // -1 = every bank
+  int64_t row_lo = -1;  // -1 = every row; else inclusive range
+  int64_t row_hi = -1;
+  FrameHealth severity = FrameHealth::kFlaky;
+
+  bool matches(const hw::DramCoord& c) const {
+    if (c.node != node) return false;
+    if (channel >= 0 && c.channel != static_cast<unsigned>(channel))
+      return false;
+    if (rank >= 0 && c.rank != static_cast<unsigned>(rank)) return false;
+    if (bank >= 0 && c.bank != static_cast<unsigned>(bank)) return false;
+    if (row_lo >= 0 && (c.row < static_cast<uint64_t>(row_lo) ||
+                        c.row > static_cast<uint64_t>(row_hi)))
+      return false;
+    return true;
+  }
+};
+
+struct DramFaultStats {
+  std::atomic<uint64_t> probes{0};  // health queries against >=1 region
+  std::atomic<uint64_t> hits{0};    // queries that matched a region
+
+  struct Snapshot {
+    uint64_t probes = 0;
+    uint64_t hits = 0;
+  };
+  Snapshot snapshot() const {
+    return {probes.load(std::memory_order_relaxed),
+            hits.load(std::memory_order_relaxed)};
+  }
+};
+
+class DramFaultModel {
+ public:
+  explicit DramFaultModel(const hw::AddressMapping& mapping)
+      : mapping_(mapping) {}
+
+  // Marks a region faulty. Overlapping regions are legal; the worst
+  // matching severity wins (kDead > kFlaky).
+  void inject(const DramFaultRegion& region);
+
+  // Convenience: the whole bank holding `frame_base` (so the fault
+  // covers exactly one Eq. 1 bank color), or just that frame's row.
+  void inject_bank_of(hw::PhysAddr frame_base, FrameHealth severity);
+  void inject_row_of(hw::PhysAddr frame_base, FrameHealth severity);
+
+  void clear();
+
+  // Fast path: true while no region is injected (one atomic load).
+  bool empty() const {
+    return region_count_.load(std::memory_order_acquire) == 0;
+  }
+
+  // Health of the frame at `frame_base` (worst matching severity).
+  FrameHealth frame_health(hw::PhysAddr frame_base) const;
+
+  size_t num_regions() const {
+    return region_count_.load(std::memory_order_acquire);
+  }
+  const DramFaultStats& stats() const { return stats_; }
+
+ private:
+  const hw::AddressMapping& mapping_;
+  mutable util::RankedMutex<util::lock_rank::kDramFault> mu_;
+  std::vector<DramFaultRegion> regions_;  // guarded by mu_
+  std::atomic<size_t> region_count_{0};
+  mutable DramFaultStats stats_;
+};
+
+}  // namespace tint::sim

@@ -36,9 +36,11 @@ inline constexpr int kTaskTable = 20;   // task-table vector
 inline constexpr int kDefaultPath = 30; // kernel rng + region-node cache
 inline constexpr int kPageTable = 40;   // vpn -> pfn map
 inline constexpr int kHugePool = 50;    // boot-reserved 2 MB block stacks
+inline constexpr int kRas = 55;         // poisoned-frame set + retirement
 inline constexpr int kColorShard = 60;  // one color-list shard
 inline constexpr int kBuddyZone = 70;   // one buddy per-node zone
 inline constexpr int kFailPoint = 80;   // one failpoint's spec/rng (leaf)
+inline constexpr int kDramFault = 85;   // DRAM fault-model regions (leaf)
 }  // namespace lock_rank
 
 #ifdef TINT_DEBUG_CHECKS

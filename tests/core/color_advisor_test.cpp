@@ -149,6 +149,56 @@ TEST_F(ColorAdvisorTest, ApplyWidensTheTcb) {
   EXPECT_GT(as.colored_pages, 0u);
 }
 
+TEST_F(ColorAdvisorTest, RetiredColorIsReplacedWithHealthyLocalBank) {
+  const os::TaskId t = kernel_.create_task(0);
+  const unsigned bad = map_.make_bank_color(0, 2);
+  kernel_.mmap(t, bad | os::SET_MEM_COLOR, 0, os::PROT_COLOR_ALLOC);
+
+  // Poison free frames of the bank until the kernel retires its color.
+  unsigned quarantined = 0;
+  for (os::Pfn p = 0;
+       p < kernel_.pages().size() && !kernel_.color_retired(bad); ++p)
+    if (kernel_.pages()[p].bank_color == bad && kernel_.poison_frame(p))
+      ++quarantined;
+  ASSERT_TRUE(kernel_.color_retired(bad));
+  ASSERT_GE(quarantined, kernel_.config().ras.retire_threshold);
+
+  // Retirement outranks fallback pressure: advice fires with zero faults.
+  const auto advice = advisor_.analyze(kernel_);
+  ASSERT_EQ(advice[0].kind, TaskAdvice::Kind::kReplaceRetired);
+  ASSERT_EQ(advice[0].removals.mem_colors.size(), 1u);
+  EXPECT_EQ(advice[0].removals.mem_colors[0], bad);
+  ASSERT_EQ(advice[0].additions.mem_colors.size(), 1u);
+  const unsigned replacement = advice[0].additions.mem_colors[0];
+  EXPECT_NE(replacement, bad);
+  EXPECT_EQ(map_.node_of_bank_color(replacement), 0u);  // stays local
+  EXPECT_FALSE(kernel_.color_retired(replacement));
+
+  EXPECT_EQ(advisor_.apply(kernel_, advice[0]), 2u);  // one CLEAR + one SET
+  EXPECT_FALSE(kernel_.task(t).has_mem_color(bad));
+  EXPECT_TRUE(kernel_.task(t).has_mem_color(replacement));
+  // Once re-planned, the task is healthy again: no further advice.
+  EXPECT_EQ(advisor_.analyze(kernel_)[0].kind, TaskAdvice::Kind::kOk);
+}
+
+TEST_F(ColorAdvisorTest, WideningNeverSuggestsRetiredColors) {
+  const os::TaskId t = kernel_.create_task(0);
+  kernel_.mmap(t, map_.make_bank_color(0, 0) | os::SET_MEM_COLOR, 0,
+               os::PROT_COLOR_ALLOC);
+  // Retire a *different* local bank the widener would otherwise offer.
+  const unsigned bad = map_.make_bank_color(0, 3);
+  for (os::Pfn p = 0;
+       p < kernel_.pages().size() && !kernel_.color_retired(bad); ++p)
+    if (kernel_.pages()[p].bank_color == bad) kernel_.poison_frame(p);
+  ASSERT_TRUE(kernel_.color_retired(bad));
+
+  overdrive(t, advisor_.pool_capacity_pages(kernel_, t) + 64);
+  const auto advice = advisor_.analyze(kernel_);
+  ASSERT_EQ(advice[0].kind, TaskAdvice::Kind::kWidenBanks);
+  for (const uint16_t c : advice[0].additions.mem_colors)
+    EXPECT_NE(c, bad);
+}
+
 TEST_F(ColorAdvisorTest, ApplyOkAdviceIsNoop) {
   const os::TaskId t = kernel_.create_task(0);
   TaskAdvice ok;

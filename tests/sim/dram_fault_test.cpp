@@ -1,0 +1,118 @@
+// DramFaultModel: faults live in DRAM coordinates and are decoded
+// through the same PCI-derived AddressMapping the coloring kernel uses,
+// so an injected bank fault covers exactly one Eq. 1 bank color.
+#include "sim/dram_fault.h"
+
+#include <gtest/gtest.h>
+
+#include "hw/pci_config.h"
+
+namespace tint::sim {
+namespace {
+
+class DramFaultTest : public ::testing::Test {
+ protected:
+  DramFaultTest()
+      : topo_(hw::Topology::tiny()),
+        pci_(hw::PciConfig::program_bios(topo_)),
+        map_(pci_, topo_) {}
+
+  hw::Topology topo_;
+  hw::PciConfig pci_;
+  hw::AddressMapping map_;
+};
+
+TEST_F(DramFaultTest, EmptyModelIsHealthyAndFree) {
+  DramFaultModel m(map_);
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.frame_health(0), FrameHealth::kHealthy);
+  // The empty fast path never touches the stats (one atomic load).
+  EXPECT_EQ(m.stats().snapshot().probes, 0u);
+}
+
+TEST_F(DramFaultTest, BankFaultCoversExactlyOneBankColor) {
+  DramFaultModel m(map_);
+  const uint64_t page = topo_.page_bytes();
+  m.inject_bank_of(/*frame_base=*/0, FrameHealth::kFlaky);
+  EXPECT_FALSE(m.empty());
+  const unsigned target = map_.bank_color(0);
+
+  // Every frame of the machine agrees with the Eq. 1 color decode:
+  // faulty iff it shares the injected frame's bank color.
+  for (uint64_t pfn = 0; pfn < topo_.total_pages(); ++pfn) {
+    const hw::PhysAddr base = pfn * page;
+    const bool faulty = m.frame_health(base) != FrameHealth::kHealthy;
+    EXPECT_EQ(faulty, map_.bank_color(base) == target) << pfn;
+  }
+}
+
+TEST_F(DramFaultTest, RowFaultSelectsSingleRowStripe) {
+  DramFaultModel m(map_);
+  const uint64_t page = topo_.page_bytes();
+  const hw::PhysAddr target = 5 * page;
+  m.inject_row_of(target, FrameHealth::kDead);
+  const auto want = map_.decode(target);
+
+  EXPECT_EQ(m.frame_health(target), FrameHealth::kDead);
+  for (uint64_t pfn = 0; pfn < topo_.total_pages(); ++pfn) {
+    const hw::PhysAddr base = pfn * page;
+    const auto c = map_.decode(base);
+    const bool same_row = c.node == want.node && c.channel == want.channel &&
+                          c.rank == want.rank && c.bank == want.bank &&
+                          c.row == want.row;
+    EXPECT_EQ(m.frame_health(base) == FrameHealth::kDead, same_row) << pfn;
+  }
+}
+
+TEST_F(DramFaultTest, WorstSeverityWinsOnOverlap) {
+  DramFaultModel m(map_);
+  const uint64_t page = topo_.page_bytes();
+  // Whole bank flaky, one row of it dead.
+  m.inject_bank_of(0, FrameHealth::kFlaky);
+  m.inject_row_of(0, FrameHealth::kDead);
+  EXPECT_EQ(m.frame_health(0), FrameHealth::kDead);
+
+  // Another frame of the same bank (different row) stays flaky.
+  const unsigned target = map_.bank_color(0);
+  const uint64_t row0 = map_.decode(0).row;
+  for (uint64_t pfn = 1; pfn < topo_.total_pages(); ++pfn) {
+    const hw::PhysAddr base = pfn * page;
+    if (map_.bank_color(base) == target && map_.decode(base).row != row0) {
+      EXPECT_EQ(m.frame_health(base), FrameHealth::kFlaky);
+      break;
+    }
+  }
+}
+
+TEST_F(DramFaultTest, WildcardRegionCoversWholeNode) {
+  DramFaultModel m(map_);
+  DramFaultRegion region;
+  region.node = 1;
+  region.severity = FrameHealth::kFlaky;  // channel/rank/bank/row wildcard
+  m.inject(region);
+
+  const uint64_t page = topo_.page_bytes();
+  for (uint64_t pfn = 0; pfn < topo_.total_pages(); ++pfn) {
+    const hw::PhysAddr base = pfn * page;
+    EXPECT_EQ(m.frame_health(base) == FrameHealth::kFlaky,
+              map_.node_of(base) == 1u)
+        << pfn;
+  }
+}
+
+TEST_F(DramFaultTest, ClearRestoresHealthAndCountsProbes) {
+  DramFaultModel m(map_);
+  m.inject_bank_of(0, FrameHealth::kDead);
+  ASSERT_EQ(m.frame_health(0), FrameHealth::kDead);
+  const auto s = m.stats().snapshot();
+  EXPECT_EQ(s.probes, 1u);
+  EXPECT_EQ(s.hits, 1u);
+
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.num_regions(), 0u);
+  EXPECT_EQ(m.frame_health(0), FrameHealth::kHealthy);
+}
+
+}  // namespace
+}  // namespace tint::sim
