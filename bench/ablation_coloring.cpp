@@ -80,8 +80,9 @@ runtime::RunResult run_with_plans(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_banner("ablations", "design-choice studies (DESIGN.md #6)");
+  bench::JsonSink json(argc, argv);
   const auto machine = core::MachineConfig::opteron6128();
   const auto config = runtime::make_config(machine.topo, 16, 4);
   const double scale = bench::env_scale();
@@ -107,6 +108,7 @@ int main() {
     show(core::Policy::kMem, "local + private banks");
     show(core::Policy::kMemLlc, "all three axes");
     table.print();
+    json.add(table);
     std::printf("  controller-awareness = MEM vs BPM gap\n\n");
   }
 
@@ -145,6 +147,7 @@ int main() {
                      Table::fmt(idle.mean() / 1e6, 1)});
     }
     table.print();
+    json.add(table);
     std::printf("  group=1 is MEM+LLC, group=4 is MEM+LLC(part), group=16\n"
                 "  shares the whole LLC (like MEM).\n\n");
   }
@@ -169,6 +172,7 @@ int main() {
                                      buddy.runtime.mean()), 1)});
     }
     table.print();
+    json.add(table);
     std::printf("  even with perfect first touch (p=0) coloring wins via\n"
                 "  bank/LLC isolation; the paper's remote-access effect\n"
                 "  rides on top.\n\n");
@@ -192,6 +196,7 @@ int main() {
                      Table::fmt(memllc.runtime.mean() / 1e6, 1)});
     }
     table.print();
+    json.add(table);
     std::printf("  a pristine buddy hands out physically contiguous runs\n"
                 "  (long row-buffer streaks); no long-running system looks\n"
                 "  like that, which is why warm-up is the default.\n\n");
@@ -257,6 +262,7 @@ int main() {
                      std::to_string(faults)});
     }
     table.print();
+    json.add(table);
     std::printf("  huge pages trade color isolation for fault count and\n"
                 "  row-buffer locality (the paper leaves them future work).\n");
   }

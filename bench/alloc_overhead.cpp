@@ -10,6 +10,7 @@
 //     once the color lists are populated (warm).
 #include <benchmark/benchmark.h>
 
+#include "bench/common.h"
 #include "core/session.h"
 
 using namespace tint;
@@ -126,4 +127,6 @@ BENCHMARK(BM_ColorControlMmap);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return tint::bench::run_gbench_main(argc, argv);
+}

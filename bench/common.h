@@ -87,6 +87,47 @@ inline std::string norm(double value, double base, int precision = 3) {
   return base > 0 ? Table::fmt(value / base, precision) : "-";
 }
 
+// Mirrors the tables (and scalar metrics) a figure bench prints to the
+// file named by `--json <path>`; without the flag it is inert. The file
+// holds one object: {"tables": [...], "metrics": {...}} -- the same
+// rows the console shows, machine-readable for CI diffing.
+class JsonSink {
+ public:
+  JsonSink(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; ++i)
+      if (std::string(argv[i]) == "--json") path_ = argv[i + 1];
+  }
+  void add(const Table& t) {
+    if (!path_.empty()) tables_.push_back(t.to_json());
+  }
+  void metric(const std::string& name, double value) {
+    if (!path_.empty()) metrics_.emplace_back(name, value);
+  }
+  ~JsonSink() {
+    if (path_.empty()) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (!f) {
+      std::fprintf(stderr, "cannot write --json file %s\n", path_.c_str());
+      return;
+    }
+    std::fputs("{\"tables\":[\n", f);
+    for (size_t i = 0; i < tables_.size(); ++i)
+      std::fprintf(f, "%s%s\n", tables_[i].c_str(),
+                   i + 1 < tables_.size() ? "," : "");
+    std::fputs("],\"metrics\":{", f);
+    for (size_t i = 0; i < metrics_.size(); ++i)
+      std::fprintf(f, "%s\"%s\":%.17g", i ? "," : "",
+                   metrics_[i].first.c_str(), metrics_[i].second);
+    std::fputs("}}\n", f);
+    std::fclose(f);
+  }
+
+ private:
+  std::string path_;
+  std::vector<std::string> tables_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
 // Rewrites `--json <path>` into Google Benchmark's own output flags
 // (`--benchmark_out=<path> --benchmark_out_format=json`), then runs the
 // registered benchmarks: console output stays on stdout, and the full

@@ -50,10 +50,14 @@ Shared g;
 std::mutex g_mu;
 std::atomic<int> g_done{0};
 
-void setup(benchmark::State& state, bool colored) {
+void setup(benchmark::State& state, bool colored, unsigned magazine_cap = 0,
+           unsigned refill_batch = 1) {
   std::lock_guard<std::mutex> lk(g_mu);
   if (g.session) return;  // another thread already built this run's state
-  g.session = std::make_unique<core::Session>(machine());
+  core::MachineConfig mc = machine();
+  mc.kernel.magazine_capacity = magazine_cap;
+  mc.kernel.refill_batch_blocks = refill_batch;
+  g.session = std::make_unique<core::Session>(mc);
   g.tasks.clear();
   const unsigned ncores = g.session->topology().num_cores();
   const unsigned nb = g.session->mapping().num_bank_colors();
@@ -97,6 +101,13 @@ void report(benchmark::State& state, uint64_t thread_ops) {
     state.counters["races_lost_frac"] =
         static_cast<double>(s.fault_races_lost) / served;
   }
+  const double mag_lookups =
+      static_cast<double>(s.magazine_hits + s.magazine_misses);
+  if (mag_lookups > 0)
+    state.counters["magazine_hit_frac"] =
+        static_cast<double>(s.magazine_hits) / mag_lookups;
+  if (s.batch_refills > 0)
+    state.counters["batch_refills"] = static_cast<double>(s.batch_refills);
   g.session.reset();
   g_done.store(0, std::memory_order_release);
 }
@@ -123,16 +134,22 @@ void BM_VmaChurn(benchmark::State& state, bool colored) {
 
 // Raw colored allocate/free churn: no VMAs, just Algorithm 1 against
 // the color shards and the buddy zones -- the pure allocator hot path.
-void BM_RawAllocFree(benchmark::State& state, bool colored) {
-  setup(state, colored);
+// With a magazine capacity, the steady-state round-trip becomes a pop
+// and push on the task's own magazine instead of the shared shards.
+void BM_RawAllocFree(benchmark::State& state, bool colored,
+                     unsigned magazine_cap = 0, unsigned refill_batch = 1) {
+  setup(state, colored, magazine_cap, refill_batch);
   os::Kernel& k = g.session->kernel();
   const os::TaskId task = g.tasks[static_cast<size_t>(state.thread_index())];
   Rng rng(1234 + static_cast<uint64_t>(state.thread_index()));
+  // Held set below the per-task colored-combo capacity (~128 pages for
+  // two banks x one LLC color on this machine), so the steady state
+  // measures the colored round-trip, not combo exhaustion.
   std::vector<os::Pfn> held;
-  held.reserve(256);
+  held.reserve(96);
   uint64_t ops = 0;
   for (auto _ : state) {
-    if (held.size() < 256 && (held.empty() || rng.next_bool(0.55))) {
+    if (held.size() < 96 && (held.empty() || rng.next_bool(0.55))) {
       const auto out = k.alloc_pages(task, 0);
       if (out.pfn != os::kNoPage) held.push_back(out.pfn);
     } else {
@@ -149,6 +166,9 @@ void BM_VmaChurn_Buddy(benchmark::State& s) { BM_VmaChurn(s, false); }
 void BM_VmaChurn_Colored(benchmark::State& s) { BM_VmaChurn(s, true); }
 void BM_RawAllocFree_Buddy(benchmark::State& s) { BM_RawAllocFree(s, false); }
 void BM_RawAllocFree_Colored(benchmark::State& s) { BM_RawAllocFree(s, true); }
+void BM_RawAllocFree_Magazine(benchmark::State& s) {
+  BM_RawAllocFree(s, true, /*magazine_cap=*/64, /*refill_batch=*/8);
+}
 
 }  // namespace
 
@@ -156,6 +176,7 @@ BENCHMARK(BM_VmaChurn_Buddy)->ThreadRange(1, 32)->UseRealTime();
 BENCHMARK(BM_VmaChurn_Colored)->ThreadRange(1, 32)->UseRealTime();
 BENCHMARK(BM_RawAllocFree_Buddy)->ThreadRange(1, 32)->UseRealTime();
 BENCHMARK(BM_RawAllocFree_Colored)->ThreadRange(1, 32)->UseRealTime();
+BENCHMARK(BM_RawAllocFree_Magazine)->ThreadRange(1, 32)->UseRealTime();
 
 int main(int argc, char** argv) {
   return tint::bench::run_gbench_main(argc, argv);

@@ -1,0 +1,154 @@
+// Scaling of the fast-path allocation caches, 1..32 threads.
+//
+// Two hot paths, each measured with its cache off and on:
+//   * PageChurn -- the kernel's colored page alloc/free round-trip, off
+//     (every op crosses the color shards) vs. with per-task page
+//     magazines + batched Algorithm-2 refill (steady state touches only
+//     the task's own magazine).
+//   * HeapChurn -- TintHeap malloc/free of size-class blocks with every
+//     thread hammering ONE shared heap, off (every op takes the arena
+//     lock) vs. with per-thread tcaches (steady state is lock-free).
+//
+// Reported counters: ops/sec (items_per_second), magazine_hit_frac /
+// tcache_hit_frac. The interesting shape is ops/sec at 8+ threads:
+// cached variants should scale, uncached ones flatline on the shared
+// locks.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench/common.h"
+#include "core/session.h"
+
+using namespace tint;
+
+namespace {
+
+// Shared per-benchmark state; same first-arrival-wins setup / last-out
+// teardown discipline as concurrent_alloc.cpp.
+struct Shared {
+  std::unique_ptr<core::Session> session;
+  std::vector<os::TaskId> tasks;
+};
+Shared g;
+std::mutex g_mu;
+std::atomic<int> g_done{0};
+
+void setup(benchmark::State& state, unsigned magazine_cap,
+           unsigned refill_batch, unsigned tcache_depth) {
+  std::lock_guard<std::mutex> lk(g_mu);
+  if (g.session) return;
+  core::MachineConfig mc = core::MachineConfig::opteron6128();
+  mc.topo.dram_bytes_per_node = 256ULL << 20;
+  mc.kernel.magazine_capacity = magazine_cap;
+  mc.kernel.refill_batch_blocks = refill_batch;
+  mc.heap.tcache_depth = tcache_depth;
+  g.session = std::make_unique<core::Session>(mc);
+  g.tasks.clear();
+  const unsigned ncores = g.session->topology().num_cores();
+  const unsigned nb = g.session->mapping().num_bank_colors();
+  const unsigned nl = g.session->mapping().num_llc_colors();
+  for (int t = 0; t < state.threads(); ++t) {
+    const os::TaskId id =
+        g.session->create_task(static_cast<unsigned>(t) % ncores);
+    const unsigned b0 = (2 * t) % nb;
+    core::ThreadColorPlan plan{{static_cast<uint16_t>(b0),
+                                static_cast<uint16_t>((b0 + 1) % nb)},
+                               {static_cast<uint8_t>(t % nl)}};
+    g.session->apply_colors(id, plan);
+    g.tasks.push_back(id);
+  }
+}
+
+void report(benchmark::State& state, uint64_t thread_ops, bool heap_bench) {
+  state.SetItemsProcessed(static_cast<int64_t>(thread_ops));
+  g_done.fetch_add(1, std::memory_order_acq_rel);
+  if (state.thread_index() != 0) return;
+  while (g_done.load(std::memory_order_acquire) < state.threads())
+    std::this_thread::yield();
+  if (heap_bench) {
+    const core::HeapStats hs = g.session->heap(g.tasks[0]).stats();
+    if (hs.mallocs > 0)
+      state.counters["tcache_hit_frac"] =
+          static_cast<double>(hs.tcache_hits) /
+          static_cast<double>(hs.mallocs);
+  } else {
+    const auto s = g.session->kernel().stats().snapshot();
+    const double lookups =
+        static_cast<double>(s.magazine_hits + s.magazine_misses);
+    if (lookups > 0)
+      state.counters["magazine_hit_frac"] =
+          static_cast<double>(s.magazine_hits) / lookups;
+  }
+  g.session.reset();
+  g_done.store(0, std::memory_order_release);
+}
+
+// Colored page alloc/free round-trips on the task's own pages.
+void BM_PageChurn(benchmark::State& state, unsigned magazine_cap,
+                  unsigned refill_batch) {
+  setup(state, magazine_cap, refill_batch, 0);
+  os::Kernel& k = g.session->kernel();
+  const os::TaskId task = g.tasks[static_cast<size_t>(state.thread_index())];
+  std::vector<os::Pfn> held;
+  held.reserve(64);
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    while (held.size() < 64) {
+      const auto out = k.alloc_pages(task, 0);
+      if (out.pfn == os::kNoPage) break;
+      held.push_back(out.pfn);
+      ++ops;
+    }
+    while (!held.empty()) {
+      k.free_pages(held.back(), 0);
+      held.pop_back();
+      ++ops;
+    }
+  }
+  report(state, ops, /*heap_bench=*/false);
+}
+
+// Size-class malloc/free round-trips, all threads on ONE shared heap.
+void BM_HeapChurn(benchmark::State& state, unsigned tcache_depth) {
+  setup(state, 0, 1, tcache_depth);
+  core::TintHeap& heap = g.session->heap(g.tasks[0]);
+  constexpr uint64_t kSizes[] = {64, 256, 1024};
+  std::vector<os::VirtAddr> held;
+  held.reserve(48);
+  uint64_t ops = 0;
+  for (auto _ : state) {
+    for (unsigned i = 0; i < 48; ++i) {
+      const os::VirtAddr p = heap.malloc(kSizes[i % 3]);
+      if (p == 0) break;
+      held.push_back(p);
+      ++ops;
+    }
+    while (!held.empty()) {
+      heap.free(held.back());
+      held.pop_back();
+      ++ops;
+    }
+  }
+  report(state, ops, /*heap_bench=*/true);
+}
+
+void BM_PageChurn_NoMagazine(benchmark::State& s) { BM_PageChurn(s, 0, 1); }
+void BM_PageChurn_Magazine(benchmark::State& s) { BM_PageChurn(s, 64, 8); }
+void BM_HeapChurn_NoTcache(benchmark::State& s) { BM_HeapChurn(s, 0); }
+void BM_HeapChurn_Tcache(benchmark::State& s) { BM_HeapChurn(s, 64); }
+
+}  // namespace
+
+BENCHMARK(BM_PageChurn_NoMagazine)->ThreadRange(1, 32)->UseRealTime();
+BENCHMARK(BM_PageChurn_Magazine)->ThreadRange(1, 32)->UseRealTime();
+BENCHMARK(BM_HeapChurn_NoTcache)->ThreadRange(1, 32)->UseRealTime();
+BENCHMARK(BM_HeapChurn_Tcache)->ThreadRange(1, 32)->UseRealTime();
+
+int main(int argc, char** argv) {
+  return tint::bench::run_gbench_main(argc, argv);
+}

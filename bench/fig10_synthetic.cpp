@@ -10,8 +10,9 @@
 
 using namespace tint;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_banner("Fig. 10", "synthetic stride benchmark runtime");
+  bench::JsonSink json(argc, argv);
 
   const auto machine = core::MachineConfig::opteron6128();
   const auto config = runtime::make_config(machine.topo, 16, 4);
@@ -48,6 +49,7 @@ int main() {
                    Table::fmt(lat, 0)});
   }
   table.print();
+  json.add(table);
   std::printf(
       "\nExpected shape (paper): MEM/LLC < MEM < buddy; LLC near buddy for\n"
       "this zero-reuse pattern; all coloring gains come from controller\n"

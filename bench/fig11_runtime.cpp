@@ -12,8 +12,9 @@
 
 using namespace tint;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_banner("Fig. 11", "normalized benchmark runtime");
+  bench::JsonSink json(argc, argv);
 
   const double scale_env = bench::env_scale();
   const auto machine = bench::machine_for_scale(scale_env);
@@ -39,6 +40,7 @@ int main() {
            std::string(core::to_string(cell.best_other.policy))});
     }
     table.print();
+    json.add(table);
     std::printf("\n");
   }
   std::printf(

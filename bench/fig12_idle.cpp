@@ -10,8 +10,9 @@
 
 using namespace tint;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_banner("Fig. 12", "normalized total idle time at barriers");
+  bench::JsonSink json(argc, argv);
 
   const double scale_env = bench::env_scale();
   const auto machine = bench::machine_for_scale(scale_env);
@@ -41,6 +42,7 @@ int main() {
                      Table::fmt(100 * rt_gain, 1) + "%"});
     }
     table.print();
+    json.add(table);
     std::printf("\n");
   }
   std::printf(

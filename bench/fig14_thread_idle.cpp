@@ -7,8 +7,9 @@
 
 using namespace tint;
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_banner("Fig. 14", "per-thread idle time (16_threads_4_nodes)");
+  bench::JsonSink json(argc, argv);
 
   const double scale_env = bench::env_scale();
   const auto machine = bench::machine_for_scale(scale_env);
@@ -43,6 +44,7 @@ int main() {
     row(std::string(core::to_string(cell.best_other.policy)).c_str(),
         cell.best_other.result);
     table.print();
+    json.add(table);
 
     const double max_idle_drop =
         1.0 - cell.memllc.max_thread_idle.mean() /

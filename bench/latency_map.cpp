@@ -25,8 +25,9 @@ hw::Cycles probe(core::Session& s, unsigned core, unsigned node,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   bench::print_banner("latency map", "local vs. remote controller latency");
+  bench::JsonSink json(argc, argv);
 
   core::Session s(core::MachineConfig::opteron6128());
   hw::Cycles now = 0;
@@ -46,6 +47,7 @@ int main() {
     matrix.add_row(std::move(row));
   }
   matrix.print();
+  json.add(matrix);
 
   // Fig. 8 microcosm: two tasks ping-pong on one bank vs. private banks.
   {
@@ -73,6 +75,9 @@ int main() {
       }
       std::printf("  %-22s avg %5.1f cycles/access\n",
                   shared ? "same bank (conflict):" : "private banks:",
+                  static_cast<double>(total) / n);
+      json.metric(shared ? "fig8_same_bank_cycles_per_access"
+                         : "fig8_private_banks_cycles_per_access",
                   static_cast<double>(total) / n);
     }
   }
@@ -122,6 +127,10 @@ int main() {
       std::printf("  %-22s victim cache-hit rate %5.1f%%\n",
                   colored ? "LLC colored:" : "shared LLC:",
                   100.0 * static_cast<double>(vic_hits) /
+                      static_cast<double>(vic_n));
+      json.metric(colored ? "fig9_colored_victim_hit_rate"
+                          : "fig9_shared_victim_hit_rate",
+                  static_cast<double>(vic_hits) /
                       static_cast<double>(vic_n));
     }
   }

@@ -6,8 +6,20 @@
 
 namespace tint::core {
 
+namespace {
+// Source of the per-instance generation stamp that keys the thread-local
+// cache memo (a new heap constructed at a recycled address must not
+// inherit the old memo).
+std::atomic<uint64_t> g_heap_gen{0};
+}  // namespace
+
+using ArenaLock = util::RankedMutex<util::lock_rank::kHeapArena>;
+
 TintHeap::TintHeap(os::Kernel& kernel, os::TaskId task, HeapConfig cfg)
-    : kernel_(kernel), task_(task), cfg_(cfg) {
+    : kernel_(kernel),
+      task_(task),
+      cfg_(cfg),
+      heap_gen_(g_heap_gen.fetch_add(1, std::memory_order_relaxed) + 1) {
   TINT_ASSERT(cfg_.chunk_pages >= 1);
   free_lists_.resize(std::size(kClasses));
 }
@@ -18,6 +30,62 @@ int TintHeap::class_of(uint64_t size) {
   for (size_t i = 0; i < std::size(kClasses); ++i)
     if (size <= kClasses[i]) return static_cast<int>(i);
   return -1;  // large allocation
+}
+
+TintHeap::ThreadCache* TintHeap::this_cache() {
+  if (cfg_.tcache_depth == 0) return nullptr;
+  // One memo per thread covers the common one-heap-per-thread shape;
+  // a thread alternating between heaps just re-resolves via the
+  // registry. The generation check keeps a memo from surviving into a
+  // different heap constructed at the same address.
+  struct Memo {
+    const void* heap;
+    uint64_t gen;
+    ThreadCache* tc;
+  };
+  static thread_local Memo memo{nullptr, 0, nullptr};
+  if (memo.heap == this && memo.gen == heap_gen_) return memo.tc;
+  std::lock_guard<ArenaLock> lk(arena_);
+  auto& slot = caches_[std::this_thread::get_id()];
+  if (!slot) slot = std::make_unique<ThreadCache>(std::size(kClasses));
+  memo = {this, heap_gen_, slot.get()};
+  return slot.get();
+}
+
+bool TintHeap::tcache_refill(ThreadCache& tc, int cls) {
+  const uint64_t block = kClasses[cls];
+  const size_t want = std::max<size_t>(1, cfg_.tcache_depth / 2);
+  auto& bin = tc.bins[static_cast<size_t>(cls)];
+  std::lock_guard<ArenaLock> lk(arena_);
+  auto& fl = free_lists_[static_cast<size_t>(cls)];
+  while (bin.size() < want) {
+    VirtAddr va;
+    if (!fl.empty()) {
+      va = fl.back();
+      fl.pop_back();
+    } else {
+      va = carve(block);
+      if (va == 0) break;  // kernel dry; the caller falls to the slow path
+    }
+    block_size_.emplace(va, block);
+    tc.cls_of.emplace(va, cls);
+    bin.push_back(va);
+  }
+  return !bin.empty();
+}
+
+void TintHeap::tcache_flush_bin(ThreadCache& tc, int cls, size_t keep) {
+  auto& bin = tc.bins[static_cast<size_t>(cls)];
+  if (bin.size() <= keep) return;
+  const size_t n = bin.size() - keep;
+  std::lock_guard<ArenaLock> lk(arena_);
+  auto& fl = free_lists_[static_cast<size_t>(cls)];
+  for (size_t i = 0; i < n; ++i) {
+    block_size_.erase(bin[i]);
+    fl.push_back(bin[i]);
+  }
+  bin.erase(bin.begin(), bin.begin() + static_cast<std::ptrdiff_t>(n));
+  tc.flushes.fetch_add(n, std::memory_order_relaxed);
 }
 
 VirtAddr TintHeap::fail_malloc(os::AllocError why) {
@@ -42,10 +110,39 @@ bool TintHeap::populate_range(VirtAddr va, uint64_t len, uint64_t stride) {
 VirtAddr TintHeap::malloc(uint64_t size) {
   if (size == 0) size = 1;
   const int cls = class_of(size);
+  if (cls >= 0) {
+    if (ThreadCache* tc = this_cache()) {
+      auto& bin = tc->bins[static_cast<size_t>(cls)];
+      if (bin.empty()) tcache_refill(*tc, cls);
+      if (!bin.empty()) {
+        const VirtAddr va = bin.back();
+        bin.pop_back();
+        if (cfg_.populate && !populate_range(va, kClasses[cls])) {
+          bin.push_back(va);  // stays cached for a later retry
+          std::lock_guard<ArenaLock> lk(arena_);
+          return fail_malloc(last_error());
+        }
+        tc->hits.fetch_add(1, std::memory_order_relaxed);
+        tc->mallocs.fetch_add(1, std::memory_order_relaxed);
+        tc->bytes_requested.fetch_add(size, std::memory_order_relaxed);
+        tc->live_delta.fetch_add(static_cast<int64_t>(size),
+                                 std::memory_order_relaxed);
+        last_error_.store(os::AllocError::kOk, std::memory_order_relaxed);
+        return va;
+      }
+      // Arena and kernel both dry: fall through so the slow path records
+      // the failure exactly like the uncached build.
+    }
+  }
+  std::lock_guard<ArenaLock> lk(arena_);
+  return malloc_locked(size, cls);
+}
+
+VirtAddr TintHeap::malloc_locked(uint64_t size, int cls) {
   VirtAddr va;
   if (cls < 0) {
     va = alloc_large(size);
-    if (va == 0) return fail_malloc(last_error_);
+    if (va == 0) return fail_malloc(last_error());
   } else {
     const uint64_t block = kClasses[cls];
     auto& fl = free_lists_[static_cast<size_t>(cls)];
@@ -54,13 +151,13 @@ VirtAddr TintHeap::malloc(uint64_t size) {
       fl.pop_back();
     } else {
       va = carve(block);
-      if (va == 0) return fail_malloc(last_error_);
+      if (va == 0) return fail_malloc(last_error());
     }
     if (cfg_.populate && !populate_range(va, block)) {
       // The VA block stays on its free list for a later retry; no frame
       // was leaked (the partial faults stay mapped in the chunk's VMA).
       fl.push_back(va);
-      return fail_malloc(last_error_);
+      return fail_malloc(last_error());
     }
     block_size_.emplace(va, block);
   }
@@ -72,8 +169,10 @@ VirtAddr TintHeap::malloc(uint64_t size) {
 }
 
 VirtAddr TintHeap::calloc(uint64_t nmemb, uint64_t size) {
-  if (size != 0 && nmemb > ~uint64_t{0} / size)
+  if (size != 0 && nmemb > ~uint64_t{0} / size) {
+    std::lock_guard<ArenaLock> lk(arena_);
     return fail_malloc(os::AllocError::kInvalidArgument);
+  }
   return malloc(nmemb * size);
 }
 
@@ -119,6 +218,7 @@ VirtAddr TintHeap::alloc_large(uint64_t size) {
 
 VirtAddr TintHeap::malloc_huge(uint64_t size) {
   if (size == 0) size = 1;
+  std::lock_guard<ArenaLock> lk(arena_);
   const uint64_t len =
       (size + os::Kernel::kHugeBytes - 1) & ~(os::Kernel::kHugeBytes - 1);
   const VirtAddr base = kernel_.mmap(task_, 0, len, 0, os::MAP_HUGE_2MB);
@@ -128,7 +228,7 @@ VirtAddr TintHeap::malloc_huge(uint64_t size) {
     // Huge-pool exhaustion surfaces here as a 0 return (the paper's
     // "returns an error"), not an abort; already-mapped blocks unwind.
     kernel_.munmap(task_, base, len);
-    return fail_malloc(last_error_);
+    return fail_malloc(last_error());
   }
   ++stats_.mallocs;
   ++stats_.large_allocs;
@@ -146,14 +246,18 @@ VirtAddr TintHeap::realloc(VirtAddr ptr, uint64_t size) {
     free(ptr);
     return 0;
   }
-  const auto it = block_size_.find(ptr);
-  if (it == block_size_.end()) {
-    // Unknown pointer: no-op, report instead of aborting.
-    last_error_ = os::AllocError::kInvalidArgument;
-    ++stats_.invalid_frees;
-    return 0;
+  uint64_t old_size = 0;
+  {
+    std::lock_guard<ArenaLock> lk(arena_);
+    const auto it = block_size_.find(ptr);
+    if (it == block_size_.end()) {
+      // Unknown pointer: no-op, report instead of aborting.
+      last_error_ = os::AllocError::kInvalidArgument;
+      ++stats_.invalid_frees;
+      return 0;
+    }
+    old_size = it->second;
   }
-  const uint64_t old_size = it->second;
   if (size <= old_size && class_of(size) == class_of(old_size))
     return ptr;  // still fits the same block / class
   const VirtAddr fresh = malloc(size);
@@ -163,9 +267,12 @@ VirtAddr TintHeap::realloc(VirtAddr ptr, uint64_t size) {
 }
 
 VirtAddr TintHeap::aligned_alloc(uint64_t alignment, uint64_t size) {
-  if (alignment < kAlign || (alignment & (alignment - 1)) != 0)
+  if (alignment < kAlign || (alignment & (alignment - 1)) != 0) {
+    std::lock_guard<ArenaLock> lk(arena_);
     return fail_malloc(os::AllocError::kInvalidArgument);
+  }
   if (alignment <= kAlign) return malloc(size);
+  std::lock_guard<ArenaLock> lk(arena_);
   // Over-allocate and return the aligned address inside the block; the
   // bookkeeping keys on the returned pointer.
   const uint64_t padded = size + alignment;
@@ -173,7 +280,7 @@ VirtAddr TintHeap::aligned_alloc(uint64_t alignment, uint64_t size) {
   VirtAddr base;
   if (cls < 0) {
     base = alloc_large(padded);
-    if (base == 0) return fail_malloc(last_error_);
+    if (base == 0) return fail_malloc(last_error());
     block_size_.erase(base);  // re-keyed on the aligned pointer below
   } else {
     auto& fl = free_lists_[static_cast<size_t>(cls)];
@@ -182,18 +289,18 @@ VirtAddr TintHeap::aligned_alloc(uint64_t alignment, uint64_t size) {
       fl.pop_back();
     } else {
       base = carve(kClasses[cls]);
-      if (base == 0) return fail_malloc(last_error_);
+      if (base == 0) return fail_malloc(last_error());
     }
     if (cfg_.populate && !populate_range(base, kClasses[cls])) {
       fl.push_back(base);
-      return fail_malloc(last_error_);
+      return fail_malloc(last_error());
     }
   }
   const VirtAddr aligned = (base + alignment - 1) & ~(alignment - 1);
   // Remember the *block* under the aligned pointer so free() can return
   // it to the right size class.
   block_size_.emplace(aligned, cls < 0 ? padded : kClasses[cls]);
-  aligned_offset_.emplace(aligned, aligned - base);
+  if (aligned != base) aligned_offset_.emplace(aligned, aligned - base);
   ++stats_.mallocs;
   stats_.bytes_requested += size;
   stats_.bytes_live += size;
@@ -202,6 +309,7 @@ VirtAddr TintHeap::aligned_alloc(uint64_t alignment, uint64_t size) {
 }
 
 uint64_t TintHeap::usable_size(VirtAddr ptr) const {
+  std::lock_guard<ArenaLock> lk(arena_);
   const auto it = block_size_.find(ptr);
   if (it == block_size_.end()) {
     last_error_ = os::AllocError::kInvalidArgument;
@@ -213,6 +321,29 @@ uint64_t TintHeap::usable_size(VirtAddr ptr) const {
 
 void TintHeap::free(VirtAddr ptr) {
   if (ptr == 0) return;
+  if (ThreadCache* tc = this_cache()) {
+    const auto cit = tc->cls_of.find(ptr);
+    if (cit != tc->cls_of.end()) {
+      const int cls = cit->second;
+      auto& bin = tc->bins[static_cast<size_t>(cls)];
+      if (std::find(bin.begin(), bin.end(), ptr) != bin.end()) {
+        // Same-thread double free of a cached block; the depth-bounded
+        // bin scan is all the detection the lock-free path can afford.
+        last_error_.store(os::AllocError::kInvalidArgument,
+                          std::memory_order_relaxed);
+        tc->invalid_frees.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      if (bin.size() >= cfg_.tcache_depth)
+        tcache_flush_bin(*tc, cls, cfg_.tcache_depth / 2);
+      bin.push_back(ptr);
+      tc->frees.fetch_add(1, std::memory_order_relaxed);
+      tc->live_delta.fetch_sub(static_cast<int64_t>(kClasses[cls]),
+                               std::memory_order_relaxed);
+      return;
+    }
+  }
+  std::lock_guard<ArenaLock> lk(arena_);
   const auto it = block_size_.find(ptr);
   if (it == block_size_.end()) {
     // Double free or foreign pointer: record it and carry on -- the
@@ -249,12 +380,38 @@ void TintHeap::free(VirtAddr ptr) {
 }
 
 void TintHeap::release_all() {
+  // Like the destructor, this must not race with malloc/free on other
+  // threads: the thread-cache fast paths read cls_of without the arena.
+  std::lock_guard<ArenaLock> lk(arena_);
+  for (auto& [tid, tc] : caches_) {
+    for (auto& bin : tc->bins) bin.clear();
+    tc->cls_of.clear();
+    tc->live_delta.store(0, std::memory_order_relaxed);
+  }
   for (const auto& [base, len] : vmas_) kernel_.munmap(task_, base, len);
   vmas_.clear();
   block_size_.clear();
+  aligned_offset_.clear();
   for (auto& fl : free_lists_) fl.clear();
   chunk_cursor_ = chunk_end_ = 0;
   stats_.bytes_live = 0;
+}
+
+HeapStats TintHeap::stats() const {
+  std::lock_guard<ArenaLock> lk(arena_);
+  HeapStats out = stats_;
+  int64_t live = static_cast<int64_t>(out.bytes_live);
+  for (const auto& [tid, tc] : caches_) {
+    out.mallocs += tc->mallocs.load(std::memory_order_relaxed);
+    out.frees += tc->frees.load(std::memory_order_relaxed);
+    out.bytes_requested += tc->bytes_requested.load(std::memory_order_relaxed);
+    out.invalid_frees += tc->invalid_frees.load(std::memory_order_relaxed);
+    out.tcache_hits += tc->hits.load(std::memory_order_relaxed);
+    out.tcache_flushes += tc->flushes.load(std::memory_order_relaxed);
+    live += tc->live_delta.load(std::memory_order_relaxed);
+  }
+  out.bytes_live = live > 0 ? static_cast<uint64_t>(live) : 0;
+  return out;
 }
 
 unsigned apply_thread_colors(os::Kernel& kernel, os::TaskId task,

@@ -13,14 +13,35 @@
 // knows *nothing* about colors -- coloring happens underneath it, at
 // page-fault time, driven by the owning task's TCB. The same heap code
 // therefore serves every policy, including the buddy baseline.
+//
+// Thread safety: the arena (free lists, block bookkeeping, chunk cursor,
+// VMA list) is guarded by one mutex at rank kHeapArena -- the lowest
+// rank in the system, because arena slow paths call into the kernel
+// (mmap/munmap/touch) which takes its own higher-ranked locks. With
+// HeapConfig::tcache_depth > 0, each thread additionally gets a
+// per-thread size-class cache in front of the arena, so the steady-state
+// malloc/free round-trip of one thread takes no lock at all (the
+// user-level analogue of the kernel's per-task page magazines).
+//
+// The tcache trades one diagnostic for speed: a block parked in a
+// thread's cache keeps its block_size_ entry, so a double free of such a
+// block is only caught by scanning the (depth-bounded) bin it sits in --
+// a cross-thread double free of a cached block goes undetected. With
+// tcache_depth = 0 (the default) detection is exactly as strict as
+// before.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
 #include <unordered_map>
 #include <vector>
 
 #include "core/color_planner.h"
 #include "os/kernel.h"
+#include "util/lock_rank.h"
 
 namespace tint::core {
 
@@ -36,6 +57,9 @@ struct HeapConfig {
   // use this to exercise the kernel's degradation ladder through the
   // plain malloc API.
   bool populate = false;
+  // Per-class depth of the per-thread front-end cache (0 = no thread
+  // caches; the serial determinism goldens pin the uncached behaviour).
+  unsigned tcache_depth = 0;
 };
 
 struct HeapStats {
@@ -47,6 +71,8 @@ struct HeapStats {
   uint64_t large_allocs = 0;
   uint64_t failed_mallocs = 0;   // allocations rejected with last_error()
   uint64_t invalid_frees = 0;    // free/realloc of an unknown pointer
+  uint64_t tcache_hits = 0;      // mallocs served lock-free by a thread cache
+  uint64_t tcache_flushes = 0;   // cached blocks flushed back to the arena
 };
 
 class TintHeap {
@@ -78,14 +104,18 @@ class TintHeap {
   uint64_t usable_size(VirtAddr ptr) const;
 
   // Releases every mapping this heap created (frames return to their
-  // color lists / the buddy allocator).
+  // color lists / the buddy allocator) and empties every thread cache.
   void release_all();
 
   os::TaskId task() const { return task_; }
-  const HeapStats& stats() const { return stats_; }
+  // Merged snapshot: the arena's counters plus every thread cache's
+  // (returned by value; per-thread counters are atomics merged here).
+  HeapStats stats() const;
   // Reason the most recent call returned 0 / was rejected (kOk after a
   // success) -- the heap-level errno.
-  os::AllocError last_error() const { return last_error_; }
+  os::AllocError last_error() const {
+    return last_error_.load(std::memory_order_relaxed);
+  }
 
   ~TintHeap();
   TintHeap(const TintHeap&) = delete;
@@ -98,29 +128,70 @@ class TintHeap {
                                           256, 384, 512, 1024, 2048, 4096};
   static int class_of(uint64_t size);
 
+  // Per-thread front-end cache. The cls_of map is the key trick: a
+  // block VA's size class is stable forever (VAs come from a monotonic
+  // kernel-wide cursor and are never reused, and a block never changes
+  // class), so once a thread has seen a block it can free it again
+  // without consulting the arena. Counters are single-writer atomics
+  // read cross-thread by stats().
+  struct ThreadCache {
+    explicit ThreadCache(size_t nclasses) : bins(nclasses) {}
+    std::vector<std::vector<VirtAddr>> bins;  // per class, depth-bounded
+    std::unordered_map<VirtAddr, int> cls_of;
+    std::atomic<uint64_t> mallocs{0};
+    std::atomic<uint64_t> frees{0};
+    std::atomic<uint64_t> bytes_requested{0};
+    std::atomic<uint64_t> invalid_frees{0};
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> flushes{0};
+    std::atomic<int64_t> live_delta{0};
+  };
+  // This thread's cache for this heap (created on first use); nullptr
+  // when tcache_depth == 0. Must not be called with the arena held.
+  ThreadCache* this_cache();
+  // Moves up to tcache_depth/2 blocks arena -> bin under one arena
+  // hold; false if arena and kernel are both dry.
+  bool tcache_refill(ThreadCache& tc, int cls);
+  // Flushes the bin down to `keep` blocks under one arena hold.
+  void tcache_flush_bin(ThreadCache& tc, int cls, size_t keep);
+
+  // Slow paths; callers hold arena_.
+  VirtAddr malloc_locked(uint64_t size, int cls);
   VirtAddr alloc_large(uint64_t size);
   VirtAddr carve(uint64_t size);
   // Records a failed allocation and returns the 0 the caller hands out.
+  // Caller holds arena_.
   VirtAddr fail_malloc(os::AllocError why);
   // Faults in [va, va+len); false (with last_error_) on ladder failure.
+  // Takes no heap lock (the kernel synchronizes itself).
   bool populate_range(VirtAddr va, uint64_t len, uint64_t stride = 0);
 
   os::Kernel& kernel_;
   os::TaskId task_;
   HeapConfig cfg_;
-  HeapStats stats_;
-  // Mutable so const observers (usable_size) can report lookup failures.
-  mutable os::AllocError last_error_ = os::AllocError::kOk;
+  HeapStats stats_;  // arena-side counters; see stats() for the merge
+  // Heap-level errno; atomic so the lock-free paths can publish kOk.
+  mutable std::atomic<os::AllocError> last_error_{os::AllocError::kOk};
 
+  // Arena lock: rank kHeapArena (the lowest rank -- slow paths call the
+  // kernel while holding it). Guards everything below.
+  mutable util::RankedMutex<util::lock_rank::kHeapArena> arena_;
   std::vector<std::vector<VirtAddr>> free_lists_;  // per class
   VirtAddr chunk_cursor_ = 0;
   VirtAddr chunk_end_ = 0;
   std::vector<std::pair<VirtAddr, uint64_t>> vmas_;  // {base, length}
   // Size bookkeeping for free(); real malloc uses headers, the simulator
-  // has no data memory to put them in.
+  // has no data memory to put them in. Blocks parked in a thread cache
+  // keep their entry; blocks on free_lists_ have none.
   std::unordered_map<VirtAddr, uint64_t> block_size_;
-  // aligned_alloc pointers -> offset from their block base.
+  // aligned_alloc pointers -> offset from their block base (only when
+  // the offset is non-zero; a zero offset needs no recovery).
   std::unordered_map<VirtAddr, uint64_t> aligned_offset_;
+  // Thread-cache registry; ThreadCache objects live until the heap dies
+  // (release_all empties them but keeps them, so the thread-local memo
+  // in this_cache() never dangles).
+  std::unordered_map<std::thread::id, std::unique_ptr<ThreadCache>> caches_;
+  const uint64_t heap_gen_;  // unique per instance, validates the memo
 };
 
 // Issues the paper's one-line opt-in for one thread: one color-control

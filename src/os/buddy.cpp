@@ -102,6 +102,27 @@ std::optional<std::pair<Pfn, unsigned>> BuddyAllocator::pop_any_block(
   return std::nullopt;
 }
 
+std::vector<std::pair<Pfn, unsigned>> BuddyAllocator::pop_blocks(
+    unsigned node, unsigned min_order, unsigned max_blocks) {
+  std::vector<std::pair<Pfn, unsigned>> blocks;
+  if (fail_ && fail_->should_fail(FailPoint::kBuddyAlloc)) return blocks;
+  blocks.reserve(max_blocks);
+  std::lock_guard<ZoneLock> lk(zone_locks_[node]);
+  for (unsigned b = 0; b < max_blocks; ++b) {
+    Pfn pfn = kNoPage;
+    unsigned o = min_order;
+    for (; o <= kMaxOrder; ++o) {
+      pfn = pop(node, o);
+      if (pfn != kNoPage) break;
+    }
+    if (pfn == kNoPage) break;
+    stats_.allocs.fetch_add(1, std::memory_order_relaxed);
+    pages_[pfn].state = PageState::kAllocated;
+    blocks.emplace_back(pfn, o);
+  }
+  return blocks;
+}
+
 void BuddyAllocator::free_block(Pfn pfn, unsigned order) {
   TINT_ASSERT(order <= kMaxOrder && pfn < total_pages_);
   const unsigned node = node_of(pfn);

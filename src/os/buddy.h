@@ -77,6 +77,14 @@ class BuddyAllocator {
   std::optional<std::pair<Pfn, unsigned>> pop_any_block(unsigned node,
                                                         unsigned min_order);
 
+  // Batched pop_any_block: pops up to `max_blocks` blocks of order >=
+  // min_order under ONE zone-lock acquisition (the batched Algorithm-2
+  // refill primitive). Stops early when the zone runs dry. An armed
+  // kBuddyAlloc failpoint fails the whole batch, like pop_any_block.
+  std::vector<std::pair<Pfn, unsigned>> pop_blocks(unsigned node,
+                                                   unsigned min_order,
+                                                   unsigned max_blocks);
+
   // Frees a block of 2^order pages, coalescing with free buddies.
   void free_block(Pfn pfn, unsigned order);
 

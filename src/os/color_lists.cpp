@@ -32,7 +32,62 @@ void ColorLists::create_color_list(Pfn head, unsigned order,
   }
 }
 
-Pfn ColorLists::pop(unsigned mem_id, unsigned llc_id) {
+uint64_t ColorLists::refill_batch(
+    const std::vector<std::pair<Pfn, unsigned>>& blocks,
+    std::vector<PageInfo>& pages, std::vector<Pfn>* taken, unsigned take_mem,
+    unsigned take_llc, unsigned take_max) {
+  // Bucket every page of every block by combo index first, so the lock
+  // phase below can splice whole per-combo chains in one acquisition.
+  struct Bucket {
+    size_t k;
+    std::vector<Pfn> pfns;
+  };
+  std::vector<Bucket> buckets;
+  const size_t take_k =
+      take_max > 0 ? idx(take_mem, take_llc) : static_cast<size_t>(-1);
+  unsigned took = 0;
+  for (const auto& [head, order] : blocks) {
+    const Pfn count = Pfn{1} << order;
+    for (Pfn i = 0; i < count; ++i) {
+      const Pfn pfn = head + i;
+      const PageInfo& pi = pages[pfn];
+      const size_t k = idx(pi.bank_color, pi.llc_color);
+      if (k == take_k && took < take_max) {
+        taken->push_back(pfn);  // stays kAllocated; the caller owns it
+        ++took;
+        continue;
+      }
+      Bucket* b = nullptr;
+      for (Bucket& cand : buckets)
+        if (cand.k == k) {
+          b = &cand;
+          break;
+        }
+      if (!b) {
+        buckets.push_back({k, {}});
+        b = &buckets.back();
+      }
+      b->pfns.push_back(pfn);
+    }
+  }
+  uint64_t scattered = 0;
+  for (Bucket& b : buckets) {
+    std::lock_guard<Shard> lk(shard(b.k));
+    for (const Pfn pfn : b.pfns) {
+      next_[pfn] = heads_[b.k];
+      heads_[b.k] = pfn;
+      pages[pfn].state = PageState::kColorFree;
+      pages[pfn].owner = kNoTask;
+    }
+    counts_[b.k].fetch_add(b.pfns.size(), std::memory_order_relaxed);
+    total_.fetch_add(b.pfns.size(), std::memory_order_relaxed);
+    scattered += b.pfns.size();
+  }
+  return scattered;
+}
+
+Pfn ColorLists::pop(unsigned mem_id, unsigned llc_id,
+                    std::vector<PageInfo>& pages) {
   const size_t k = idx(mem_id, llc_id);
   std::lock_guard<Shard> lk(shard(k));
   const Pfn pfn = heads_[k];
@@ -41,17 +96,19 @@ Pfn ColorLists::pop(unsigned mem_id, unsigned llc_id) {
   next_[pfn] = kNoPage;
   counts_[k].fetch_sub(1, std::memory_order_relaxed);
   total_.fetch_sub(1, std::memory_order_relaxed);
+  pages[pfn].state = PageState::kAllocated;
   return pfn;
 }
 
-Pfn ColorLists::pop_any_in_bank_range(unsigned mem_lo, unsigned mem_hi) {
+Pfn ColorLists::pop_any_in_bank_range(unsigned mem_lo, unsigned mem_hi,
+                                      std::vector<PageInfo>& pages) {
   TINT_DASSERT(mem_lo < mem_hi && mem_hi <= nb_);
   for (unsigned m = mem_lo; m < mem_hi; ++m) {
     for (unsigned l = 0; l < nl_; ++l) {
       // Unlocked population peek; pop() re-checks under the shard lock,
       // so a concurrent drain just makes us scan on.
       if (counts_[idx(m, l)].load(std::memory_order_relaxed) == 0) continue;
-      const Pfn pfn = pop(m, l);
+      const Pfn pfn = pop(m, l, pages);
       if (pfn != kNoPage) return pfn;
     }
   }

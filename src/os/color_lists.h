@@ -43,15 +43,33 @@ class ColorLists {
   // matrix according to each page's own colors.
   void create_color_list(Pfn head, unsigned order, std::vector<PageInfo>& pages);
 
+  // Batched Algorithm 2: scatters several buddy blocks at once, taking
+  // each shard lock once per combo *bucket* instead of once per page
+  // (create_color_list locks per page; with 10-page blocks and a hot
+  // shard that is 1024 acquisitions where one will do). If `taken` is
+  // non-null, up to `take_max` pages whose colors equal (take_mem,
+  // take_llc) bypass the matrix entirely and are appended to `taken`
+  // still in kAllocated state -- the magazine-refill direct handoff.
+  // Returns the number of pages scattered into the matrix.
+  uint64_t refill_batch(const std::vector<std::pair<Pfn, unsigned>>& blocks,
+                        std::vector<PageInfo>& pages,
+                        std::vector<Pfn>* taken = nullptr,
+                        unsigned take_mem = 0, unsigned take_llc = 0,
+                        unsigned take_max = 0);
+
   // Pops one page of the exact (MEM_ID, LLC_ID) combination; kNoPage if
-  // the list is empty.
-  Pfn pop(unsigned mem_id, unsigned llc_id);
+  // the list is empty. The popped frame is stamped kAllocated under the
+  // shard lock (like the buddy's pop paths): the caller exclusively
+  // holds a frame whose state never reads as still-parked, so a later
+  // free_pages can route it without seeing stale pool state.
+  Pfn pop(unsigned mem_id, unsigned llc_id, std::vector<PageInfo>& pages);
 
   // Scavenges any parked page whose bank color lies in
   // [mem_lo, mem_hi): the default path's last resort once the buddy
   // zones are empty but colorized-but-unclaimed pages remain (a real
   // kernel would reclaim them under memory pressure).
-  Pfn pop_any_in_bank_range(unsigned mem_lo, unsigned mem_hi);
+  Pfn pop_any_in_bank_range(unsigned mem_lo, unsigned mem_hi,
+                            std::vector<PageInfo>& pages);
 
   // Returns a previously popped page (free of colored heap space).
   void push(Pfn pfn, std::vector<PageInfo>& pages);

@@ -58,6 +58,10 @@ void Kernel::set_node_online(unsigned node, bool online) {
   TINT_ASSERT(node < topo_.num_nodes());
   node_online_[node].store(online ? 1 : 0, std::memory_order_release);
   if (online) return;
+  // Shared, like a fault: the two drains below hold frames in local
+  // vectors between pools, and a concurrent stop-the-world walk
+  // (exclusive mm) must wait for those windows to close.
+  std::shared_lock mm(mm_lock_);
   // Going offline: nothing may stay parked behind a dead controller.
   // Return the node's colored free pages to its buddy zones in one
   // drain, so re-onlining starts from coalesced blocks and the zone
@@ -70,12 +74,80 @@ void Kernel::set_node_online(unsigned node, bool online) {
   for (const Pfn pfn : drained) buddy_->free_block(pfn, 0);
   stats_.offline_drained_pages.fetch_add(drained.size(),
                                          std::memory_order_relaxed);
+  // Task magazines may cache frames of the dead controller too; nothing
+  // may stay parked there either (a magazine hit would hand out memory
+  // behind an offline node). Magazine frames still carry an owner, so
+  // clear it before returning them to the buddy.
+  uint64_t mag_drained = 0;
+  const size_t ntasks = tasks_.size();
+  for (size_t i = 0; i < ntasks; ++i) {
+    const std::vector<Pfn> frames =
+        tasks_.at(static_cast<TaskId>(i))
+            .magazine()
+            .drain_bank_range(node * bpn, (node + 1) * bpn);
+    for (const Pfn pfn : frames) {
+      pages_[pfn].owner = kNoTask;
+      buddy_->free_block(pfn, 0);
+    }
+    mag_drained += frames.size();
+  }
+  if (mag_drained > 0) {
+    stats_.offline_drained_pages.fetch_add(mag_drained,
+                                           std::memory_order_relaxed);
+    stats_.magazine_drains.fetch_add(mag_drained, std::memory_order_relaxed);
+  }
 }
 
 TaskId Kernel::create_task(unsigned pinned_core) {
   TINT_ASSERT(pinned_core < topo_.num_cores());
   return tasks_.create(pinned_core, topo_.node_of_core(pinned_core),
-                       mapping_.num_bank_colors(), mapping_.num_llc_colors());
+                       mapping_.num_bank_colors(), mapping_.num_llc_colors(),
+                       cfg_.magazine_capacity);
+}
+
+uint64_t Kernel::drain_magazine_to_colors(Task& t) {
+  const std::vector<Pfn> frames = t.magazine().drain_all();
+  for (const Pfn pfn : frames) colors_->push(pfn, pages_);
+  if (!frames.empty())
+    stats_.magazine_drains.fetch_add(frames.size(),
+                                     std::memory_order_relaxed);
+  return frames.size();
+}
+
+uint64_t Kernel::drain_all_magazines_to_colors() {
+  uint64_t drained = 0;
+  const size_t ntasks = tasks_.size();
+  for (size_t i = 0; i < ntasks; ++i)
+    drained += drain_magazine_to_colors(tasks_.at(static_cast<TaskId>(i)));
+  return drained;
+}
+
+void Kernel::exit_task(TaskId id) {
+  // Shared, like a fault: frames travel magazine -> colors/buddy through
+  // a local vector here, and the stop-the-world walk (exclusive mm) must
+  // never observe that window as loose frames.
+  std::shared_lock mm(mm_lock_);
+  Task& t = tasks_.at(id);
+  const std::vector<Pfn> frames = t.magazine().drain_all();
+  uint64_t to_buddy = 0;
+  for (const Pfn pfn : frames) {
+    // Frames behind a controller that went offline while cached cannot
+    // be re-parked on its color lists; coalesce them in the buddy like
+    // the offline drain does.
+    if (node_online(pages_[pfn].node)) {
+      colors_->push(pfn, pages_);
+    } else {
+      pages_[pfn].owner = kNoTask;
+      buddy_->free_block(pfn, 0);
+      ++to_buddy;
+    }
+  }
+  if (!frames.empty())
+    stats_.magazine_drains.fetch_add(frames.size(),
+                                     std::memory_order_relaxed);
+  if (to_buddy > 0)
+    stats_.offline_drained_pages.fetch_add(to_buddy,
+                                           std::memory_order_relaxed);
 }
 
 VirtAddr Kernel::mmap(TaskId task_id, uint64_t addr_or_color, uint64_t length,
@@ -87,6 +159,11 @@ VirtAddr Kernel::mmap(TaskId task_id, uint64_t addr_or_color, uint64_t length,
   // rule (see os/task.h): a task's colors are set by its own thread, and
   // never concurrently with that task's faults.
   if (length == 0 && (prot & PROT_COLOR_ALLOC)) {
+    // Held shared end-to-end like a fault: the drain below moves frames
+    // magazine -> shards through a local vector, and the stop-the-world
+    // walk must not observe that in-between window (it acquires mm
+    // exclusively, which waits us out).
+    std::shared_lock mm(mm_lock_);
     Task& t = tasks_.at(task_id);
     ++stats_.color_control_calls;
     const uint64_t op = addr_or_color & ~kColorMask;
@@ -115,6 +192,11 @@ VirtAddr Kernel::mmap(TaskId task_id, uint64_t addr_or_color, uint64_t length,
       default:
         return fail_mmap(AllocError::kInvalidArgument);
     }
+    // A color-set change invalidates the magazine's contents: its cached
+    // frames were chosen under the old constraints, and a later hit
+    // would hand out a frame the task no longer wants. Drain them back
+    // to the shards (they stay colorized and reachable for everyone).
+    drain_magazine_to_colors(t);
     set_last_error(AllocError::kOk);
     return 0;
   }
@@ -525,6 +607,36 @@ Kernel::AllocOutcome Kernel::alloc_pages(TaskId task_id, unsigned order,
   // Stage 1 -- colored pool (Algorithm 1, line 3: only order-0 requests
   // of coloring tasks take the colored path).
   if (order == 0 && (t.using_bank() || t.using_llc())) {
+    // Stage 0 -- the task's own page magazine: a hit touches only this
+    // task's lock, no shard. Bypassed under an injected transient outage
+    // (the cached frame might be behind the failed controller), and
+    // frames whose bank went away while cached are re-homed to the
+    // shards instead of handed out.
+    if (cfg_.magazine_capacity > 0) {
+      PageMagazine& mag = t.magazine();
+      if (transient_offline < 0) {
+        while (mag.cached() > 0) {
+          const Pfn pfn = mag.pop(t.next_combo_cursor());
+          if (pfn == kNoPage) break;
+          PageInfo& pi = pages_[pfn];
+          if (!node_online(pi.node) || color_retired(pi.bank_color)) {
+            colors_->push(pfn, pages_);
+            stats_.magazine_drains.fetch_add(1, std::memory_order_relaxed);
+            continue;
+          }
+          pi.state = PageState::kAllocated;
+          ++stats_.ladder_colored;
+          ++stats_.magazine_hits;
+          ++t.alloc_stats().magazine_hits;
+          out.pfn = pfn;
+          out.colored = true;
+          out.stage = AllocStage::kColored;
+          return out;
+        }
+      }
+      ++stats_.magazine_misses;
+      ++t.alloc_stats().magazine_misses;
+    }
     out = alloc_colored(t, vpn_hint, transient_offline);
     if (out.pfn != kNoPage) {
       out.stage = AllocStage::kColored;
@@ -584,17 +696,28 @@ Kernel::AllocOutcome Kernel::alloc_pages(TaskId task_id, unsigned order,
   // requests, like the memory-pressure reclaim a real kernel performs.
   if (order == 0) {
     const unsigned bpn = mapping_.banks_per_node();
-    for (unsigned k = 0; k < nn; ++k) {
-      const unsigned node = (preferred + k) % nn;
-      if (!node_usable(node, transient_offline)) continue;
-      const Pfn pfn =
-          colors_->pop_any_in_bank_range(node * bpn, (node + 1) * bpn);
-      if (pfn != kNoPage) {
-        ++stats_.scavenged_pages;
-        out.pfn = pfn;
-        out.stage = AllocStage::kScavenged;
-        return out;
+    const auto scavenge = [&]() -> Pfn {
+      for (unsigned k = 0; k < nn; ++k) {
+        const unsigned node = (preferred + k) % nn;
+        if (!node_usable(node, transient_offline)) continue;
+        const Pfn pfn =
+            colors_->pop_any_in_bank_range(node * bpn, (node + 1) * bpn, pages_);
+        if (pfn != kNoPage) return pfn;
       }
+      return kNoPage;
+    };
+    Pfn pfn = scavenge();
+    // Memory pressure: frames idling in task magazines are free memory
+    // too. Flush every magazine back to the shards and scavenge once
+    // more before declaring the system out of memory.
+    if (pfn == kNoPage && cfg_.magazine_capacity > 0 &&
+        drain_all_magazines_to_colors() > 0)
+      pfn = scavenge();
+    if (pfn != kNoPage) {
+      ++stats_.scavenged_pages;
+      out.pfn = pfn;
+      out.stage = AllocStage::kScavenged;
+      return out;
     }
   }
 
@@ -615,7 +738,7 @@ Pfn Kernel::widen_from_node_lists(const Task& t, int64_t transient_offline) {
       const unsigned node = mapping_.node_of_bank_color(m);
       if (!node_usable(node, transient_offline)) continue;
       const Pfn pfn =
-          colors_->pop_any_in_bank_range(node * bpn, (node + 1) * bpn);
+          colors_->pop_any_in_bank_range(node * bpn, (node + 1) * bpn, pages_);
       if (pfn != kNoPage) return pfn;
     }
     return kNoPage;
@@ -625,7 +748,7 @@ Pfn Kernel::widen_from_node_lists(const Task& t, int64_t transient_offline) {
   // relax is the LLC constraint itself.
   const unsigned node = t.local_node();
   if (!node_usable(node, transient_offline)) return kNoPage;
-  return colors_->pop_any_in_bank_range(node * bpn, (node + 1) * bpn);
+  return colors_->pop_any_in_bank_range(node * bpn, (node + 1) * bpn, pages_);
 }
 
 Kernel::AllocOutcome Kernel::alloc_colored(Task& t, uint64_t vpn_hint,
@@ -663,17 +786,43 @@ Kernel::AllocOutcome Kernel::alloc_colored(Task& t, uint64_t vpn_hint,
   // An armed kColorRefill failpoint makes every refill attempt see a dry
   // zone, exercising the pool-exhaustion ladder without actually
   // draining memory. (The zone lock and the shard locks are never held
-  // together: pop_any_block releases the zone before create_color_list
-  // parks the pages.)
-  const auto refill_from = [&](unsigned node) {
+  // together: the pop releases the zone before the pages are parked.)
+  //
+  // With refill_batch_blocks > 1, several blocks are colorized per round
+  // through ColorLists::refill_batch -- one zone-lock hold for all the
+  // blocks and one shard acquisition per combo *bucket* instead of per
+  // page -- and `taken` diverts up to `take_max` pages of one target
+  // combo straight to the caller (the magazine prefill) without ever
+  // entering the shards. batch == 1 with no take keeps the legacy
+  // single-block path bit-for-bit (same locking, same counter order),
+  // which is what holds the serial determinism goldens at the default
+  // config.
+  const unsigned batch = std::max(1u, cfg_.refill_batch_blocks);
+  const auto refill_from = [&](unsigned node, std::vector<Pfn>* taken,
+                               unsigned take_mem, unsigned take_llc,
+                               unsigned take_max) {
     if (fail_.should_fail(FailPoint::kColorRefill)) return false;
-    const auto blk = buddy_->pop_any_block(node, 0);
-    if (!blk) return false;
-    colors_->create_color_list(blk->first, blk->second, pages_);
-    ++out.refill_blocks;
-    out.refill_pages += 1u << blk->second;
-    ++stats_.refill_blocks;
-    stats_.refill_pages += 1u << blk->second;
+    if (batch == 1 && take_max == 0) {
+      const auto blk = buddy_->pop_any_block(node, 0);
+      if (!blk) return false;
+      colors_->create_color_list(blk->first, blk->second, pages_);
+      ++out.refill_blocks;
+      out.refill_pages += 1u << blk->second;
+      ++stats_.refill_blocks;
+      stats_.refill_pages += 1u << blk->second;
+      return true;
+    }
+    const auto blocks = buddy_->pop_blocks(node, 0, batch);
+    if (blocks.empty()) return false;
+    colors_->refill_batch(blocks, pages_, taken, take_mem, take_llc,
+                          take_max);
+    uint64_t refilled = 0;
+    for (const auto& [head, o] : blocks) refilled += uint64_t{1} << o;
+    out.refill_blocks += static_cast<unsigned>(blocks.size());
+    out.refill_pages += static_cast<unsigned>(refilled);
+    stats_.refill_blocks.fetch_add(blocks.size(), std::memory_order_relaxed);
+    stats_.refill_pages.fetch_add(refilled, std::memory_order_relaxed);
+    ++stats_.batch_refills;
     return true;
   };
 
@@ -697,7 +846,7 @@ Kernel::AllocOutcome Kernel::alloc_colored(Task& t, uint64_t vpn_hint,
     const auto scan = [&]() -> Pfn {
       for (size_t k = 0; k < ncombo; ++k) {
         const size_t i = (cursor + k) % ncombo;
-        const Pfn pfn = colors_->pop(mems[i % n_mem], llcs[i / n_mem]);
+        const Pfn pfn = colors_->pop(mems[i % n_mem], llcs[i / n_mem], pages_);
         if (pfn != kNoPage) return pfn;
       }
       return kNoPage;
@@ -715,14 +864,39 @@ Kernel::AllocOutcome Kernel::alloc_colored(Task& t, uint64_t vpn_hint,
       if (std::find(nodes.begin(), nodes.end(), n) == nodes.end())
         nodes.push_back(n);
     }
+    // Magazine prefill target: the combo the rotating cursor tries
+    // first. Disabled under a transient outage (nothing gets cached
+    // from a round that is routing around a failed controller).
+    const unsigned take_mem = mems[cursor % n_mem];
+    const unsigned take_llc = llcs[(cursor % ncombo) / n_mem];
+    const unsigned take_max =
+        (cfg_.magazine_capacity > 0 && transient_offline < 0)
+            ? cfg_.magazine_capacity + 1  // +1 serves the current fault
+            : 0;
+    std::vector<Pfn> taken;
     size_t node_cursor = 0;
     while (!nodes.empty()) {
       const size_t i = node_cursor % nodes.size();
-      if (!refill_from(nodes[i])) {
+      if (!refill_from(nodes[i], take_max > 0 ? &taken : nullptr, take_mem,
+                       take_llc, take_max)) {
         nodes.erase(nodes.begin() + static_cast<long>(i));
         continue;
       }
       ++node_cursor;
+      if (!taken.empty()) {
+        // Direct handoff: the first taken frame serves this fault; the
+        // rest prefill the task's magazine so the next faults of this
+        // combo skip the shards entirely.
+        for (size_t j = 1; j < taken.size(); ++j) {
+          PageInfo& pi = pages_[taken[j]];
+          pi.owner = t.id();
+          pi.colored_alloc = true;
+          if (!t.magazine().push(taken[j], pages_))
+            colors_->push(taken[j], pages_);
+        }
+        found(taken[0]);
+        return out;
+      }
       pfn = scan();
       if (pfn != kNoPage) {
         found(pfn);
@@ -750,13 +924,13 @@ Kernel::AllocOutcome Kernel::alloc_colored(Task& t, uint64_t vpn_hint,
         const unsigned mem = mapping_.make_bank_color(
             node, static_cast<unsigned>(i % bpn));
         if (color_retired(mem)) continue;
-        const Pfn pfn = colors_->pop(mem, llcs[i / bpn]);
+        const Pfn pfn = colors_->pop(mem, llcs[i / bpn], pages_);
         if (pfn != kNoPage) {
           found(pfn);
           return out;
         }
       }
-      if (!refill_from(node)) break;  // zone dry: try the next node
+      if (!refill_from(node, nullptr, 0, 0, 0)) break;  // zone dry: next node
     }
   }
   return out;  // kNoPage: "no more page of this color"
@@ -818,12 +992,23 @@ void Kernel::free_pages(Pfn pfn, unsigned order) {
   // resurface once the frame is handed to a new owner.
   invalidate_tlb();
   PageInfo& pi = pages_[pfn];
-  pi.owner = kNoTask;
   if (order == 0 && pi.colored_alloc) {
+    // Fast path: park the frame in its owner's magazine so the owner's
+    // next colored fault takes no shard lock. Reading pi.owner here is
+    // safe: the caller exclusively holds the frame (it is coming out of
+    // a mapping or a raw allocation), so no one else writes it. Stale
+    // frames are refused up front -- a retired color or an offline node
+    // must not hide in a magazine.
+    if (cfg_.magazine_capacity > 0 && pi.owner != kNoTask &&
+        !color_retired(pi.bank_color) && node_online(pi.node) &&
+        tasks_.at(pi.owner).magazine().push(pfn, pages_))
+      return;  // owner stays set; state is kMagazine
     // Colored frames go back to their color list (Section III.C).
+    pi.owner = kNoTask;
     colors_->push(pfn, pages_);
     return;
   }
+  pi.owner = kNoTask;
   pi.state = PageState::kBuddyFree;
   buddy_->free_block(pfn, order);
 }
@@ -839,6 +1024,22 @@ void Kernel::note_poisoned_locked(Pfn pfn) {
       color_retired_[bc].load(std::memory_order_relaxed) == 0) {
     color_retired_[bc].store(1, std::memory_order_release);
     ++stats_.colors_retired;
+    // Retirement must reach into the magazines too: frames of the
+    // retired color cached before the flag flipped would otherwise keep
+    // being handed out by magazine hits. Back to the shards they go
+    // (still reachable through widening/scavenging, like the rest of
+    // the color's parked frames). Ranks ascend: kRas (held by the
+    // caller) -> kMagazine -> kColorShard.
+    uint64_t drained = 0;
+    const size_t ntasks = tasks_.size();
+    for (size_t i = 0; i < ntasks; ++i) {
+      const std::vector<Pfn> frames =
+          tasks_.at(static_cast<TaskId>(i)).magazine().drain_bank_color(bc);
+      for (const Pfn p : frames) colors_->push(p, pages_);
+      drained += frames.size();
+    }
+    if (drained > 0)
+      stats_.magazine_drains.fetch_add(drained, std::memory_order_relaxed);
   }
 }
 
@@ -858,6 +1059,22 @@ bool Kernel::poison_frame(Pfn pfn) {
     pages_[pfn].owner = kNoTask;
     note_poisoned_locked(pfn);
     return true;
+  }
+  // Magazine reach-in: a faulty frame must not hide in a task's page
+  // magazine. Membership is validated under each magazine's own lock
+  // (scanning every task instead of trusting a racy pi.owner read --
+  // the owner field of a cached frame is written by free/alloc paths we
+  // do not hold). Ranks ascend: kRas -> kMagazine.
+  if (cfg_.magazine_capacity > 0) {
+    const size_t ntasks = tasks_.size();
+    for (size_t i = 0; i < ntasks; ++i) {
+      if (tasks_.at(static_cast<TaskId>(i)).magazine().remove(pfn)) {
+        pages_[pfn].state = PageState::kPoisoned;
+        pages_[pfn].owner = kNoTask;
+        note_poisoned_locked(pfn);
+        return true;
+      }
+    }
   }
   poisoned_.erase(pfn);
   return false;
@@ -1053,6 +1270,13 @@ Kernel::ScrubReport Kernel::scrub() {
     std::unique_lock<DefaultLock> dl(default_lock_);
     std::unique_lock<PtLock> pt(pt_lock_);
     std::unique_lock<HugeLock> hl(huge_lock_);
+    // Magazines are a frame pool too: the scrubber must see cached
+    // frames or a faulty frame could ride out every pass inside one.
+    // Locked in task-id order (equal rank kMagazine), between the huge
+    // pool and the color shards.
+    const size_t ntasks = tasks_.size();
+    for (size_t i = 0; i < ntasks; ++i)
+      tasks_.at(static_cast<TaskId>(i)).magazine().lock();
     colors_->freeze();
     buddy_->freeze();
     for (const auto& [head, order] : buddy_->snapshot_free_blocks()) {
@@ -1067,6 +1291,12 @@ Kernel::ScrubReport Kernel::scrub() {
     for (const Pfn pfn : colors_->snapshot_parked())
       if (model->frame_health(frame_base(pfn)) != sim::FrameHealth::kHealthy)
         free_victims.push_back({pfn});
+    for (size_t i = 0; i < ntasks; ++i)
+      for (const Pfn pfn :
+           tasks_.at(static_cast<TaskId>(i)).magazine().snapshot())
+        if (model->frame_health(frame_base(pfn)) !=
+            sim::FrameHealth::kHealthy)
+          free_victims.push_back({pfn});  // poison_frame reaches in later
     for (const auto& [vpn, pfn] : page_table_.mappings()) {
       if (pages_[pfn].huge) continue;  // 2 MB frames are exempt
       const sim::FrameHealth h = model->frame_health(frame_base(pfn));
@@ -1075,6 +1305,8 @@ Kernel::ScrubReport Kernel::scrub() {
     }
     buddy_->thaw();
     colors_->thaw();
+    for (size_t i = ntasks; i-- > 0;)
+      tasks_.at(static_cast<TaskId>(i)).magazine().unlock();
   }
   rep.frames_flagged = free_victims.size() + mapped_victims.size();
   stats_.scrub_frames_flagged.fetch_add(rep.frames_flagged,
@@ -1137,6 +1369,7 @@ Kernel::InvariantReport Kernel::check_invariants(uint64_t expected_loose,
   std::unique_lock<PtLock> pt(pt_lock_, std::defer_lock);
   std::unique_lock<HugeLock> hl(huge_lock_, std::defer_lock);
   std::unique_lock<RasLock> rl(ras_lock_, std::defer_lock);
+  size_t ntasks = 0;
   if (stop_the_world) {
     mm.lock();
     dl.lock();
@@ -1147,10 +1380,25 @@ Kernel::InvariantReport Kernel::check_invariants(uint64_t expected_loose,
     // frame inserted into the poisoned set but not yet carved out of
     // its pool would double-count below).
     rl.lock();
+    // The task count is read only now, with mm held exclusively: a task
+    // created before this point may already hold magazine frames (its
+    // creator's faults and frees ran under mm shared, which we just
+    // drained), so the walk must cover it. A task created *after* this
+    // point cannot gain a frame while we hold mm -- every frame movement
+    // runs under the mm lock -- so its empty magazine is safely out of
+    // scope.
+    ntasks = tasks_.size();
+    // Every task magazine (rank kMagazine, between kRas and the color
+    // shards; equal-rank acquisitions in task-id order): cached frames
+    // are a first-class pool and the walk below counts them, so a
+    // concurrent push/pop mid-walk would corrupt the bracket.
+    for (size_t i = 0; i < ntasks; ++i)
+      tasks_.at(static_cast<TaskId>(i)).magazine().lock();
     colors_->freeze();
     buddy_->freeze();
   } else {
     rl.lock();  // the poisoned set still needs its own lock to walk
+    ntasks = tasks_.size();
   }
 
   InvariantReport rep;
@@ -1161,7 +1409,7 @@ Kernel::InvariantReport Kernel::check_invariants(uint64_t expected_loose,
   // which pool claims each frame; a frame claimed twice or a counter
   // that disagrees with its walk is a corruption.
   enum : uint8_t { kBuddy = 1, kColor = 2, kMapped = 4, kHuge = 8,
-                   kPoison = 16 };
+                   kPoison = 16, kMagazineBit = 32 };
   std::vector<uint8_t> claimed(rep.total, 0);
   const auto claim = [&](Pfn pfn, uint8_t who) {
     if (claimed[pfn]) ++rep.double_counted;
@@ -1176,6 +1424,22 @@ Kernel::InvariantReport Kernel::check_invariants(uint64_t expected_loose,
   for (const Pfn pfn : colors_->snapshot_parked()) {
     ++rep.color_parked;
     claim(pfn, kColor);
+  }
+  uint64_t magazine_counters = 0;
+  bool magazine_state_ok = true;
+  for (size_t i = 0; i < ntasks; ++i) {
+    const Task& t = tasks_.at(static_cast<TaskId>(i));
+    magazine_counters += t.magazine().cached();
+    for (const Pfn pfn : t.magazine().snapshot()) {
+      ++rep.magazine_cached;
+      claim(pfn, kMagazineBit);
+      // A cached frame belongs to the task caching it and is in the
+      // dedicated state -- anything else means a drain or a RAS reach-in
+      // left a frame behind.
+      if (pages_[pfn].state != PageState::kMagazine ||
+          pages_[pfn].owner != t.id())
+        magazine_state_ok = false;
+    }
   }
   for (const auto& [vpn, pfn] : page_table_.mappings()) {
     ++rep.mapped;
@@ -1202,7 +1466,8 @@ Kernel::InvariantReport Kernel::check_invariants(uint64_t expected_loose,
     if (c == 0) ++unclaimed;
   rep.loose = unclaimed >= rep.pinned ? unclaimed - rep.pinned : 0;
 
-  const uint64_t accounted = rep.buddy_free + rep.color_parked + rep.mapped +
+  const uint64_t accounted = rep.buddy_free + rep.color_parked +
+                             rep.magazine_cached + rep.mapped +
                              rep.huge_pool_pages + rep.poisoned +
                              rep.pinned + rep.loose;
   rep.ok = true;
@@ -1212,6 +1477,12 @@ Kernel::InvariantReport Kernel::check_invariants(uint64_t expected_loose,
   } else if (!poison_state_ok) {
     rep.ok = false;
     rep.detail = "quarantined frame not in kPoisoned state";
+  } else if (!magazine_state_ok) {
+    rep.ok = false;
+    rep.detail = "magazine frame with wrong state or owner";
+  } else if (rep.magazine_cached != magazine_counters) {
+    rep.ok = false;
+    rep.detail = "magazine walk disagrees with its counters";
   } else if (unclaimed < rep.pinned) {
     rep.ok = false;
     rep.detail = "warm-up pinned frames reappeared in a pool";
@@ -1220,7 +1491,21 @@ Kernel::InvariantReport Kernel::check_invariants(uint64_t expected_loose,
     rep.detail = "pools do not sum to total frames (leak or corruption)";
   } else if (rep.loose != expected_loose) {
     rep.ok = false;
-    rep.detail = "unexpected loose (allocated-but-unmapped) frame count";
+    rep.detail = "unexpected loose (allocated-but-unmapped) frame count: " +
+                 std::to_string(rep.loose) + " vs expected " +
+                 std::to_string(expected_loose);
+    // Name the stragglers: which frames no pool claims, and what their
+    // metadata says they were last doing.
+    unsigned listed = 0;
+    for (Pfn pfn = 0; pfn < rep.total && listed < 4; ++pfn) {
+      if (claimed[pfn] != 0) continue;
+      const PageInfo& pi = pages_[pfn];
+      rep.detail += "; pfn " + std::to_string(pfn) + " state " +
+                    std::to_string(static_cast<int>(pi.state)) + " owner " +
+                    std::to_string(pi.owner) + " node " +
+                    std::to_string(pi.node);
+      ++listed;
+    }
   } else if (rep.buddy_free != buddy_->total_free_pages()) {
     rep.ok = false;
     rep.detail = "buddy free-list walk disagrees with zone counters";
@@ -1232,6 +1517,8 @@ Kernel::InvariantReport Kernel::check_invariants(uint64_t expected_loose,
   if (stop_the_world) {
     buddy_->thaw();
     colors_->thaw();
+    for (size_t i = ntasks; i-- > 0;)
+      tasks_.at(static_cast<TaskId>(i)).magazine().unlock();
   }
   // rl/hl/pt/dl/mm release in reverse declaration order (descending rank).
   return rep;

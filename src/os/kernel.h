@@ -107,6 +107,16 @@ struct KernelConfig {
   // Like Linux's nr_hugepages, the default is 0: huge mappings require
   // an explicit reservation. Clamped to a quarter of the zone.
   unsigned huge_pool_blocks_per_node = 0;
+  // --- fast-path caches (defaults off: the serial determinism goldens
+  // pin the pre-caching behaviour) ---
+  // Frames cached per (MEM_ID, LLC_ID) combo in each task's page
+  // magazine (see os/page_magazine.h). 0 disables magazines entirely.
+  unsigned magazine_capacity = 0;
+  // Buddy blocks colorized per refill round. 1 keeps the legacy
+  // one-block-per-shard-lock path; larger values batch several blocks
+  // through ColorLists::refill_batch under one shard acquisition per
+  // combo bucket.
+  unsigned refill_batch_blocks = 1;
   // --- page-fault cost model (CPU cycles) ---
   Cycles fault_base_cycles = 1500;
   Cycles refill_block_cycles = 60;  // per buddy block colorized (Algo 2)
@@ -177,6 +187,11 @@ struct KernelStats {
   std::atomic<uint64_t> ras_screened_frames{0};
   // Color-parked frames returned to the buddy when their node went offline.
   std::atomic<uint64_t> offline_drained_pages{0};
+  // --- fast-path cache counters ---
+  std::atomic<uint64_t> magazine_hits{0};    // colored allocs a magazine served
+  std::atomic<uint64_t> magazine_misses{0};  // magazine probed empty / bypassed
+  std::atomic<uint64_t> magazine_drains{0};  // cached frames returned to pools
+  std::atomic<uint64_t> batch_refills{0};    // multi-block refill rounds
 
   struct Snapshot {
     uint64_t color_control_calls = 0;
@@ -209,6 +224,10 @@ struct KernelStats {
     uint64_t ecc_uncorrected = 0;
     uint64_t ras_screened_frames = 0;
     uint64_t offline_drained_pages = 0;
+    uint64_t magazine_hits = 0;
+    uint64_t magazine_misses = 0;
+    uint64_t magazine_drains = 0;
+    uint64_t batch_refills = 0;
   };
   Snapshot snapshot() const {
     const auto ld = [](const std::atomic<uint64_t>& a) {
@@ -226,7 +245,9 @@ struct KernelStats {
             ld(colors_retired),      ld(scrub_passes),
             ld(scrub_frames_flagged), ld(ecc_corrected),
             ld(ecc_uncorrected),     ld(ras_screened_frames),
-            ld(offline_drained_pages)};
+            ld(offline_drained_pages), ld(magazine_hits),
+            ld(magazine_misses),     ld(magazine_drains),
+            ld(batch_refills)};
   }
 };
 
@@ -244,6 +265,10 @@ class Kernel {
   Task& task(TaskId id) { return tasks_.at(id); }
   const Task& task(TaskId id) const { return tasks_.at(id); }
   size_t num_tasks() const { return tasks_.size(); }
+  // Task-exit hook: drains the task's page magazine back to the shared
+  // pools (the Task object itself lives for the kernel's lifetime, so
+  // only the cached frames need returning). Idempotent.
+  void exit_task(TaskId id);
 
   // --- system calls ---
   // See file comment for the color-control encoding. For length > 0,
@@ -393,6 +418,7 @@ class Kernel {
     uint64_t total = 0;
     uint64_t buddy_free = 0;
     uint64_t color_parked = 0;
+    uint64_t magazine_cached = 0;  // frames parked in task page magazines
     uint64_t mapped = 0;
     uint64_t huge_pool_pages = 0;
     uint64_t pinned = 0;          // warm-up reserved pages
@@ -457,8 +483,14 @@ class Kernel {
   // rejected by screening.
   void quarantine_loose_frame(Pfn pfn);
   // Bookkeeping common to every poisoning path: per-color count +
-  // retirement threshold. Caller holds ras_lock_.
+  // retirement threshold; on retirement, drains the retired color out of
+  // every task's magazine (ranks kRas -> kMagazine -> kColorShard,
+  // ascending). Caller holds ras_lock_.
   void note_poisoned_locked(Pfn pfn);
+  // Magazine drain paths (see os/page_magazine.h for the triggers).
+  // Frames go back to their color lists; returns the count drained.
+  uint64_t drain_magazine_to_colors(Task& t);
+  uint64_t drain_all_magazines_to_colors();
   // Migration/offline bodies; caller holds the mm lock shared (they are
   // reached from inside the fault/touch path, which already does).
   // `expected` != kNoPage pins the migration to a specific old frame:

@@ -26,6 +26,9 @@ enum class PageState : uint8_t {
   kAllocated,   // mapped into some task
   kPoisoned,    // quarantined by the RAS subsystem (hwpoison analogue):
                 // in no free pool and never handed out again
+  kMagazine,    // cached in the owning task's page magazine (a first-class
+                // free pool: the invariant checker counts it, RAS can
+                // reach in, and drains return frames to the color lists)
 };
 
 struct PageInfo {

@@ -6,10 +6,11 @@
 namespace tint::os {
 
 Task::Task(TaskId id, unsigned core, unsigned local_node,
-           unsigned num_bank_colors, unsigned num_llc_colors)
+           unsigned num_bank_colors, unsigned num_llc_colors,
+           unsigned magazine_capacity)
     : id_(id), core_(core), local_node_(local_node),
       mem_colors_(num_bank_colors, false), llc_colors_(num_llc_colors, false),
-      combo_cursor_(mix64(id) & 0xFFFF) {}
+      combo_cursor_(mix64(id) & 0xFFFF), magazine_(magazine_capacity) {}
 
 void Task::set_mem_color(unsigned color) {
   TINT_ASSERT_MSG(color < mem_colors_.size(), "bank color out of range");
@@ -55,12 +56,37 @@ void Task::rebuild_lists() {
     if (llc_colors_[i]) llc_list_.push_back(static_cast<uint8_t>(i));
 }
 
+TaskTable::TaskTable()
+    : chunks_(std::make_unique<std::atomic<Chunk*>[]>(kMaxChunks)) {
+  for (unsigned i = 0; i < kMaxChunks; ++i)
+    chunks_[i].store(nullptr, std::memory_order_relaxed);
+}
+
+TaskTable::~TaskTable() {
+  for (unsigned i = 0; i < kMaxChunks; ++i)
+    delete chunks_[i].load(std::memory_order_relaxed);
+}
+
 TaskId TaskTable::create(unsigned core, unsigned local_node,
-                         unsigned num_bank_colors, unsigned num_llc_colors) {
+                         unsigned num_bank_colors, unsigned num_llc_colors,
+                         unsigned magazine_capacity) {
   std::unique_lock lk(mu_);
-  const TaskId id = static_cast<TaskId>(tasks_.size());
-  tasks_.push_back(std::make_unique<Task>(id, core, local_node,
-                                          num_bank_colors, num_llc_colors));
+  const uint32_t id = size_.load(std::memory_order_relaxed);
+  TINT_ASSERT_MSG(id < kMaxChunks * kChunkSize, "task table full");
+  auto& slot = chunks_[id >> kChunkBits];
+  Chunk* c = slot.load(std::memory_order_relaxed);
+  if (!c) {
+    c = new Chunk();
+    // Published before size_ below; readers load the chunk pointer with
+    // acquire, so they always see the constructed chunk.
+    slot.store(c, std::memory_order_release);
+  }
+  c->slots[id & (kChunkSize - 1)] =
+      std::make_unique<Task>(id, core, local_node, num_bank_colors,
+                             num_llc_colors, magazine_capacity);
+  // The slot write happens-before this release; at() checks the bound
+  // with acquire, so a visible id implies a visible Task.
+  size_.store(id + 1, std::memory_order_release);
   return id;
 }
 

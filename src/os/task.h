@@ -14,17 +14,17 @@
 // thread (the paper's opt-in happens during that thread's init), so
 // color-control calls for a task must not race with that same task's
 // faults. The `TaskTable` below makes creation and lookup safe from any
-// thread.
+// thread; lookups are lock-free (see the class comment).
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
 #include <vector>
 
 #include "os/page.h"
+#include "os/page_magazine.h"
 #include "util/lock_rank.h"
 
 namespace tint::os {
@@ -47,6 +47,11 @@ struct TaskAllocStats {
   // Counted on top of the fault-time counters above: a migrated page was
   // already attributed to a ladder stage when it first faulted in.
   std::atomic<uint64_t> migrated_pages{0};
+  // Fast-path cache detail: colored allocations served from this task's
+  // page magazine (magazine hits are *also* counted in colored_pages)
+  // and colored allocations that found the magazine empty or bypassed.
+  std::atomic<uint64_t> magazine_hits{0};
+  std::atomic<uint64_t> magazine_misses{0};
 
   struct Snapshot {
     uint64_t page_faults = 0;
@@ -60,6 +65,8 @@ struct TaskAllocStats {
     uint64_t scavenged_pages = 0;
     uint64_t failed_allocs = 0;
     uint64_t migrated_pages = 0;
+    uint64_t magazine_hits = 0;
+    uint64_t magazine_misses = 0;
   };
   Snapshot snapshot() const {
     const auto ld = [](const std::atomic<uint64_t>& a) {
@@ -68,14 +75,15 @@ struct TaskAllocStats {
     return {ld(page_faults),  ld(colored_pages),   ld(default_pages),
             ld(fallback_pages), ld(refill_blocks), ld(refill_pages),
             ld(remote_pages), ld(widened_pages),   ld(scavenged_pages),
-            ld(failed_allocs), ld(migrated_pages)};
+            ld(failed_allocs), ld(migrated_pages), ld(magazine_hits),
+            ld(magazine_misses)};
   }
 };
 
 class Task {
  public:
   Task(TaskId id, unsigned core, unsigned local_node, unsigned num_bank_colors,
-       unsigned num_llc_colors);
+       unsigned num_llc_colors, unsigned magazine_capacity = 0);
 
   TaskId id() const { return id_; }
   unsigned core() const { return core_; }
@@ -107,6 +115,11 @@ class Task {
   TaskAllocStats& alloc_stats() { return stats_; }
   const TaskAllocStats& alloc_stats() const { return stats_; }
 
+  // This task's colored page cache (capacity 0 = disabled; see
+  // os/page_magazine.h).
+  PageMagazine& magazine() { return magazine_; }
+  const PageMagazine& magazine() const { return magazine_; }
+
  private:
   void rebuild_lists();
 
@@ -123,37 +136,56 @@ class Task {
   // the banks in lockstep (which would make them collide persistently).
   std::atomic<uint64_t> combo_cursor_;
   TaskAllocStats stats_;
+  PageMagazine magazine_;
 };
 
 // Growable task registry safe for concurrent create + lookup (the
 // simulated analogue of the kernel's pid table). Task objects live
 // behind unique_ptrs, so a Task& stays valid while other threads keep
 // creating tasks; tasks are never destroyed before the kernel itself.
+//
+// Lookups are *lock-free*: tasks live in fixed-size chunks that are
+// published once and never reallocated, and `size_` is released after
+// the slot write, so a reader that passes the bounds check always sees
+// a fully constructed Task. This matters twice over: `at()` sits on the
+// page-fault fast path of every thread (a shared rwlock there is a
+// contended atomic RMW on one cache line), and the RAS subsystem must
+// walk tasks' magazines while holding the ras lock, which ranks *above*
+// the old table lock. Only creation takes the (writer-only) mutex.
 class TaskTable {
  public:
+  TaskTable();
+  ~TaskTable();
+  TaskTable(const TaskTable&) = delete;
+  TaskTable& operator=(const TaskTable&) = delete;
+
   // Appends a task and returns its id.
   TaskId create(unsigned core, unsigned local_node, unsigned num_bank_colors,
-                unsigned num_llc_colors);
+                unsigned num_llc_colors, unsigned magazine_capacity = 0);
 
   Task& at(TaskId id) {
-    std::shared_lock lk(mu_);
-    TINT_ASSERT_MSG(id < tasks_.size(), "unknown task id");
-    return *tasks_[id];
+    TINT_ASSERT_MSG(id < size_.load(std::memory_order_acquire),
+                    "unknown task id");
+    Chunk* c = chunks_[id >> kChunkBits].load(std::memory_order_acquire);
+    return *c->slots[id & (kChunkSize - 1)];
   }
   const Task& at(TaskId id) const {
-    std::shared_lock lk(mu_);
-    TINT_ASSERT_MSG(id < tasks_.size(), "unknown task id");
-    return *tasks_[id];
+    return const_cast<TaskTable*>(this)->at(id);
   }
 
-  size_t size() const {
-    std::shared_lock lk(mu_);
-    return tasks_.size();
-  }
+  size_t size() const { return size_.load(std::memory_order_acquire); }
 
  private:
-  mutable util::RankedSharedMutex<util::lock_rank::kTaskTable> mu_;
-  std::vector<std::unique_ptr<Task>> tasks_;
+  static constexpr unsigned kChunkBits = 6;
+  static constexpr unsigned kChunkSize = 1u << kChunkBits;
+  static constexpr unsigned kMaxChunks = 4096;  // 256 K tasks
+  struct Chunk {
+    std::unique_ptr<Task> slots[kChunkSize];
+  };
+
+  util::RankedMutex<util::lock_rank::kTaskTable> mu_;  // writers only
+  std::unique_ptr<std::atomic<Chunk*>[]> chunks_;
+  std::atomic<uint32_t> size_{0};
 };
 
 }  // namespace tint::os

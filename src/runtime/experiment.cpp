@@ -78,6 +78,10 @@ AggregateResult ExperimentDriver::run(const WorkloadSpec& spec,
     agg.frames_poisoned += r.frames_poisoned;
     agg.pages_migrated += r.pages_migrated;
     agg.colors_retired += r.colors_retired;
+    agg.magazine_hits += r.magazine_hits;
+    agg.magazine_misses += r.magazine_misses;
+    agg.batch_refills += r.batch_refills;
+    agg.tcache_hits += r.tcache_hits;
   }
   const double n = static_cast<double>(reps_);
   for (unsigned t = 0; t < T; ++t) {

@@ -55,6 +55,11 @@ struct AggregateResult {
   uint64_t frames_poisoned = 0;
   uint64_t pages_migrated = 0;
   uint64_t colors_retired = 0;
+  // Fast-path cache counters, summed over reps (zero with caches off).
+  uint64_t magazine_hits = 0;
+  uint64_t magazine_misses = 0;
+  uint64_t batch_refills = 0;
+  uint64_t tcache_hits = 0;
 };
 
 class ExperimentDriver {

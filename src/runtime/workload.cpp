@@ -451,6 +451,15 @@ RunResult WorkloadRunner::run(const WorkloadSpec& spec, core::Policy policy,
   res.frames_poisoned = ks.frames_poisoned;
   res.pages_migrated = ks.pages_migrated;
   res.colors_retired = ks.colors_retired;
+  res.magazine_hits = ks.magazine_hits;
+  res.magazine_misses = ks.magazine_misses;
+  res.magazine_drains = ks.magazine_drains;
+  res.batch_refills = ks.batch_refills;
+  for (const os::TaskId t : tasks) {
+    const core::HeapStats hs = session.heap(t).stats();
+    res.tcache_hits += hs.tcache_hits;
+    res.tcache_flushes += hs.tcache_flushes;
+  }
   return res;
 }
 

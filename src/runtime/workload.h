@@ -199,6 +199,14 @@ struct RunResult {
   uint64_t frames_poisoned = 0;
   uint64_t pages_migrated = 0;
   uint64_t colors_retired = 0;
+  // Fast-path cache behaviour (all zero unless the kernel's page
+  // magazines / batched refill or the heap's thread caches were on).
+  uint64_t magazine_hits = 0;
+  uint64_t magazine_misses = 0;
+  uint64_t magazine_drains = 0;
+  uint64_t batch_refills = 0;
+  uint64_t tcache_hits = 0;
+  uint64_t tcache_flushes = 0;
 };
 
 // Executes one benchmark run: fresh machine, `cores[i]` hosts thread i,

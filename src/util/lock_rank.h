@@ -30,13 +30,18 @@ namespace tint::util {
 
 namespace lock_rank {
 // Outermost first. Gaps leave room for future subsystems.
+inline constexpr int kHeapArena = 2;    // TintHeap arena (calls into kernel)
 inline constexpr int kTrace = 5;        // TraceRecorder (held across touch)
 inline constexpr int kMm = 10;          // Kernel VMA table + VA cursor
-inline constexpr int kTaskTable = 20;   // task-table vector
+inline constexpr int kTaskTable = 20;   // task-table growth (writers only)
 inline constexpr int kDefaultPath = 30; // kernel rng + region-node cache
 inline constexpr int kPageTable = 40;   // vpn -> pfn map
 inline constexpr int kHugePool = 50;    // boot-reserved 2 MB block stacks
 inline constexpr int kRas = 55;         // poisoned-frame set + retirement
+inline constexpr int kMagazine = 57;    // one task's page magazine: above
+                                        // kRas so poisoning can reach in,
+                                        // below kColorShard so drains can
+                                        // push to the shards
 inline constexpr int kColorShard = 60;  // one color-list shard
 inline constexpr int kBuddyZone = 70;   // one buddy per-node zone
 inline constexpr int kFailPoint = 80;   // one failpoint's spec/rng (leaf)

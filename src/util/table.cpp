@@ -80,6 +80,42 @@ std::string Table::to_csv() const {
   return out.str();
 }
 
+std::string Table::to_json() const {
+  std::ostringstream out;
+  const auto quote = [&out](const std::string& s) {
+    out << '"';
+    for (const char ch : s) {
+      switch (ch) {
+        case '"': out << "\\\""; break;
+        case '\\': out << "\\\\"; break;
+        case '\n': out << "\\n"; break;
+        case '\t': out << "\\t"; break;
+        default: out << ch;
+      }
+    }
+    out << '"';
+  };
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    out << '[';
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i) out << ',';
+      quote(row[i]);
+    }
+    out << ']';
+  };
+  out << "{\"title\":";
+  quote(title_);
+  out << ",\"header\":";
+  emit_row(header_);
+  out << ",\"rows\":[";
+  for (size_t r = 0; r < rows_.size(); ++r) {
+    if (r) out << ',';
+    emit_row(rows_[r]);
+  }
+  out << "]}";
+  return out.str();
+}
+
 void Table::print() const {
   const std::string s = render();
   std::fwrite(s.data(), 1, s.size(), stdout);

@@ -28,6 +28,10 @@ class Table {
   // containing commas or quotes are quoted per RFC 4180.
   std::string to_csv() const;
 
+  // Renders as a JSON object {"title": ..., "header": [...],
+  // "rows": [[...], ...]} with all cells as strings.
+  std::string to_json() const;
+
   // Renders and writes to stdout.
   void print() const;
 

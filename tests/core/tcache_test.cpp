@@ -1,0 +1,216 @@
+// Unit tests for the thread-local size-class caches (tcache) inside
+// TintHeap -- the user-level half of the fast-path caches. The tcache
+// serves same-thread malloc/free round trips without the arena lock;
+// these tests pin down the hit path, the depth-bounded flush, the
+// weakened-but-present double-free detection for cached blocks, the
+// accounting merge in stats(), and interop with the slow-path entry
+// points (aligned_alloc, realloc, release_all). Defaults-off behaviour
+// is covered too, since the determinism goldens rely on it.
+#include "core/tintmalloc.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/session.h"
+
+namespace tint::core {
+namespace {
+
+class TcacheTest : public ::testing::Test {
+ protected:
+  // One small machine per test; tcache depth 8 unless overridden.
+  static MachineConfig machine(unsigned depth = 8) {
+    MachineConfig mc = MachineConfig::tiny();
+    mc.heap.tcache_depth = depth;
+    return mc;
+  }
+};
+
+// A freed block is served right back to the same thread, lock-free,
+// and counted as a tcache hit.
+TEST_F(TcacheTest, RoundTripHitsSameBlock) {
+  Session s(machine());
+  TintHeap& heap = s.heap(s.create_task(0));
+
+  const os::VirtAddr p = heap.malloc(64);
+  ASSERT_NE(p, 0u);
+  heap.free(p);
+  const os::VirtAddr q = heap.malloc(64);
+  EXPECT_EQ(q, p);  // LIFO: the cached block comes back first
+  heap.free(q);
+
+  const HeapStats hs = heap.stats();
+  EXPECT_GE(hs.tcache_hits, 1u);
+  EXPECT_EQ(hs.mallocs, 2u);
+  EXPECT_EQ(hs.frees, 2u);
+  EXPECT_EQ(hs.bytes_live, 0u);
+}
+
+// Freeing more blocks than the bin holds flushes the overflow back to
+// the arena free lists; nothing leaks and live accounting nets to zero.
+TEST_F(TcacheTest, FlushBoundsBinDepth) {
+  Session s(machine(/*depth=*/8));
+  TintHeap& heap = s.heap(s.create_task(0));
+
+  std::vector<os::VirtAddr> blocks;
+  for (int i = 0; i < 20; ++i) {
+    const os::VirtAddr p = heap.malloc(64);
+    ASSERT_NE(p, 0u);
+    blocks.push_back(p);
+  }
+  for (const os::VirtAddr p : blocks) heap.free(p);
+
+  const HeapStats hs = heap.stats();
+  EXPECT_GT(hs.tcache_flushes, 0u);
+  EXPECT_EQ(hs.mallocs, 20u);
+  EXPECT_EQ(hs.frees, 20u);
+  EXPECT_EQ(hs.bytes_live, 0u);
+  EXPECT_EQ(hs.invalid_frees, 0u);
+}
+
+// Double-freeing a block that currently sits in the thread's own bin is
+// still caught (by the depth-bounded bin scan) and counted.
+TEST_F(TcacheTest, DoubleFreeOfCachedBlockCounted) {
+  Session s(machine());
+  TintHeap& heap = s.heap(s.create_task(0));
+
+  const os::VirtAddr p = heap.malloc(64);
+  ASSERT_NE(p, 0u);
+  heap.free(p);
+  heap.free(p);  // block is in the bin: the scan must reject this
+  EXPECT_EQ(heap.last_error(), os::AllocError::kInvalidArgument);
+
+  const HeapStats hs = heap.stats();
+  EXPECT_GE(hs.invalid_frees, 1u);
+  EXPECT_EQ(hs.frees, 1u);
+  EXPECT_EQ(hs.bytes_live, 0u);
+}
+
+// Bins are per size class: blocks of different classes never cross.
+TEST_F(TcacheTest, SizeClassesStayApart) {
+  Session s(machine());
+  TintHeap& heap = s.heap(s.create_task(0));
+
+  const os::VirtAddr small = heap.malloc(16);
+  const os::VirtAddr big = heap.malloc(1024);
+  ASSERT_NE(small, 0u);
+  ASSERT_NE(big, 0u);
+  heap.free(small);
+  heap.free(big);
+
+  EXPECT_EQ(heap.malloc(1024), big);
+  EXPECT_EQ(heap.malloc(16), small);
+  heap.free(small);
+  heap.free(big);
+}
+
+// Several real threads hammer ONE heap: per-thread bins mean no sharing
+// of cached blocks, and the merged stats must balance exactly.
+TEST_F(TcacheTest, SharedHeapMultiThreaded) {
+  Session s(machine());
+  TintHeap& heap = s.heap(s.create_task(0));
+  constexpr unsigned kThreads = 4;
+  constexpr unsigned kIters = 200;
+  static constexpr uint64_t kSizes[] = {32, 64, 256, 1024};
+
+  std::vector<std::thread> threads;
+  for (unsigned ti = 0; ti < kThreads; ++ti) {
+    threads.emplace_back([&heap, ti] {
+      std::vector<os::VirtAddr> held;
+      for (unsigned i = 0; i < kIters; ++i) {
+        const os::VirtAddr p = heap.malloc(kSizes[(ti + i) % 4]);
+        ASSERT_NE(p, 0u);
+        held.push_back(p);
+        if (held.size() >= 6) {
+          heap.free(held.back());
+          held.pop_back();
+          heap.free(held.front());
+          held.erase(held.begin());
+        }
+      }
+      for (const os::VirtAddr p : held) heap.free(p);
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const HeapStats hs = heap.stats();
+  EXPECT_EQ(hs.mallocs, uint64_t{kThreads} * kIters);
+  EXPECT_EQ(hs.frees, hs.mallocs);
+  EXPECT_EQ(hs.bytes_live, 0u);
+  EXPECT_EQ(hs.invalid_frees, 0u);
+  EXPECT_GT(hs.tcache_hits, 0u);
+}
+
+// aligned_alloc goes through the arena slow path but its blocks free
+// correctly alongside tcache-served ones.
+TEST_F(TcacheTest, AlignedAllocInterop) {
+  Session s(machine());
+  TintHeap& heap = s.heap(s.create_task(0));
+
+  const os::VirtAddr a = heap.aligned_alloc(256, 300);
+  ASSERT_NE(a, 0u);
+  EXPECT_EQ(a % 256, 0u);
+  const os::VirtAddr p = heap.malloc(64);
+  ASSERT_NE(p, 0u);
+  heap.free(p);
+  heap.free(a);
+
+  const HeapStats hs = heap.stats();
+  EXPECT_EQ(hs.frees, hs.mallocs);
+  EXPECT_EQ(hs.bytes_live, 0u);
+}
+
+// realloc round trip with a tcache: the grow path mixes the locked
+// lookup with unlocked malloc/free and must not deadlock or leak.
+TEST_F(TcacheTest, ReallocGrowsThroughCache) {
+  Session s(machine());
+  TintHeap& heap = s.heap(s.create_task(0));
+
+  os::VirtAddr p = heap.malloc(64);
+  ASSERT_NE(p, 0u);
+  p = heap.realloc(p, 512);
+  ASSERT_NE(p, 0u);
+  heap.free(p);
+
+  const HeapStats hs = heap.stats();
+  EXPECT_EQ(hs.frees, hs.mallocs);
+  EXPECT_EQ(hs.bytes_live, 0u);
+}
+
+// release_all empties every thread's bins; the heap is reusable after.
+TEST_F(TcacheTest, ReleaseAllClearsCaches) {
+  Session s(machine());
+  TintHeap& heap = s.heap(s.create_task(0));
+
+  const os::VirtAddr p = heap.malloc(64);
+  ASSERT_NE(p, 0u);
+  heap.free(p);  // parked in this thread's bin
+  heap.release_all();
+  EXPECT_EQ(heap.stats().bytes_live, 0u);
+
+  const os::VirtAddr q = heap.malloc(64);
+  ASSERT_NE(q, 0u);
+  heap.free(q);
+  EXPECT_EQ(heap.stats().bytes_live, 0u);
+}
+
+// Depth zero (the default) leaves the tcache off: behaviour and
+// counters are exactly the pre-cache arena path.
+TEST_F(TcacheTest, DisabledByDefault) {
+  Session s(MachineConfig::tiny());
+  TintHeap& heap = s.heap(s.create_task(0));
+
+  const os::VirtAddr p = heap.malloc(64);
+  ASSERT_NE(p, 0u);
+  heap.free(p);
+
+  const HeapStats hs = heap.stats();
+  EXPECT_EQ(hs.tcache_hits, 0u);
+  EXPECT_EQ(hs.tcache_flushes, 0u);
+  EXPECT_EQ(hs.bytes_live, 0u);
+}
+
+}  // namespace
+}  // namespace tint::core

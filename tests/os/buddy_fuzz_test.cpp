@@ -149,7 +149,7 @@ TEST_P(ColorListFuzz, PopAlwaysMatchesFrameColors) {
         static_cast<unsigned>(rng.next_below(map.num_bank_colors()));
     const unsigned l =
         static_cast<unsigned>(rng.next_below(map.num_llc_colors()));
-    const Pfn p = lists.pop(m, l);
+    const Pfn p = lists.pop(m, l, pages);
     if (p == kNoPage) continue;
     ++popped;
     ASSERT_EQ(pages[p].bank_color, m);

@@ -32,7 +32,7 @@ TEST_F(ColorListsTest, InitiallyEmpty) {
   for (unsigned m = 0; m < lists_.num_bank_colors(); ++m)
     for (unsigned l = 0; l < lists_.num_llc_colors(); ++l)
       EXPECT_EQ(lists_.size(m, l), 0u);
-  EXPECT_EQ(lists_.pop(0, 0), kNoPage);
+  EXPECT_EQ(lists_.pop(0, 0, pages_), kNoPage);
 }
 
 TEST_F(ColorListsTest, CreateColorListScattersByColor) {
@@ -52,7 +52,7 @@ TEST_F(ColorListsTest, PopReturnsMatchingColor) {
   lists_.create_color_list(head, BuddyAllocator::kMaxOrder, pages_);
   for (unsigned m = 0; m < map_.banks_per_node(); ++m) {
     for (unsigned l = 0; l < lists_.num_llc_colors(); ++l) {
-      const Pfn p = lists_.pop(m, l);
+      const Pfn p = lists_.pop(m, l, pages_);
       if (p == kNoPage) continue;
       EXPECT_EQ(pages_[p].bank_color, m);
       EXPECT_EQ(pages_[p].llc_color, l);
@@ -78,7 +78,7 @@ TEST_F(ColorListsTest, PopEmptiesAndCounts) {
   uint64_t popped = 0;
   for (unsigned m = 0; m < lists_.num_bank_colors(); ++m)
     for (unsigned l = 0; l < lists_.num_llc_colors(); ++l)
-      while (lists_.pop(m, l) != kNoPage) ++popped;
+      while (lists_.pop(m, l, pages_) != kNoPage) ++popped;
   EXPECT_EQ(popped, 16u);
   EXPECT_EQ(lists_.total_parked(), 0u);
 }
@@ -88,14 +88,14 @@ TEST_F(ColorListsTest, PushReturnsPageToItsList) {
   lists_.create_color_list(head, 0, pages_);
   const unsigned m = pages_[head].bank_color;
   const unsigned l = pages_[head].llc_color;
-  const Pfn p = lists_.pop(m, l);
+  const Pfn p = lists_.pop(m, l, pages_);
   ASSERT_EQ(p, head);
   pages_[p].state = PageState::kAllocated;
   lists_.push(p, pages_);
   EXPECT_EQ(lists_.size(m, l), 1u);
   EXPECT_EQ(pages_[p].state, PageState::kColorFree);
   EXPECT_EQ(pages_[p].owner, kNoTask);
-  EXPECT_EQ(lists_.pop(m, l), p);
+  EXPECT_EQ(lists_.pop(m, l, pages_), p);
 }
 
 TEST_F(ColorListsTest, LifoOrder) {
@@ -119,8 +119,8 @@ TEST_F(ColorListsTest, LifoOrder) {
   lists_.push(a, pages_);
   lists_.push(b, pages_);
   const unsigned m = pages_[a].bank_color, l = pages_[a].llc_color;
-  EXPECT_EQ(lists_.pop(m, l), b);  // last pushed, first popped
-  EXPECT_EQ(lists_.pop(m, l), a);
+  EXPECT_EQ(lists_.pop(m, l, pages_), b);  // last pushed, first popped
+  EXPECT_EQ(lists_.pop(m, l, pages_), a);
 }
 
 TEST_F(ColorListsTest, SizeTracksPerList) {

@@ -1,0 +1,194 @@
+// Real-thread torture of the fast-path page magazines: raw colored
+// alloc/free storms with magazines and batched refill on, VMA churn
+// racing node hotplug, failpoint storms and frame poisoning, and
+// stop-the-world invariant walks taken while every magazine is in
+// flight. Runs actual std::threads, so the suite is part of the TSan
+// workload (`ctest -L concurrency` under the tsan-torture preset).
+//
+// Thread and iteration counts are modest on purpose -- CI containers
+// may expose one core and TSan multiplies runtime ~10x. The racy
+// interleavings that matter (push vs. drain, pop vs. poison reach-in,
+// refill handoff vs. offline) show up within a few thousand ops.
+#include "os/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "hw/pci_config.h"
+#include "util/rng.h"
+
+namespace tint::os {
+namespace {
+
+constexpr unsigned kThreads = 8;
+
+class MagazineTortureTest : public ::testing::Test {
+ protected:
+  MagazineTortureTest()
+      : topo_(hw::Topology::tiny()),
+        pci_(hw::PciConfig::program_bios(topo_)),
+        map_(pci_, topo_) {}
+
+  static KernelConfig magazine_config() {
+    KernelConfig cfg;
+    cfg.magazine_capacity = 8;
+    cfg.refill_batch_blocks = 4;
+    return cfg;
+  }
+
+  Kernel make_kernel(KernelConfig cfg, uint64_t seed = 42) {
+    return Kernel(topo_, map_, cfg, seed);
+  }
+
+  hw::Topology topo_;
+  hw::PciConfig pci_;
+  hw::AddressMapping map_;
+};
+
+// Launches `n` threads running `fn(thread_index)` and joins them all.
+template <typename Fn>
+void run_threads(unsigned n, Fn fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(n);
+  for (unsigned i = 0; i < n; ++i) threads.emplace_back(fn, i);
+  for (auto& t : threads) t.join();
+}
+
+// Every thread churns raw colored alloc/free on its own colored task
+// with magazines and batched refill on. Steady state is all magazine
+// traffic; afterwards the machine must balance exactly, with the
+// cached frames accounted for.
+TEST_F(MagazineTortureTest, RawChurnStormBalancesFrames) {
+  Kernel k = make_kernel(magazine_config());
+  const unsigned bpn = map_.num_bank_colors() / topo_.num_nodes();
+
+  run_threads(kThreads, [&](unsigned ti) {
+    const TaskId task = k.create_task(ti % topo_.num_cores());
+    // Disjoint bank per thread where the tiny topology allows it.
+    const unsigned node = ti % topo_.num_nodes();
+    const unsigned bank = (ti / topo_.num_nodes()) % bpn;
+    k.mmap(task, map_.make_bank_color(node, bank) | SET_MEM_COLOR, 0,
+           PROT_COLOR_ALLOC);
+    Rng rng(3000 + ti);
+    std::vector<Pfn> held;
+    for (unsigned iter = 0; iter < 3000; ++iter) {
+      if (held.size() < 24 && (held.empty() || rng.next_bool(0.55))) {
+        const auto out = k.alloc_pages(task, 0);
+        if (out.pfn != kNoPage) held.push_back(out.pfn);
+      } else {
+        k.free_pages(held.back(), 0);
+        held.pop_back();
+      }
+    }
+    for (const Pfn p : held) k.free_pages(p, 0);
+  });
+
+  const auto rep = k.check_invariants();
+  EXPECT_TRUE(rep.ok) << rep.detail;
+  const auto s = k.stats().snapshot();
+  EXPECT_GT(s.magazine_hits, 0u);
+  EXPECT_GT(s.batch_refills, 0u);
+}
+
+// Chaos mode with magazines on: workers churn colored VMAs while a
+// chaos thread arms failpoints, flips a node offline (draining every
+// magazine's frames for it mid-storm), poisons random frames (the
+// magazine reach-in), and takes stop-the-world walks. The machine must
+// stay consistent throughout and balance once the storm ends.
+TEST_F(MagazineTortureTest, ChaosHotplugPoisonAndStopTheWorld) {
+  Kernel k = make_kernel(magazine_config());
+  const uint64_t page = topo_.page_bytes();
+  const unsigned bpn = map_.num_bank_colors() / topo_.num_nodes();
+  std::atomic<bool> stop{false};
+
+  std::thread chaos([&] {
+    Rng rng(77);
+    unsigned round = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      k.failpoints().arm(FailPoint::kBuddyAlloc, FailSpec::probability(0.2));
+      k.set_node_online(1, false);
+      // The walk must see a balanced machine with magazines half-full,
+      // a node missing and the failpoint storm raging.
+      const auto rep =
+          k.check_invariants(/*expected_loose=*/0, /*stop_the_world=*/true);
+      EXPECT_TRUE(rep.ok) << rep.detail;
+      k.set_node_online(1, true);
+      k.failpoints().disarm_all();
+      // Poison a few random frames: free ones quarantine (possibly via
+      // the magazine reach-in), busy ones are refused -- both fine.
+      for (int i = 0; i < 4; ++i)
+        k.poison_frame(rng.next_below(topo_.total_pages()));
+      ++round;
+      std::this_thread::yield();
+    }
+    EXPECT_GT(round, 0u);
+  });
+
+  run_threads(kThreads, [&](unsigned ti) {
+    const TaskId task = k.create_task(ti % topo_.num_cores());
+    const unsigned node = ti % topo_.num_nodes();
+    const unsigned bank = (ti / topo_.num_nodes()) % bpn;
+    k.mmap(task, map_.make_bank_color(node, bank) | SET_MEM_COLOR, 0,
+           PROT_COLOR_ALLOC);
+    Rng rng(900 + ti);
+    for (unsigned iter = 0; iter < 20; ++iter) {
+      const uint64_t pages = 4 + rng.next_below(12);
+      const VirtAddr base = k.mmap(task, 0, pages * page, 0);
+      ASSERT_NE(base, kMmapFailed);
+      for (uint64_t p = 0; p < pages; ++p) {
+        // Failed faults are the ladder's contract under the storm.
+        k.touch(task, base + p * page, true);
+      }
+      ASSERT_TRUE(k.munmap(task, base, pages * page));
+    }
+  });
+  stop.store(true, std::memory_order_release);
+  chaos.join();
+
+  k.failpoints().disarm_all();
+  EXPECT_EQ(k.page_table().mapped_pages(), 0u);
+  const auto rep = k.check_invariants();
+  EXPECT_TRUE(rep.ok) << rep.detail;
+}
+
+// Tasks come and go mid-storm: each thread repeatedly creates a colored
+// task, fills its magazine, and exits it. Exit drains must never leak a
+// cached frame no matter how the threads interleave.
+TEST_F(MagazineTortureTest, ExitStormDrainsEveryMagazine) {
+  Kernel k = make_kernel(magazine_config());
+  const unsigned bpn = map_.num_bank_colors() / topo_.num_nodes();
+
+  run_threads(kThreads, [&](unsigned ti) {
+    Rng rng(4242 + ti);
+    for (unsigned round = 0; round < 12; ++round) {
+      const TaskId task = k.create_task(ti % topo_.num_cores());
+      const unsigned node = ti % topo_.num_nodes();
+      const unsigned bank = (ti + round) % bpn;
+      k.mmap(task, map_.make_bank_color(node, bank) | SET_MEM_COLOR, 0,
+             PROT_COLOR_ALLOC);
+      std::vector<Pfn> held;
+      for (unsigned i = 0; i < 32; ++i) {
+        const auto out = k.alloc_pages(task, 0);
+        if (out.pfn != kNoPage) held.push_back(out.pfn);
+        if (held.size() > 8 || (i % 3 == 0 && !held.empty())) {
+          k.free_pages(held.back(), 0);  // park some in the magazine
+          held.pop_back();
+        }
+      }
+      for (const Pfn p : held) k.free_pages(p, 0);
+      k.exit_task(task);
+    }
+  });
+
+  const auto rep = k.check_invariants();
+  EXPECT_TRUE(rep.ok) << rep.detail;
+  EXPECT_EQ(rep.magazine_cached, 0u);  // every exit drained its magazine
+  const auto s = k.stats().snapshot();
+  EXPECT_GT(s.magazine_drains, 0u);
+}
+
+}  // namespace
+}  // namespace tint::os
