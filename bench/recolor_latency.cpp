@@ -1,0 +1,133 @@
+// Self-healing cost model (DESIGN.md section 13): what a live re-color
+// actually costs, layer by layer, measured with google-benchmark.
+//
+//   * BM_RecolorSwap      -- the atomic color-set swap alone (the part
+//                            tenants observe synchronously: one pointer
+//                            publish + magazine drain, no page moves);
+//   * BM_MigratePage      -- one page migration, the heal's unit of work
+//                            (also reports the *simulated* copy cost as
+//                            the "sim_cycles/page" counter);
+//   * BM_GuardEpochIdle   -- one watchdog epoch with nothing to do: the
+//                            standing tax of running the guard at all;
+//   * BM_HealEndToEnd/N   -- a full heal of an N-page tenant: swap +
+//                            enumerate + migrate until complete, driven
+//                            through ColorGuard::run_epoch like
+//                            production heals.
+//
+// CI runs this as part of the perf-smoke job and lands the JSON report
+// in-repo (BENCH_recolor_latency.json) for run-over-run diffing.
+#include <benchmark/benchmark.h>
+
+#include "bench/common.h"
+#include "core/session.h"
+#include "runtime/color_guard.h"
+
+using namespace tint;
+
+namespace {
+
+core::MachineConfig machine() {
+  auto mc = core::MachineConfig::opteron6128();
+  // A smaller machine keeps per-iteration session rebuilds cheap.
+  mc.topo.dram_bytes_per_node = 256ULL << 20;
+  return mc;
+}
+
+runtime::GuardConfig manual_guard_config() {
+  runtime::GuardConfig g;
+  g.enabled = true;
+  g.min_epoch_accesses = ~0ull;  // heals start manually, never from noise
+  g.migration_budget = 1u << 20;
+  return g;
+}
+
+void BM_RecolorSwap(benchmark::State& state) {
+  core::Session s(machine());
+  const os::TaskId t = s.create_task(0);
+  s.apply_colors(t, core::ThreadColorPlan{{0}, {}});
+  // Touch a few pages so the swap drains a non-trivial magazine, like a
+  // live tenant's would.
+  const os::VirtAddr base = s.kernel().mmap(t, 0, 16 * 4096, 0);
+  for (uint64_t i = 0; i < 16; ++i)
+    s.kernel().touch(t, base + i * 4096, true);
+
+  uint16_t from = 0, to = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.kernel().recolor_task(t, {from}, {to}));
+    std::swap(from, to);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_RecolorSwap);
+
+void BM_MigratePage(benchmark::State& state) {
+  core::Session s(machine());
+  const os::TaskId t = s.create_task(0);
+  s.apply_colors(t, core::ThreadColorPlan{{0, 1}, {}});
+  const os::VirtAddr va = s.kernel().mmap(t, 0, 4096, 0);
+  s.kernel().touch(t, va, true);
+
+  uint64_t sim_cycles = 0, pages = 0;
+  for (auto _ : state) {
+    const auto mig = s.kernel().migrate_page(va);
+    benchmark::DoNotOptimize(mig.ok);
+    sim_cycles += mig.cycles;
+    ++pages;
+  }
+  state.counters["sim_cycles/page"] =
+      static_cast<double>(sim_cycles) / static_cast<double>(pages);
+  state.SetItemsProcessed(static_cast<int64_t>(pages));
+}
+BENCHMARK(BM_MigratePage);
+
+void BM_GuardEpochIdle(benchmark::State& state) {
+  // The watchdog's standing cost: sample every controller and LLC
+  // counter, find nothing hot, heal nothing. This is what the background
+  // thread spends per period on a healthy machine.
+  core::Session s(machine());
+  const os::TaskId t = s.create_task(0);
+  s.apply_colors(t, core::ThreadColorPlan{{0, 1}, {}});
+  runtime::ColorGuard guard(s.kernel(), s.memsys(), manual_guard_config());
+  for (auto _ : state) guard.run_epoch();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_GuardEpochIdle);
+
+void BM_HealEndToEnd(benchmark::State& state) {
+  const uint64_t pages = static_cast<uint64_t>(state.range(0));
+  uint64_t healed_pages = 0, epochs = 0;
+  for (auto _ : state) {
+    state.PauseTiming();
+    core::Session s(machine());
+    const os::TaskId t = s.create_task(0);
+    s.apply_colors(t, core::ThreadColorPlan{{0}, {}});
+    const os::VirtAddr base = s.kernel().mmap(t, 0, pages * 4096, 0);
+    for (uint64_t i = 0; i < pages; ++i)
+      s.kernel().touch(t, base + i * 4096, true);
+    runtime::ColorGuard guard(s.kernel(), s.memsys(), manual_guard_config());
+    state.ResumeTiming();
+
+    guard.start_heal(t, 0);
+    do {
+      guard.run_epoch();
+      ++epochs;
+    } while (guard.tenant_phase(t) ==
+             runtime::ColorGuard::TenantPhase::kMigrating);
+    healed_pages += pages;
+  }
+  state.counters["pages/heal"] = static_cast<double>(pages);
+  state.counters["epochs/heal"] =
+      static_cast<double>(epochs) / static_cast<double>(state.iterations());
+  state.SetItemsProcessed(static_cast<int64_t>(healed_pages));
+}
+BENCHMARK(BM_HealEndToEnd)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return tint::bench::run_gbench_main(argc, argv);
+}

@@ -152,6 +152,62 @@ std::vector<TaskAdvice> ColorAdvisor::analyze(
   return out;
 }
 
+TaskAdvice ColorAdvisor::plan_recolor(const os::Kernel& kernel,
+                                      os::TaskId task, unsigned hot_color,
+                                      const std::vector<uint8_t>& avoid) const {
+  TaskAdvice advice;
+  advice.task = task;
+  const os::Task& t = kernel.task(task);
+  if (!t.has_mem_color(hot_color)) {
+    advice.reason = "task no longer holds the hot color";
+    return advice;
+  }
+
+  // Machine-wide claims so the replacement stays disjoint from every
+  // other tenant -- handing a second tenant's color out would just move
+  // the collision.
+  std::vector<unsigned> bank_claims(mapping_.num_bank_colors(), 0);
+  for (os::TaskId id = 0; id < kernel.num_tasks(); ++id)
+    for (const uint16_t c : kernel.task(id).mem_color_list())
+      ++bank_claims[c];
+  std::vector<uint8_t> retired(mapping_.num_bank_colors(), 0);
+  for (const unsigned c : kernel.retired_colors()) retired[c] = 1;
+
+  const auto usable = [&](unsigned color) {
+    if (bank_claims[color] != 0 || retired[color]) return false;
+    if (color < avoid.size() && avoid[color]) return false;
+    if (!kernel.node_online(mapping_.node_of_bank_color(color))) return false;
+    return !t.has_mem_color(color);
+  };
+  // Node preference order: the hot color's node (migration traffic stays
+  // on one controller), the task's own node, then the rest.
+  std::vector<unsigned> nodes;
+  const auto add_node = [&](unsigned n) {
+    if (std::find(nodes.begin(), nodes.end(), n) == nodes.end())
+      nodes.push_back(n);
+  };
+  add_node(mapping_.node_of_bank_color(hot_color));
+  add_node(t.local_node());
+  for (unsigned n = 0; n < topo_.num_nodes(); ++n) add_node(n);
+
+  for (const unsigned node : nodes) {
+    if (!kernel.node_online(node)) continue;
+    for (unsigned b = 0; b < mapping_.banks_per_node(); ++b) {
+      const unsigned color = mapping_.make_bank_color(node, b);
+      if (!usable(color)) continue;
+      advice.kind = TaskAdvice::Kind::kRecolorHot;
+      advice.removals.mem_colors.push_back(static_cast<uint16_t>(hot_color));
+      advice.additions.mem_colors.push_back(static_cast<uint16_t>(color));
+      advice.reason = "bank color " + std::to_string(hot_color) +
+                      " contention-hot; replacing with unclaimed color " +
+                      std::to_string(color);
+      return advice;
+    }
+  }
+  advice.reason = "no unclaimed healthy bank color left to swap in";
+  return advice;
+}
+
 unsigned ColorAdvisor::apply(os::Kernel& kernel,
                              const TaskAdvice& advice) const {
   if (advice.kind == TaskAdvice::Kind::kOk) return 0;

@@ -28,6 +28,7 @@ struct TaskAdvice {
     kWidenBanks,      // add the suggested bank colors (free on local node)
     kShareLlc,        // add LLC colors already used by same-node tasks
     kReplaceRetired,  // drop RAS-retired bank colors, add healthy ones
+    kRecolorHot,      // swap a contention-hot bank color for a quiet one
   };
 
   os::TaskId task = os::kNoTask;
@@ -66,6 +67,22 @@ class ColorAdvisor {
   // (CLEAR_* for removals first, then SET_* for additions). Returns the
   // number of color-control calls issued.
   unsigned apply(os::Kernel& kernel, const TaskAdvice& advice) const;
+
+  // Live re-coloring advice for the ColorGuard: pick a replacement for
+  // `hot_color` in `task`'s bank set -- unclaimed by any task, not
+  // RAS-retired, on an online node, and not itself flagged in `avoid`
+  // (one entry per bank color; the guard passes its hot set so a heal
+  // never lands on another hot bank). The search prefers the hot
+  // color's own node (the migration stays controller-local), then the
+  // task's node, then any online node. Returns kRecolorHot advice with
+  // removals = {hot_color} and one addition, or kOk when no healthy
+  // replacement exists (the guard then backs off rather than churn).
+  // Unlike the rest of the advisor, this is *not* applied through the
+  // mmap protocol: the guard feeds it to Kernel::recolor_task so the
+  // swap publishes atomically.
+  TaskAdvice plan_recolor(const os::Kernel& kernel, os::TaskId task,
+                          unsigned hot_color,
+                          const std::vector<uint8_t>& avoid) const;
 
  private:
   const hw::AddressMapping& mapping_;

@@ -22,6 +22,8 @@ TintHeap::TintHeap(os::Kernel& kernel, os::TaskId task, HeapConfig cfg)
       heap_gen_(g_heap_gen.fetch_add(1, std::memory_order_relaxed) + 1) {
   TINT_ASSERT(cfg_.chunk_pages >= 1);
   free_lists_.resize(std::size(kClasses));
+  node_free_.assign(kernel_.topology().num_nodes(),
+                    std::vector<std::vector<VirtAddr>>(std::size(kClasses)));
 }
 
 TintHeap::~TintHeap() { release_all(); }
@@ -56,16 +58,36 @@ bool TintHeap::tcache_refill(ThreadCache& tc, int cls) {
   const uint64_t block = kClasses[cls];
   const size_t want = std::max<size_t>(1, cfg_.tcache_depth / 2);
   auto& bin = tc.bins[static_cast<size_t>(cls)];
+  const unsigned local = kernel_.task(task_).local_node();
   std::lock_guard<ArenaLock> lk(arena_);
   auto& fl = free_lists_[static_cast<size_t>(cls)];
+  auto& local_fl = node_free_[local][static_cast<size_t>(cls)];
   while (bin.size() < want) {
-    VirtAddr va;
-    if (!fl.empty()) {
+    VirtAddr va = 0;
+    // Locality order: blocks whose frames already sit on the task's node
+    // (routed there by a flush), then the generic list (slow-path frees
+    // and pristine carve blocks that will fault onto the right colors),
+    // then remote-node blocks, then a fresh carve.
+    if (!local_fl.empty()) {
+      va = local_fl.back();
+      local_fl.pop_back();
+      tc.local_refills.fetch_add(1, std::memory_order_relaxed);
+    } else if (!fl.empty()) {
       va = fl.back();
       fl.pop_back();
     } else {
-      va = carve(block);
-      if (va == 0) break;  // kernel dry; the caller falls to the slow path
+      for (auto& per_node : node_free_) {
+        auto& nfl = per_node[static_cast<size_t>(cls)];
+        if (!nfl.empty()) {
+          va = nfl.back();
+          nfl.pop_back();
+          break;
+        }
+      }
+      if (va == 0) {
+        va = carve(block);
+        if (va == 0) break;  // kernel dry; the caller falls to the slow path
+      }
     }
     block_size_.emplace(va, block);
     tc.cls_of.emplace(va, cls);
@@ -78,14 +100,28 @@ void TintHeap::tcache_flush_bin(ThreadCache& tc, int cls, size_t keep) {
   auto& bin = tc.bins[static_cast<size_t>(cls)];
   if (bin.size() <= keep) return;
   const size_t n = bin.size() - keep;
+  // Resolve each overflowing block's backing node *before* the flush so
+  // the blocks land on their node's list: a flush used to be node-blind,
+  // so a refill on another thread would inherit remote (and wrongly
+  // colored) frames. Unfaulted blocks have no frame yet and stay
+  // generic. Holding the arena while translating is fine -- kHeapArena
+  // is below every kernel rank.
+  uint64_t routed = 0;
   std::lock_guard<ArenaLock> lk(arena_);
   auto& fl = free_lists_[static_cast<size_t>(cls)];
   for (size_t i = 0; i < n; ++i) {
     block_size_.erase(bin[i]);
-    fl.push_back(bin[i]);
+    if (const auto pa = kernel_.translate(bin[i])) {
+      node_free_[kernel_.mapping().node_of(*pa)][static_cast<size_t>(cls)]
+          .push_back(bin[i]);
+      ++routed;
+    } else {
+      fl.push_back(bin[i]);
+    }
   }
   bin.erase(bin.begin(), bin.begin() + static_cast<std::ptrdiff_t>(n));
   tc.flushes.fetch_add(n, std::memory_order_relaxed);
+  if (routed) tc.node_flushes.fetch_add(routed, std::memory_order_relaxed);
 }
 
 VirtAddr TintHeap::fail_malloc(os::AllocError why) {
@@ -150,8 +186,22 @@ VirtAddr TintHeap::malloc_locked(uint64_t size, int cls) {
       va = fl.back();
       fl.pop_back();
     } else {
-      va = carve(block);
-      if (va == 0) return fail_malloc(last_error());
+      // Node-routed blocks (tcache flushes) before a fresh carve, local
+      // node first, so they never strand once the generic list is dry.
+      va = 0;
+      const unsigned nn = static_cast<unsigned>(node_free_.size());
+      const unsigned local = kernel_.task(task_).local_node();
+      for (unsigned i = 0; i < nn && va == 0; ++i) {
+        auto& nfl = node_free_[(local + i) % nn][static_cast<size_t>(cls)];
+        if (!nfl.empty()) {
+          va = nfl.back();
+          nfl.pop_back();
+        }
+      }
+      if (va == 0) {
+        va = carve(block);
+        if (va == 0) return fail_malloc(last_error());
+      }
     }
     if (cfg_.populate && !populate_range(va, block)) {
       // The VA block stays on its free list for a later retry; no frame
@@ -393,6 +443,8 @@ void TintHeap::release_all() {
   block_size_.clear();
   aligned_offset_.clear();
   for (auto& fl : free_lists_) fl.clear();
+  for (auto& per_node : node_free_)
+    for (auto& fl : per_node) fl.clear();
   chunk_cursor_ = chunk_end_ = 0;
   stats_.bytes_live = 0;
 }
@@ -408,6 +460,10 @@ HeapStats TintHeap::stats() const {
     out.invalid_frees += tc->invalid_frees.load(std::memory_order_relaxed);
     out.tcache_hits += tc->hits.load(std::memory_order_relaxed);
     out.tcache_flushes += tc->flushes.load(std::memory_order_relaxed);
+    out.tcache_node_flushes +=
+        tc->node_flushes.load(std::memory_order_relaxed);
+    out.tcache_local_refills +=
+        tc->local_refills.load(std::memory_order_relaxed);
     live += tc->live_delta.load(std::memory_order_relaxed);
   }
   out.bytes_live = live > 0 ? static_cast<uint64_t>(live) : 0;

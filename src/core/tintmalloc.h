@@ -73,6 +73,12 @@ struct HeapStats {
   uint64_t invalid_frees = 0;    // free/realloc of an unknown pointer
   uint64_t tcache_hits = 0;      // mallocs served lock-free by a thread cache
   uint64_t tcache_flushes = 0;   // cached blocks flushed back to the arena
+  // Flushed blocks whose backing frame was resolved and routed to its
+  // node's free list (preserving the coloring locality the fault gave
+  // the block) instead of the node-blind generic list.
+  uint64_t tcache_node_flushes = 0;
+  // Refill blocks served from the task-local node list (locality hits).
+  uint64_t tcache_local_refills = 0;
 };
 
 class TintHeap {
@@ -144,6 +150,8 @@ class TintHeap {
     std::atomic<uint64_t> invalid_frees{0};
     std::atomic<uint64_t> hits{0};
     std::atomic<uint64_t> flushes{0};
+    std::atomic<uint64_t> node_flushes{0};
+    std::atomic<uint64_t> local_refills{0};
     std::atomic<int64_t> live_delta{0};
   };
   // This thread's cache for this heap (created on first use); nullptr
@@ -177,6 +185,13 @@ class TintHeap {
   // kernel while holding it). Guards everything below.
   mutable util::RankedMutex<util::lock_rank::kHeapArena> arena_;
   std::vector<std::vector<VirtAddr>> free_lists_;  // per class
+  // Node-routed free lists [node][class]: tcache overflow flushes land
+  // here when the block's backing frame could be resolved, so a later
+  // refill hands node-local (and therefore correctly colored) blocks
+  // back out instead of scattering frames across the machine. Blocks
+  // freed through the slow path keep using free_lists_ (behaviour with
+  // tcache_depth == 0 is unchanged -- the determinism goldens pin it).
+  std::vector<std::vector<std::vector<VirtAddr>>> node_free_;
   VirtAddr chunk_cursor_ = 0;
   VirtAddr chunk_end_ = 0;
   std::vector<std::pair<VirtAddr, uint64_t>> vmas_;  // {base, length}

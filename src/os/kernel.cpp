@@ -154,10 +154,10 @@ VirtAddr Kernel::mmap(TaskId task_id, uint64_t addr_or_color, uint64_t length,
                       uint32_t prot, uint32_t flags) {
   (void)flags;
 
-  // Zero-length + PROT_COLOR_ALLOC: color-control call (Fig. 6). The
-  // color sets are written without a lock under the TCB single-owner
-  // rule (see os/task.h): a task's colors are set by its own thread, and
-  // never concurrently with that task's faults.
+  // Zero-length + PROT_COLOR_ALLOC: color-control call (Fig. 6). Color
+  // sets are immutable snapshots behind an atomic pointer (see
+  // os/task.h), so this is safe even concurrently with the task's own
+  // faults and with live re-colorings (Kernel::recolor_task).
   if (length == 0 && (prot & PROT_COLOR_ALLOC)) {
     // Held shared end-to-end like a fault: the drain below moves frames
     // magazine -> shards through a local vector, and the stop-the-world
@@ -490,10 +490,12 @@ Kernel::TouchResult Kernel::fault_huge(Task& t, VirtAddr va,
           : -1;
 
   // Controller-aware placement: the node of the task's bank colors if it
-  // has any, else the default policy's choice.
+  // has any, else the default policy's choice. One snapshot load -- a
+  // concurrent re-coloring must not tear the flag/list pair.
+  const Task::ColorSet& cs = t.colors();
   unsigned preferred;
-  if (t.using_bank()) {
-    preferred = mapping_.node_of_bank_color(t.mem_color_list().front());
+  if (cs.using_bank) {
+    preferred = mapping_.node_of_bank_color(cs.mem_list.front());
   } else {
     preferred = pick_default_node(t, page_table_.vpn_of(huge_base));
   }
@@ -604,14 +606,21 @@ Kernel::AllocOutcome Kernel::alloc_pages(TaskId task_id, unsigned order,
           ? static_cast<int64_t>(t.local_node())
           : -1;
 
+  // One color snapshot for the whole allocation: a live re-coloring
+  // (Kernel::recolor_task) may publish a new set mid-fault, and every
+  // stage below must work from the same consistent view.
+  const Task::ColorSet& cs = t.colors();
+
   // Stage 1 -- colored pool (Algorithm 1, line 3: only order-0 requests
   // of coloring tasks take the colored path).
-  if (order == 0 && (t.using_bank() || t.using_llc())) {
+  if (order == 0 && (cs.using_bank || cs.using_llc)) {
     // Stage 0 -- the task's own page magazine: a hit touches only this
     // task's lock, no shard. Bypassed under an injected transient outage
     // (the cached frame might be behind the failed controller), and
     // frames whose bank went away while cached are re-homed to the
-    // shards instead of handed out.
+    // shards instead of handed out. A re-coloring drains the magazine,
+    // but a frame freed back under the *old* colors after the swap could
+    // still be cached here -- the membership check below refuses it.
     if (cfg_.magazine_capacity > 0) {
       PageMagazine& mag = t.magazine();
       if (transient_offline < 0) {
@@ -619,7 +628,9 @@ Kernel::AllocOutcome Kernel::alloc_pages(TaskId task_id, unsigned order,
           const Pfn pfn = mag.pop(t.next_combo_cursor());
           if (pfn == kNoPage) break;
           PageInfo& pi = pages_[pfn];
-          if (!node_online(pi.node) || color_retired(pi.bank_color)) {
+          if (!node_online(pi.node) || color_retired(pi.bank_color) ||
+              (cs.using_bank && !cs.mem_colors[pi.bank_color]) ||
+              (cs.using_llc && !cs.llc_colors[pi.llc_color])) {
             colors_->push(pfn, pages_);
             stats_.magazine_drains.fetch_add(1, std::memory_order_relaxed);
             continue;
@@ -637,7 +648,7 @@ Kernel::AllocOutcome Kernel::alloc_pages(TaskId task_id, unsigned order,
       ++stats_.magazine_misses;
       ++t.alloc_stats().magazine_misses;
     }
-    out = alloc_colored(t, vpn_hint, transient_offline);
+    out = alloc_colored(t, cs, vpn_hint, transient_offline);
     if (out.pfn != kNoPage) {
       out.stage = AllocStage::kColored;
       ++stats_.ladder_colored;
@@ -661,7 +672,7 @@ Kernel::AllocOutcome Kernel::alloc_pages(TaskId task_id, unsigned order,
     // Stage 2 -- widen: relax the color constraint but keep the node
     // placement, reclaiming pages parked under other colors on the
     // task's own nodes.
-    const Pfn widened = widen_from_node_lists(t, transient_offline);
+    const Pfn widened = widen_from_node_lists(t, cs, transient_offline);
     if (widened != kNoPage) {
       out.pfn = widened;
       out.stage = AllocStage::kWidened;
@@ -730,11 +741,12 @@ Kernel::AllocOutcome Kernel::alloc_pages(TaskId task_id, unsigned order,
   return out;
 }
 
-Pfn Kernel::widen_from_node_lists(const Task& t, int64_t transient_offline) {
+Pfn Kernel::widen_from_node_lists(const Task& t, const Task::ColorSet& cs,
+                                  int64_t transient_offline) {
   const unsigned bpn = mapping_.banks_per_node();
-  if (t.using_bank()) {
+  if (cs.using_bank) {
     // Any parked page on a node the task's bank colors live on.
-    for (const uint16_t m : t.mem_color_list()) {
+    for (const uint16_t m : cs.mem_list) {
       const unsigned node = mapping_.node_of_bank_color(m);
       if (!node_usable(node, transient_offline)) continue;
       const Pfn pfn =
@@ -751,7 +763,8 @@ Pfn Kernel::widen_from_node_lists(const Task& t, int64_t transient_offline) {
   return colors_->pop_any_in_bank_range(node * bpn, (node + 1) * bpn, pages_);
 }
 
-Kernel::AllocOutcome Kernel::alloc_colored(Task& t, uint64_t vpn_hint,
+Kernel::AllocOutcome Kernel::alloc_colored(Task& t, const Task::ColorSet& cs,
+                                           uint64_t vpn_hint,
                                            int64_t transient_offline) {
   AllocOutcome out;
   // Candidate (MEM_ID, LLC_ID) combinations per the TCB flags
@@ -767,8 +780,8 @@ Kernel::AllocOutcome Kernel::alloc_colored(Task& t, uint64_t vpn_hint,
   const unsigned bpn = mapping_.banks_per_node();
 
   std::vector<uint8_t> llcs;
-  if (t.using_llc()) {
-    llcs = t.llc_color_list();
+  if (cs.using_llc) {
+    llcs = cs.llc_list;
   } else {
     llcs.reserve(nl);
     for (unsigned c = 0; c < nl; ++c) llcs.push_back(static_cast<uint8_t>(c));
@@ -826,14 +839,14 @@ Kernel::AllocOutcome Kernel::alloc_colored(Task& t, uint64_t vpn_hint,
     return true;
   };
 
-  if (t.using_bank()) {
+  if (cs.using_bank) {
     // Combos are iterated bank-fastest with a rotating cursor so that
     // consecutive faults stripe across the task's banks (intra-task bank
     // parallelism, like the hardware's own interleaving would give an
     // uncolored stream). Banks behind an offline controller are skipped.
     std::vector<uint16_t> mems;
-    mems.reserve(t.mem_color_list().size());
-    for (const uint16_t m : t.mem_color_list()) {
+    mems.reserve(cs.mem_list.size());
+    for (const uint16_t m : cs.mem_list) {
       if (color_retired(m)) continue;  // RAS pulled this bank from service
       if (node_usable(mapping_.node_of_bank_color(m), transient_offline))
         mems.push_back(m);
@@ -1123,6 +1136,69 @@ Kernel::AllocOutcome Kernel::alloc_screened(TaskId task, uint64_t vpn_hint) {
 Kernel::MigrateResult Kernel::migrate_page(VirtAddr va) {
   std::shared_lock mm(mm_lock_);
   return migrate_locked(va, /*poison_old=*/false);
+}
+
+bool Kernel::recolor_task(TaskId task_id,
+                          const std::vector<uint16_t>& drop_mem,
+                          const std::vector<uint16_t>& add_mem,
+                          const std::vector<uint8_t>& drop_llc,
+                          const std::vector<uint8_t>& add_llc) {
+  // Validate everything up front: the swap is all-or-nothing, so a bad
+  // id must not leave a half-validated set behind.
+  for (const uint16_t c : drop_mem)
+    if (c >= mapping_.num_bank_colors()) {
+      set_last_error(AllocError::kInvalidArgument);
+      return false;
+    }
+  for (const uint16_t c : add_mem)
+    if (c >= mapping_.num_bank_colors()) {
+      set_last_error(AllocError::kInvalidArgument);
+      return false;
+    }
+  for (const uint8_t c : drop_llc)
+    if (c >= mapping_.num_llc_colors()) {
+      set_last_error(AllocError::kInvalidArgument);
+      return false;
+    }
+  for (const uint8_t c : add_llc)
+    if (c >= mapping_.num_llc_colors()) {
+      set_last_error(AllocError::kInvalidArgument);
+      return false;
+    }
+  // Held shared end-to-end like a fault (and like the color-control mmap
+  // path): the magazine drain below moves frames through a local vector,
+  // and the stop-the-world invariant walk must not observe that window.
+  std::shared_lock mm(mm_lock_);
+  Task& t = tasks_.at(task_id);
+  t.replace_colors(drop_mem, add_mem, drop_llc, add_llc);
+  // Cached frames were chosen under the old constraints; back to the
+  // shards with them (the post-swap membership check in alloc_pages
+  // covers frames that sneak in afterwards via a racing free).
+  drain_magazine_to_colors(t);
+  ++stats_.recolor_calls;
+  set_last_error(AllocError::kOk);
+  return true;
+}
+
+std::vector<VirtAddr> Kernel::pages_of_task_color(TaskId task,
+                                                  unsigned bank_color,
+                                                  bool colored_only) const {
+  std::vector<VirtAddr> out;
+  // The page-table lock pins the mapping set; a mapped frame's metadata
+  // is stable while we hold it (map/remap/unmap all take it exclusive,
+  // and PageInfo is written before a mapping is published).
+  std::shared_lock pt(pt_lock_);
+  for (const auto& [vpn, pfn] : page_table_.mappings()) {
+    const PageInfo& pi = pages_[pfn];
+    if (pi.huge) continue;
+    if (pi.owner != task || pi.bank_color != bank_color) continue;
+    if (colored_only && !pi.colored_alloc) continue;
+    out.push_back(static_cast<VirtAddr>(vpn) << topo_.page_bits);
+  }
+  // mappings() iterates in hash order; sort so callers migrate in a
+  // stable, deterministic sequence.
+  std::sort(out.begin(), out.end());
+  return out;
 }
 
 Kernel::MigrateResult Kernel::soft_offline_page(VirtAddr va) {

@@ -192,6 +192,8 @@ struct KernelStats {
   std::atomic<uint64_t> magazine_misses{0};  // magazine probed empty / bypassed
   std::atomic<uint64_t> magazine_drains{0};  // cached frames returned to pools
   std::atomic<uint64_t> batch_refills{0};    // multi-block refill rounds
+  // --- live re-coloring (Kernel::recolor_task; used by the ColorGuard) ---
+  std::atomic<uint64_t> recolor_calls{0};    // atomic color-set swaps applied
 
   struct Snapshot {
     uint64_t color_control_calls = 0;
@@ -228,6 +230,7 @@ struct KernelStats {
     uint64_t magazine_misses = 0;
     uint64_t magazine_drains = 0;
     uint64_t batch_refills = 0;
+    uint64_t recolor_calls = 0;
   };
   Snapshot snapshot() const {
     const auto ld = [](const std::atomic<uint64_t>& a) {
@@ -247,7 +250,7 @@ struct KernelStats {
             ld(ecc_uncorrected),     ld(ras_screened_frames),
             ld(offline_drained_pages), ld(magazine_hits),
             ld(magazine_misses),     ld(magazine_drains),
-            ld(batch_refills)};
+            ld(batch_refills),       ld(recolor_calls)};
   }
 };
 
@@ -383,6 +386,28 @@ class Kernel {
   // translation changed first.
   AllocError hard_offline_page(VirtAddr va);
 
+  // --- live re-coloring (the ColorGuard's kernel hooks) ---
+  // Atomically swaps colors in a task's TCB: all drops and adds land in
+  // one published snapshot, so a concurrent fault of that task sees
+  // either the old or the new color set -- never the in-between states
+  // that a CLEAR_*/SET_* mmap sequence would expose. Validates every
+  // color id (returns false + kInvalidArgument without touching the TCB
+  // on any out-of-range id) and drains the task's page magazine, whose
+  // cached frames were chosen under the old constraints. Safe from any
+  // thread, including concurrently with the task's own faults.
+  bool recolor_task(TaskId task, const std::vector<uint16_t>& drop_mem,
+                    const std::vector<uint16_t>& add_mem,
+                    const std::vector<uint8_t>& drop_llc = {},
+                    const std::vector<uint8_t>& add_llc = {});
+  // Enumerates the virtual pages of `task` currently backed by frames of
+  // `bank_color` (ascending VA, so callers process them in a stable
+  // order). `colored_only` restricts the walk to frames served by the
+  // colored ladder stage -- the set a re-coloring must migrate, and one
+  // that only shrinks once the task stops faulting on the color. Huge
+  // mappings are skipped (a 2 MB frame spans every color).
+  std::vector<VirtAddr> pages_of_task_color(TaskId task, unsigned bank_color,
+                                            bool colored_only = true) const;
+
   // Background scrubber: one stop-the-world sweep (same freeze order as
   // check_invariants) collecting every frame the fault model flags, then
   // a repair phase -- free faulty frames are poisoned, mapped flaky
@@ -459,13 +484,16 @@ class Kernel {
   // color pool and its backing zones are exhausted. `transient_offline`
   // is the per-allocation node injected by the kNodeOffline failpoint
   // (-1 = none); it is threaded through by value so concurrent
-  // allocations cannot observe each other's injected outages.
-  AllocOutcome alloc_colored(Task& t, uint64_t vpn_hint,
-                             int64_t transient_offline);
+  // allocations cannot observe each other's injected outages. `cs` is
+  // the one color snapshot the whole allocation works from, loaded by
+  // the caller so a concurrent re-coloring cannot tear the view mid-scan.
+  AllocOutcome alloc_colored(Task& t, const Task::ColorSet& cs,
+                             uint64_t vpn_hint, int64_t transient_offline);
   // Ladder stage 2: any parked page on the task's own nodes, relaxing
   // the color constraint but keeping node locality (the in-kernel
   // analogue of ColorAdvisor's widening advice).
-  Pfn widen_from_node_lists(const Task& t, int64_t transient_offline);
+  Pfn widen_from_node_lists(const Task& t, const Task::ColorSet& cs,
+                            int64_t transient_offline);
   // Huge-page fault: maps an aligned 2 MB block at once (node-aware).
   // Caller holds the mm lock shared.
   TouchResult fault_huge(Task& t, VirtAddr va, VirtAddr vma_base);

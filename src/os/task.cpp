@@ -9,51 +9,99 @@ Task::Task(TaskId id, unsigned core, unsigned local_node,
            unsigned num_bank_colors, unsigned num_llc_colors,
            unsigned magazine_capacity)
     : id_(id), core_(core), local_node_(local_node),
-      mem_colors_(num_bank_colors, false), llc_colors_(num_llc_colors, false),
-      combo_cursor_(mix64(id) & 0xFFFF), magazine_(magazine_capacity) {}
+      combo_cursor_(mix64(id) & 0xFFFF), magazine_(magazine_capacity) {
+  auto init = std::make_unique<ColorSet>();
+  init->mem_colors.assign(num_bank_colors, false);
+  init->llc_colors.assign(num_llc_colors, false);
+  colors_.store(init.get(), std::memory_order_release);
+  color_history_.push_back(std::move(init));
+}
+
+void Task::publish(std::unique_ptr<const ColorSet> next) {
+  colors_.store(next.get(), std::memory_order_release);
+  color_history_.push_back(std::move(next));
+}
 
 void Task::set_mem_color(unsigned color) {
-  TINT_ASSERT_MSG(color < mem_colors_.size(), "bank color out of range");
-  mem_colors_[color] = true;
-  using_bank_ = true;
-  rebuild_lists();
+  std::lock_guard lk(color_mu_);
+  auto next = std::make_unique<ColorSet>(colors());
+  TINT_ASSERT_MSG(color < next->mem_colors.size(), "bank color out of range");
+  next->mem_colors[color] = true;
+  rebuild_lists(*next);
+  publish(std::move(next));
 }
 
 void Task::clear_mem_color(unsigned color) {
-  TINT_ASSERT_MSG(color < mem_colors_.size(), "bank color out of range");
-  mem_colors_[color] = false;
-  rebuild_lists();
-  using_bank_ = !mem_list_.empty();
+  std::lock_guard lk(color_mu_);
+  auto next = std::make_unique<ColorSet>(colors());
+  TINT_ASSERT_MSG(color < next->mem_colors.size(), "bank color out of range");
+  next->mem_colors[color] = false;
+  rebuild_lists(*next);
+  publish(std::move(next));
 }
 
 void Task::set_llc_color(unsigned color) {
-  TINT_ASSERT_MSG(color < llc_colors_.size(), "LLC color out of range");
-  llc_colors_[color] = true;
-  using_llc_ = true;
-  rebuild_lists();
+  std::lock_guard lk(color_mu_);
+  auto next = std::make_unique<ColorSet>(colors());
+  TINT_ASSERT_MSG(color < next->llc_colors.size(), "LLC color out of range");
+  next->llc_colors[color] = true;
+  rebuild_lists(*next);
+  publish(std::move(next));
 }
 
 void Task::clear_llc_color(unsigned color) {
-  TINT_ASSERT_MSG(color < llc_colors_.size(), "LLC color out of range");
-  llc_colors_[color] = false;
-  rebuild_lists();
-  using_llc_ = !llc_list_.empty();
+  std::lock_guard lk(color_mu_);
+  auto next = std::make_unique<ColorSet>(colors());
+  TINT_ASSERT_MSG(color < next->llc_colors.size(), "LLC color out of range");
+  next->llc_colors[color] = false;
+  rebuild_lists(*next);
+  publish(std::move(next));
 }
 
 void Task::clear_all_colors() {
-  mem_colors_.assign(mem_colors_.size(), false);
-  llc_colors_.assign(llc_colors_.size(), false);
-  using_bank_ = using_llc_ = false;
-  rebuild_lists();
+  std::lock_guard lk(color_mu_);
+  auto next = std::make_unique<ColorSet>(colors());
+  next->mem_colors.assign(next->mem_colors.size(), false);
+  next->llc_colors.assign(next->llc_colors.size(), false);
+  rebuild_lists(*next);
+  publish(std::move(next));
 }
 
-void Task::rebuild_lists() {
-  mem_list_.clear();
-  for (size_t i = 0; i < mem_colors_.size(); ++i)
-    if (mem_colors_[i]) mem_list_.push_back(static_cast<uint16_t>(i));
-  llc_list_.clear();
-  for (size_t i = 0; i < llc_colors_.size(); ++i)
-    if (llc_colors_[i]) llc_list_.push_back(static_cast<uint8_t>(i));
+void Task::replace_colors(const std::vector<uint16_t>& drop_mem,
+                          const std::vector<uint16_t>& add_mem,
+                          const std::vector<uint8_t>& drop_llc,
+                          const std::vector<uint8_t>& add_llc) {
+  std::lock_guard lk(color_mu_);
+  auto next = std::make_unique<ColorSet>(colors());
+  for (const uint16_t c : drop_mem) {
+    TINT_ASSERT_MSG(c < next->mem_colors.size(), "bank color out of range");
+    next->mem_colors[c] = false;
+  }
+  for (const uint16_t c : add_mem) {
+    TINT_ASSERT_MSG(c < next->mem_colors.size(), "bank color out of range");
+    next->mem_colors[c] = true;
+  }
+  for (const uint8_t c : drop_llc) {
+    TINT_ASSERT_MSG(c < next->llc_colors.size(), "LLC color out of range");
+    next->llc_colors[c] = false;
+  }
+  for (const uint8_t c : add_llc) {
+    TINT_ASSERT_MSG(c < next->llc_colors.size(), "LLC color out of range");
+    next->llc_colors[c] = true;
+  }
+  rebuild_lists(*next);
+  publish(std::move(next));
+}
+
+void Task::rebuild_lists(ColorSet& cs) {
+  cs.mem_list.clear();
+  for (size_t i = 0; i < cs.mem_colors.size(); ++i)
+    if (cs.mem_colors[i]) cs.mem_list.push_back(static_cast<uint16_t>(i));
+  cs.llc_list.clear();
+  for (size_t i = 0; i < cs.llc_colors.size(); ++i)
+    if (cs.llc_colors[i]) cs.llc_list.push_back(static_cast<uint8_t>(i));
+  cs.using_bank = !cs.mem_list.empty();
+  cs.using_llc = !cs.llc_list.empty();
 }
 
 TaskTable::TaskTable()

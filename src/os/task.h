@@ -9,12 +9,18 @@
 // assignment is static) and allocation statistics.
 //
 // Thread safety: allocation statistics and the combo cursor are atomics
-// -- any thread's fault may bump them. The color sets themselves follow
-// the task_struct ownership rule: they are written by the task's own
-// thread (the paper's opt-in happens during that thread's init), so
-// color-control calls for a task must not race with that same task's
-// faults. The `TaskTable` below makes creation and lookup safe from any
-// thread; lookups are lock-free (see the class comment).
+// -- any thread's fault may bump them. The color sets are published as
+// *immutable snapshots* behind an atomic pointer: a reader (a fault, the
+// advisor, the ColorGuard's page walk) loads one `ColorSet` and sees an
+// internally consistent view no matter how many color-control calls or
+// live re-colorings race with it. Writers (SET_*/CLEAR_* color control,
+// `replace_colors` used by Kernel::recolor_task) serialize on a small
+// ranked mutex, build the next snapshot aside, and publish it with one
+// release store. Old snapshots are retained for the task's lifetime
+// (color changes are rare control-plane events), so references handed
+// out by the accessors below never dangle. The `TaskTable` below makes
+// creation and lookup safe from any thread; lookups are lock-free (see
+// the class comment).
 #pragma once
 
 #include <atomic>
@@ -82,6 +88,19 @@ struct TaskAllocStats {
 
 class Task {
  public:
+  // One immutable view of the TCB color payload. Never mutated after
+  // publication; readers that need a consistent multi-field view load it
+  // once via colors() and keep using the same snapshot.
+  struct ColorSet {
+    bool using_bank = false;
+    bool using_llc = false;
+    std::vector<bool> mem_colors;
+    std::vector<bool> llc_colors;
+    // Materialized color id lists (ascending), for the allocator's scan.
+    std::vector<uint16_t> mem_list;
+    std::vector<uint8_t> llc_list;
+  };
+
   Task(TaskId id, unsigned core, unsigned local_node, unsigned num_bank_colors,
        unsigned num_llc_colors, unsigned magazine_capacity = 0);
 
@@ -90,20 +109,41 @@ class Task {
   unsigned local_node() const { return local_node_; }
 
   // --- coloring flags & sets (the TCB payload) ---
-  bool using_bank() const { return using_bank_; }
-  bool using_llc() const { return using_llc_; }
+  // The current snapshot. Valid for the task's lifetime (superseded
+  // snapshots are retained), but a later load may return a newer set.
+  const ColorSet& colors() const {
+    return *colors_.load(std::memory_order_acquire);
+  }
+
+  bool using_bank() const { return colors().using_bank; }
+  bool using_llc() const { return colors().using_llc; }
 
   void set_mem_color(unsigned color);
   void clear_mem_color(unsigned color);
   void set_llc_color(unsigned color);
   void clear_llc_color(unsigned color);
   void clear_all_colors();
+  // Atomic whole-set swap for live re-coloring: drops and adds are
+  // applied to one new snapshot and published with a single store, so no
+  // concurrent fault can observe the half-re-colored state two separate
+  // CLEAR+SET calls would expose.
+  void replace_colors(const std::vector<uint16_t>& drop_mem,
+                      const std::vector<uint16_t>& add_mem,
+                      const std::vector<uint8_t>& drop_llc,
+                      const std::vector<uint8_t>& add_llc);
 
-  bool has_mem_color(unsigned color) const { return mem_colors_[color]; }
-  bool has_llc_color(unsigned color) const { return llc_colors_[color]; }
-  // Materialized color id lists (ascending), for the allocator's scan.
-  const std::vector<uint16_t>& mem_color_list() const { return mem_list_; }
-  const std::vector<uint8_t>& llc_color_list() const { return llc_list_; }
+  bool has_mem_color(unsigned color) const {
+    return colors().mem_colors[color];
+  }
+  bool has_llc_color(unsigned color) const {
+    return colors().llc_colors[color];
+  }
+  const std::vector<uint16_t>& mem_color_list() const {
+    return colors().mem_list;
+  }
+  const std::vector<uint8_t>& llc_color_list() const {
+    return colors().llc_list;
+  }
 
   // Round-robin cursor so consecutive faults spread over the task's
   // (MEM_ID, LLC_ID) combinations -- keeps a task's heap striped across
@@ -121,17 +161,21 @@ class Task {
   const PageMagazine& magazine() const { return magazine_; }
 
  private:
-  void rebuild_lists();
+  // Builds the materialized lists and flags of `cs` from its bitmaps.
+  static void rebuild_lists(ColorSet& cs);
+  // Publishes `next` as the current snapshot. Caller holds color_mu_.
+  void publish(std::unique_ptr<const ColorSet> next);
 
   TaskId id_;
   unsigned core_;
   unsigned local_node_;
-  bool using_bank_ = false;
-  bool using_llc_ = false;
-  std::vector<bool> mem_colors_;
-  std::vector<bool> llc_colors_;
-  std::vector<uint16_t> mem_list_;
-  std::vector<uint8_t> llc_list_;
+  // Writers only; readers go through the atomic pointer. Acquired while
+  // the caller holds the mm lock shared (rank kMm < kTaskColors).
+  util::RankedMutex<util::lock_rank::kTaskColors> color_mu_;
+  std::atomic<const ColorSet*> colors_;
+  // Superseded snapshots, retained so outstanding references stay valid
+  // (guarded by color_mu_; bounded by the number of color-control calls).
+  std::vector<std::unique_ptr<const ColorSet>> color_history_;
   // Starts at a per-task phase so tasks sharing a bank pool do not walk
   // the banks in lockstep (which would make them collide persistently).
   std::atomic<uint64_t> combo_cursor_;

@@ -82,6 +82,7 @@ AggregateResult ExperimentDriver::run(const WorkloadSpec& spec,
     agg.magazine_misses += r.magazine_misses;
     agg.batch_refills += r.batch_refills;
     agg.tcache_hits += r.tcache_hits;
+    agg.recolor_calls += r.recolor_calls;
   }
   const double n = static_cast<double>(reps_);
   for (unsigned t = 0; t < T; ++t) {

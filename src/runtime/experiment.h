@@ -60,6 +60,8 @@ struct AggregateResult {
   uint64_t magazine_misses = 0;
   uint64_t batch_refills = 0;
   uint64_t tcache_hits = 0;
+  // Live re-coloring swaps, summed over reps (zero without a ColorGuard).
+  uint64_t recolor_calls = 0;
 };
 
 class ExperimentDriver {

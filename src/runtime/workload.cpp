@@ -455,10 +455,12 @@ RunResult WorkloadRunner::run(const WorkloadSpec& spec, core::Policy policy,
   res.magazine_misses = ks.magazine_misses;
   res.magazine_drains = ks.magazine_drains;
   res.batch_refills = ks.batch_refills;
+  res.recolor_calls = ks.recolor_calls;
   for (const os::TaskId t : tasks) {
     const core::HeapStats hs = session.heap(t).stats();
     res.tcache_hits += hs.tcache_hits;
     res.tcache_flushes += hs.tcache_flushes;
+    res.tcache_node_flushes += hs.tcache_node_flushes;
   }
   return res;
 }

@@ -207,6 +207,10 @@ struct RunResult {
   uint64_t batch_refills = 0;
   uint64_t tcache_hits = 0;
   uint64_t tcache_flushes = 0;
+  uint64_t tcache_node_flushes = 0;  // flushes routed to the frame's node
+  // Live re-coloring swaps applied during the run (Kernel::recolor_task;
+  // non-zero only when a ColorGuard or advisor healed mid-run).
+  uint64_t recolor_calls = 0;
 };
 
 // Executes one benchmark run: fresh machine, `cores[i]` hosts thread i,

@@ -1,5 +1,6 @@
 #include "sim/cache.h"
 
+#include <algorithm>
 #include <bit>
 
 #include "util/assert.h"
@@ -13,6 +14,7 @@ Cache::Cache(unsigned sets, unsigned ways, unsigned line_bytes,
       per_requester_(requesters) {
   TINT_ASSERT_MSG(std::has_single_bit(sets), "set count must be power of two");
   TINT_ASSERT(ways >= 1 && line_bytes >= 16 && requesters >= 1);
+  if (requesters > 1) set_cross_evictions_.assign(sets, 0);
 }
 
 CacheAccessResult Cache::access(PhysAddr addr, bool write, unsigned requester) {
@@ -53,6 +55,7 @@ CacheAccessResult Cache::access(PhysAddr addr, bool write, unsigned requester) {
     if (victim->owner != requester) {
       ++stats_.cross_requester_evictions;
       ++per_requester_[requester].cross_requester_evictions;
+      if (!set_cross_evictions_.empty()) ++set_cross_evictions_[set];
     }
   }
   victim->valid = true;
@@ -128,6 +131,7 @@ void Cache::clear(bool clear_stats) {
   if (clear_stats) {
     stats_ = CacheStats{};
     for (auto& s : per_requester_) s = CacheStats{};
+    std::fill(set_cross_evictions_.begin(), set_cross_evictions_.end(), 0);
   }
 }
 

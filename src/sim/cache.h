@@ -75,6 +75,15 @@ class Cache {
   const CacheStats& requester_stats(unsigned r) const {
     return per_requester_.at(r);
   }
+  // --- per-set interference export (shared-LLC instances only) ---
+  // Cross-requester evictions attributed to the victim's set, kept only
+  // when `requesters` > 1 so private L1/L2 levels pay nothing. The
+  // ColorGuard folds sets onto LLC page colors (every set of one color
+  // shares the page-bit slice AddressMapping::llc_color extracts).
+  bool has_set_attribution() const { return !set_cross_evictions_.empty(); }
+  uint64_t set_cross_evictions(unsigned set) const {
+    return set_cross_evictions_[set];
+  }
   unsigned sets() const { return sets_; }
   unsigned ways() const { return ways_; }
   unsigned line_bytes() const { return line_bytes_; }
@@ -101,6 +110,7 @@ class Cache {
   uint64_t stamp_ = 0;
   CacheStats stats_;
   std::vector<CacheStats> per_requester_;
+  std::vector<uint64_t> set_cross_evictions_;  // sized sets_ iff requesters > 1
 };
 
 }  // namespace tint::sim

@@ -9,8 +9,11 @@ namespace tint::sim {
 MemoryController::MemoryController(unsigned node_id, unsigned channels,
                                    unsigned ranks, unsigned banks,
                                    const hw::Timing& timing)
-    : node_id_(node_id), timing_(timing), banks_(channels, ranks, banks),
-      channels_(channels) {}
+    : node_id_(node_id), timing_(timing), ranks_(ranks),
+      banks_per_rank_(banks), banks_(channels, ranks, banks),
+      channels_(channels),
+      bank_accesses_(static_cast<size_t>(channels) * ranks * banks, 0),
+      bank_conflicts_(static_cast<size_t>(channels) * ranks * banks, 0) {}
 
 Cycles MemoryController::service(Cycles arrival, const hw::DramCoord& coord,
                                  bool write) {
@@ -24,8 +27,15 @@ Cycles MemoryController::service(Cycles arrival, const hw::DramCoord& coord,
   stats_.queue_wait += start - arrival;
   stats_.bank_wait += start - arrival;
 
-  // Row buffer outcome determines the command latency.
+  // Row buffer outcome determines the command latency. Conflicts are
+  // attributed to the serving bank (Eq. 1 local index) for the per-color
+  // contention export.
+  const unsigned local =
+      (coord.channel * ranks_ + coord.rank) * banks_per_rank_ + coord.bank;
+  ++bank_accesses_[local];
+  const uint64_t conflicts_before = stats_.row_conflicts;
   const Cycles cmd = bank.access_row(coord.row, start, timing_, stats_);
+  if (stats_.row_conflicts != conflicts_before) ++bank_conflicts_[local];
 
   // The data burst needs the channel.
   const Cycles data_start = std::max(start + cmd, ch.busy_until);

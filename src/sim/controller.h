@@ -9,6 +9,7 @@
 // sets out to remove.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 
 #include "hw/address_mapping.h"
@@ -32,7 +33,27 @@ class MemoryController {
 
   unsigned node_id() const { return node_id_; }
   const DramStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = DramStats{}; }
+  void reset_stats() {
+    stats_ = DramStats{};
+    std::fill(bank_accesses_.begin(), bank_accesses_.end(), 0);
+    std::fill(bank_conflicts_.begin(), bank_conflicts_.end(), 0);
+  }
+
+  // --- per-bank contention export (the ColorGuard's sampling source) ---
+  // Counters are indexed by the *local bank index*
+  // (channel * ranks + rank) * banks + bank, which is exactly the local
+  // component of the paper's Eq. 1 dense bank color: local index i on
+  // this controller is bank color make_bank_color(node_id, i). Cumulative
+  // since the last reset_stats(); samplers diff successive readings.
+  unsigned num_local_banks() const {
+    return static_cast<unsigned>(bank_accesses_.size());
+  }
+  uint64_t bank_accesses(unsigned local_bank) const {
+    return bank_accesses_[local_bank];
+  }
+  uint64_t bank_conflicts(unsigned local_bank) const {
+    return bank_conflicts_[local_bank];
+  }
 
  private:
   struct Channel {
@@ -41,9 +62,12 @@ class MemoryController {
 
   unsigned node_id_;
   hw::Timing timing_;
+  unsigned ranks_, banks_per_rank_;
   BankArray banks_;
   std::vector<Channel> channels_;
   DramStats stats_;
+  std::vector<uint64_t> bank_accesses_;
+  std::vector<uint64_t> bank_conflicts_;
 };
 
 }  // namespace tint::sim

@@ -30,10 +30,12 @@ namespace tint::util {
 
 namespace lock_rank {
 // Outermost first. Gaps leave room for future subsystems.
+inline constexpr int kGuard = 1;        // ColorGuard epoch (calls into kernel)
 inline constexpr int kHeapArena = 2;    // TintHeap arena (calls into kernel)
 inline constexpr int kTrace = 5;        // TraceRecorder (held across touch)
 inline constexpr int kMm = 10;          // Kernel VMA table + VA cursor
 inline constexpr int kTaskTable = 20;   // task-table growth (writers only)
+inline constexpr int kTaskColors = 25;  // one task's color-set writers
 inline constexpr int kDefaultPath = 30; // kernel rng + region-node cache
 inline constexpr int kPageTable = 40;   // vpn -> pfn map
 inline constexpr int kHugePool = 50;    // boot-reserved 2 MB block stacks

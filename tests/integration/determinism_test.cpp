@@ -4,8 +4,13 @@
 
 #include <bit>
 #include <cstdint>
+#include <memory>
+#include <vector>
 
+#include "core/session.h"
+#include "runtime/color_guard.h"
 #include "runtime/experiment.h"
+#include "runtime/sim_thread.h"
 #include "runtime/workload.h"
 
 namespace tint::runtime {
@@ -80,6 +85,69 @@ TEST(Determinism, SerialResultsMatchPreLockingGoldens) {
               g.avg_latency_bits)
         << core::to_string(g.policy);
   }
+}
+
+// The ColorGuard's default-off contract: constructing a guard and running
+// its epochs between sections must leave the serial engine *bit-for-bit*
+// where a guard-free run lands -- same section end times, same core
+// counters, zero kernel mutations. This is what lets the guard ship
+// attached-by-default without re-pinning the goldens above.
+TEST(Determinism, DefaultOffGuardLeavesSerialEngineBitIdentical) {
+  struct Observed {
+    std::vector<hw::Cycles> section_ends;
+    uint64_t accesses = 0;
+    uint64_t total_latency = 0;
+    uint64_t recolor_calls = 0;
+    uint64_t pages_migrated = 0;
+  };
+  const auto run = [](bool with_guard) {
+    core::Session session(core::MachineConfig::tiny());
+    const os::TaskId t = session.create_task(0);
+    core::ThreadColorPlan plan;
+    plan.mem_colors = {0, 1};
+    session.apply_colors(t, plan);
+
+    const os::VirtAddr heap = session.heap(t).malloc(256 << 10);
+    MixedKernelParams p;
+    p.private_base = heap;
+    p.private_bytes = 256 << 10;
+    p.hot_bytes = 32 << 10;
+    p.hot_fraction = 0.5;
+    p.write_fraction = 0.3;
+    p.compute_per_access = 10;
+    p.accesses = 5000;
+
+    std::unique_ptr<ColorGuard> guard;
+    if (with_guard)
+      guard = std::make_unique<ColorGuard>(session.kernel(), session.memsys());
+
+    ParallelEngine engine(session);
+    Observed o;
+    hw::Cycles clock = 0;
+    for (unsigned epoch = 0; epoch < 3; ++epoch) {
+      std::vector<os::TaskId> tasks = {t};
+      MixedKernelStream s(p, 7 + epoch);
+      std::vector<OpStream*> ptrs = {&s};
+      clock = engine.run_parallel(tasks, ptrs, clock).max_end();
+      o.section_ends.push_back(clock);
+      if (guard) guard->run_epoch();
+    }
+    const sim::CoreStats& cs = session.memsys().core_stats(0);
+    o.accesses = cs.accesses;
+    o.total_latency = cs.total_latency;
+    const auto ks = session.kernel().stats().snapshot();
+    o.recolor_calls = ks.recolor_calls;
+    o.pages_migrated = ks.pages_migrated;
+    return o;
+  };
+
+  const Observed bare = run(false);
+  const Observed guarded = run(true);
+  EXPECT_EQ(bare.section_ends, guarded.section_ends);
+  EXPECT_EQ(bare.accesses, guarded.accesses);
+  EXPECT_EQ(bare.total_latency, guarded.total_latency);
+  EXPECT_EQ(guarded.recolor_calls, 0u);
+  EXPECT_EQ(guarded.pages_migrated, 0u);
 }
 
 TEST(Determinism, DifferentSeedsDifferForBuddy) {

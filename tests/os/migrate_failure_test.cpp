@@ -1,0 +1,169 @@
+// Failure-path coverage for live migration (Kernel::migrate_page): every
+// way the *replacement* side can fail must leave the source frame
+// mapped, the frame-accounting invariants intact, and the migration
+// retriable -- the contract the ColorGuard's backoff/rollback machinery
+// (runtime/color_guard.h) is built on. The happy paths live in
+// ras_test.cpp; this file is about what does NOT happen on failure.
+#include "os/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include "hw/pci_config.h"
+#include "sim/dram_fault.h"
+
+namespace tint::os {
+namespace {
+
+using sim::DramFaultModel;
+using sim::FrameHealth;
+
+class MigrateFailureTest : public ::testing::Test {
+ protected:
+  MigrateFailureTest()
+      : topo_(hw::Topology::tiny()),
+        pci_(hw::PciConfig::program_bios(topo_)),
+        map_(pci_, topo_) {}
+
+  Kernel make_kernel(KernelConfig cfg = {}, uint64_t seed = 42) {
+    return Kernel(topo_, map_, cfg, seed);
+  }
+
+  Pfn frame_of(const Kernel& k, VirtAddr va) const {
+    const auto pa = k.translate(va);
+    EXPECT_TRUE(pa.has_value());
+    return pa ? *pa / topo_.page_bytes() : kNoPage;
+  }
+
+  hw::Topology topo_;
+  hw::PciConfig pci_;
+  hw::AddressMapping map_;
+};
+
+// Target-pool exhaustion (kMigrateTarget models the replacement
+// allocation failing outright): the source frame must stay mapped
+// through arbitrarily many failed attempts, every attempt must be
+// conserved by check_invariants, and a later attempt must succeed once
+// the pressure clears.
+TEST_F(MigrateFailureTest, TargetExhaustionLeavesSourceMappedAndRetriable) {
+  Kernel k = make_kernel();
+  const TaskId t = k.create_task(0);
+  const VirtAddr va = k.mmap(t, 0, 4096, 0);
+  ASSERT_EQ(k.touch(t, va, true).error, AllocError::kOk);
+  const Pfn old_pfn = frame_of(k, va);
+
+  k.failpoints().arm(FailPoint::kMigrateTarget, FailSpec::always());
+  for (unsigned attempt = 1; attempt <= 3; ++attempt) {
+    const auto mig = k.migrate_page(va);
+    EXPECT_FALSE(mig.ok);
+    EXPECT_EQ(mig.error, AllocError::kOutOfMemory);
+    EXPECT_EQ(k.stats().migration_failures, attempt);
+    // Source untouched: same frame, still mapped, still owned.
+    EXPECT_EQ(frame_of(k, va), old_pfn);
+    EXPECT_EQ(k.pages()[old_pfn].owner, t);
+    const auto rep = k.check_invariants();
+    EXPECT_TRUE(rep.ok) << rep.detail;
+  }
+
+  // Retriable: the identical call succeeds once the failpoint clears.
+  k.failpoints().disarm(FailPoint::kMigrateTarget);
+  const auto mig = k.migrate_page(va);
+  ASSERT_TRUE(mig.ok);
+  EXPECT_EQ(mig.old_pfn, old_pfn);
+  EXPECT_EQ(frame_of(k, va), mig.new_pfn);
+  EXPECT_EQ(k.stats().pages_migrated, 1u);
+  const auto rep = k.check_invariants();
+  EXPECT_TRUE(rep.ok) << rep.detail;
+}
+
+// Every replacement frame the ladder offers is poisoned mid-migration
+// (a dead bank under the task's only color): screening quarantines the
+// candidates, the migration fails cleanly, and the source frame -- which
+// lives on the same dead bank -- must remain mapped and conserved, not
+// half-swapped onto a quarantined frame.
+TEST_F(MigrateFailureTest, PoisonedTargetsMidMigrationFailCleanly) {
+  KernelConfig cfg;
+  cfg.ras.max_screen_retries = 2;
+  Kernel k = make_kernel(cfg);
+  DramFaultModel model(map_);
+  k.attach_fault_model(&model);
+
+  const TaskId t = k.create_task(0);
+  const unsigned color = map_.make_bank_color(0, 0);
+  ASSERT_NE(k.mmap(t, color | SET_MEM_COLOR, 0, PROT_COLOR_ALLOC),
+            kMmapFailed);
+  const VirtAddr va = k.mmap(t, 0, 4096, 0);
+  ASSERT_EQ(k.touch(t, va, true).error, AllocError::kOk);
+  const Pfn old_pfn = frame_of(k, va);
+  ASSERT_EQ(k.pages()[old_pfn].bank_color, color);
+
+  // The whole bank -- and with it every colored replacement candidate --
+  // goes dead *after* the source page is resident.
+  model.inject_bank_of(static_cast<hw::PhysAddr>(old_pfn) *
+                           topo_.page_bytes(),
+                       FrameHealth::kDead);
+  const auto mig = k.migrate_page(va);
+  EXPECT_FALSE(mig.ok);
+  EXPECT_EQ(mig.error, AllocError::kOutOfMemory);
+  EXPECT_EQ(k.stats().migration_failures, 1u);
+  EXPECT_GE(k.stats().ras_screened_frames, 1u);
+  // The source mapping survived; the screened candidates are quarantined,
+  // not leaked.
+  EXPECT_EQ(frame_of(k, va), old_pfn);
+  EXPECT_EQ(k.poisoned_frames(), k.stats().ras_screened_frames);
+  const auto rep = k.check_invariants();
+  EXPECT_TRUE(rep.ok) << rep.detail;
+  EXPECT_EQ(rep.poisoned, k.poisoned_frames());
+
+  // Retriable: the bank recovers (model cleared) and the same call
+  // succeeds; the earlier quarantines stay conserved.
+  model.clear();
+  const auto retry = k.migrate_page(va);
+  ASSERT_TRUE(retry.ok);
+  EXPECT_EQ(frame_of(k, va), retry.new_pfn);
+  const auto rep2 = k.check_invariants();
+  EXPECT_TRUE(rep2.ok) << rep2.detail;
+}
+
+// The ColorGuard's exact sequence: an atomic color-set swap
+// (recolor_task) whose follow-up migrations all fail. The task must sit
+// in a *consistent* intermediate state -- new color set published, old
+// pages still mapped and enumerable -- and the migrations must succeed
+// wholesale once the failure clears, landing every page on the new color.
+TEST_F(MigrateFailureTest, FailedRecolorMigrationsStayConsistentAndRetry) {
+  Kernel k = make_kernel();
+  const TaskId t = k.create_task(0);
+  const uint16_t c0 = static_cast<uint16_t>(map_.make_bank_color(0, 0));
+  const uint16_t c1 = static_cast<uint16_t>(map_.make_bank_color(0, 1));
+  ASSERT_NE(k.mmap(t, c0 | SET_MEM_COLOR, 0, PROT_COLOR_ALLOC), kMmapFailed);
+
+  const unsigned kPages = 4;
+  const VirtAddr base = k.mmap(t, 0, kPages * 4096, 0);
+  for (unsigned i = 0; i < kPages; ++i)
+    ASSERT_EQ(k.touch(t, base + i * 4096, true).error, AllocError::kOk);
+  ASSERT_EQ(k.pages_of_task_color(t, c0).size(), kPages);
+
+  ASSERT_TRUE(k.recolor_task(t, {c0}, {c1}));
+  EXPECT_FALSE(k.task(t).has_mem_color(c0));
+  EXPECT_TRUE(k.task(t).has_mem_color(c1));
+
+  k.failpoints().arm(FailPoint::kMigrateTarget, FailSpec::always());
+  for (const VirtAddr va : k.pages_of_task_color(t, c0))
+    EXPECT_FALSE(k.migrate_page(va).ok);
+  // Nothing moved, nothing leaked: the old-color pages are all still
+  // there, enumerable for the retry.
+  EXPECT_EQ(k.pages_of_task_color(t, c0).size(), kPages);
+  auto rep = k.check_invariants();
+  EXPECT_TRUE(rep.ok) << rep.detail;
+
+  k.failpoints().disarm(FailPoint::kMigrateTarget);
+  for (const VirtAddr va : k.pages_of_task_color(t, c0))
+    EXPECT_TRUE(k.migrate_page(va).ok);
+  EXPECT_TRUE(k.pages_of_task_color(t, c0).empty());
+  // Replacements were allocated under the swapped set: all on c1 now.
+  EXPECT_EQ(k.pages_of_task_color(t, c1).size(), kPages);
+  rep = k.check_invariants();
+  EXPECT_TRUE(rep.ok) << rep.detail;
+}
+
+}  // namespace
+}  // namespace tint::os

@@ -135,7 +135,13 @@ TEST_F(RasTortureTest, FaultStormOnLiveColoredHeaps) {
   threads[kWorkers].join();
   threads[kWorkers + 1].join();
 
-  // The storm must have actually exercised the subsystem.
+  // The storm must have actually exercised the subsystem. On an
+  // oversubscribed host the poisoner thread can stay parked for the
+  // workers' whole (short) lifetime and land nothing; make sure the
+  // quarantine holds at least one frame so every accounting assertion
+  // below exercises it as a first-class pool.
+  for (Pfn p = 0; k.poisoned_frames() == 0 && p < topo_.total_pages(); ++p)
+    k.poison_frame(static_cast<Pfn>(p));
   const auto s = k.stats().snapshot();
   EXPECT_GT(s.frames_poisoned, 0u);
   EXPECT_EQ(k.poisoned_frames(), s.frames_poisoned);  // nothing escapes
@@ -220,6 +226,10 @@ TEST_F(RasTortureTest, PoisonRacesRawAllocatorChurn) {
   threads[kWorkers].join();
   threads[kWorkers + 1].join();
 
+  // As in the storm above: guarantee the quarantine is non-empty even
+  // when the poisoners never got scheduled before the churn ended.
+  for (Pfn p = 0; k.poisoned_frames() == 0 && p < topo_.total_pages(); ++p)
+    k.poison_frame(static_cast<Pfn>(p));
   EXPECT_GT(k.poisoned_frames(), 0u);
   const auto rep = k.check_invariants();
   EXPECT_TRUE(rep.ok) << rep.detail;

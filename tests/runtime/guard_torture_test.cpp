@@ -1,0 +1,153 @@
+// Real-thread torture of the ColorGuard: the watchdog runs on its
+// background thread (start/stop) while workers fault, migrate and unmap
+// colored VMAs, a healer forces re-color storms through start_heal, and
+// a chaos thread alternates stop-the-world invariant walks, node
+// offline/online toggles and migration failpoints. The guard must never
+// deadlock against the kernel's lock order (kGuard is the outermost
+// rank), never strand a tenant between two color sets, and leave frame
+// accounting exact. Runs under the TSan preset via the `concurrency`
+// label (ctest -L concurrency).
+#include "runtime/color_guard.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "hw/pci_config.h"
+#include "os/kernel.h"
+#include "sim/memory_system.h"
+#include "util/rng.h"
+
+namespace tint::runtime {
+namespace {
+
+constexpr unsigned kWorkers = 4;
+
+TEST(GuardTortureTest, RecolorStormVsFaultsStwAndHotplug) {
+  const hw::Topology topo = hw::Topology::tiny();
+  const hw::PciConfig pci = hw::PciConfig::program_bios(topo);
+  const hw::AddressMapping map(pci, topo);
+  os::Kernel k(topo, map, {}, 42);
+  // The simulation is idle for the whole storm (nothing advances it), so
+  // the guard's background sampling only ever reads quiescent counters;
+  // heals are forced through start_heal instead of the detector.
+  sim::MemorySystem memsys(topo, map);
+
+  GuardConfig gcfg;
+  gcfg.enabled = true;
+  gcfg.migration_budget = 64;
+  gcfg.cooldown_epochs = 1;
+  gcfg.max_heal_failures = 2;
+  // A single failed allocation anywhere would suppress epochs for good
+  // measure -- leave the defaults; suppression running concurrently with
+  // the node toggles is part of the point.
+  ColorGuard guard(k, memsys, gcfg);
+
+  const uint64_t page = topo.page_bytes();
+  std::vector<os::TaskId> tasks;
+  for (unsigned i = 0; i < kWorkers; ++i) {
+    const os::TaskId t = k.create_task(i % topo.num_cores());
+    const unsigned node = topo.node_of_core(i % topo.num_cores());
+    const unsigned bpn = map.banks_per_node();
+    // Two local banks each, overlapping the neighbour's pair, so forced
+    // heals always have real collisions to chew on.
+    k.mmap(t, map.make_bank_color(node, (2 * i) % bpn) | os::SET_MEM_COLOR, 0,
+           os::PROT_COLOR_ALLOC);
+    k.mmap(t,
+           map.make_bank_color(node, (2 * i + 1) % bpn) | os::SET_MEM_COLOR,
+           0, os::PROT_COLOR_ALLOC);
+    tasks.push_back(t);
+  }
+
+  guard.start(std::chrono::milliseconds(1));
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (unsigned ti = 0; ti < kWorkers; ++ti) {
+    threads.emplace_back([&, ti] {
+      const os::TaskId task = tasks[ti];
+      Rng rng(4200 + ti);
+      for (unsigned iter = 0; iter < 10; ++iter) {
+        const uint64_t pages = 8 + rng.next_below(16);
+        const os::VirtAddr base = k.mmap(task, 0, pages * page, 0);
+        ASSERT_NE(base, os::kMmapFailed);
+        for (unsigned round = 0; round < 4; ++round) {
+          for (uint64_t p = 0; p < pages; ++p)
+            k.touch(task, base + p * page, rng.next_bool(0.5));
+          // Worker-side migrations race the guard's heal migrations on
+          // the same VMAs; kMigrationRace on either side is the benign
+          // outcome.
+          k.migrate_page(base + rng.next_below(pages) * page);
+        }
+        ASSERT_TRUE(k.munmap(task, base, pages * page));
+      }
+    });
+  }
+  threads.emplace_back([&] {  // healer: forced re-color storm
+    Rng rng(77);
+    while (!stop.load(std::memory_order_acquire)) {
+      const os::TaskId t = tasks[rng.next_below(kWorkers)];
+      const auto colors = k.task(t).mem_color_list();
+      if (!colors.empty())
+        guard.start_heal(t, colors[rng.next_below(colors.size())]);
+      guard.tenant_phase(t);  // concurrent observer
+      std::this_thread::yield();
+    }
+  });
+  threads.emplace_back([&] {  // chaos: STW walks, hotplug, failpoints
+    Rng rng(99);
+    while (!stop.load(std::memory_order_acquire)) {
+      switch (rng.next_below(4)) {
+        case 0: {
+          const auto rep = k.check_invariants(0, /*stop_the_world=*/true);
+          ASSERT_TRUE(rep.ok) << rep.detail;
+          break;
+        }
+        case 1:
+          k.set_node_online(1, false);
+          std::this_thread::yield();
+          k.set_node_online(1, true);
+          break;
+        case 2:
+          k.failpoints().arm(os::FailPoint::kMigrateTarget,
+                             os::FailSpec::probability(0.3));
+          std::this_thread::yield();
+          k.failpoints().disarm(os::FailPoint::kMigrateTarget);
+          break;
+        default:
+          k.scrub();
+          break;
+      }
+    }
+  });
+
+  for (unsigned ti = 0; ti < kWorkers; ++ti) threads[ti].join();
+  stop.store(true, std::memory_order_release);
+  threads[kWorkers].join();
+  threads[kWorkers + 1].join();
+  guard.stop();
+  k.failpoints().disarm_all();
+  k.set_node_online(1, true);
+
+  // No tenant is stranded mid-swap: every surviving colored mapping's
+  // bank color is in its owner's *current* set.
+  for (const auto& [vpn, pfn] : k.page_table().mappings()) {
+    const os::PageInfo& pi = k.pages()[pfn];
+    if (pi.colored_alloc && pi.owner != os::kNoTask)
+      EXPECT_TRUE(k.task(pi.owner).has_mem_color(pi.bank_color)) << vpn;
+  }
+  // Guard-internal books are consistent with themselves.
+  const auto gs = guard.stats().snapshot();
+  EXPECT_GE(gs.heals_started, gs.heals_completed + gs.rollbacks);
+  EXPECT_GT(gs.epochs_run, 0u);
+
+  // Frame conservation holds after the storm.
+  const auto rep = k.check_invariants();
+  EXPECT_TRUE(rep.ok) << rep.detail;
+}
+
+}  // namespace
+}  // namespace tint::runtime
