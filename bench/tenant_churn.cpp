@@ -1,0 +1,131 @@
+// Colo-scale tenant churn bench: thousands of short-lived tenants
+// admitted, placed, touched and reaped through the AdmissionController,
+// clean vs. under chaos (buddy/migration failpoints, a sick DIMM, the
+// ColorGuard healing on its background thread). Two questions:
+//   * what does tenant lifecycle cost? -- items/s is admit->touch->reap
+//     lifetimes per second, per class admission counts alongside;
+//   * what do the classes actually get? -- per-class p50/p99 touch
+//     latency (simulated cycles) and isolation-violation counts are
+//     first-class counters, so `--json` runs can be diffed for SLO
+//     regressions, not just throughput.
+// Every iteration ends with a stop-the-world check_invariants() walk and
+// aborts the bench on a single unaccounted frame.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench/common.h"
+#include "hw/pci_config.h"
+#include "runtime/admission.h"
+#include "runtime/churn.h"
+#include "runtime/color_guard.h"
+#include "sim/dram_fault.h"
+
+using namespace tint;
+
+namespace {
+
+void BM_TenantChurn(benchmark::State& state) {
+  const bool chaos = state.range(0) != 0;
+  const auto topo = hw::Topology::tiny();
+  const auto pci = hw::PciConfig::program_bios(topo);
+  const hw::AddressMapping map(pci, topo);
+  const uint64_t lifetimes = std::max<uint64_t>(
+      400, static_cast<uint64_t>(2000 * bench::env_scale()));
+
+  uint64_t total_lifetimes = 0;
+  double admitted = 0, rejected = 0, downgraded = 0, touch_errors = 0;
+  runtime::SloReport last_slo{};
+  for (auto _ : state) {
+    state.PauseTiming();
+    os::KernelConfig kcfg;
+    if (chaos) {
+      kcfg.failpoints.emplace_back(os::FailPoint::kBuddyAlloc,
+                                   os::FailSpec::probability(0.01));
+      kcfg.failpoints.emplace_back(os::FailPoint::kMigrateTarget,
+                                   os::FailSpec::probability(0.05));
+    }
+    os::Kernel kernel(topo, map, kcfg, /*seed=*/7);
+    sim::MemorySystem memsys(topo, map);
+    sim::DramFaultModel faults(map);
+    if (chaos) {
+      kernel.attach_fault_model(&faults);
+      sim::DramFaultRegion flaky;
+      flaky.node = 0;
+      flaky.bank = 2;
+      flaky.severity = sim::FrameHealth::kFlaky;
+      faults.inject(flaky);
+    }
+    runtime::GuardConfig gcfg;
+    gcfg.enabled = chaos;
+    gcfg.migration_budget = 64;
+    gcfg.cooldown_epochs = 1;
+    runtime::ColorGuard guard(kernel, memsys, gcfg);
+    runtime::AdmissionConfig acfg;
+    acfg.guaranteed = {3, 2};
+    acfg.burstable = {2, 1};
+    runtime::AdmissionController adm(kernel, memsys, acfg);
+    adm.bind_guard(&guard);
+    runtime::ChurnConfig ccfg;
+    ccfg.lifetimes = lifetimes;
+    ccfg.threads = 2;
+    ccfg.concurrency = 6;
+    runtime::ChurnEngine churn(kernel, adm, ccfg);
+    if (chaos) guard.start(std::chrono::milliseconds(1));
+    state.ResumeTiming();
+
+    const runtime::ChurnResult r = churn.run();
+
+    state.PauseTiming();
+    if (chaos) guard.stop();
+    total_lifetimes += r.lifetimes;
+    admitted += static_cast<double>(r.admitted);
+    rejected += static_cast<double>(r.rejected);
+    downgraded += static_cast<double>(r.downgraded);
+    touch_errors += static_cast<double>(r.touch_errors);
+    last_slo = adm.report();
+    if (!last_slo.ladder_conserved) {
+      state.SkipWithError("per-class ladder counters do not conserve");
+      return;
+    }
+    const auto rep = kernel.check_invariants(0, /*stop_the_world=*/true);
+    if (!rep.ok) {
+      state.SkipWithError(rep.detail.c_str());
+      return;
+    }
+    if (rep.mapped != 0 || rep.magazine_cached != 0 || rep.loose != 0) {
+      state.SkipWithError("tenant teardown leaked frames");
+      return;
+    }
+    state.ResumeTiming();
+  }
+
+  const double iters = static_cast<double>(state.iterations());
+  state.counters["admitted"] = admitted / iters;
+  state.counters["rejected"] = rejected / iters;
+  state.counters["downgraded"] = downgraded / iters;
+  state.counters["touch_errors"] = touch_errors / iters;
+  // Per-class SLO output (last iteration's rollup): the numbers a colo
+  // operator would alert on.
+  static constexpr const char* kClass[] = {"guaranteed", "burstable",
+                                           "best_effort"};
+  for (unsigned c = 0; c < runtime::kNumTenantClasses; ++c) {
+    const runtime::ClassSlo& slo = last_slo.cls[c];
+    state.counters[std::string(kClass[c]) + "_p50_cycles"] = slo.p50_latency;
+    state.counters[std::string(kClass[c]) + "_p99_cycles"] = slo.p99_latency;
+    state.counters[std::string(kClass[c]) + "_violations"] =
+        static_cast<double>(slo.isolation_violations);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(total_lifetimes));
+}
+BENCHMARK(BM_TenantChurn)
+    ->ArgName("chaos")
+    ->Arg(0)  // clean machine: pure lifecycle cost, zero violations
+    ->Arg(1)  // failpoints + sick DIMM + live guard
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  return tint::bench::run_gbench_main(argc, argv);
+}

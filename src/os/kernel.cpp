@@ -128,6 +128,9 @@ void Kernel::exit_task(TaskId id) {
   // never observe that window as loose frames.
   std::shared_lock mm(mm_lock_);
   Task& t = tasks_.at(id);
+  // Dead first: control-plane observers (ColorGuard, admission) that
+  // probe task_alive() stop acting on the id from this point on.
+  t.set_alive(false);
   const std::vector<Pfn> frames = t.magazine().drain_all();
   uint64_t to_buddy = 0;
   for (const Pfn pfn : frames) {
@@ -148,6 +151,56 @@ void Kernel::exit_task(TaskId id) {
   if (to_buddy > 0)
     stats_.offline_drained_pages.fetch_add(to_buddy,
                                            std::memory_order_relaxed);
+}
+
+Kernel::ReapReport Kernel::reap_task(TaskId id) {
+  ReapReport rep;
+  Task& t = tasks_.at(id);
+  rep.was_alive = t.alive();
+  // 1. Mark dead before touching any resource: a ColorGuard epoch that
+  //    sampled this id before we got here skips it instead of healing a
+  //    corpse, and the admission layer stops counting its colors as
+  //    claimed.
+  t.set_alive(false);
+
+  // 2. Release every VMA the task created. The bases are collected under
+  //    a shared hold and unmapped one by one through the public munmap
+  //    path (exclusive per call), which drains the tenant's in-flight
+  //    faults -- a tenant that "died" mid-fault cannot leak the frame the
+  //    fault was installing, because the fault either completed before
+  //    munmap took the lock (frame freed here) or lost the VMA lookup.
+  //    New VMAs cannot appear in between: the task is dead and mmap is
+  //    only called by the tenant's own (stopped) driver.
+  std::vector<std::pair<VirtAddr, uint64_t>> doomed;
+  {
+    std::shared_lock mm(mm_lock_);
+    for (const auto& [base, vma] : vmas_)
+      if (vma.creator == id) doomed.emplace_back(base, vma.length);
+  }
+  for (const auto& [base, len] : doomed)
+    if (munmap(id, base, len)) ++rep.vmas_unmapped;
+
+  // 3. Drain the magazine (idempotent; also re-marks dead, harmless).
+  const uint64_t drains_before =
+      stats_.magazine_drains.load(std::memory_order_relaxed);
+  exit_task(id);
+  rep.magazine_drained =
+      stats_.magazine_drains.load(std::memory_order_relaxed) - drains_before;
+
+  // 4. Clear the TCB colors so any scan over task color sets observes
+  //    them released. Shared mm hold like the color-control mmap path:
+  //    the clear itself publishes atomically, but a magazine refill
+  //    racing between drain and clear must stay excluded from the
+  //    stop-the-world walk's window.
+  {
+    std::shared_lock mm(mm_lock_);
+    const Task::ColorSet& cs = t.colors();
+    rep.colors_cleared =
+        static_cast<unsigned>(cs.mem_list.size() + cs.llc_list.size());
+    if (rep.colors_cleared > 0) t.clear_all_colors();
+    drain_magazine_to_colors(t);
+  }
+  return rep;
 }
 
 VirtAddr Kernel::mmap(TaskId task_id, uint64_t addr_or_color, uint64_t length,

@@ -268,10 +268,38 @@ class Kernel {
   Task& task(TaskId id) { return tasks_.at(id); }
   const Task& task(TaskId id) const { return tasks_.at(id); }
   size_t num_tasks() const { return tasks_.size(); }
-  // Task-exit hook: drains the task's page magazine back to the shared
-  // pools (the Task object itself lives for the kernel's lifetime, so
-  // only the cached frames need returning). Idempotent.
+  // Task-exit hook: marks the task dead (control-plane observers like
+  // the ColorGuard and the admission controller skip dead tenants) and
+  // drains its page magazine back to the shared pools (the Task object
+  // itself lives for the kernel's lifetime, so only the cached frames
+  // need returning). Idempotent. Does NOT release the task's VMAs or
+  // colors -- callers that own the whole tenant lifecycle use
+  // reap_task() instead.
   void exit_task(TaskId id);
+  // Liveness of a stored TaskId. Unknown / never-created ids report
+  // dead rather than aborting, so observers may probe ids cached across
+  // a teardown window.
+  bool task_alive(TaskId id) const {
+    return id < tasks_.size() && tasks_.at(id).alive();
+  }
+
+  // Crash-consistent tenant teardown: the full exit path a colo-scale
+  // lifecycle needs, safe to run while the tenant is mid-fault (the
+  // per-VMA munmap's exclusive mm hold drains in-flight faults first)
+  // or mid-heal (the task is marked dead *first*, so the ColorGuard
+  // cancels instead of migrating a corpse; any migration already in
+  // flight resolves through the usual kMigrationRace/kInvalidArgument
+  // envelope). Order: mark dead -> unmap every VMA the task created
+  // (freeing its frames) -> drain its magazine -> clear its colors (so
+  // a free-color scan over TCBs sees them released). Idempotent; a
+  // second reap finds nothing to release.
+  struct ReapReport {
+    bool was_alive = false;        // false on a repeated reap
+    uint64_t vmas_unmapped = 0;    // VMAs this call released
+    uint64_t magazine_drained = 0; // cached frames returned to the pools
+    unsigned colors_cleared = 0;   // bank + LLC colors dropped from the TCB
+  };
+  ReapReport reap_task(TaskId id);
 
   // --- system calls ---
   // See file comment for the color-control encoding. For length > 0,

@@ -108,6 +108,19 @@ class Task {
   unsigned core() const { return core_; }
   unsigned local_node() const { return local_node_; }
 
+  // Lifecycle flag. Task objects live for the kernel's lifetime (the
+  // TaskTable never frees a slot), so "exit" is a state, not a
+  // destruction: exit_task/reap_task clear the flag, and control-plane
+  // observers that cache TaskIds across a time window (the ColorGuard's
+  // sample->heal gap, the admission controller's registry) must check it
+  // before acting on a stored id. The *allocation* path deliberately
+  // does not: a racing fault of an exiting task is resolved by the
+  // teardown's exclusive mm hold, not by this flag.
+  bool alive() const { return alive_.load(std::memory_order_acquire) != 0; }
+  void set_alive(bool alive) {
+    alive_.store(alive ? 1 : 0, std::memory_order_release);
+  }
+
   // --- coloring flags & sets (the TCB payload) ---
   // The current snapshot. Valid for the task's lifetime (superseded
   // snapshots are retained), but a later load may return a newer set.
@@ -179,6 +192,7 @@ class Task {
   // Starts at a per-task phase so tasks sharing a bank pool do not walk
   // the banks in lockstep (which would make them collide persistently).
   std::atomic<uint64_t> combo_cursor_;
+  std::atomic<uint8_t> alive_{1};
   TaskAllocStats stats_;
   PageMagazine magazine_;
 };

@@ -1,0 +1,326 @@
+#include "runtime/admission.h"
+
+#include <algorithm>
+
+#include "sim/controller.h"
+#include "util/stats.h"
+
+namespace tint::runtime {
+
+namespace {
+// Static storage for AdmissionTicket::reason -- tickets outlive the call.
+constexpr const char* kReasonGranted = "granted";
+constexpr const char* kReasonUncolored = "admitted uncolored";
+constexpr const char* kReasonDowngraded = "bank colors exhausted: downgraded";
+constexpr const char* kReasonBanksDry = "bank colors exhausted";
+constexpr const char* kReasonLlcsDry = "llc colors exhausted";
+constexpr const char* kReasonNoNode = "no node online";
+constexpr const char* kReasonGrantFailed = "color grant rejected by kernel";
+}  // namespace
+
+const char* to_string(TenantClass cls) {
+  switch (cls) {
+    case TenantClass::kGuaranteed: return "guaranteed";
+    case TenantClass::kBurstable: return "burstable";
+    case TenantClass::kBestEffort: return "best_effort";
+  }
+  return "?";
+}
+
+AdmissionController::AdmissionController(os::Kernel& kernel,
+                                         const sim::MemorySystem& memsys,
+                                         AdmissionConfig cfg)
+    : kernel_(kernel),
+      memsys_(memsys),
+      topo_(kernel.topology()),
+      cfg_(cfg),
+      rng_(cfg.seed) {
+  const unsigned nodes = topo_.num_nodes();
+  prev_node_accesses_.assign(nodes, 0);
+  node_ewma_.assign(nodes, 0.0);
+  core_cursor_.assign(nodes, 0);
+}
+
+void AdmissionController::observe() {
+  std::lock_guard lk(mu_);
+  for (unsigned node = 0; node < topo_.num_nodes(); ++node) {
+    const sim::MemoryController& mc = memsys_.controller(node);
+    uint64_t total = 0;
+    for (unsigned b = 0; b < mc.num_local_banks(); ++b)
+      total += mc.bank_accesses(b);
+    // Counters reset on MemorySystem::reset(): a reading below the
+    // stored previous re-anchors with an idle delta.
+    const uint64_t delta =
+        total >= prev_node_accesses_[node] ? total - prev_node_accesses_[node]
+                                           : 0;
+    prev_node_accesses_[node] = total;
+    node_ewma_[node] = cfg_.ewma_alpha * static_cast<double>(delta) +
+                       (1.0 - cfg_.ewma_alpha) * node_ewma_[node];
+  }
+}
+
+double AdmissionController::node_headroom(unsigned node) const {
+  std::lock_guard lk(mu_);
+  const double cap = static_cast<double>(cfg_.channel_capacity) *
+                     static_cast<double>(topo_.channels_per_node);
+  if (cap <= 0.0) return 1.0;
+  return std::max(0.0, 1.0 - node_ewma_[node] / cap);
+}
+
+size_t AdmissionController::live_tenants() const {
+  std::lock_guard lk(mu_);
+  return tenants_.size();
+}
+
+std::vector<uint16_t> AdmissionController::free_banks_locked(
+    unsigned node, const std::vector<uint8_t>& used_banks) const {
+  const hw::AddressMapping& map = kernel_.mapping();
+  std::vector<uint16_t> free;
+  for (unsigned i = 0; i < topo_.banks_per_node(); ++i) {
+    const unsigned c = map.make_bank_color(node, i);
+    if (used_banks[c] || kernel_.color_retired(c)) continue;
+    free.push_back(static_cast<uint16_t>(c));
+  }
+  return free;
+}
+
+std::vector<uint8_t> AdmissionController::free_llcs_locked(
+    const std::vector<uint8_t>& used_llcs) const {
+  std::vector<uint8_t> free;
+  for (unsigned c = 0; c < kernel_.mapping().num_llc_colors(); ++c)
+    if (!used_llcs[c]) free.push_back(static_cast<uint8_t>(c));
+  return free;
+}
+
+std::vector<unsigned> AdmissionController::placement_order_locked(
+    const std::vector<uint8_t>& used_banks) const {
+  // Bandwidth-aware placement: score = headroom * (1 + free colors).
+  // Headroom dominates when the palette is roughly balanced -- a node
+  // whose controllers run near the modeled channel capacity stops
+  // receiving tenants even while it still has free colors. Ties break
+  // on the lower node id, keeping placement deterministic.
+  const double cap = static_cast<double>(cfg_.channel_capacity) *
+                     static_cast<double>(topo_.channels_per_node);
+  struct Scored {
+    unsigned node;
+    double score;
+  };
+  std::vector<Scored> scored;
+  for (unsigned node = 0; node < topo_.num_nodes(); ++node) {
+    if (!kernel_.node_online(node)) continue;
+    const double headroom =
+        cap > 0.0 ? std::max(0.0, 1.0 - node_ewma_[node] / cap) : 1.0;
+    const double free =
+        static_cast<double>(free_banks_locked(node, used_banks).size());
+    scored.push_back({node, headroom * (1.0 + free)});
+  }
+  std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+    if (a.score != b.score) return a.score > b.score;
+    return a.node < b.node;
+  });
+  std::vector<unsigned> order;
+  order.reserve(scored.size());
+  for (const Scored& s : scored) order.push_back(s.node);
+  return order;
+}
+
+os::TaskId AdmissionController::spawn_locked(unsigned node) {
+  // Round-robin over the node's cores, so concurrent tenants on one
+  // node spread across its simulated cores.
+  const unsigned cores = topo_.num_cores();
+  unsigned picked = 0, seen = 0;
+  const unsigned want = core_cursor_[node];
+  for (unsigned core = 0; core < cores; ++core) {
+    if (topo_.node_of_core(core) != node) continue;
+    if (seen == want) picked = core;
+    ++seen;
+  }
+  if (seen == 0) picked = 0;  // cannot happen on a well-formed topology
+  else core_cursor_[node] = (want + 1) % seen;
+  return kernel_.create_task(picked);
+}
+
+AdmissionTicket AdmissionController::admit(TenantClass cls) {
+  AdmissionTicket t;
+  {
+    std::lock_guard lk(mu_);
+    t = admit_locked(cls);
+  }
+  // Guard priorities are set outside the registry lock: rank kGuard sits
+  // below kAdmission and must never be acquired while it is held.
+  if (t.admitted && guard_ != nullptr) {
+    unsigned pri = cfg_.priority_best_effort;
+    if (t.granted == TenantClass::kGuaranteed) pri = cfg_.priority_guaranteed;
+    else if (t.granted == TenantClass::kBurstable) pri = cfg_.priority_burstable;
+    guard_->set_tenant_priority(t.task, pri);
+  }
+  return t;
+}
+
+AdmissionTicket AdmissionController::admit_locked(TenantClass cls) {
+  AdmissionTicket ticket;
+  ticket.requested = cls;
+  ticket.granted = cls;
+
+  // One scan of the live tasks yields the claimed palette. Dead tasks
+  // do not pin colors: reap_task clears the TCB claim, and a task that
+  // exited but was not reaped yet is skipped via task_alive. Scanning
+  // the kernel (not our registry) also counts colors claimed outside
+  // this controller -- manual Session::apply_colors users coexist.
+  const hw::AddressMapping& map = kernel_.mapping();
+  std::vector<uint8_t> used_banks(map.num_bank_colors(), 0);
+  std::vector<uint8_t> used_llcs(map.num_llc_colors(), 0);
+  for (os::TaskId id = 0; id < kernel_.num_tasks(); ++id) {
+    if (!kernel_.task_alive(id)) continue;
+    const os::Task::ColorSet& cs = kernel_.task(id).colors();
+    for (const uint16_t c : cs.mem_list) used_banks[c] = 1;
+    for (const uint8_t c : cs.llc_list) used_llcs[c] = 1;
+  }
+
+  const std::vector<unsigned> order = placement_order_locked(used_banks);
+  if (order.empty()) {
+    ticket.reason = kReasonNoNode;
+    accum_[static_cast<unsigned>(cls)].slo.rejected++;
+    return ticket;
+  }
+
+  const auto grant = [&](unsigned node, std::vector<uint16_t> banks,
+                         std::vector<uint8_t> llcs,
+                         const char* reason) -> AdmissionTicket& {
+    ticket.task = spawn_locked(node);
+    if (!banks.empty() || !llcs.empty()) {
+      if (!kernel_.recolor_task(ticket.task, {}, banks, {}, llcs)) {
+        // The kernel refused the claim (e.g. a color retired between the
+        // scan and the swap). Reap the fresh task; reject cleanly.
+        kernel_.reap_task(ticket.task);
+        ticket.reason = kReasonGrantFailed;
+        accum_[static_cast<unsigned>(cls)].slo.rejected++;
+        return ticket;
+      }
+    }
+    ticket.admitted = true;
+    ticket.node = node;
+    ticket.banks = std::move(banks);
+    ticket.llcs = std::move(llcs);
+    ticket.reason = reason;
+    tenants_[ticket.task] =
+        Tenant{ticket.requested, ticket.granted, node, !ticket.banks.empty()};
+    accum_[static_cast<unsigned>(ticket.granted)].slo.admitted++;
+    if (ticket.downgraded)
+      accum_[static_cast<unsigned>(ticket.requested)].slo.downgraded_away++;
+    return ticket;
+  };
+
+  switch (cls) {
+    case TenantClass::kGuaranteed: {
+      const std::vector<uint8_t> llcs_all = free_llcs_locked(used_llcs);
+      if (llcs_all.size() < cfg_.guaranteed.llcs) {
+        ticket.reason = kReasonLlcsDry;
+        accum_[static_cast<unsigned>(cls)].slo.rejected++;
+        return ticket;
+      }
+      for (const unsigned node : order) {
+        std::vector<uint16_t> banks = free_banks_locked(node, used_banks);
+        if (banks.size() < cfg_.guaranteed.banks) continue;
+        banks.resize(cfg_.guaranteed.banks);
+        std::vector<uint8_t> llcs(llcs_all.begin(),
+                                  llcs_all.begin() + cfg_.guaranteed.llcs);
+        return grant(node, std::move(banks), std::move(llcs), kReasonGranted);
+      }
+      // No single node can honor the full budget: reject, never split a
+      // guaranteed tenant across nodes or hand it a partial palette.
+      ticket.reason = kReasonBanksDry;
+      accum_[static_cast<unsigned>(cls)].slo.rejected++;
+      return ticket;
+    }
+    case TenantClass::kBurstable: {
+      for (const unsigned node : order) {
+        std::vector<uint16_t> banks = free_banks_locked(node, used_banks);
+        if (banks.empty()) continue;
+        if (banks.size() > cfg_.burstable.banks)
+          banks.resize(cfg_.burstable.banks);
+        std::vector<uint8_t> llcs = free_llcs_locked(used_llcs);
+        if (llcs.size() > cfg_.burstable.llcs) llcs.resize(cfg_.burstable.llcs);
+        return grant(node, std::move(banks), std::move(llcs), kReasonGranted);
+      }
+      if (!cfg_.allow_downgrade) {
+        ticket.reason = kReasonBanksDry;
+        accum_[static_cast<unsigned>(cls)].slo.rejected++;
+        return ticket;
+      }
+      ticket.granted = TenantClass::kBestEffort;
+      ticket.downgraded = true;
+      return grant(order.front(), {}, {}, kReasonDowngraded);
+    }
+    case TenantClass::kBestEffort:
+      return grant(order.front(), {}, {}, kReasonUncolored);
+  }
+  return ticket;  // unreachable
+}
+
+AdmissionController::TeardownReport AdmissionController::teardown(
+    os::TaskId task, std::span<const double> latency_samples) {
+  TeardownReport rep;
+  {
+    std::lock_guard lk(mu_);
+    const auto it = tenants_.find(task);
+    if (it == tenants_.end()) return rep;
+    const Tenant tenant = it->second;
+    tenants_.erase(it);
+    rep.known = true;
+
+    // The tenant was created by admit(), so its lifetime totals are its
+    // alloc-stats snapshot -- fold them into the class SLO before the
+    // reap (the Task object itself outlives this, but the rollup
+    // belongs to the moment of departure).
+    const os::TaskAllocStats::Snapshot s =
+        kernel_.task(task).alloc_stats().snapshot();
+    ClassAccum& acc = accum_[static_cast<unsigned>(tenant.granted)];
+    acc.slo.completed++;
+    acc.slo.page_faults += s.page_faults;
+    acc.slo.colored_pages += s.colored_pages;
+    acc.slo.default_pages += s.default_pages;
+    acc.slo.widened_pages += s.widened_pages;
+    acc.slo.scavenged_pages += s.scavenged_pages;
+    acc.slo.failed_allocs += s.failed_allocs;
+    if (tenant.colored) acc.slo.isolation_violations += s.fallback_pages;
+
+    // Algorithm-R reservoir keeps the latency rollup O(1) per tenant.
+    for (const double x : latency_samples) {
+      const uint64_t seen = acc.slo.latency_samples++;
+      if (acc.reservoir.size() < cfg_.latency_reservoir) {
+        acc.reservoir.push_back(x);
+      } else {
+        const uint64_t j = rng_.next_below(seen + 1);
+        if (j < acc.reservoir.size()) acc.reservoir[j] = x;
+      }
+    }
+
+    // Crash-consistent departure: dead-first, then VMAs, magazine and
+    // color claims -- all inside the registry lock so a concurrent
+    // admit never sees a half-released palette as claimed.
+    rep.reap = kernel_.reap_task(task);
+  }
+  if (guard_ != nullptr) guard_->set_tenant_priority(task, 0);
+  return rep;
+}
+
+SloReport AdmissionController::report() const {
+  std::lock_guard lk(mu_);
+  SloReport rep;
+  for (unsigned c = 0; c < kNumTenantClasses; ++c) {
+    rep.cls[c] = accum_[c].slo;
+    std::vector<double> sorted = accum_[c].reservoir;
+    if (!sorted.empty()) {
+      std::sort(sorted.begin(), sorted.end());
+      rep.cls[c].p50_latency = tint::percentile(sorted, 50);
+      rep.cls[c].p99_latency = tint::percentile(sorted, 99);
+    }
+    if (rep.cls[c].page_faults !=
+        rep.cls[c].colored_pages + rep.cls[c].default_pages)
+      rep.ladder_conserved = false;
+  }
+  return rep;
+}
+
+}  // namespace tint::runtime

@@ -18,6 +18,8 @@ ColorGuard::ColorGuard(os::Kernel& kernel, const sim::MemorySystem& memsys,
   prev_bank_accesses_.assign(nb, 0);
   prev_bank_conflicts_.assign(nb, 0);
   prev_llc_cross_.assign(nl, 0);
+  prev_core_dram_.assign(kernel.topology().num_cores(), 0);
+  core_dram_delta_.assign(kernel.topology().num_cores(), 0);
   prev_kernel_ = kernel_.stats().snapshot();
   bank_ewma_ = std::make_unique<std::atomic<double>[]>(nb);
   bank_hot_ = std::make_unique<std::atomic<uint8_t>[]>(nb);
@@ -58,6 +60,15 @@ void ColorGuard::run_epoch() {
 
 void ColorGuard::sample_locked() {
   const hw::Topology& topo = memsys_.topology();
+  // Per-core DRAM traffic deltas (cheapest-victim cost input). A reading
+  // below the stored previous means MemorySystem::reset() ran; treat the
+  // epoch as idle and re-anchor, like the bank counters below.
+  for (unsigned core = 0; core < topo.num_cores(); ++core) {
+    const uint64_t acc = memsys_.core_stats(core).dram_accesses;
+    core_dram_delta_[core] =
+        acc >= prev_core_dram_[core] ? acc - prev_core_dram_[core] : 0;
+    prev_core_dram_[core] = acc;
+  }
   for (unsigned node = 0; node < topo.num_nodes(); ++node) {
     const sim::MemoryController& mc = memsys_.controller(node);
     const unsigned locals = mc.num_local_banks();
@@ -172,8 +183,20 @@ void ColorGuard::heal_locked(uint64_t epoch, unsigned& budget) {
     TenantState& st = tenants_[id];
     if (st.phase == TenantPhase::kCooldown && epoch >= st.cooldown_until)
       st.phase = TenantPhase::kIdle;
-    if (st.phase == TenantPhase::kMigrating)
+    if (st.phase == TenantPhase::kMigrating) {
+      if (!kernel_.task_alive(id)) {
+        // The tenant exited mid-heal (reap_task already released its
+        // pages). Cancel instead of migrating a corpse; keep the
+        // priority across the reset (it belongs to the slot's owner,
+        // and a dead slot is never consulted).
+        const unsigned pri = st.priority;
+        st = TenantState{};
+        st.priority = pri;
+        stats_.stale_tenant_skips.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
       advance_locked(id, st, budget, epoch);
+    }
   }
   if (!budget) return;
 
@@ -196,30 +219,85 @@ void ColorGuard::heal_locked(uint64_t epoch, unsigned& budget) {
     // A bank runs hot for two reasons: several tenants claimed the same
     // color (the collision the guard exists for), or one tenant's own
     // streams conflict with themselves (re-coloring cannot help -- the
-    // traffic follows the tenant). Only heal collisions: >= 2 holders.
-    // The *newest* holder moves -- the earlier tenant keeps the layout
-    // it was promised.
+    // traffic follows the tenant). Only heal collisions: >= 2 *live*
+    // holders. A tenant that exited between the sample and this step is
+    // skipped and counted -- its colors are mid-release and its TaskId
+    // must never be healed.
     std::vector<os::TaskId> holders;
-    for (os::TaskId id = 0; id < kernel_.num_tasks(); ++id)
-      if (kernel_.task(id).has_mem_color(color)) holders.push_back(id);
+    for (os::TaskId id = 0; id < kernel_.num_tasks(); ++id) {
+      if (!kernel_.task(id).has_mem_color(color)) continue;
+      if (!kernel_.task_alive(id)) {
+        stats_.stale_tenant_skips.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      holders.push_back(id);
+    }
     if (holders.size() < 2) continue;
-    for (auto it = holders.rbegin(); it != holders.rend(); ++it) {
-      TenantState& st = tenant_locked(*it);
+    for (const os::TaskId victim :
+         order_victims_locked(std::move(holders), color)) {
+      TenantState& st = tenant_locked(victim);
       if (st.phase == TenantPhase::kCooldown) {
         stats_.cooldown_skips.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
       if (st.phase != TenantPhase::kIdle) continue;
-      if (!start_heal_locked(*it, color)) continue;
+      if (!start_heal_locked(victim, color)) continue;
       // Begin migrating immediately with whatever budget the epoch has
       // left -- small collisions heal within a single epoch.
-      advance_locked(*it, tenants_[*it], budget, epoch);
+      advance_locked(victim, tenants_[victim], budget, epoch);
       return;
     }
   }
 }
 
+std::vector<os::TaskId> ColorGuard::order_victims_locked(
+    std::vector<os::TaskId> holders, unsigned color) {
+  if (cfg_.victim_policy == VictimPolicy::kNewest) {
+    // Legacy: newest holder first (the earlier tenant keeps the layout
+    // it was promised).
+    std::sort(holders.begin(), holders.end(),
+              [](os::TaskId a, os::TaskId b) { return a > b; });
+    return holders;
+  }
+  // kCheapest: order by (priority, measured traffic cost, newest).
+  // Cost = resident pages on the hot color, weighted by the DRAM-access
+  // rate of the tenant's core this epoch: moving a tenant with few
+  // resident pages and little live traffic both costs the least
+  // migration work and perturbs the machine the least. Priority
+  // dominates -- the admission layer maps QoS classes onto it so a
+  // best-effort holder always moves before a guaranteed one.
+  struct Scored {
+    os::TaskId id;
+    unsigned priority;
+    double cost;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(holders.size());
+  for (const os::TaskId id : holders) {
+    const size_t resident = kernel_.pages_of_task_color(id, color).size();
+    const uint64_t traffic = core_dram_delta_[kernel_.task(id).core()];
+    scored.push_back({id, tenant_locked(id).priority,
+                      static_cast<double>(resident) *
+                          (1.0 + static_cast<double>(traffic))});
+  }
+  std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+    if (a.priority != b.priority) return a.priority < b.priority;
+    if (a.cost != b.cost) return a.cost < b.cost;
+    return a.id > b.id;  // tie-break: newest moves
+  });
+  std::vector<os::TaskId> out;
+  out.reserve(scored.size());
+  for (const Scored& s : scored) out.push_back(s.id);
+  return out;
+}
+
 bool ColorGuard::start_heal_locked(os::TaskId task, unsigned hot_color) {
+  if (!kernel_.task_alive(task)) {
+    // Covers the public start_heal() path too: a caller holding a stale
+    // TaskId gets a refusal, not a heal of a reaped tenant.
+    stats_.stale_tenant_skips.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   TenantState& st = tenant_locked(task);
   if (st.phase != TenantPhase::kIdle) {
     if (st.phase == TenantPhase::kCooldown)
@@ -245,6 +323,16 @@ bool ColorGuard::start_heal_locked(os::TaskId task, unsigned hot_color) {
 
 void ColorGuard::advance_locked(os::TaskId task, TenantState& st,
                                 unsigned& budget, uint64_t epoch) {
+  if (!kernel_.task_alive(task)) {
+    // Exited since the caller's check (another thread can reap between
+    // statements). Cancel the heal -- never roll back or migrate pages of
+    // a tenant whose teardown owns them now.
+    const unsigned pri = st.priority;
+    st = TenantState{};
+    st.priority = pri;
+    stats_.stale_tenant_skips.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
   if (epoch < st.next_attempt_epoch) return;  // backing off
   // Two passes max per epoch: enumeration shrinks monotonically as
   // migrations land, but concurrent faults can race pages away
@@ -331,6 +419,17 @@ ColorGuard::TenantPhase ColorGuard::tenant_phase(os::TaskId task) const {
   std::lock_guard lk(mu_);
   if (task >= tenants_.size()) return TenantPhase::kIdle;
   return tenants_[task].phase;
+}
+
+void ColorGuard::set_tenant_priority(os::TaskId task, unsigned priority) {
+  std::lock_guard lk(mu_);
+  tenant_locked(task).priority = priority;
+}
+
+unsigned ColorGuard::tenant_priority(os::TaskId task) const {
+  std::lock_guard lk(mu_);
+  if (task >= tenants_.size()) return 0;
+  return tenants_[task].priority;
 }
 
 void ColorGuard::start(std::chrono::milliseconds period) {

@@ -50,11 +50,27 @@
 
 namespace tint::runtime {
 
+// How the guard picks which holder of a collided color moves.
+enum class VictimPolicy : uint8_t {
+  // Move the *cheapest* tenant: order holders by priority (see
+  // set_tenant_priority -- higher-priority tenants move last), then by
+  // measured traffic cost (resident pages on the hot color weighted by
+  // the DRAM-access rate of the tenant's core this epoch), then newest
+  // first as the tie-break. This is the DReAM-style policy: decisions
+  // follow observed counters, not arrival order.
+  kCheapest = 0,
+  // Legacy PR-5 policy: the newest holder moves, unconditionally (the
+  // earlier tenant keeps the layout it was promised).
+  kNewest,
+};
+
 struct GuardConfig {
   // Master switch. Off (the default): run_epoch() samples and updates
   // the EWMAs but never touches a task -- the determinism goldens pin
   // this. Healing requires an explicit opt-in.
   bool enabled = false;
+  // Victim selection for collision heals.
+  VictimPolicy victim_policy = VictimPolicy::kCheapest;
   // EWMA smoothing factor for the per-color conflict rate (0..1; higher
   // = reacts faster, forgets faster).
   double ewma_alpha = 0.4;
@@ -97,6 +113,9 @@ struct GuardStats {
   std::atomic<uint64_t> rollbacks{0};            // heals undone
   std::atomic<uint64_t> rollback_pages{0};       // pages migrated back
   std::atomic<uint64_t> cooldown_skips{0};       // heals damped by cooldown
+  // Stored TaskIds whose tenant exited between the sample and the heal
+  // step: skipped (and in-flight heals cancelled), never dereferenced.
+  std::atomic<uint64_t> stale_tenant_skips{0};
 
   struct Snapshot {
     uint64_t epochs_run = 0;
@@ -110,6 +129,7 @@ struct GuardStats {
     uint64_t rollbacks = 0;
     uint64_t rollback_pages = 0;
     uint64_t cooldown_skips = 0;
+    uint64_t stale_tenant_skips = 0;
   };
   Snapshot snapshot() const {
     const auto ld = [](const std::atomic<uint64_t>& a) {
@@ -120,7 +140,7 @@ struct GuardStats {
             ld(heals_completed),  ld(pages_recolored),
             ld(migrations_failed), ld(migration_retries),
             ld(rollbacks),        ld(rollback_pages),
-            ld(cooldown_skips)};
+            ld(cooldown_skips),   ld(stale_tenant_skips)};
   }
 };
 
@@ -172,6 +192,15 @@ class ColorGuard {
   enum class TenantPhase { kIdle, kMigrating, kCooldown };
   TenantPhase tenant_phase(os::TaskId task) const;
 
+  // Per-tenant heal priority for the kCheapest victim policy: when a
+  // collision must be broken, lower-priority holders move first, and a
+  // higher-priority tenant moves only when every lower holder is
+  // ineligible (cooling, mid-heal, dead). The admission controller sets
+  // this from the tenant's QoS class; unset tenants default to 0. Safe
+  // from any thread.
+  void set_tenant_priority(os::TaskId task, unsigned priority);
+  unsigned tenant_priority(os::TaskId task) const;
+
  private:
   struct TenantState {
     TenantPhase phase = TenantPhase::kIdle;
@@ -180,11 +209,16 @@ class ColorGuard {
     unsigned failures = 0;            // consecutive failed attempts
     uint64_t next_attempt_epoch = 0;  // backoff gate
     uint64_t cooldown_until = 0;
+    unsigned priority = 0;            // kCheapest policy: higher moves later
   };
 
   void sample_locked();
   bool under_pressure_locked();
   void heal_locked(uint64_t epoch, unsigned& budget);
+  // Orders the holders of a collided color so the preferred victim comes
+  // first, per cfg_.victim_policy.
+  std::vector<os::TaskId> order_victims_locked(
+      std::vector<os::TaskId> holders, unsigned color);
   bool start_heal_locked(os::TaskId task, unsigned hot_color);
   void advance_locked(os::TaskId task, TenantState& st, unsigned& budget,
                       uint64_t epoch);
@@ -209,6 +243,10 @@ class ColorGuard {
   std::vector<uint64_t> prev_bank_accesses_;
   std::vector<uint64_t> prev_bank_conflicts_;
   std::vector<uint64_t> prev_llc_cross_;  // per LLC color
+  // Per-core DRAM-access deltas this epoch: the measured traffic the
+  // kCheapest victim policy weighs a tenant's resident pages by.
+  std::vector<uint64_t> prev_core_dram_;
+  std::vector<uint64_t> core_dram_delta_;
   os::KernelStats::Snapshot prev_kernel_;
   std::vector<TenantState> tenants_;  // indexed by TaskId, grown on demand
   // Atomic mirrors so observers (tests, the demo's printout) read the

@@ -102,6 +102,11 @@ TEST(RecolorHealTest, GuardHealsInjectedCollisionWithoutRestart) {
   HealRig rig;
   os::Kernel& kernel = rig.session.kernel();
   ColorGuard guard(kernel, rig.session.memsys(), HealRig::guard_config());
+  // The service is the promised (guaranteed-class) tenant: under the
+  // measured-cheapest victim policy its priority pins it in place, so
+  // every heal must move the intruder -- which is what this scenario
+  // asserts. This mirrors what AdmissionController::bind_guard does.
+  guard.set_tenant_priority(rig.service, 2);
 
   constexpr unsigned kEpochBudget = 14;
   hw::Cycles clock = 0;
@@ -143,6 +148,7 @@ TEST(RecolorHealTest, ForcedMigrationFailuresConvergeOrRollBackCleanly) {
   HealRig rig;
   os::Kernel& kernel = rig.session.kernel();
   ColorGuard guard(kernel, rig.session.memsys(), HealRig::guard_config());
+  guard.set_tenant_priority(rig.service, 2);
 
   // Every third replacement allocation fails: each heal limps through
   // backoff; a tenant that burns its allowance must roll back to a

@@ -1,7 +1,10 @@
 // Unit tests for the ColorGuard watchdog (runtime/color_guard.h):
 // detector hysteresis, the manual heal path, migration budgets, backoff
-// and rollback after hard failures, pressure suppression, and the
-// collision rules (>= 2 holders, newest moves). Everything here drives
+// and rollback after hard failures, pressure suppression, the collision
+// rules (>= 2 live holders, victim by policy: measured-cheapest with
+// priority shielding, or legacy newest), and the stale-tenant hardening
+// (a holder that exits between sample and heal is skipped, an in-flight
+// heal of an exiting tenant is cancelled). Everything here drives
 // run_epoch() by hand for determinism; the background-thread mode is
 // exercised by guard_torture_test.cpp, and the end-to-end two-tenant
 // heal by integration/recolor_heal_test.cpp.
@@ -360,6 +363,7 @@ TEST_F(ColorGuardTest, AutoHealMovesTheNewestHolderOfACollision) {
   os::Kernel k = make_kernel();
   GuardConfig cfg;
   cfg.enabled = true;
+  cfg.victim_policy = VictimPolicy::kNewest;  // legacy PR-5 behaviour
   ColorGuard guard(k, memsys_, cfg);
 
   const unsigned c0 = map_.make_bank_color(0, 0);
@@ -380,6 +384,138 @@ TEST_F(ColorGuardTest, AutoHealMovesTheNewestHolderOfACollision) {
   EXPECT_EQ(k.pages_of_task_color(first, c0).size(), 2u);
   EXPECT_EQ(gs.pages_recolored, 3u);  // only the newcomer's pages moved
   const auto rep = k.check_invariants();
+  EXPECT_TRUE(rep.ok) << rep.detail;
+}
+
+TEST_F(ColorGuardTest, CheapestPolicyMovesTheLowTrafficHolderNotTheNewest) {
+  os::Kernel k = make_kernel();
+  GuardConfig cfg;
+  cfg.enabled = true;  // victim_policy defaults to kCheapest
+  ColorGuard guard(k, memsys_, cfg);
+
+  const unsigned c0 = map_.make_bank_color(0, 0);
+  // The *older* tenant is the cheap one: 2 resident pages, pinned to
+  // core 1 which sends no DRAM traffic this epoch. The newer tenant has
+  // more resident pages AND sits on core 0, where heat_bank() drives
+  // the storm -- under the legacy policy it would move; under kCheapest
+  // the measured counters say the older tenant is the cheaper eviction.
+  const os::TaskId cheap = k.create_task(1);
+  const os::TaskId expensive = k.create_task(0);
+  claim(k, cheap, c0);
+  claim(k, expensive, c0);
+  touch_pages(k, cheap, 2);
+  touch_pages(k, expensive, 5);
+
+  heat_bank(c0, 200, 0);
+  guard.run_epoch();
+
+  const auto gs = guard.stats().snapshot();
+  EXPECT_EQ(gs.heals_started, 1u);
+  EXPECT_FALSE(k.task(cheap).has_mem_color(c0));
+  EXPECT_TRUE(k.task(expensive).has_mem_color(c0));
+  EXPECT_EQ(k.pages_of_task_color(expensive, c0).size(), 5u);
+  EXPECT_EQ(gs.pages_recolored, 2u);  // only the cheap tenant's pages
+  const auto rep = k.check_invariants();
+  EXPECT_TRUE(rep.ok) << rep.detail;
+}
+
+TEST_F(ColorGuardTest, PriorityShieldsATenantFromCheapestEviction) {
+  os::Kernel k = make_kernel();
+  GuardConfig cfg;
+  cfg.enabled = true;
+  ColorGuard guard(k, memsys_, cfg);
+
+  const unsigned c0 = map_.make_bank_color(0, 0);
+  // By cost alone `shielded` (2 pages, quiet core) would move. Its
+  // priority -- the admission controller's "guaranteed class" marker --
+  // overrides cost, so the heavier low-priority tenant moves instead.
+  const os::TaskId shielded = k.create_task(1);
+  const os::TaskId mover = k.create_task(0);
+  claim(k, shielded, c0);
+  claim(k, mover, c0);
+  touch_pages(k, shielded, 2);
+  touch_pages(k, mover, 5);
+  guard.set_tenant_priority(shielded, 2);
+  EXPECT_EQ(guard.tenant_priority(shielded), 2u);
+  EXPECT_EQ(guard.tenant_priority(mover), 0u);
+
+  heat_bank(c0, 200, 0);
+  guard.run_epoch();
+
+  const auto gs = guard.stats().snapshot();
+  EXPECT_EQ(gs.heals_started, 1u);
+  EXPECT_TRUE(k.task(shielded).has_mem_color(c0));
+  EXPECT_FALSE(k.task(mover).has_mem_color(c0));
+  EXPECT_EQ(gs.pages_recolored, 5u);
+  const auto rep = k.check_invariants();
+  EXPECT_TRUE(rep.ok) << rep.detail;
+}
+
+// --- stale tenants (exit between sample and heal) ---
+
+TEST_F(ColorGuardTest, ExitedHolderIsSkippedAndCountedNeverHealed) {
+  os::Kernel k = make_kernel();
+  GuardConfig cfg;
+  cfg.enabled = true;
+  ColorGuard guard(k, memsys_, cfg);
+
+  const unsigned c0 = map_.make_bank_color(0, 0);
+  const os::TaskId alive_a = k.create_task(0);
+  const os::TaskId alive_b = k.create_task(1);
+  const os::TaskId ghost = k.create_task(2);
+  claim(k, alive_a, c0);
+  claim(k, alive_b, c0);
+  claim(k, ghost, c0);
+  touch_pages(k, alive_a, 2);
+  touch_pages(k, alive_b, 2);
+  touch_pages(k, ghost, 2);
+  // exit_task marks the tenant dead but (unlike reap_task) leaves its
+  // TCB color claim in place: exactly the window the guard must skip.
+  k.exit_task(ghost);
+
+  heat_bank(c0, 200, 0);
+  guard.run_epoch();
+
+  const auto gs = guard.stats().snapshot();
+  EXPECT_GE(gs.stale_tenant_skips, 1u);
+  EXPECT_EQ(gs.heals_started, 1u);  // the two live holders still collide
+  EXPECT_TRUE(k.task(ghost).has_mem_color(c0));  // ghost never touched
+  EXPECT_EQ(guard.tenant_phase(ghost), ColorGuard::TenantPhase::kIdle);
+  const auto rep = k.check_invariants();
+  EXPECT_TRUE(rep.ok) << rep.detail;
+}
+
+TEST_F(ColorGuardTest, TenantExitingMidHealIsCancelledNotMigrated) {
+  os::Kernel k = make_kernel();
+  GuardConfig cfg;
+  cfg.enabled = true;
+  cfg.min_epoch_accesses = ~0ull;
+  ColorGuard guard(k, memsys_, cfg);
+
+  const os::TaskId t = k.create_task(0);
+  const unsigned c0 = map_.make_bank_color(0, 0);
+  claim(k, t, c0);
+  touch_pages(k, t, 4);
+  ASSERT_TRUE(guard.start_heal(t, c0));
+  EXPECT_EQ(guard.tenant_phase(t), ColorGuard::TenantPhase::kMigrating);
+
+  // The tenant departs (crash-consistent reap) while its heal is
+  // mid-flight. The next epoch must cancel -- not migrate, not roll
+  // back, not dereference.
+  k.reap_task(t);
+  guard.run_epoch();
+
+  const auto gs = guard.stats().snapshot();
+  EXPECT_EQ(gs.stale_tenant_skips, 1u);
+  EXPECT_EQ(gs.pages_recolored, 0u);
+  EXPECT_EQ(gs.heals_completed, 0u);
+  EXPECT_EQ(gs.rollbacks, 0u);
+  EXPECT_EQ(guard.tenant_phase(t), ColorGuard::TenantPhase::kIdle);
+
+  // And a stale TaskId handed to the manual path is refused outright.
+  EXPECT_FALSE(guard.start_heal(t, c0));
+  EXPECT_EQ(guard.stats().snapshot().stale_tenant_skips, 2u);
+  const auto rep = k.check_invariants(0, true);
   EXPECT_TRUE(rep.ok) << rep.detail;
 }
 
