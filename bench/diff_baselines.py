@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Diff fresh Google-Benchmark JSON results against committed baselines.
+
+CI perf-smoke runs every bench with --json into a scratch directory and
+then calls this script to compare *named counters* against the
+BENCH_*.json files committed at the repo root. Wall-clock throughput on
+a shared runner is pure noise, so times and items_per_second are never
+compared; the guarded counters are simulation-deterministic costs
+(simulated cycles, heal epochs, isolation violations) that only move
+when the code's behaviour moves.
+
+A counter regresses when it worsens by more than --tolerance (default
+25%) in its bad direction: 'max' counters (costs) fail when the fresh
+value exceeds baseline * (1 + tolerance); 'min' counters (hit rates)
+fail when it falls below baseline * (1 - tolerance). A zero baseline
+cost fails on *any* nonzero fresh value -- an isolation violation
+appearing at all is a regression, not a 25% one.
+
+Exit status: 0 clean, 1 on any regression or a missing/unreadable
+fresh result for a file that has a committed baseline.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# file stem -> {counter name -> bad direction}. Only counters listed
+# here are compared; everything else in the JSON is informational.
+GUARDED = {
+    "BENCH_recolor_latency": {
+        "sim_cycles/page": "max",  # simulated migration cost per page
+        "epochs/heal": "max",      # heal convergence (budget dribble)
+        "pages/heal": "max",       # pages a heal has to move
+    },
+    "BENCH_tenant_churn": {
+        "guaranteed_violations": "max",   # isolation promise, class by class
+        "burstable_violations": "max",
+        "best_effort_violations": "max",
+        "guaranteed_p99_cycles": "max",   # simulated tail latency
+    },
+    "BENCH_concurrent_alloc": {
+        "colored_frac": "min",  # colored-allocation success rate
+    },
+    "BENCH_fastpath_scaling": {
+        "magazine_hit_frac": "min",
+        "tcache_hit_frac": "min",
+    },
+}
+
+
+def load(path):
+    with open(path) as f:
+        return json.load(f)
+
+
+def counters_by_bench(doc):
+    out = {}
+    for b in doc.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = b
+    return out
+
+
+def compare(stem, base_doc, fresh_doc, tolerance):
+    """Returns a list of (bench, counter, base, fresh, verdict) rows and
+    whether any row regressed."""
+    guarded = GUARDED.get(stem, {})
+    rows, regressed = [], False
+    base_benches = counters_by_bench(base_doc)
+    fresh_benches = counters_by_bench(fresh_doc)
+    for name, base_b in sorted(base_benches.items()):
+        fresh_b = fresh_benches.get(name)
+        if fresh_b is None:
+            # A bench that vanished is bit-rot, not a perf regression --
+            # but it silently un-guards its counters, so fail loudly.
+            rows.append((name, "<benchmark missing>", "-", "-", "FAIL"))
+            regressed = True
+            continue
+        for counter, direction in sorted(guarded.items()):
+            if counter not in base_b:
+                continue  # not measured in this cell of the family
+            base_v = float(base_b[counter])
+            if counter not in fresh_b:
+                rows.append((name, counter, base_v, "<missing>", "FAIL"))
+                regressed = True
+                continue
+            fresh_v = float(fresh_b[counter])
+            if direction == "max":
+                bad = fresh_v > base_v * (1.0 + tolerance) if base_v > 0 \
+                    else fresh_v > 0
+            else:
+                bad = fresh_v < base_v * (1.0 - tolerance)
+            rows.append((name, counter, base_v, fresh_v,
+                         "FAIL" if bad else "ok"))
+            regressed |= bad
+    return rows, regressed
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline-dir", default=".",
+                    help="directory with committed BENCH_*.json baselines")
+    ap.add_argument("--fresh-dir", required=True,
+                    help="directory with freshly produced BENCH_*.json")
+    ap.add_argument("--tolerance", type=float, default=0.25,
+                    help="allowed relative worsening (default 0.25 = 25%%)")
+    ap.add_argument("stems", nargs="*", default=[],
+                    help="bench file stems to diff (default: all guarded "
+                         "stems with a committed baseline)")
+    args = ap.parse_args()
+
+    stems = args.stems or [
+        s for s in sorted(GUARDED)
+        if os.path.exists(os.path.join(args.baseline_dir, s + ".json"))
+    ]
+    any_regressed = False
+    for stem in stems:
+        base_path = os.path.join(args.baseline_dir, stem + ".json")
+        fresh_path = os.path.join(args.fresh_dir, stem + ".json")
+        if not os.path.exists(base_path):
+            print(f"{stem}: no committed baseline, skipping")
+            continue
+        if not os.path.exists(fresh_path):
+            print(f"{stem}: FRESH RESULT MISSING ({fresh_path})")
+            any_regressed = True
+            continue
+        rows, regressed = compare(stem, load(base_path), load(fresh_path),
+                                  args.tolerance)
+        any_regressed |= regressed
+        print(f"\n{stem} (tolerance {args.tolerance:.0%}):")
+        if not rows:
+            print("  no guarded counters present")
+        for name, counter, base_v, fresh_v, verdict in rows:
+            print(f"  [{verdict:>4}] {name} :: {counter}: "
+                  f"{base_v} -> {fresh_v}")
+
+    if any_regressed:
+        print("\nFAIL: guarded counters regressed beyond tolerance "
+              "(or results went missing).")
+        return 1
+    print("\nOK: all guarded counters within tolerance.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

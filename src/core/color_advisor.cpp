@@ -154,10 +154,40 @@ std::vector<TaskAdvice> ColorAdvisor::analyze(
 
 TaskAdvice ColorAdvisor::plan_recolor(const os::Kernel& kernel,
                                       os::TaskId task, unsigned hot_color,
-                                      const std::vector<uint8_t>& avoid) const {
+                                      const std::vector<uint8_t>& avoid,
+                                      ColorDim dim) const {
   TaskAdvice advice;
   advice.task = task;
   const os::Task& t = kernel.task(task);
+
+  if (dim == ColorDim::kLlc) {
+    if (!t.has_llc_color(hot_color)) {
+      advice.reason = "task no longer holds the hot LLC color";
+      return advice;
+    }
+    // The LLC palette is machine-global: one claims scan, lowest
+    // unclaimed color wins. No retirement axis (RAS retires banks, not
+    // cache slices) and no node preference (every node sees the LLC).
+    std::vector<unsigned> llc_claims(mapping_.num_llc_colors(), 0);
+    for (os::TaskId id = 0; id < kernel.num_tasks(); ++id)
+      for (const uint8_t c : kernel.task(id).llc_color_list())
+        ++llc_claims[c];
+    for (unsigned c = 0; c < mapping_.num_llc_colors(); ++c) {
+      if (llc_claims[c] != 0) continue;
+      if (c < avoid.size() && avoid[c]) continue;
+      if (t.has_llc_color(c)) continue;
+      advice.kind = TaskAdvice::Kind::kRecolorHot;
+      advice.removals.llc_colors.push_back(static_cast<uint8_t>(hot_color));
+      advice.additions.llc_colors.push_back(static_cast<uint8_t>(c));
+      advice.reason = "llc color " + std::to_string(hot_color) +
+                      " interference-hot; replacing with unclaimed color " +
+                      std::to_string(c);
+      return advice;
+    }
+    advice.reason = "no unclaimed LLC color left to swap in";
+    return advice;
+  }
+
   if (!t.has_mem_color(hot_color)) {
     advice.reason = "task no longer holds the hot color";
     return advice;
@@ -205,6 +235,51 @@ TaskAdvice ColorAdvisor::plan_recolor(const os::Kernel& kernel,
     }
   }
   advice.reason = "no unclaimed healthy bank color left to swap in";
+  return advice;
+}
+
+TaskAdvice ColorAdvisor::plan_shrink(const os::Kernel& kernel, os::TaskId task,
+                                     unsigned drop_count, unsigned floor,
+                                     const std::vector<double>& heat) const {
+  TaskAdvice advice;
+  advice.task = task;
+  const os::Task& t = kernel.task(task);
+  const std::vector<uint16_t> held = t.mem_color_list();
+  if (floor == 0) floor = 1;  // a colored tenant never shrinks to nothing
+  if (held.size() <= floor) {
+    advice.reason = "task already at its color floor";
+    return advice;
+  }
+  const unsigned drop = std::min<unsigned>(
+      drop_count, static_cast<unsigned>(held.size()) - floor);
+  if (drop == 0) {
+    advice.reason = "nothing to drop";
+    return advice;
+  }
+
+  // Coldest colors go first; among equally cold colors the one with the
+  // fewest resident pages costs the least migration work.
+  struct Scored {
+    uint16_t color;
+    double heat;
+    size_t resident;
+  };
+  std::vector<Scored> scored;
+  scored.reserve(held.size());
+  for (const uint16_t c : held)
+    scored.push_back({c, c < heat.size() ? heat[c] : 0.0,
+                      kernel.pages_of_task_color(task, c).size()});
+  std::sort(scored.begin(), scored.end(), [](const Scored& a, const Scored& b) {
+    if (a.heat != b.heat) return a.heat < b.heat;
+    if (a.resident != b.resident) return a.resident < b.resident;
+    return a.color < b.color;
+  });
+  advice.kind = TaskAdvice::Kind::kShrink;
+  for (unsigned i = 0; i < drop; ++i)
+    advice.removals.mem_colors.push_back(scored[i].color);
+  advice.reason = "releasing " + std::to_string(drop) +
+                  " coldest bank color(s); " +
+                  std::to_string(held.size() - drop) + " survive";
   return advice;
 }
 

@@ -22,13 +22,20 @@
 
 namespace tint::core {
 
+// Which color axis a live re-coloring plan operates on.
+enum class ColorDim : uint8_t {
+  kBank = 0,  // per-node bank colors (Eq. 1)
+  kLlc,       // machine-global LLC colors
+};
+
 struct TaskAdvice {
   enum class Kind {
     kOk,              // no action needed
     kWidenBanks,      // add the suggested bank colors (free on local node)
     kShareLlc,        // add LLC colors already used by same-node tasks
     kReplaceRetired,  // drop RAS-retired bank colors, add healthy ones
-    kRecolorHot,      // swap a contention-hot bank color for a quiet one
+    kRecolorHot,      // swap a contention-hot color for a quiet one
+    kShrink,          // release the coldest colors (elastic shrink)
   };
 
   os::TaskId task = os::kNoTask;
@@ -80,9 +87,28 @@ class ColorAdvisor {
   // Unlike the rest of the advisor, this is *not* applied through the
   // mmap protocol: the guard feeds it to Kernel::recolor_task so the
   // swap publishes atomically.
+  //
+  // `dim` selects the color axis. For kLlc the palette is machine-global
+  // (no node preference, no RAS retirement): the replacement is the
+  // lowest LLC color unclaimed by any task and not flagged in `avoid`
+  // (one entry per LLC color -- the guard passes its LLC hot set).
   TaskAdvice plan_recolor(const os::Kernel& kernel, os::TaskId task,
                           unsigned hot_color,
-                          const std::vector<uint8_t>& avoid) const;
+                          const std::vector<uint8_t>& avoid,
+                          ColorDim dim = ColorDim::kBank) const;
+
+  // Elastic shrink advice: pick up to `drop_count` of `task`'s bank
+  // colors to release, coldest first -- `heat` holds one contention
+  // weight per bank color (the guard passes its EWMAs); ties break on
+  // fewest resident pages (the smallest migration bill), then the lower
+  // color id. Never plans below `floor` surviving colors. Returns
+  // kShrink advice with removals only (the survivors absorb the
+  // migrated pages), or kOk when the task is already at or under the
+  // floor. Like plan_recolor this is applied via Kernel::recolor_task,
+  // not the mmap protocol.
+  TaskAdvice plan_shrink(const os::Kernel& kernel, os::TaskId task,
+                         unsigned drop_count, unsigned floor,
+                         const std::vector<double>& heat) const;
 
  private:
   const hw::AddressMapping& mapping_;

@@ -1254,6 +1254,22 @@ std::vector<VirtAddr> Kernel::pages_of_task_color(TaskId task,
   return out;
 }
 
+std::vector<VirtAddr> Kernel::pages_of_task_llc_color(TaskId task,
+                                                      unsigned llc_color,
+                                                      bool colored_only) const {
+  std::vector<VirtAddr> out;
+  std::shared_lock pt(pt_lock_);
+  for (const auto& [vpn, pfn] : page_table_.mappings()) {
+    const PageInfo& pi = pages_[pfn];
+    if (pi.huge) continue;
+    if (pi.owner != task || pi.llc_color != llc_color) continue;
+    if (colored_only && !pi.colored_alloc) continue;
+    out.push_back(static_cast<VirtAddr>(vpn) << topo_.page_bits);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
 Kernel::MigrateResult Kernel::soft_offline_page(VirtAddr va) {
   std::shared_lock mm(mm_lock_);
   // With RAS disabled this degrades to a plain migration (nothing may

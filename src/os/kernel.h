@@ -435,6 +435,12 @@ class Kernel {
   // mappings are skipped (a 2 MB frame spans every color).
   std::vector<VirtAddr> pages_of_task_color(TaskId task, unsigned bank_color,
                                             bool colored_only = true) const;
+  // LLC-dimension analogue: the virtual pages of `task` backed by frames
+  // of `llc_color` (ascending VA). Same colored_only/huge semantics --
+  // this is the set an LLC heal must migrate after an LLC color swap.
+  std::vector<VirtAddr> pages_of_task_llc_color(TaskId task,
+                                                unsigned llc_color,
+                                                bool colored_only = true) const;
 
   // Background scrubber: one stop-the-world sweep (same freeze order as
   // check_invariants) collecting every frame the fault model flags, then

@@ -1,5 +1,6 @@
 #include "runtime/churn.h"
 
+#include <algorithm>
 #include <thread>
 #include <vector>
 
@@ -25,35 +26,23 @@ void ChurnEngine::worker(unsigned index, uint64_t lifetimes,
   tint::Rng rng(tint::mix64(cfg_.seed ^ (0x9e3779b97f4a7c15ULL * (index + 1))));
   const uint64_t page = kernel_.topology().page_bytes();
   std::vector<Live> live;
+  std::vector<uint64_t> pending;  // waitlist ids this worker polls
+  uint64_t step = 0;
 
-  for (uint64_t n = 0; n < lifetimes; ++n) {
-    ++out.lifetimes;
-    if (cfg_.observe_every && n % cfg_.observe_every == 0)
-      admission_.observe();
-
-    // Departure before arrival once the worker is at capacity. The
-    // victim is a uniform draw, not the oldest: real churn is not FIFO,
-    // and random departures interleave short and long lifetimes.
+  // Departure before arrival once the worker is at capacity. The
+  // victim is a uniform draw, not the oldest: real churn is not FIFO,
+  // and random departures interleave short and long lifetimes.
+  const auto make_room = [&] {
     while (live.size() >= cfg_.concurrency) {
       const size_t v = rng.next_below(live.size());
       retire(live[v], out);
       live.erase(live.begin() + static_cast<long>(v));
     }
+  };
 
-    const double draw = rng.next_double();
-    const TenantClass cls =
-        draw < cfg_.pct_guaranteed ? TenantClass::kGuaranteed
-        : draw < cfg_.pct_guaranteed + cfg_.pct_burstable
-            ? TenantClass::kBurstable
-            : TenantClass::kBestEffort;
-    const AdmissionTicket ticket = admission_.admit(cls);
-    if (!ticket.admitted) {
-      ++out.rejected;
-      continue;
-    }
-    ++out.admitted;
-    if (ticket.downgraded) ++out.downgraded;
-
+  // Turn an admitted ticket into a resident tenant: map the working
+  // set, touch it page by page, draw the departure step.
+  const auto materialize = [&](const AdmissionTicket& ticket) {
     Live t;
     t.task = ticket.task;
     t.pages = static_cast<unsigned>(
@@ -64,7 +53,7 @@ void ChurnEngine::worker(unsigned index, uint64_t lifetimes,
       // still through teardown, so the accounting stays conserved.
       ++out.mmap_failures;
       retire(t, out);
-      continue;
+      return;
     }
     out.pages_mapped += t.pages;
     t.latencies.reserve(t.pages);
@@ -81,10 +70,107 @@ void ChurnEngine::worker(unsigned index, uint64_t lifetimes,
       if (r.faulted)
         t.latencies.push_back(static_cast<double>(r.fault_cycles));
     }
+    if (cfg_.lifetime_model == LifetimeModel::kLogNormal) {
+      const double span =
+          rng.next_lognormal(cfg_.lognormal_mu, cfg_.lognormal_sigma);
+      t.expires_at = step + 1 +
+                     static_cast<uint64_t>(std::min(span, 1.0e6));
+    }
     live.push_back(std::move(t));
+  };
+
+  for (uint64_t n = 0; n < lifetimes; ++step) {
+    if (cfg_.observe_every && step % cfg_.observe_every == 0)
+      admission_.observe();
+
+    // Poll parked arrivals first: an earlier departure (ours or another
+    // worker's) may have admitted them from the waitlist.
+    for (size_t i = 0; i < pending.size();) {
+      const AdmissionController::WaitOutcome w = admission_.claim(pending[i]);
+      if (w.state == AdmissionController::WaitOutcome::State::kPending) {
+        ++i;
+        continue;
+      }
+      pending.erase(pending.begin() + static_cast<long>(i));
+      if (w.state == AdmissionController::WaitOutcome::State::kReady) {
+        ++out.wait_admitted;
+        ++out.admitted;
+        if (w.ticket.downgraded) ++out.downgraded;
+        make_room();
+        materialize(w.ticket);
+      } else {
+        ++out.wait_expired;  // deadline passed: a reject, just deferred
+        ++out.rejected;
+      }
+    }
+
+    // Log-normal departures happen on schedule, not only under capacity
+    // pressure -- the tail of long-lived tenants empties out naturally.
+    if (cfg_.lifetime_model == LifetimeModel::kLogNormal) {
+      for (size_t i = 0; i < live.size();) {
+        if (live[i].expires_at <= step) {
+          retire(live[i], out);
+          live.erase(live.begin() + static_cast<long>(i));
+        } else {
+          ++i;
+        }
+      }
+    }
+
+    // Arrivals this step: exactly one (legacy) or a Poisson burst
+    // (possibly zero -- the step still observes, expires and polls).
+    uint64_t arrivals = 1;
+    if (cfg_.arrival_model == ArrivalModel::kPoissonBurst)
+      arrivals = std::min<uint64_t>(
+          rng.next_poisson(cfg_.poisson_burst_mean), lifetimes - n);
+    for (uint64_t a = 0; a < arrivals; ++a) {
+      ++n;
+      ++out.lifetimes;
+      make_room();
+      const double draw = rng.next_double();
+      const TenantClass cls =
+          draw < cfg_.pct_guaranteed ? TenantClass::kGuaranteed
+          : draw < cfg_.pct_guaranteed + cfg_.pct_burstable
+              ? TenantClass::kBurstable
+              : TenantClass::kBestEffort;
+      const AdmissionTicket ticket = admission_.admit(cls);
+      if (ticket.waitlisted) {
+        ++out.waitlisted;
+        pending.push_back(ticket.wait_id);
+        continue;
+      }
+      if (!ticket.admitted) {
+        ++out.rejected;
+        continue;
+      }
+      ++out.admitted;
+      if (ticket.downgraded) ++out.downgraded;
+      materialize(ticket);
+    }
   }
 
+  // Drain: everything resident departs; parked arrivals get one final
+  // poll (our own teardowns may have just admitted them) and whatever
+  // is still queued is cancelled so the controller holds no orphaned
+  // tickets or live tasks for this worker.
   for (Live& t : live) retire(t, out);
+  live.clear();
+  for (const uint64_t id : pending) {
+    const AdmissionController::WaitOutcome w = admission_.claim(id);
+    if (w.state == AdmissionController::WaitOutcome::State::kReady) {
+      ++out.wait_admitted;
+      ++out.admitted;
+      if (w.ticket.downgraded) ++out.downgraded;
+      Live t;
+      t.task = w.ticket.task;
+      retire(t, out);  // admitted at the buzzer: departs immediately
+    } else if (w.state == AdmissionController::WaitOutcome::State::kGone) {
+      ++out.wait_expired;
+      ++out.rejected;
+    } else if (admission_.cancel_wait(id)) {
+      ++out.wait_cancelled;
+    }
+  }
 }
 
 ChurnResult ChurnEngine::run() {
@@ -115,6 +201,10 @@ ChurnResult ChurnEngine::run() {
     total.mmap_failures += p.mmap_failures;
     total.vmas_unmapped += p.vmas_unmapped;
     total.colors_cleared += p.colors_cleared;
+    total.waitlisted += p.waitlisted;
+    total.wait_admitted += p.wait_admitted;
+    total.wait_expired += p.wait_expired;
+    total.wait_cancelled += p.wait_cancelled;
   }
   return total;
 }

@@ -26,6 +26,25 @@
 
 namespace tint::runtime {
 
+// How arrivals are spaced over engine steps. The engine advances in
+// discrete steps; a step is the unit the observe cadence, lifetime
+// expiries and waitlist polling all run on.
+enum class ArrivalModel : uint8_t {
+  kUniform = 0,   // legacy: exactly one arrival per step
+  // Poisson(poisson_burst_mean) arrivals per step: bursty like real
+  // colo traffic -- quiet steps and multi-tenant bursts both happen.
+  kPoissonBurst = 1,
+};
+
+// How long an admitted tenant stays resident.
+enum class LifetimeModel : uint8_t {
+  kUniform = 0,   // legacy: lives until evicted by capacity (random victim)
+  // Departs after ~LogNormal(lognormal_mu, lognormal_sigma) steps: most
+  // tenants are short-lived, a heavy tail lingers -- the mix that makes
+  // palette fragmentation and shrink pressure realistic.
+  kLogNormal = 1,
+};
+
 struct ChurnConfig {
   uint64_t lifetimes = 2000;  // total tenant lifetimes across all workers
   unsigned threads = 4;
@@ -38,10 +57,18 @@ struct ChurnConfig {
   // Class mix of arrivals; the remainder is best-effort.
   double pct_guaranteed = 0.25;
   double pct_burstable = 0.35;
-  // Call AdmissionController::observe() every N lifetimes per worker
-  // (keeps the bandwidth-headroom model warm). 0 disables.
+  // Call AdmissionController::observe() every N steps per worker (keeps
+  // the bandwidth-headroom model warm and, with the elastics on, drives
+  // the palette scan + waitlist retry). 0 disables.
   unsigned observe_every = 8;
   uint64_t seed = 0xc01095eedULL;
+  // Timing realism (defaults reproduce the legacy uniform engine
+  // bit-for-bit: no extra RNG draws happen unless a model is switched).
+  ArrivalModel arrival_model = ArrivalModel::kUniform;
+  double poisson_burst_mean = 1.5;  // arrivals per step under kPoissonBurst
+  LifetimeModel lifetime_model = LifetimeModel::kUniform;
+  double lognormal_mu = 2.0;      // median lifetime ~ e^mu ~ 7 steps
+  double lognormal_sigma = 0.75;  // tail heaviness
 };
 
 struct ChurnResult {
@@ -58,6 +85,13 @@ struct ChurnResult {
   // ledger the soak test audits against check_invariants().
   uint64_t vmas_unmapped = 0;
   uint64_t colors_cleared = 0;
+  // Deadline-aware waitlist outcomes (nonzero only when the bound
+  // AdmissionController runs with cfg.waitlist). wait_admitted also
+  // counts in `admitted`; wait_expired also counts in `rejected`.
+  uint64_t waitlisted = 0;      // arrivals parked with a deadline
+  uint64_t wait_admitted = 0;   // parked arrivals later admitted + claimed
+  uint64_t wait_expired = 0;    // parked arrivals whose deadline passed
+  uint64_t wait_cancelled = 0;  // abandoned at drain (engine shutdown)
 };
 
 class ChurnEngine {
@@ -73,9 +107,10 @@ class ChurnEngine {
 
  private:
   struct Live {
-    os::TaskId task;
-    os::VirtAddr base;
-    unsigned pages;
+    os::TaskId task = 0;
+    os::VirtAddr base = 0;
+    unsigned pages = 0;
+    uint64_t expires_at = 0;  // step of departure (kLogNormal only)
     std::vector<double> latencies;  // successful touch cycles
   };
   void worker(unsigned index, uint64_t lifetimes, ChurnResult& out);

@@ -104,8 +104,9 @@ void ColorGuard::sample_locked() {
   }
 
   // LLC colors: each color's share of the cross-requester evictions this
-  // epoch (a color soaking up most of the thrash is "hot"). Observe-only
-  // for now, but fed into the avoid-set of bank heals.
+  // epoch (a color soaking up most of the thrash is "hot"). Hot LLC
+  // colors are healed like banks when cfg_.heal_llc, and always feed
+  // the avoid-set of LLC heals.
   const unsigned nl = mapping_.num_llc_colors();
   std::vector<uint64_t> per_color(nl, 0);
   const unsigned llc_instances = topo.llc_per_socket ? topo.sockets : 1;
@@ -139,10 +140,12 @@ void ColorGuard::sample_locked() {
     e = cfg_.ewma_alpha * rate + (1.0 - cfg_.ewma_alpha) * e;
     llc_ewma_[c].store(e, std::memory_order_relaxed);
     const uint8_t hot = llc_hot_[c].load(std::memory_order_relaxed);
-    if (!hot && e >= cfg_.hot_enter)
+    if (!hot && e >= cfg_.hot_enter) {
       llc_hot_[c].store(1, std::memory_order_relaxed);
-    else if (hot && e <= cfg_.hot_exit)
+      stats_.llc_hot_colors_detected.fetch_add(1, std::memory_order_relaxed);
+    } else if (hot && e <= cfg_.hot_exit) {
       llc_hot_[c].store(0, std::memory_order_relaxed);
+    }
   }
 }
 
@@ -168,6 +171,21 @@ std::vector<uint8_t> ColorGuard::hot_set_locked() const {
   for (unsigned c = 0; c < nb; ++c)
     hot[c] = bank_hot_[c].load(std::memory_order_relaxed);
   return hot;
+}
+
+std::vector<uint8_t> ColorGuard::llc_hot_set_locked() const {
+  const unsigned nl = mapping_.num_llc_colors();
+  std::vector<uint8_t> hot(nl, 0);
+  for (unsigned c = 0; c < nl; ++c)
+    hot[c] = llc_hot_[c].load(std::memory_order_relaxed);
+  return hot;
+}
+
+std::vector<os::VirtAddr> ColorGuard::resident_locked(
+    os::TaskId task, unsigned color, core::ColorDim dim) const {
+  return dim == core::ColorDim::kLlc
+             ? kernel_.pages_of_task_llc_color(task, color)
+             : kernel_.pages_of_task_color(task, color);
 }
 
 ColorGuard::TenantState& ColorGuard::tenant_locked(os::TaskId task) {
@@ -201,22 +219,38 @@ void ColorGuard::heal_locked(uint64_t epoch, unsigned& budget) {
   if (!budget) return;
 
   // 2. Start at most one new heal per epoch (part of the oscillation
-  //    damping: one swap, then watch the detector react). Hot colors are
-  //    tried hottest-first; a color that cannot be healed (single
-  //    holder, every tenant cooling, no replacement) must not block the
-  //    cooler ones behind it -- a just-healed color keeps a decaying
-  //    EWMA for a few epochs and would otherwise stall the queue.
+  //    damping: one swap, then watch the detector react). Hot colors on
+  //    *both* axes compete in one hottest-first queue; a color that
+  //    cannot be healed (single holder, every tenant cooling, no
+  //    replacement) must not block the cooler ones behind it -- a
+  //    just-healed color keeps a decaying EWMA for a few epochs and
+  //    would otherwise stall the queue.
+  struct HotColor {
+    double ewma;
+    unsigned color;
+    core::ColorDim dim;
+  };
   const unsigned nb = mapping_.num_bank_colors();
-  std::vector<std::pair<double, unsigned>> hot;
+  std::vector<HotColor> hot;
   for (unsigned c = 0; c < nb; ++c)
     if (bank_hot_[c].load(std::memory_order_relaxed))
-      hot.emplace_back(bank_ewma_[c].load(std::memory_order_relaxed), c);
-  std::sort(hot.begin(), hot.end(),
-            [](const auto& a, const auto& b) { return a.first > b.first; });
+      hot.push_back({bank_ewma_[c].load(std::memory_order_relaxed), c,
+                     core::ColorDim::kBank});
+  if (cfg_.heal_llc) {
+    const unsigned nl = mapping_.num_llc_colors();
+    for (unsigned c = 0; c < nl; ++c)
+      if (llc_hot_[c].load(std::memory_order_relaxed))
+        hot.push_back({llc_ewma_[c].load(std::memory_order_relaxed), c,
+                       core::ColorDim::kLlc});
+  }
+  std::sort(hot.begin(), hot.end(), [](const HotColor& a, const HotColor& b) {
+    if (a.ewma != b.ewma) return a.ewma > b.ewma;
+    if (a.dim != b.dim) return a.dim < b.dim;  // banks first on a tie
+    return a.color < b.color;
+  });
 
-  for (const auto& [ewma, color] : hot) {
-    (void)ewma;
-    // A bank runs hot for two reasons: several tenants claimed the same
+  for (const HotColor& h : hot) {
+    // A color runs hot for two reasons: several tenants claimed the same
     // color (the collision the guard exists for), or one tenant's own
     // streams conflict with themselves (re-coloring cannot help -- the
     // traffic follows the tenant). Only heal collisions: >= 2 *live*
@@ -225,7 +259,11 @@ void ColorGuard::heal_locked(uint64_t epoch, unsigned& budget) {
     // must never be healed.
     std::vector<os::TaskId> holders;
     for (os::TaskId id = 0; id < kernel_.num_tasks(); ++id) {
-      if (!kernel_.task(id).has_mem_color(color)) continue;
+      const os::Task& t = kernel_.task(id);
+      const bool holds = h.dim == core::ColorDim::kLlc
+                             ? t.has_llc_color(h.color)
+                             : t.has_mem_color(h.color);
+      if (!holds) continue;
       if (!kernel_.task_alive(id)) {
         stats_.stale_tenant_skips.fetch_add(1, std::memory_order_relaxed);
         continue;
@@ -234,14 +272,14 @@ void ColorGuard::heal_locked(uint64_t epoch, unsigned& budget) {
     }
     if (holders.size() < 2) continue;
     for (const os::TaskId victim :
-         order_victims_locked(std::move(holders), color)) {
+         order_victims_locked(std::move(holders), h.color, h.dim)) {
       TenantState& st = tenant_locked(victim);
       if (st.phase == TenantPhase::kCooldown) {
         stats_.cooldown_skips.fetch_add(1, std::memory_order_relaxed);
         continue;
       }
       if (st.phase != TenantPhase::kIdle) continue;
-      if (!start_heal_locked(victim, color)) continue;
+      if (!start_heal_locked(victim, h.color, h.dim)) continue;
       // Begin migrating immediately with whatever budget the epoch has
       // left -- small collisions heal within a single epoch.
       advance_locked(victim, tenants_[victim], budget, epoch);
@@ -251,7 +289,7 @@ void ColorGuard::heal_locked(uint64_t epoch, unsigned& budget) {
 }
 
 std::vector<os::TaskId> ColorGuard::order_victims_locked(
-    std::vector<os::TaskId> holders, unsigned color) {
+    std::vector<os::TaskId> holders, unsigned color, core::ColorDim dim) {
   if (cfg_.victim_policy == VictimPolicy::kNewest) {
     // Legacy: newest holder first (the earlier tenant keeps the layout
     // it was promised).
@@ -274,7 +312,7 @@ std::vector<os::TaskId> ColorGuard::order_victims_locked(
   std::vector<Scored> scored;
   scored.reserve(holders.size());
   for (const os::TaskId id : holders) {
-    const size_t resident = kernel_.pages_of_task_color(id, color).size();
+    const size_t resident = resident_locked(id, color, dim).size();
     const uint64_t traffic = core_dram_delta_[kernel_.task(id).core()];
     scored.push_back({id, tenant_locked(id).priority,
                       static_cast<double>(resident) *
@@ -291,7 +329,8 @@ std::vector<os::TaskId> ColorGuard::order_victims_locked(
   return out;
 }
 
-bool ColorGuard::start_heal_locked(os::TaskId task, unsigned hot_color) {
+bool ColorGuard::start_heal_locked(os::TaskId task, unsigned hot_color,
+                                   core::ColorDim dim) {
   if (!kernel_.task_alive(task)) {
     // Covers the public start_heal() path too: a caller holding a stale
     // TaskId gets a refusal, not a heal of a reaped tenant.
@@ -304,21 +343,70 @@ bool ColorGuard::start_heal_locked(os::TaskId task, unsigned hot_color) {
       stats_.cooldown_skips.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
-  const core::TaskAdvice advice =
-      advisor_.plan_recolor(kernel_, task, hot_color, hot_set_locked());
-  if (advice.kind != core::TaskAdvice::Kind::kRecolorHot ||
-      advice.additions.mem_colors.empty())
-    return false;
-  if (!kernel_.recolor_task(task, advice.removals.mem_colors,
-                            advice.additions.mem_colors))
-    return false;
+  const bool llc = dim == core::ColorDim::kLlc;
+  const core::TaskAdvice advice = advisor_.plan_recolor(
+      kernel_, task, hot_color, llc ? llc_hot_set_locked() : hot_set_locked(),
+      dim);
+  if (advice.kind != core::TaskAdvice::Kind::kRecolorHot) return false;
+  if (llc) {
+    if (advice.additions.llc_colors.empty()) return false;
+    if (!kernel_.recolor_task(task, {}, {}, advice.removals.llc_colors,
+                              advice.additions.llc_colors))
+      return false;
+  } else {
+    if (advice.additions.mem_colors.empty()) return false;
+    if (!kernel_.recolor_task(task, advice.removals.mem_colors,
+                              advice.additions.mem_colors))
+      return false;
+  }
   st.phase = TenantPhase::kMigrating;
-  st.old_color = hot_color;
-  st.new_color = advice.additions.mem_colors.front();
+  st.op = TenantState::Op::kHeal;
+  st.dim = dim;
+  st.old_colors = {static_cast<uint16_t>(hot_color)};
+  st.new_colors = {llc ? static_cast<uint16_t>(advice.additions.llc_colors.front())
+                       : advice.additions.mem_colors.front()};
   st.failures = 0;
   st.next_attempt_epoch = 0;
   stats_.heals_started.fetch_add(1, std::memory_order_relaxed);
+  if (llc) stats_.llc_heals_started.fetch_add(1, std::memory_order_relaxed);
   return true;
+}
+
+unsigned ColorGuard::start_shrink_locked(os::TaskId task, unsigned drop_count,
+                                         unsigned floor) {
+  if (!kernel_.task_alive(task)) {
+    stats_.stale_tenant_skips.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+  TenantState& st = tenant_locked(task);
+  if (st.phase != TenantPhase::kIdle) {
+    if (st.phase == TenantPhase::kCooldown)
+      stats_.cooldown_skips.fetch_add(1, std::memory_order_relaxed);
+    return 0;
+  }
+  // Coldness comes from the live detector state: the guard's bank EWMAs
+  // are exactly the "measured" heat plan_shrink ranks by.
+  const unsigned nb = mapping_.num_bank_colors();
+  std::vector<double> heat(nb, 0.0);
+  for (unsigned c = 0; c < nb; ++c)
+    heat[c] = bank_ewma_[c].load(std::memory_order_relaxed);
+  const core::TaskAdvice advice =
+      advisor_.plan_shrink(kernel_, task, drop_count, floor, heat);
+  if (advice.kind != core::TaskAdvice::Kind::kShrink ||
+      advice.removals.mem_colors.empty())
+    return 0;
+  if (!kernel_.recolor_task(task, advice.removals.mem_colors, {})) return 0;
+  st.phase = TenantPhase::kMigrating;
+  st.op = TenantState::Op::kShrink;
+  st.dim = core::ColorDim::kBank;
+  st.old_colors = advice.removals.mem_colors;
+  st.new_colors.clear();
+  st.failures = 0;
+  st.next_attempt_epoch = 0;
+  stats_.shrinks_started.fetch_add(1, std::memory_order_relaxed);
+  stats_.shrink_colors_dropped.fetch_add(advice.removals.mem_colors.size(),
+                                         std::memory_order_relaxed);
+  return static_cast<unsigned>(advice.removals.mem_colors.size());
 }
 
 void ColorGuard::advance_locked(os::TaskId task, TenantState& st,
@@ -338,14 +426,24 @@ void ColorGuard::advance_locked(os::TaskId task, TenantState& st,
   // migrations land, but concurrent faults can race pages away
   // (kMigrationRace) -- a bounded re-scan keeps the epoch from spinning.
   for (int pass = 0; pass < 2; ++pass) {
-    const std::vector<os::VirtAddr> vas =
-        kernel_.pages_of_task_color(task, st.old_color);
+    std::vector<os::VirtAddr> vas;
+    for (const uint16_t c : st.old_colors) {
+      const std::vector<os::VirtAddr> part = resident_locked(task, c, st.dim);
+      vas.insert(vas.end(), part.begin(), part.end());
+    }
     if (vas.empty()) {
-      // Every colored page left the hot bank: the heal is complete.
+      // Every colored page left the dropped color(s): the operation is
+      // complete.
       st.phase = TenantPhase::kCooldown;
       st.cooldown_until = epoch + cfg_.cooldown_epochs;
       st.failures = 0;
-      stats_.heals_completed.fetch_add(1, std::memory_order_relaxed);
+      if (st.op == TenantState::Op::kShrink) {
+        stats_.shrinks_completed.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        stats_.heals_completed.fetch_add(1, std::memory_order_relaxed);
+        if (st.dim == core::ColorDim::kLlc)
+          stats_.llc_heals_completed.fetch_add(1, std::memory_order_relaxed);
+      }
       return;
     }
     bool progressed = false;
@@ -387,16 +485,51 @@ void ColorGuard::advance_locked(os::TaskId task, TenantState& st,
 
 void ColorGuard::rollback_locked(os::TaskId task, TenantState& st,
                                  unsigned& budget, uint64_t epoch) {
-  // Restore the original color set in one published swap, then migrate
-  // whatever already moved back toward the old color -- best-effort: any
-  // page the return migration cannot move is still *consistently* colored
-  // (the old color is in the set again), just non-resident on its
-  // preferred bank until the tenant faults it back.
+  if (st.op == TenantState::Op::kShrink) {
+    // A shrink rollback re-adds the dropped colors -- but only those
+    // still unclaimed: the whole point of a shrink is that the freed
+    // colors become grantable immediately, so by the time migration
+    // gives up a new tenant may hold them. Re-adding a granted-away
+    // color would recreate the very collision the palette accounting
+    // exists to prevent; such colors stay lost (counted) and the
+    // tenant simply stays smaller. Pages already moved to survivors
+    // are consistently colored and stay put.
+    stats_.shrink_rollbacks.fetch_add(1, std::memory_order_relaxed);
+    std::vector<uint8_t> claimed(mapping_.num_bank_colors(), 0);
+    for (os::TaskId id = 0; id < kernel_.num_tasks(); ++id) {
+      if (!kernel_.task_alive(id)) continue;
+      for (const uint16_t c : kernel_.task(id).mem_color_list())
+        claimed[c] = 1;
+    }
+    std::vector<uint16_t> readd;
+    for (const uint16_t c : st.old_colors) {
+      if (!claimed[c] && !kernel_.color_retired(c) &&
+          kernel_.node_online(mapping_.node_of_bank_color(c)))
+        readd.push_back(c);
+      else
+        stats_.shrink_colors_lost.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!readd.empty()) kernel_.recolor_task(task, {}, readd);
+    st.phase = TenantPhase::kCooldown;
+    st.cooldown_until = epoch + 2ULL * cfg_.cooldown_epochs;
+    st.failures = 0;
+    return;
+  }
+
+  // Heal rollback: restore the original color set in one published
+  // swap, then migrate whatever already moved back toward the old color
+  // -- best-effort: any page the return migration cannot move is still
+  // *consistently* colored (the old color is in the set again), just
+  // non-resident on its preferred bank until the tenant faults it back.
   stats_.rollbacks.fetch_add(1, std::memory_order_relaxed);
-  kernel_.recolor_task(task, {static_cast<uint16_t>(st.new_color)},
-                       {static_cast<uint16_t>(st.old_color)});
-  const std::vector<os::VirtAddr> vas =
-      kernel_.pages_of_task_color(task, st.new_color);
+  const uint16_t old_c = st.old_colors.front();
+  const uint16_t new_c = st.new_colors.front();
+  if (st.dim == core::ColorDim::kLlc)
+    kernel_.recolor_task(task, {}, {}, {static_cast<uint8_t>(new_c)},
+                         {static_cast<uint8_t>(old_c)});
+  else
+    kernel_.recolor_task(task, {new_c}, {old_c});
+  const std::vector<os::VirtAddr> vas = resident_locked(task, new_c, st.dim);
   for (const os::VirtAddr va : vas) {
     if (!budget) break;
     const os::Kernel::MigrateResult r = kernel_.migrate_page(va);
@@ -410,9 +543,16 @@ void ColorGuard::rollback_locked(os::TaskId task, TenantState& st,
   st.failures = 0;
 }
 
-bool ColorGuard::start_heal(os::TaskId task, unsigned hot_color) {
+bool ColorGuard::start_heal(os::TaskId task, unsigned hot_color,
+                            core::ColorDim dim) {
   std::lock_guard lk(mu_);
-  return start_heal_locked(task, hot_color);
+  return start_heal_locked(task, hot_color, dim);
+}
+
+unsigned ColorGuard::start_shrink(os::TaskId task, unsigned drop_count,
+                                  unsigned floor) {
+  std::lock_guard lk(mu_);
+  return start_shrink_locked(task, drop_count, floor);
 }
 
 ColorGuard::TenantPhase ColorGuard::tenant_phase(os::TaskId task) const {

@@ -91,6 +91,11 @@ struct GuardConfig {
   // Consecutive failed attempts before the tenant rolls back to its
   // original color set.
   unsigned max_heal_failures = 3;
+  // Heal hot *LLC* colors through the same swap+migrate pipeline as
+  // banks (still gated by `enabled`). On by default because a disabled
+  // guard never mutates anyway; turn off to restrict healing to the
+  // bank axis.
+  bool heal_llc = true;
   // Epochs a tenant is untouchable after a completed heal (doubled
   // after a rollback) -- the oscillation damper.
   unsigned cooldown_epochs = 4;
@@ -116,6 +121,17 @@ struct GuardStats {
   // Stored TaskIds whose tenant exited between the sample and the heal
   // step: skipped (and in-flight heals cancelled), never dereferenced.
   std::atomic<uint64_t> stale_tenant_skips{0};
+  // --- LLC healing (the bank counters above include both axes) ---
+  std::atomic<uint64_t> llc_hot_colors_detected{0};  // cold->hot, LLC axis
+  std::atomic<uint64_t> llc_heals_started{0};
+  std::atomic<uint64_t> llc_heals_completed{0};
+  // --- elastic shrink ---
+  std::atomic<uint64_t> shrinks_started{0};        // shrink swaps issued
+  std::atomic<uint64_t> shrinks_completed{0};      // all pages on survivors
+  std::atomic<uint64_t> shrink_colors_dropped{0};  // colors released
+  std::atomic<uint64_t> shrink_rollbacks{0};       // dropped colors re-added
+  // Dropped colors a rollback could *not* re-add (granted away meanwhile).
+  std::atomic<uint64_t> shrink_colors_lost{0};
 
   struct Snapshot {
     uint64_t epochs_run = 0;
@@ -130,6 +146,14 @@ struct GuardStats {
     uint64_t rollback_pages = 0;
     uint64_t cooldown_skips = 0;
     uint64_t stale_tenant_skips = 0;
+    uint64_t llc_hot_colors_detected = 0;
+    uint64_t llc_heals_started = 0;
+    uint64_t llc_heals_completed = 0;
+    uint64_t shrinks_started = 0;
+    uint64_t shrinks_completed = 0;
+    uint64_t shrink_colors_dropped = 0;
+    uint64_t shrink_rollbacks = 0;
+    uint64_t shrink_colors_lost = 0;
   };
   Snapshot snapshot() const {
     const auto ld = [](const std::atomic<uint64_t>& a) {
@@ -140,7 +164,11 @@ struct GuardStats {
             ld(heals_completed),  ld(pages_recolored),
             ld(migrations_failed), ld(migration_retries),
             ld(rollbacks),        ld(rollback_pages),
-            ld(cooldown_skips),   ld(stale_tenant_skips)};
+            ld(cooldown_skips),   ld(stale_tenant_skips),
+            ld(llc_hot_colors_detected), ld(llc_heals_started),
+            ld(llc_heals_completed), ld(shrinks_started),
+            ld(shrinks_completed), ld(shrink_colors_dropped),
+            ld(shrink_rollbacks), ld(shrink_colors_lost)};
   }
 };
 
@@ -169,10 +197,26 @@ class ColorGuard {
   void stop();
 
   // Manually begin a heal (the deterministic path tests use): swaps
-  // `hot_color` out of `task` and queues its pages for migration in the
-  // following epochs. Returns false when the tenant is mid-heal or
-  // cooling down, or no healthy replacement color exists.
-  bool start_heal(os::TaskId task, unsigned hot_color);
+  // `hot_color` out of `task` on the given axis and queues its pages
+  // for migration in the following epochs. Returns false when the
+  // tenant is mid-heal or cooling down, or no healthy replacement color
+  // exists.
+  bool start_heal(os::TaskId task, unsigned hot_color,
+                  core::ColorDim dim = core::ColorDim::kBank);
+
+  // Elastic shrink (DESIGN.md section 15): drop up to `drop_count` of
+  // `task`'s coldest bank colors -- never below `floor` survivors --
+  // releasing them for re-admission. The color-set swap is immediate
+  // (the freed colors are grantable the moment this returns); the
+  // tenant's resident pages on the dropped colors dribble onto the
+  // survivors over the following epochs under the usual budget, with
+  // the same backoff/rollback/cooldown envelope as a heal (a shrink
+  // rollback re-adds only colors still unclaimed -- colors granted away
+  // meanwhile stay lost and are counted). Returns the number of colors
+  // actually dropped (0 when the tenant is unknown, dead, mid-heal,
+  // cooling, or already at the floor).
+  unsigned start_shrink(os::TaskId task, unsigned drop_count,
+                        unsigned floor = 1);
 
   // --- observability ---
   const GuardStats& stats() const { return stats_; }
@@ -182,11 +226,15 @@ class ColorGuard {
   bool bank_hot(unsigned bank_color) const {
     return bank_hot_[bank_color].load(std::memory_order_relaxed) != 0;
   }
-  // LLC colors are observed (EWMA over each color's share of
-  // cross-requester evictions) but not healed yet; hot flags feed the
-  // avoid-set so bank heals never co-locate with a thrashing LLC slice.
+  // LLC colors: EWMA over each color's share of cross-requester
+  // evictions; hot flags both select LLC heal targets (cfg.heal_llc)
+  // and feed the avoid-set so an LLC heal never lands on another
+  // thrashing slice.
   double llc_ewma(unsigned llc_color) const {
     return llc_ewma_[llc_color].load(std::memory_order_relaxed);
+  }
+  bool llc_hot(unsigned llc_color) const {
+    return llc_hot_[llc_color].load(std::memory_order_relaxed) != 0;
   }
 
   enum class TenantPhase { kIdle, kMigrating, kCooldown };
@@ -204,8 +252,13 @@ class ColorGuard {
  private:
   struct TenantState {
     TenantPhase phase = TenantPhase::kIdle;
-    unsigned old_color = 0;
-    unsigned new_color = 0;
+    // What the in-flight operation is. A heal swaps one color on one
+    // axis (old_colors/new_colors each hold one entry); a shrink drops
+    // several bank colors with no replacements (new_colors empty).
+    enum class Op : uint8_t { kHeal, kShrink } op = Op::kHeal;
+    core::ColorDim dim = core::ColorDim::kBank;
+    std::vector<uint16_t> old_colors;
+    std::vector<uint16_t> new_colors;
     unsigned failures = 0;            // consecutive failed attempts
     uint64_t next_attempt_epoch = 0;  // backoff gate
     uint64_t cooldown_until = 0;
@@ -218,13 +271,20 @@ class ColorGuard {
   // Orders the holders of a collided color so the preferred victim comes
   // first, per cfg_.victim_policy.
   std::vector<os::TaskId> order_victims_locked(
-      std::vector<os::TaskId> holders, unsigned color);
-  bool start_heal_locked(os::TaskId task, unsigned hot_color);
+      std::vector<os::TaskId> holders, unsigned color, core::ColorDim dim);
+  bool start_heal_locked(os::TaskId task, unsigned hot_color,
+                         core::ColorDim dim);
+  unsigned start_shrink_locked(os::TaskId task, unsigned drop_count,
+                               unsigned floor);
   void advance_locked(os::TaskId task, TenantState& st, unsigned& budget,
                       uint64_t epoch);
   void rollback_locked(os::TaskId task, TenantState& st, unsigned& budget,
                        uint64_t epoch);
+  // Pages of `task` still resident on `color` along `dim`.
+  std::vector<os::VirtAddr> resident_locked(os::TaskId task, unsigned color,
+                                            core::ColorDim dim) const;
   std::vector<uint8_t> hot_set_locked() const;
+  std::vector<uint8_t> llc_hot_set_locked() const;
   TenantState& tenant_locked(os::TaskId task);
 
   os::Kernel& kernel_;

@@ -9,6 +9,7 @@
 // Both are public-domain algorithms (Blackman & Vigna).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 
 #include "util/assert.h"
@@ -81,6 +82,37 @@ class Rng {
 
   // True with probability p.
   bool next_bool(double p) { return next_double() < p; }
+
+  // Standard normal via Box-Muller. Two next_double() draws per call --
+  // deterministic across platforms (no cached spare, no std::
+  // distribution whose output is implementation-defined).
+  double next_normal() {
+    double u1 = next_double();
+    const double u2 = next_double();
+    // next_double() can return exactly 0; log(0) must not happen.
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    constexpr double kTwoPi = 6.283185307179586476925286766559;
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(kTwoPi * u2);
+  }
+
+  // Log-normal: exp(mu + sigma * N(0,1)). Median is exp(mu).
+  double next_lognormal(double mu, double sigma) {
+    return std::exp(mu + sigma * next_normal());
+  }
+
+  // Poisson(mean) via Knuth's product method -- O(mean) uniform draws,
+  // fine for the small burst means workload generators use.
+  uint64_t next_poisson(double mean) {
+    if (mean <= 0.0) return 0;
+    const double limit = std::exp(-mean);
+    uint64_t k = 0;
+    double p = 1.0;
+    do {
+      ++k;
+      p *= next_double();
+    } while (p > limit);
+    return k - 1;
+  }
 
  private:
   static constexpr uint64_t rotl(uint64_t x, int k) {

@@ -18,6 +18,7 @@
 
 #include "hw/pci_config.h"
 #include "os/kernel.h"
+#include "runtime/admission.h"
 #include "sim/memory_system.h"
 #include "util/rng.h"
 
@@ -136,8 +137,9 @@ TEST(GuardTortureTest, RecolorStormVsFaultsStwAndHotplug) {
   // bank color is in its owner's *current* set.
   for (const auto& [vpn, pfn] : k.page_table().mappings()) {
     const os::PageInfo& pi = k.pages()[pfn];
-    if (pi.colored_alloc && pi.owner != os::kNoTask)
+    if (pi.colored_alloc && pi.owner != os::kNoTask) {
       EXPECT_TRUE(k.task(pi.owner).has_mem_color(pi.bank_color)) << vpn;
+    }
   }
   // Guard-internal books are consistent with themselves.
   const auto gs = guard.stats().snapshot();
@@ -147,6 +149,142 @@ TEST(GuardTortureTest, RecolorStormVsFaultsStwAndHotplug) {
   // Frame conservation holds after the storm.
   const auto rep = k.check_invariants();
   EXPECT_TRUE(rep.ok) << rep.detail;
+}
+
+// Shrink storm through the full elastic stack: workers churn tenants
+// through an AdmissionController with every elastic on (shrink-on-
+// admit, deadline waitlist, promotion) while a shrinker thread fires
+// guard.start_shrink at *arbitrary* TaskIds -- live, dead and never-
+// allocated alike -- and the background watchdog advances the page
+// dribbles. A dedicated reader thread hammers the lock-free stats
+// snapshots the whole time and asserts per-counter monotonicity: under
+// TSan this is the torn-read audit for GuardStats and AdmissionStats.
+TEST(GuardTortureTest, ShrinkStormKeepsSnapshotsMonotonicAndFramesExact) {
+  const hw::Topology topo = hw::Topology::tiny();
+  const hw::PciConfig pci = hw::PciConfig::program_bios(topo);
+  const hw::AddressMapping map(pci, topo);
+  os::Kernel k(topo, map, {}, 43);
+  sim::MemorySystem memsys(topo, map);
+
+  GuardConfig gcfg;
+  gcfg.enabled = true;
+  gcfg.min_epoch_accesses = ~0ull;  // no detector: every op is forced
+  gcfg.migration_budget = 64;
+  gcfg.cooldown_epochs = 1;
+  ColorGuard guard(k, memsys, gcfg);
+
+  AdmissionConfig acfg;
+  acfg.elastic_shrink = true;
+  acfg.waitlist = true;
+  acfg.waitlist_deadline_ticks = 6;
+  acfg.promote_downgraded = true;
+  AdmissionController adm(k, memsys, acfg);
+  adm.bind_guard(&guard);
+
+  guard.start(std::chrono::milliseconds(1));
+  const uint64_t page = topo.page_bytes();
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+
+  for (unsigned ti = 0; ti < kWorkers; ++ti) {
+    threads.emplace_back([&, ti] {
+      Rng rng(8800 + ti);
+      for (unsigned iter = 0; iter < 40; ++iter) {
+        const double draw = rng.next_double();
+        const TenantClass cls = draw < 0.4 ? TenantClass::kGuaranteed
+                                : draw < 0.7 ? TenantClass::kBurstable
+                                             : TenantClass::kBestEffort;
+        AdmissionTicket t = adm.admit(cls, 4);
+        if (t.waitlisted) {
+          // Poll a few times; whatever has not landed is abandoned --
+          // cancel_wait must clean up pending *and* ready states.
+          bool claimed = false;
+          for (unsigned poll = 0; poll < 4 && !claimed; ++poll) {
+            const auto w = adm.claim(t.wait_id);
+            if (w.state == AdmissionController::WaitOutcome::State::kReady) {
+              t = w.ticket;
+              claimed = true;
+            } else if (w.state ==
+                       AdmissionController::WaitOutcome::State::kGone) {
+              break;
+            } else {
+              adm.observe();  // drive retries + expiries forward
+              std::this_thread::yield();
+            }
+          }
+          if (!claimed) {
+            adm.cancel_wait(t.wait_id);
+            continue;
+          }
+        }
+        if (!t.admitted) continue;
+        const uint64_t pages = 2 + rng.next_below(6);
+        const os::VirtAddr base = k.mmap(t.task, 0, pages * page, 0);
+        if (base != os::kMmapFailed) {
+          for (uint64_t p = 0; p < pages; ++p)
+            k.touch(t.task, base + p * page, rng.next_bool(0.5));
+        }
+        if (rng.next_bool(0.25)) adm.observe();
+        EXPECT_TRUE(adm.teardown(t.task).known);
+      }
+    });
+  }
+  threads.emplace_back([&] {  // shrinker: arbitrary TaskIds, no courtesy
+    Rng rng(171);
+    while (!stop.load(std::memory_order_acquire)) {
+      const os::TaskId t = static_cast<os::TaskId>(
+          rng.next_below(std::max<uint64_t>(1, k.num_tasks() + 2)));
+      guard.start_shrink(t, 1 + rng.next_below(3), 1);
+      guard.tenant_phase(t);  // concurrent observer
+      std::this_thread::yield();
+    }
+  });
+  threads.emplace_back([&] {  // snapshot reader: the torn-read audit
+    GuardStats::Snapshot g0 = guard.stats().snapshot();
+    AdmissionStats::Snapshot a0 = adm.stats().snapshot();
+    while (!stop.load(std::memory_order_acquire)) {
+      const GuardStats::Snapshot g1 = guard.stats().snapshot();
+      const AdmissionStats::Snapshot a1 = adm.stats().snapshot();
+      EXPECT_GE(g1.epochs_run, g0.epochs_run);
+      EXPECT_GE(g1.heals_started, g0.heals_started);
+      EXPECT_GE(g1.shrinks_started, g0.shrinks_started);
+      EXPECT_GE(g1.shrinks_completed, g0.shrinks_completed);
+      EXPECT_GE(g1.shrink_colors_dropped, g0.shrink_colors_dropped);
+      EXPECT_GE(g1.shrink_rollbacks, g0.shrink_rollbacks);
+      EXPECT_GE(g1.stale_tenant_skips, g0.stale_tenant_skips);
+      EXPECT_GE(g1.pages_recolored, g0.pages_recolored);
+      EXPECT_GE(a1.admits, a0.admits);
+      EXPECT_GE(a1.rejects, a0.rejects);
+      EXPECT_GE(a1.downgrades, a0.downgrades);
+      EXPECT_GE(a1.waitlist_enqueued, a0.waitlist_enqueued);
+      EXPECT_GE(a1.waitlist_admitted, a0.waitlist_admitted);
+      EXPECT_GE(a1.waitlist_expired, a0.waitlist_expired);
+      EXPECT_GE(a1.waitlist_cancelled, a0.waitlist_cancelled);
+      EXPECT_GE(a1.promotions, a0.promotions);
+      EXPECT_GE(a1.shrink_requests, a0.shrink_requests);
+      EXPECT_GE(a1.shrink_banks_freed, a0.shrink_banks_freed);
+      g0 = g1;
+      a0 = a1;
+      std::this_thread::yield();
+    }
+  });
+
+  for (unsigned ti = 0; ti < kWorkers; ++ti) threads[ti].join();
+  stop.store(true, std::memory_order_release);
+  threads[kWorkers].join();
+  threads[kWorkers + 1].join();
+  guard.stop();
+
+  // Workers cancelled or tore down everything they admitted; nothing
+  // the elastics touched may leak a frame, page or color claim.
+  EXPECT_EQ(adm.live_tenants(), 0u);
+  const auto gs = guard.stats().snapshot();
+  EXPECT_GE(gs.shrinks_started,
+            gs.shrinks_completed + gs.shrink_rollbacks);
+  const auto inv = k.check_invariants(0, /*stop_the_world=*/true);
+  EXPECT_TRUE(inv.ok) << inv.detail;
+  EXPECT_EQ(inv.mapped, 0u);
+  EXPECT_EQ(inv.loose, 0u);
 }
 
 }  // namespace
