@@ -162,6 +162,67 @@ void BM_RawAllocFree(benchmark::State& state, bool colored,
   report(state, ops);
 }
 
+// Stop-the-world freeze cost vs. color-shard count: one thread hammers
+// full STW invariant walks (freeze every shard + zone + magazine, walk
+// all frames, thaw) while 8 background threads churn the colored hot
+// path. More shards cut allocation contention but make every freeze
+// acquire more locks -- this cell makes that trade-off visible. Arg 0
+// is the topology-derived default; the resolved count is reported as
+// the `shards` counter, so `--json` records the derivation too.
+void BM_StwFreeze(benchmark::State& state) {
+  core::MachineConfig mc = machine();
+  mc.kernel.color_shards = static_cast<unsigned>(state.range(0));
+  mc.kernel.magazine_capacity = 16;
+  mc.kernel.refill_batch_blocks = 8;
+  core::Session session(mc);
+  os::Kernel& k = session.kernel();
+  constexpr unsigned kChurn = 8;
+  const unsigned ncores = session.topology().num_cores();
+  const unsigned nb = session.mapping().num_bank_colors();
+  const unsigned nl = session.mapping().num_llc_colors();
+
+  std::vector<os::TaskId> tasks;
+  for (unsigned t = 0; t < kChurn; ++t) {
+    const os::TaskId id = session.create_task(t % ncores);
+    const unsigned b0 = (2 * t) % nb;
+    core::ThreadColorPlan plan{{static_cast<uint16_t>(b0),
+                                static_cast<uint16_t>((b0 + 1) % nb)},
+                               {static_cast<uint8_t>(t % nl)}};
+    session.apply_colors(id, plan);
+    tasks.push_back(id);
+  }
+
+  // Churn through the VMA path (not raw alloc_pages): in-flight faults
+  // hold the mm lock shared, so the walk's exclusive acquisition drains
+  // them and every frame is accounted -- each iteration is a sound
+  // zero-leak audit, not just a lock-cost probe.
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> churn;
+  for (unsigned t = 0; t < kChurn; ++t) {
+    churn.emplace_back([&k, &stop, task = tasks[t]] {
+      constexpr uint64_t kPages = 16;
+      while (!stop.load(std::memory_order_acquire)) {
+        const os::VirtAddr base = k.mmap(task, 0, kPages * 4096, 0);
+        if (base == os::kMmapFailed) continue;
+        for (uint64_t p = 0; p < kPages; ++p)
+          benchmark::DoNotOptimize(k.touch(task, base + p * 4096, true).pa);
+        k.munmap(task, base, kPages * 4096);
+      }
+    });
+  }
+
+  for (auto _ : state) {
+    const auto rep =
+        k.check_invariants(/*expected_loose=*/0, /*stop_the_world=*/true);
+    if (!rep.ok) state.SkipWithError(rep.detail.c_str());
+    benchmark::DoNotOptimize(rep.total);
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : churn) t.join();
+  state.counters["shards"] =
+      static_cast<double>(k.color_lists().num_shards());
+}
+
 void BM_VmaChurn_Buddy(benchmark::State& s) { BM_VmaChurn(s, false); }
 void BM_VmaChurn_Colored(benchmark::State& s) { BM_VmaChurn(s, true); }
 void BM_RawAllocFree_Buddy(benchmark::State& s) { BM_RawAllocFree(s, false); }
@@ -177,6 +238,9 @@ BENCHMARK(BM_VmaChurn_Colored)->ThreadRange(1, 32)->UseRealTime();
 BENCHMARK(BM_RawAllocFree_Buddy)->ThreadRange(1, 32)->UseRealTime();
 BENCHMARK(BM_RawAllocFree_Colored)->ThreadRange(1, 32)->UseRealTime();
 BENCHMARK(BM_RawAllocFree_Magazine)->ThreadRange(1, 32)->UseRealTime();
+// Arg = color_shards knob (0 = derive from topology); the resolved
+// count lands in the `shards` counter.
+BENCHMARK(BM_StwFreeze)->Arg(0)->Arg(16)->Arg(64)->Arg(256)->UseRealTime();
 
 int main(int argc, char** argv) {
   return tint::bench::run_gbench_main(argc, argv);

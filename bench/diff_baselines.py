@@ -41,10 +41,12 @@ GUARDED = {
     },
     "BENCH_concurrent_alloc": {
         "colored_frac": "min",  # colored-allocation success rate
+        "shards": "max",        # resolved color-shard count (freeze cost)
     },
     "BENCH_fastpath_scaling": {
         "magazine_hit_frac": "min",
         "tcache_hit_frac": "min",
+        "offload_hit_frac": "min",  # ring pops per colored alloc probe
     },
 }
 
@@ -95,6 +97,12 @@ def compare(stem, base_doc, fresh_doc, tolerance):
             rows.append((name, counter, base_v, fresh_v,
                          "FAIL" if bad else "ok"))
             regressed |= bad
+    # Benches present only in the fresh output are new cells whose
+    # baseline lands with (or after) the PR introducing them: warn and
+    # skip rather than inventing a zero baseline to violate.
+    for name in sorted(set(fresh_benches) - set(base_benches)):
+        rows.append((name, "<no baseline: new bench, skipped>",
+                     "-", "-", "warn"))
     return rows, regressed
 
 

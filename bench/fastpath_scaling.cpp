@@ -4,15 +4,18 @@
 //   * PageChurn -- the kernel's colored page alloc/free round-trip, off
 //     (every op crosses the color shards) vs. with per-task page
 //     magazines + batched Algorithm-2 refill (steady state touches only
-//     the task's own magazine).
+//     the task's own magazine) vs. with the allocation offload engine
+//     on top (steady state pops a background-stocked SPSC ring; refill
+//     and free absorption happen off the critical path).
 //   * HeapChurn -- TintHeap malloc/free of size-class blocks with every
 //     thread hammering ONE shared heap, off (every op takes the arena
 //     lock) vs. with per-thread tcaches (steady state is lock-free).
 //
 // Reported counters: ops/sec (items_per_second), magazine_hit_frac /
-// tcache_hit_frac. The interesting shape is ops/sec at 8+ threads:
-// cached variants should scale, uncached ones flatline on the shared
-// locks.
+// tcache_hit_frac, and for the offload variant offload_hit_frac (ring
+// pops per colored alloc) plus the engine's absolute ring counters.
+// The interesting shape is ops/sec at 8+ threads: cached variants
+// should scale, uncached ones flatline on the shared locks.
 #include <benchmark/benchmark.h>
 
 #include <atomic>
@@ -23,6 +26,7 @@
 
 #include "bench/common.h"
 #include "core/session.h"
+#include "runtime/offload.h"
 
 using namespace tint;
 
@@ -33,13 +37,15 @@ namespace {
 struct Shared {
   std::unique_ptr<core::Session> session;
   std::vector<os::TaskId> tasks;
+  std::unique_ptr<runtime::OffloadEngine> engine;
 };
 Shared g;
 std::mutex g_mu;
 std::atomic<int> g_done{0};
 
 void setup(benchmark::State& state, unsigned magazine_cap,
-           unsigned refill_batch, unsigned tcache_depth) {
+           unsigned refill_batch, unsigned tcache_depth,
+           bool offload = false) {
   std::lock_guard<std::mutex> lk(g_mu);
   if (g.session) return;
   core::MachineConfig mc = core::MachineConfig::opteron6128();
@@ -47,6 +53,12 @@ void setup(benchmark::State& state, unsigned magazine_cap,
   mc.kernel.magazine_capacity = magazine_cap;
   mc.kernel.refill_batch_blocks = refill_batch;
   mc.heap.tcache_depth = tcache_depth;
+  if (offload) {
+    mc.kernel.offload.enabled = true;
+    mc.kernel.offload.ring_depth = 256;
+    mc.kernel.offload.min_stock = 64;
+    mc.kernel.offload.drain_batch = 128;
+  }
   g.session = std::make_unique<core::Session>(mc);
   g.tasks.clear();
   const unsigned ncores = g.session->topology().num_cores();
@@ -61,6 +73,14 @@ void setup(benchmark::State& state, unsigned magazine_cap,
                                {static_cast<uint8_t>(t % nl)}};
     g.session->apply_colors(id, plan);
     g.tasks.push_back(id);
+  }
+  if (offload) {
+    runtime::OffloadEngineConfig ecfg;
+    ecfg.idle_sleep = std::chrono::microseconds(20);
+    g.engine =
+        std::make_unique<runtime::OffloadEngine>(g.session->kernel(), ecfg);
+    for (const os::TaskId id : g.tasks) g.engine->watch(id);
+    g.engine->start();
   }
 }
 
@@ -83,15 +103,31 @@ void report(benchmark::State& state, uint64_t thread_ops, bool heap_bench) {
     if (lookups > 0)
       state.counters["magazine_hit_frac"] =
           static_cast<double>(s.magazine_hits) / lookups;
+    // Ring probes happen on every colored alloc when offload is on: a
+    // hit popped the completion ring, an empty stall fell through to
+    // the magazine. hits/(hits+stalls) is the ring's service fraction.
+    const double probes =
+        static_cast<double>(s.ring_alloc_hits + s.ring_empty_stalls);
+    if (probes > 0) {
+      state.counters["offload_hit_frac"] =
+          static_cast<double>(s.ring_alloc_hits) / probes;
+      state.counters["prefault_pages"] =
+          static_cast<double>(s.prefault_pages);
+      state.counters["ring_full_stalls"] =
+          static_cast<double>(s.ring_full_stalls);
+      state.counters["batches_drained"] =
+          static_cast<double>(s.batches_drained);
+    }
   }
+  g.engine.reset();  // stops the thread and drains before the kernel dies
   g.session.reset();
   g_done.store(0, std::memory_order_release);
 }
 
 // Colored page alloc/free round-trips on the task's own pages.
 void BM_PageChurn(benchmark::State& state, unsigned magazine_cap,
-                  unsigned refill_batch) {
-  setup(state, magazine_cap, refill_batch, 0);
+                  unsigned refill_batch, bool offload = false) {
+  setup(state, magazine_cap, refill_batch, 0, offload);
   os::Kernel& k = g.session->kernel();
   const os::TaskId task = g.tasks[static_cast<size_t>(state.thread_index())];
   std::vector<os::Pfn> held;
@@ -139,6 +175,12 @@ void BM_HeapChurn(benchmark::State& state, unsigned tcache_depth) {
 
 void BM_PageChurn_NoMagazine(benchmark::State& s) { BM_PageChurn(s, 0, 1); }
 void BM_PageChurn_Magazine(benchmark::State& s) { BM_PageChurn(s, 64, 8); }
+// Pure offload tier: no magazine, every round-trip is a try-CAS guard
+// plus an SPSC ring op, with the engine recycling frees back into the
+// completion ring in the background.
+void BM_PageChurn_Offload(benchmark::State& s) {
+  BM_PageChurn(s, 0, 8, /*offload=*/true);
+}
 void BM_HeapChurn_NoTcache(benchmark::State& s) { BM_HeapChurn(s, 0); }
 void BM_HeapChurn_Tcache(benchmark::State& s) { BM_HeapChurn(s, 64); }
 
@@ -146,6 +188,7 @@ void BM_HeapChurn_Tcache(benchmark::State& s) { BM_HeapChurn(s, 64); }
 
 BENCHMARK(BM_PageChurn_NoMagazine)->ThreadRange(1, 32)->UseRealTime();
 BENCHMARK(BM_PageChurn_Magazine)->ThreadRange(1, 32)->UseRealTime();
+BENCHMARK(BM_PageChurn_Offload)->ThreadRange(1, 32)->UseRealTime();
 BENCHMARK(BM_HeapChurn_NoTcache)->ThreadRange(1, 32)->UseRealTime();
 BENCHMARK(BM_HeapChurn_Tcache)->ThreadRange(1, 32)->UseRealTime();
 

@@ -49,7 +49,11 @@ TintHeap::ThreadCache* TintHeap::this_cache() {
   if (memo.heap == this && memo.gen == heap_gen_) return memo.tc;
   std::lock_guard<ArenaLock> lk(arena_);
   auto& slot = caches_[std::this_thread::get_id()];
-  if (!slot) slot = std::make_unique<ThreadCache>(std::size(kClasses));
+  if (!slot) {
+    slot = std::make_unique<ThreadCache>(std::size(kClasses));
+    if (cfg_.deferred_flush_depth > 0)
+      slot->deferred = std::make_unique<os::SpscRing>(cfg_.deferred_flush_depth);
+  }
   memo = {this, heap_gen_, slot.get()};
   return slot.get();
 }
@@ -122,6 +126,59 @@ void TintHeap::tcache_flush_bin(ThreadCache& tc, int cls, size_t keep) {
   bin.erase(bin.begin(), bin.begin() + static_cast<std::ptrdiff_t>(n));
   tc.flushes.fetch_add(n, std::memory_order_relaxed);
   if (routed) tc.node_flushes.fetch_add(routed, std::memory_order_relaxed);
+}
+
+bool TintHeap::tcache_defer_bin(ThreadCache& tc, int cls, size_t keep) {
+  if (!tc.deferred) return false;
+  auto& bin = tc.bins[static_cast<size_t>(cls)];
+  const size_t n = bin.size() > keep ? bin.size() - keep : 0;
+  // Evict oldest-first (the bin front), same order the inline flush
+  // uses. Parked blocks keep their block_size_ entry -- the drain needs
+  // it to recover the class -- so conservation-wise they are still
+  // "cached", just invisible to this thread's bin scan.
+  size_t pushed = 0;
+  while (pushed < n && tc.deferred->push(bin[pushed])) ++pushed;
+  if (pushed > 0) {
+    bin.erase(bin.begin(), bin.begin() + static_cast<std::ptrdiff_t>(pushed));
+    tc.deferred_blocks.fetch_add(pushed, std::memory_order_relaxed);
+  }
+  // Ring full (the drain is behind): flush the remainder inline so the
+  // bin never grows unbounded.
+  if (bin.size() > keep) tcache_flush_bin(tc, cls, keep);
+  return true;
+}
+
+uint64_t TintHeap::drain_deferred_flushes() {
+  if (cfg_.tcache_depth == 0 || cfg_.deferred_flush_depth == 0) return 0;
+  std::lock_guard<ArenaLock> lk(arena_);
+  uint64_t drained = 0;
+  uint64_t routed = 0;
+  for (auto& [tid, tc] : caches_) {
+    if (!tc->deferred) continue;
+    for (;;) {
+      const VirtAddr va = tc->deferred->pop();
+      if (va == os::SpscRing::kEmpty) break;
+      const auto it = block_size_.find(va);
+      if (it == block_size_.end()) continue;  // swept by release_all
+      const int cls = class_of(it->second);
+      TINT_DASSERT(cls >= 0);
+      block_size_.erase(it);
+      // Node-routed like the inline flush: the block's frame keeps the
+      // coloring locality its fault gave it.
+      if (const auto pa = kernel_.translate(va)) {
+        node_free_[kernel_.mapping().node_of(*pa)][static_cast<size_t>(cls)]
+            .push_back(va);
+        ++routed;
+      } else {
+        free_lists_[static_cast<size_t>(cls)].push_back(va);
+      }
+      ++drained;
+    }
+  }
+  stats_.tcache_bg_flushes += drained;
+  stats_.tcache_flushes += drained;
+  stats_.tcache_node_flushes += routed;
+  return drained;
 }
 
 VirtAddr TintHeap::fail_malloc(os::AllocError why) {
@@ -384,7 +441,8 @@ void TintHeap::free(VirtAddr ptr) {
         tc->invalid_frees.fetch_add(1, std::memory_order_relaxed);
         return;
       }
-      if (bin.size() >= cfg_.tcache_depth)
+      if (bin.size() >= cfg_.tcache_depth &&
+          !tcache_defer_bin(*tc, cls, cfg_.tcache_depth / 2))
         tcache_flush_bin(*tc, cls, cfg_.tcache_depth / 2);
       bin.push_back(ptr);
       tc->frees.fetch_add(1, std::memory_order_relaxed);
@@ -435,6 +493,7 @@ void TintHeap::release_all() {
   std::lock_guard<ArenaLock> lk(arena_);
   for (auto& [tid, tc] : caches_) {
     for (auto& bin : tc->bins) bin.clear();
+    if (tc->deferred) tc->deferred->drain_all();  // VAs die with the VMAs
     tc->cls_of.clear();
     tc->live_delta.store(0, std::memory_order_relaxed);
   }
@@ -464,6 +523,7 @@ HeapStats TintHeap::stats() const {
         tc->node_flushes.load(std::memory_order_relaxed);
     out.tcache_local_refills +=
         tc->local_refills.load(std::memory_order_relaxed);
+    out.tcache_deferred += tc->deferred_blocks.load(std::memory_order_relaxed);
     live += tc->live_delta.load(std::memory_order_relaxed);
   }
   out.bytes_live = live > 0 ? static_cast<uint64_t>(live) : 0;

@@ -41,6 +41,7 @@
 
 #include "core/color_planner.h"
 #include "os/kernel.h"
+#include "os/offload_ring.h"
 #include "util/lock_rank.h"
 
 namespace tint::core {
@@ -60,6 +61,14 @@ struct HeapConfig {
   // Per-class depth of the per-thread front-end cache (0 = no thread
   // caches; the serial determinism goldens pin the uncached behaviour).
   unsigned tcache_depth = 0;
+  // Depth of the per-thread *deferred flush* ring (0 = off). With it
+  // set, a tcache bin overflow parks the evicted block VAs on a
+  // lock-free SPSC ring instead of flushing them to the arena inline;
+  // the offload engine (runtime/offload.h) drains the rings in the
+  // background via drain_deferred_flushes(), so free() stays lock-free
+  // even at the flush watermark. Ring full -> the inline flush runs as
+  // before (graceful degradation, never a stall).
+  unsigned deferred_flush_depth = 0;
 };
 
 struct HeapStats {
@@ -79,6 +88,11 @@ struct HeapStats {
   uint64_t tcache_node_flushes = 0;
   // Refill blocks served from the task-local node list (locality hits).
   uint64_t tcache_local_refills = 0;
+  // Overflow blocks parked on a deferred-flush ring (lock-free eviction)
+  // and blocks the background drain routed back to the arena. Deferred
+  // blocks are *not* double-counted in tcache_flushes until drained.
+  uint64_t tcache_deferred = 0;
+  uint64_t tcache_bg_flushes = 0;
 };
 
 class TintHeap {
@@ -110,8 +124,15 @@ class TintHeap {
   uint64_t usable_size(VirtAddr ptr) const;
 
   // Releases every mapping this heap created (frames return to their
-  // color lists / the buddy allocator) and empties every thread cache.
+  // color lists / the buddy allocator) and empties every thread cache
+  // (including the deferred-flush rings).
   void release_all();
+
+  // Drains every thread's deferred-flush ring back to the arena free
+  // lists (node-routed, like an inline flush). The offload engine calls
+  // this once per service round; any thread may call it -- consumers
+  // serialize on the arena lock. Returns the number of blocks drained.
+  uint64_t drain_deferred_flushes();
 
   os::TaskId task() const { return task_; }
   // Merged snapshot: the arena's counters plus every thread cache's
@@ -152,7 +173,14 @@ class TintHeap {
     std::atomic<uint64_t> flushes{0};
     std::atomic<uint64_t> node_flushes{0};
     std::atomic<uint64_t> local_refills{0};
+    std::atomic<uint64_t> deferred_blocks{0};
     std::atomic<int64_t> live_delta{0};
+    // Deferred-flush ring (HeapConfig::deferred_flush_depth > 0 only).
+    // Producer: the owning thread's free() at the flush watermark.
+    // Consumer: drain_deferred_flushes() under the arena lock. Blocks
+    // parked here keep their block_size_ entry (the drain resolves the
+    // class from it) and their cls_of memo (owned by the thread).
+    std::unique_ptr<os::SpscRing> deferred;
   };
   // This thread's cache for this heap (created on first use); nullptr
   // when tcache_depth == 0. Must not be called with the arena held.
@@ -162,6 +190,10 @@ class TintHeap {
   bool tcache_refill(ThreadCache& tc, int cls);
   // Flushes the bin down to `keep` blocks under one arena hold.
   void tcache_flush_bin(ThreadCache& tc, int cls, size_t keep);
+  // Lock-free eviction: parks the bin's overflow (down to `keep`) on
+  // the deferred ring for the background drain. False when deferral is
+  // disabled; a full ring falls back to tcache_flush_bin internally.
+  bool tcache_defer_bin(ThreadCache& tc, int cls, size_t keep);
 
   // Slow paths; callers hold arena_.
   VirtAddr malloc_locked(uint64_t size, int cls);

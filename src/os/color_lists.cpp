@@ -7,13 +7,15 @@ namespace tint::os {
 using Shard = util::RankedMutex<util::lock_rank::kColorShard>;
 
 ColorLists::ColorLists(unsigned num_bank_colors, unsigned num_llc_colors,
-                       uint64_t total_pages)
+                       uint64_t total_pages, unsigned shards)
     : nb_(num_bank_colors), nl_(num_llc_colors) {
+  nshards_ = 1;
+  while (nshards_ < (shards == 0 ? 64u : shards)) nshards_ <<= 1;
   heads_.assign(static_cast<size_t>(nb_) * nl_, kNoPage);
   counts_ = std::make_unique<std::atomic<uint64_t>[]>(
       static_cast<size_t>(nb_) * nl_);
   next_.assign(total_pages, kNoPage);
-  shards_ = std::make_unique<Shard[]>(kShards);
+  shards_ = std::make_unique<Shard[]>(nshards_);
 }
 
 void ColorLists::create_color_list(Pfn head, unsigned order,
@@ -167,11 +169,11 @@ std::vector<Pfn> ColorLists::snapshot_parked() const {
 }
 
 void ColorLists::freeze() const {
-  for (unsigned s = 0; s < kShards; ++s) shards_[s].lock();
+  for (unsigned s = 0; s < nshards_; ++s) shards_[s].lock();
 }
 
 void ColorLists::thaw() const {
-  for (unsigned s = kShards; s-- > 0;) shards_[s].unlock();
+  for (unsigned s = nshards_; s-- > 0;) shards_[s].unlock();
 }
 
 void ColorLists::push(Pfn pfn, std::vector<PageInfo>& pages) {

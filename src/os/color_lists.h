@@ -10,7 +10,7 @@
 // returned here by free(). Pages never migrate back to the buddy
 // allocator (as in the paper: once colorized, a frame stays colorized).
 //
-// Thread safety: the matrix is guarded by kShards mutexes, keyed by the
+// Thread safety: the matrix is guarded by a power-of-two shard array of mutexes, keyed by the
 // (MEM_ID, LLC_ID) combo index, so concurrent tasks popping different
 // combos never contend (per-task color sets exist precisely so parallel
 // allocations don't collide -- the sharding mirrors that). Per-list and
@@ -32,12 +32,16 @@ namespace tint::os {
 
 class ColorLists {
  public:
-  // Shard count: power of two, >= typical combo working sets, small
-  // enough that a stop-the-world freeze stays cheap.
-  static constexpr unsigned kShards = 64;
-
+  // `shards`: lock-shard count (rounded up to a power of two; 0 picks
+  // the legacy 64). More shards cut combo contention; fewer make the
+  // stop-the-world freeze cheaper -- the Kernel derives a topology-
+  // aware value (combos x cores, clamped) unless KernelConfig pins one.
+  // Sharding only affects locking granularity, never list contents or
+  // pop order, so any value is determinism-safe.
   ColorLists(unsigned num_bank_colors, unsigned num_llc_colors,
-             uint64_t total_pages);
+             uint64_t total_pages, unsigned shards = 0);
+
+  unsigned num_shards() const { return nshards_; }
 
   // Algorithm 2: scatter the 2^order pages of a buddy block into the
   // matrix according to each page's own colors.
@@ -111,10 +115,11 @@ class ColorLists {
     return static_cast<size_t>(mem_id) * nl_ + llc_id;
   }
   util::RankedMutex<util::lock_rank::kColorShard>& shard(size_t k) const {
-    return shards_[k % kShards];
+    return shards_[k & (nshards_ - 1)];  // nshards_ is a power of two
   }
 
   unsigned nb_, nl_;
+  unsigned nshards_;
   std::vector<Pfn> heads_;        // matrix of singly-linked stacks
   std::unique_ptr<std::atomic<uint64_t>[]> counts_;  // per-list population
   std::vector<Pfn> next_;         // intrusive links by pfn

@@ -22,9 +22,23 @@ Kernel::Kernel(const hw::Topology& topo, const hw::AddressMapping& mapping,
       fail_(mix64(seed ^ 0xfa11fa11ULL)) {
   // Boot runs strictly single-threaded; no locks are taken here.
   buddy_ = std::make_unique<BuddyAllocator>(topo, pages_);
+  // Shard count for the color matrix: pinned by the knob, else derived
+  // from topology -- enough shards that the (bank, LLC) combos in
+  // flight across all cores rarely collide, clamped to [16, 512] so the
+  // stop-the-world freeze stays bounded (bench/concurrent_alloc reports
+  // the freeze cost vs. this count).
+  unsigned shards = cfg_.color_shards;
+  if (shards == 0) {
+    const uint64_t combos = static_cast<uint64_t>(mapping.num_bank_colors()) *
+                            mapping.num_llc_colors();
+    shards = static_cast<unsigned>(std::min<uint64_t>(
+        std::max<uint64_t>(16, std::min<uint64_t>(combos,
+                                                  topo.num_cores() * 16ULL)),
+        512));
+  }
   colors_ = std::make_unique<ColorLists>(mapping.num_bank_colors(),
                                          mapping.num_llc_colors(),
-                                         topo.total_pages());
+                                         topo.total_pages(), shards);
   node_online_ = std::make_unique<std::atomic<uint8_t>[]>(topo.num_nodes());
   for (unsigned n = 0; n < topo.num_nodes(); ++n)
     node_online_[n].store(1, std::memory_order_relaxed);
@@ -47,6 +61,10 @@ Kernel::Kernel(const hw::Topology& topo, const hw::AddressMapping& mapping,
       TINT_ASSERT(head != kNoPage);
       huge_pool_[n].push_back(head);
     }
+  // Offload ring registry: built at boot iff enabled, so the disabled
+  // fast paths pay exactly one predicted-false null check.
+  if (cfg_.offload.enabled)
+    offload_rings_ = std::make_unique<OffloadRings>(cfg_.offload.ring_depth);
   buddy_->warm_up(rng_, cfg_.warmup_episodes, cfg_.warmup_frag_shift);
   // Fault injection arms only after boot: the reservation and warm-up
   // above are part of the machine model, not of any scenario under test.
@@ -95,6 +113,18 @@ void Kernel::set_node_online(unsigned node, bool online) {
     stats_.offline_drained_pages.fetch_add(mag_drained,
                                            std::memory_order_relaxed);
     stats_.magazine_drains.fetch_add(mag_drained, std::memory_order_relaxed);
+  }
+  // Offload rings may stock frames of the dead controller too. Rings
+  // hold a mix of nodes, so drain them whole (the drain routes each
+  // frame by its own node) -- simple, and offlining is rare.
+  if (offload_rings_) {
+    std::vector<TaskId> ids;
+    {
+      offload_rings_->lock();
+      ids = offload_rings_->attached_unsafe();
+      offload_rings_->unlock();
+    }
+    for (const TaskId id : ids) offload_drain_task_locked(id);
   }
 }
 
@@ -151,6 +181,11 @@ void Kernel::exit_task(TaskId id) {
   if (to_buddy > 0)
     stats_.offline_drained_pages.fetch_add(to_buddy,
                                            std::memory_order_relaxed);
+  // The offload rings are a frame pool of this task too; nothing may
+  // stay parked in them once the task is gone. (A free that lands in
+  // the request ring *after* this drain is absorbed by the engine's
+  // dead-task service rounds.)
+  offload_drain_task_locked(id);
 }
 
 Kernel::ReapReport Kernel::reap_task(TaskId id) {
@@ -199,6 +234,7 @@ Kernel::ReapReport Kernel::reap_task(TaskId id) {
         static_cast<unsigned>(cs.mem_list.size() + cs.llc_list.size());
     if (rep.colors_cleared > 0) t.clear_all_colors();
     drain_magazine_to_colors(t);
+    offload_drain_task_locked(id);
   }
   return rep;
 }
@@ -249,7 +285,10 @@ VirtAddr Kernel::mmap(TaskId task_id, uint64_t addr_or_color, uint64_t length,
     // frames were chosen under the old constraints, and a later hit
     // would hand out a frame the task no longer wants. Drain them back
     // to the shards (they stay colorized and reachable for everyone).
+    // Same for the offload rings: stocked frames were chosen under the
+    // old constraints.
     drain_magazine_to_colors(t);
+    offload_drain_task_locked(task_id);
     set_last_error(AllocError::kOk);
     return 0;
   }
@@ -667,6 +706,20 @@ Kernel::AllocOutcome Kernel::alloc_pages(TaskId task_id, unsigned order,
   // Stage 1 -- colored pool (Algorithm 1, line 3: only order-0 requests
   // of coloring tasks take the colored path).
   if (order == 0 && (cs.using_bank || cs.using_llc)) {
+    // Stage -1 -- the offload completion ring: when the engine keeps it
+    // stocked, the whole allocation is one try-CAS guard plus one SPSC
+    // pop -- no mutex, no shard, no bin scan. Misses (guard busy, ring
+    // empty, offload off) fall through to the magazine.
+    if (offload_rings_) {
+      const Pfn pfn = try_ring_pop(t, cs, transient_offline);
+      if (pfn != kNoPage) {
+        ++stats_.ladder_colored;
+        out.pfn = pfn;
+        out.colored = true;
+        out.stage = AllocStage::kColored;
+        return out;
+      }
+    }
     // Stage 0 -- the task's own page magazine: a hit touches only this
     // task's lock, no shard. Bypassed under an injected transient outage
     // (the cached frame might be behind the failed controller), and
@@ -681,9 +734,7 @@ Kernel::AllocOutcome Kernel::alloc_pages(TaskId task_id, unsigned order,
           const Pfn pfn = mag.pop(t.next_combo_cursor());
           if (pfn == kNoPage) break;
           PageInfo& pi = pages_[pfn];
-          if (!node_online(pi.node) || color_retired(pi.bank_color) ||
-              (cs.using_bank && !cs.mem_colors[pi.bank_color]) ||
-              (cs.using_llc && !cs.llc_colors[pi.llc_color])) {
+          if (!cached_frame_valid(pi, cs)) {
             colors_->push(pfn, pages_);
             stats_.magazine_drains.fetch_add(1, std::memory_order_relaxed);
             continue;
@@ -771,9 +822,20 @@ Kernel::AllocOutcome Kernel::alloc_pages(TaskId task_id, unsigned order,
       return kNoPage;
     };
     Pfn pfn = scavenge();
-    // Memory pressure: frames idling in task magazines are free memory
-    // too. Flush every magazine back to the shards and scavenge once
-    // more before declaring the system out of memory.
+    // Memory pressure: frames idling in task magazines and offload
+    // rings are free memory too. Flush them back to the shards and
+    // scavenge once more before declaring the system out of memory.
+    if (pfn == kNoPage && offload_rings_) {
+      uint64_t ring_drained = 0;
+      std::vector<TaskId> ids;
+      {
+        offload_rings_->lock();
+        ids = offload_rings_->attached_unsafe();
+        offload_rings_->unlock();
+      }
+      for (const TaskId id : ids) ring_drained += offload_drain_task_locked(id);
+      if (ring_drained > 0) pfn = scavenge();
+    }
     if (pfn == kNoPage && cfg_.magazine_capacity > 0 &&
         drain_all_magazines_to_colors() > 0)
       pfn = scavenge();
@@ -935,9 +997,11 @@ Kernel::AllocOutcome Kernel::alloc_colored(Task& t, const Task::ColorSet& cs,
     // from a round that is routing around a failed controller).
     const unsigned take_mem = mems[cursor % n_mem];
     const unsigned take_llc = llcs[(cursor % ncombo) / n_mem];
+    // Uses the magazine's *live* capacity, which the adaptive tuner may
+    // have grown past the configured baseline.
     const unsigned take_max =
         (cfg_.magazine_capacity > 0 && transient_offline < 0)
-            ? cfg_.magazine_capacity + 1  // +1 serves the current fault
+            ? t.magazine().capacity() + 1  // +1 serves the current fault
             : 0;
     std::vector<Pfn> taken;
     size_t node_cursor = 0;
@@ -1059,16 +1123,30 @@ void Kernel::free_pages(Pfn pfn, unsigned order) {
   invalidate_tlb();
   PageInfo& pi = pages_[pfn];
   if (order == 0 && pi.colored_alloc) {
-    // Fast path: park the frame in its owner's magazine so the owner's
-    // next colored fault takes no shard lock. Reading pi.owner here is
-    // safe: the caller exclusively holds the frame (it is coming out of
-    // a mapping or a raw allocation), so no one else writes it. Stale
-    // frames are refused up front -- a retired color or an offline node
-    // must not hide in a magazine.
+    // Fastest path: recycle the frame straight into its owner's
+    // completion ring, where the owner's next colored fault pops it --
+    // one try-CAS guard plus one SPSC push, closing the alloc/free
+    // round trip without any background actor on the critical path.
+    // Reading pi.owner here is safe: the caller exclusively holds the
+    // frame (it is coming out of a mapping or a raw allocation), so no
+    // one else writes it.
+    if (offload_rings_ && try_ring_recycle(pi, pfn))
+      return;  // owner stays set; state is kRingOwned
+    // Park the frame in its owner's magazine so the owner's next
+    // colored fault takes no shard lock. Stale frames are refused up
+    // front -- a retired color or an offline node must not hide in a
+    // magazine.
     if (cfg_.magazine_capacity > 0 && pi.owner != kNoTask &&
         !color_retired(pi.bank_color) && node_online(pi.node) &&
         tasks_.at(pi.owner).magazine().push(pfn, pages_))
       return;  // owner stays set; state is kMagazine
+    // Overflow path: completion ring and magazine are both full (or
+    // off) -- instead of paying a shard push on the critical path, hand
+    // the frame to the offload engine over the owner's request ring;
+    // the engine absorbs it in the background. Full ring / busy guard /
+    // offload off fall through to the shards.
+    if (offload_rings_ && try_ring_push(pi, pfn))
+      return;  // owner stays set; state is kRingOwned
     // Colored frames go back to their color list (Section III.C).
     pi.owner = kNoTask;
     colors_->push(pfn, pages_);
@@ -1077,6 +1155,296 @@ void Kernel::free_pages(Pfn pfn, unsigned order) {
   pi.owner = kNoTask;
   pi.state = PageState::kBuddyFree;
   buddy_->free_block(pfn, order);
+}
+
+// --- allocation offload: per-task SPSC rings + engine service rounds
+// (DESIGN.md section 16) ---
+
+Pfn Kernel::try_ring_pop(Task& t, const Task::ColorSet& cs,
+                         int64_t transient_offline) {
+  // Bypassed under an injected transient outage, exactly like the
+  // magazine: a stocked frame might be behind the failed controller.
+  if (transient_offline >= 0) return kNoPage;
+  TaskRings* r = offload_rings_->rings_of(t.id());
+  if (r == nullptr) return kNoPage;
+  if (!r->alloc_guard.try_lock()) {
+    stats_.ring_empty_stalls.fetch_add(1, std::memory_order_relaxed);
+    return kNoPage;
+  }
+  Pfn got = kNoPage;
+  for (;;) {
+    const uint64_t v = r->completion.pop();
+    if (v == SpscRing::kEmpty) break;
+    const Pfn pfn = static_cast<Pfn>(v);
+    PageInfo& pi = pages_[pfn];
+    // The acquire on the ring tail ordered the engine's kRingOwned
+    // stamp before this read.
+    TINT_DASSERT(pi.state == PageState::kRingOwned);
+    if (!cached_frame_valid(pi, cs)) {
+      // Stocked under constraints that no longer hold (node offlined,
+      // color retired or swapped away): back to the shards, like a
+      // stale magazine frame.
+      colors_->push(pfn, pages_);
+      stats_.ring_drained_frames.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    pi.state = PageState::kAllocated;
+    got = pfn;
+    break;
+  }
+  r->alloc_guard.unlock();
+  if (got == kNoPage)
+    stats_.ring_empty_stalls.fetch_add(1, std::memory_order_relaxed);
+  else
+    stats_.ring_alloc_hits.fetch_add(1, std::memory_order_relaxed);
+  return got;
+}
+
+bool Kernel::try_ring_push(PageInfo& pi, Pfn pfn) {
+  // Stale frames are refused up front, like the magazine path: a
+  // retired color or an offline node must not hide in a ring.
+  if (pi.owner == kNoTask || color_retired(pi.bank_color) ||
+      !node_online(pi.node))
+    return false;
+  TaskRings* r = offload_rings_->rings_of(pi.owner);
+  if (r == nullptr) return false;
+  if (!r->free_guard.try_lock()) return false;
+  // State before push: the release store of the ring tail publishes
+  // this write to the engine together with the slot.
+  pi.state = PageState::kRingOwned;
+  const bool ok = r->request.push(pfn);
+  if (!ok) {
+    pi.state = PageState::kAllocated;  // caller falls through, state restored
+    stats_.ring_full_stalls.fetch_add(1, std::memory_order_relaxed);
+  }
+  r->free_guard.unlock();
+  return ok;
+}
+
+bool Kernel::try_ring_recycle(PageInfo& pi, Pfn pfn) {
+  // Same staleness screen as the other cached tiers; the pop side
+  // additionally revalidates against the owner's *current* color set
+  // (cached_frame_valid), so a basic screen suffices here.
+  if (pi.owner == kNoTask || color_retired(pi.bank_color) ||
+      !node_online(pi.node))
+    return false;
+  TaskRings* r = offload_rings_->rings_of(pi.owner);
+  if (r == nullptr) return false;
+  // The completion ring's producer side is shared with the engine
+  // (restock + absorb-recycle); the guard keeps it single-producer.
+  // Busy means the engine is mid-push -- fall through, never spin.
+  if (!r->recycle_guard.try_lock()) return false;
+  // State before push: the release store of the ring tail publishes
+  // this write to the consumer together with the slot.
+  pi.state = PageState::kRingOwned;
+  const bool ok = r->completion.push(pfn);
+  if (!ok) pi.state = PageState::kAllocated;  // full: caller falls through
+  r->recycle_guard.unlock();
+  if (ok) stats_.ring_fg_recycles.fetch_add(1, std::memory_order_relaxed);
+  return ok;
+}
+
+bool Kernel::offload_attach(TaskId id) {
+  if (!offload_rings_) return false;
+  TINT_ASSERT(id < tasks_.size());
+  return offload_rings_->attach(id) != nullptr;
+}
+
+uint64_t Kernel::offload_ring_pops(TaskId id) const {
+  if (!offload_rings_) return 0;
+  const TaskRings* r = offload_rings_->rings_of(id);
+  return r ? r->completion.pops() : 0;
+}
+
+Kernel::OffloadServiceReport Kernel::offload_service(TaskId id,
+                                                     unsigned target_stock) {
+  OffloadServiceReport rep;
+  if (!offload_rings_) return rep;
+  TaskRings* r = offload_rings_->rings_of(id);
+  if (r == nullptr) return rep;
+  // Shared like a fault, for the whole round: frames travel between
+  // pools through engine-local state here, and a stop-the-world freeze
+  // (exclusive mm) drains the engine mid-batch exactly like an
+  // in-flight fault before it walks the pools.
+  std::shared_lock mm(mm_lock_);
+  offload_rings_->lock();
+  // The completion ring's producer side is shared with the foreground
+  // direct-recycle path; spin-own it for the round so both the phase-1
+  // recycle pushes and the phase-2 restock stay single-producer. A
+  // concurrent free simply try-fails its recycle and falls through to
+  // the magazine/request-ring tiers -- including the free_pages call on
+  // the restock failure path below, which runs with this guard held.
+  r->recycle_guard.lock();
+  Task& t = tasks_.at(id);
+  const Task::ColorSet& cs = t.colors();
+  const bool colored = cs.using_bank || cs.using_llc;
+  rep.task_dead = !t.alive();
+
+  // Phase 1 -- absorb frees from the request ring. Still-valid frames
+  // of a live task recycle straight into the completion ring (one
+  // pointer move, no shard); the rest re-home to the magazine, the
+  // shards, or -- behind an offline node -- the buddy.
+  for (unsigned i = 0; i < cfg_.offload.drain_batch; ++i) {
+    const uint64_t v = r->request.pop();
+    if (v == SpscRing::kEmpty) break;
+    const Pfn pfn = static_cast<Pfn>(v);
+    PageInfo& pi = pages_[pfn];
+    TINT_DASSERT(pi.state == PageState::kRingOwned);
+    ++rep.frees_absorbed;
+    if (!rep.task_dead && colored && cached_frame_valid(pi, cs) &&
+        r->completion.push(v)) {
+      ++rep.recycled;  // stays kRingOwned, owner unchanged
+      continue;
+    }
+    if (!rep.task_dead && cfg_.magazine_capacity > 0 &&
+        !color_retired(pi.bank_color) && node_online(pi.node) &&
+        t.magazine().push(pfn, pages_))
+      continue;  // kRingOwned -> kMagazine, owner kept
+    if (node_online(pi.node)) {
+      colors_->push(pfn, pages_);
+    } else {
+      pi.owner = kNoTask;
+      pi.state = PageState::kBuddyFree;
+      buddy_->free_block(pfn, 0);
+    }
+  }
+
+  // Phase 2 -- restock the completion ring to the pacing target through
+  // the normal colored refill ladder (which also prefills the task's
+  // magazine via the batched direct handoff). The engine is the ring's
+  // only producer, so size() can only shrink under us and every push
+  // below the clamp succeeds.
+  if (!rep.task_dead && colored) {
+    const unsigned target =
+        std::min(target_stock, r->completion.capacity());
+    while (r->completion.size() < target) {
+      const AllocOutcome out = alloc_colored(t, cs, ~0ULL, -1);
+      if (out.pfn == kNoPage) break;  // colored pools dry: stop, no fallback
+      PageInfo& pi = pages_[out.pfn];
+      pi.owner = id;
+      pi.colored_alloc = true;
+      pi.state = PageState::kRingOwned;
+      if (!r->completion.push(out.pfn)) {
+        pi.state = PageState::kAllocated;
+        free_pages(out.pfn, 0);
+        break;
+      }
+      ++rep.restocked;
+    }
+  }
+  r->recycle_guard.unlock();
+  offload_rings_->unlock();
+
+  if (rep.frees_absorbed > 0)
+    stats_.ring_frees_absorbed.fetch_add(rep.frees_absorbed,
+                                         std::memory_order_relaxed);
+  if (rep.recycled > 0)
+    stats_.ring_recycled.fetch_add(rep.recycled, std::memory_order_relaxed);
+  if (rep.restocked > 0)
+    stats_.prefault_pages.fetch_add(rep.restocked, std::memory_order_relaxed);
+  if (rep.frees_absorbed > 0 || rep.restocked > 0)
+    stats_.batches_drained.fetch_add(1, std::memory_order_relaxed);
+  return rep;
+}
+
+uint64_t Kernel::offload_drain_task_locked(TaskId id) {
+  if (!offload_rings_) return 0;
+  TaskRings* r = offload_rings_->rings_of(id);
+  if (r == nullptr) return 0;
+  // Engine lock + both app guards: with all three sides frozen the two
+  // drains see every parked frame and no new one can slip in. The
+  // re-homing happens inside the hold, so a frame is never outside
+  // every pool while the rings are already thawed.
+  offload_rings_->lock();
+  r->freeze_app_sides();
+  std::vector<uint64_t> frames = r->completion.drain_all();
+  {
+    const std::vector<uint64_t> freed = r->request.drain_all();
+    frames.insert(frames.end(), freed.begin(), freed.end());
+  }
+  uint64_t to_buddy = 0;
+  for (const uint64_t v : frames) {
+    const Pfn pfn = static_cast<Pfn>(v);
+    PageInfo& pi = pages_[pfn];
+    TINT_DASSERT(pi.state == PageState::kRingOwned);
+    if (node_online(pi.node)) {
+      colors_->push(pfn, pages_);
+    } else {
+      pi.owner = kNoTask;
+      pi.state = PageState::kBuddyFree;
+      buddy_->free_block(pfn, 0);
+      ++to_buddy;
+    }
+  }
+  r->thaw_app_sides();
+  offload_rings_->unlock();
+  if (!frames.empty())
+    stats_.ring_drained_frames.fetch_add(frames.size(),
+                                         std::memory_order_relaxed);
+  if (to_buddy > 0)
+    stats_.offline_drained_pages.fetch_add(to_buddy,
+                                           std::memory_order_relaxed);
+  return frames.size();
+}
+
+uint64_t Kernel::offload_drain_task(TaskId id) {
+  if (!offload_rings_) return 0;
+  // Shared like a fault: the drain moves frames between pools, and the
+  // stop-the-world walk must not observe the in-between window.
+  std::shared_lock mm(mm_lock_);
+  return offload_drain_task_locked(id);
+}
+
+// --- adaptive magazine tuner (control-plane pass) ---
+
+Kernel::MagazineAdaptReport Kernel::adapt_magazines() {
+  MagazineAdaptReport rep;
+  if (cfg_.magazine_capacity == 0 ||
+      cfg_.magazine_capacity_max <= cfg_.magazine_capacity)
+    return rep;
+  // Shared like a fault: set_capacity takes effect against concurrent
+  // pushes immediately, and the stop-the-world walk must not interleave.
+  std::shared_lock mm(mm_lock_);
+  const size_t ntasks = tasks_.size();
+  for (size_t i = 0; i < ntasks; ++i) {
+    Task& t = tasks_.at(static_cast<TaskId>(i));
+    if (!t.alive()) continue;
+    Task::MagTune& tune = t.mag_tune();
+    const uint64_t hits =
+        t.alloc_stats().magazine_hits.load(std::memory_order_relaxed);
+    const uint64_t misses =
+        t.alloc_stats().magazine_misses.load(std::memory_order_relaxed);
+    const uint64_t dh = hits - tune.hits_seen;
+    const uint64_t dm = misses - tune.misses_seen;
+    tune.hits_seen = hits;
+    tune.misses_seen = misses;
+    // Too few observations this pass to act on.
+    if (dh + dm < 16) continue;
+    ++rep.observed;
+    const double frac =
+        static_cast<double>(dh) / static_cast<double>(dh + dm);
+    tune.ewma = tune.ewma < 0.0 ? frac : 0.3 * frac + 0.7 * tune.ewma;
+    const unsigned cap = t.magazine().capacity();
+    if (tune.ewma < 0.6 && cap < cfg_.magazine_capacity_max) {
+      // Missing often: the per-combo bins are too shallow for this
+      // task's churn. Double, bounded by the cap knob.
+      t.magazine().set_capacity(
+          std::min(cap * 2, cfg_.magazine_capacity_max));
+      ++rep.grown;
+      stats_.magazine_grows.fetch_add(1, std::memory_order_relaxed);
+    } else if (tune.ewma > 0.95 && cap > cfg_.magazine_capacity &&
+               t.magazine().cached() <= cap) {
+      // Saturated hit rate with a mostly-idle cache: give the frames
+      // back. Halve, bounded below by the configured floor. (Shrinking
+      // only changes what future pushes accept; already-cached frames
+      // drain through the normal triggers.)
+      t.magazine().set_capacity(
+          std::max(cap / 2, cfg_.magazine_capacity));
+      ++rep.shrunk;
+      stats_.magazine_shrinks.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return rep;
 }
 
 // --- RAS: poisoning, migration, offlining, scrubbing (DESIGN.md
@@ -1140,6 +1508,27 @@ bool Kernel::poison_frame(Pfn pfn) {
         note_poisoned_locked(pfn);
         return true;
       }
+    }
+  }
+  // Offload-ring reach-in: a faulty frame must not ride out quarantine
+  // stocked in a ring either. Steal requires all three sides frozen
+  // (engine lock + both app guards); ranks ascend kRas -> kOffloadRing.
+  if (offload_rings_) {
+    bool stolen = false;
+    offload_rings_->freeze();
+    for (const TaskId id : offload_rings_->attached_unsafe()) {
+      TaskRings* r = offload_rings_->rings_of(id);
+      if (r->completion.steal(pfn) || r->request.steal(pfn)) {
+        stolen = true;
+        break;
+      }
+    }
+    offload_rings_->thaw();
+    if (stolen) {
+      pages_[pfn].state = PageState::kPoisoned;
+      pages_[pfn].owner = kNoTask;
+      note_poisoned_locked(pfn);
+      return true;
     }
   }
   poisoned_.erase(pfn);
@@ -1226,8 +1615,10 @@ bool Kernel::recolor_task(TaskId task_id,
   t.replace_colors(drop_mem, add_mem, drop_llc, add_llc);
   // Cached frames were chosen under the old constraints; back to the
   // shards with them (the post-swap membership check in alloc_pages
-  // covers frames that sneak in afterwards via a racing free).
+  // covers frames that sneak in afterwards via a racing free; the ring
+  // pop and the engine's recycle run the same check).
   drain_magazine_to_colors(t);
+  offload_drain_task_locked(task_id);
   ++stats_.recolor_calls;
   set_last_error(AllocError::kOk);
   return true;
@@ -1415,6 +1806,10 @@ Kernel::ScrubReport Kernel::scrub() {
     std::unique_lock<DefaultLock> dl(default_lock_);
     std::unique_lock<PtLock> pt(pt_lock_);
     std::unique_lock<HugeLock> hl(huge_lock_);
+    // Offload rings are a frame pool too (rank kOffloadRing, below the
+    // magazines): a faulty frame must not ride out every pass stocked
+    // in a ring.
+    if (offload_rings_) offload_rings_->freeze();
     // Magazines are a frame pool too: the scrubber must see cached
     // frames or a faulty frame could ride out every pass inside one.
     // Locked in task-id order (equal rank kMagazine), between the huge
@@ -1442,6 +1837,16 @@ Kernel::ScrubReport Kernel::scrub() {
         if (model->frame_health(frame_base(pfn)) !=
             sim::FrameHealth::kHealthy)
           free_victims.push_back({pfn});  // poison_frame reaches in later
+    if (offload_rings_)
+      for (const TaskId id : offload_rings_->attached_unsafe()) {
+        const TaskRings* r = offload_rings_->rings_of(id);
+        for (const SpscRing* ring : {&r->completion, &r->request})
+          for (const uint64_t v : ring->snapshot())
+            if (model->frame_health(frame_base(static_cast<Pfn>(v))) !=
+                sim::FrameHealth::kHealthy)
+              free_victims.push_back(
+                  {static_cast<Pfn>(v)});  // ring steal reaches in later
+      }
     for (const auto& [vpn, pfn] : page_table_.mappings()) {
       if (pages_[pfn].huge) continue;  // 2 MB frames are exempt
       const sim::FrameHealth h = model->frame_health(frame_base(pfn));
@@ -1452,6 +1857,7 @@ Kernel::ScrubReport Kernel::scrub() {
     colors_->thaw();
     for (size_t i = ntasks; i-- > 0;)
       tasks_.at(static_cast<TaskId>(i)).magazine().unlock();
+    if (offload_rings_) offload_rings_->thaw();
   }
   rep.frames_flagged = free_victims.size() + mapped_victims.size();
   stats_.scrub_frames_flagged.fetch_add(rep.frames_flagged,
@@ -1525,6 +1931,11 @@ Kernel::InvariantReport Kernel::check_invariants(uint64_t expected_loose,
     // frame inserted into the poisoned set but not yet carved out of
     // its pool would double-count below).
     rl.lock();
+    // Offload rings freeze between the ras lock and the magazines
+    // (rank kOffloadRing = 56 sits between kRas and kMagazine): the
+    // ring walk below counts kRingOwned frames, so the engine and the
+    // app-side guards must be excluded for the bracket.
+    if (offload_rings_) offload_rings_->freeze();
     // The task count is read only now, with mm held exclusively: a task
     // created before this point may already hold magazine frames (its
     // creator's faults and frees ran under mm shared, which we just
@@ -1554,7 +1965,7 @@ Kernel::InvariantReport Kernel::check_invariants(uint64_t expected_loose,
   // which pool claims each frame; a frame claimed twice or a counter
   // that disagrees with its walk is a corruption.
   enum : uint8_t { kBuddy = 1, kColor = 2, kMapped = 4, kHuge = 8,
-                   kPoison = 16, kMagazineBit = 32 };
+                   kPoison = 16, kMagazineBit = 32, kRing = 64 };
   std::vector<uint8_t> claimed(rep.total, 0);
   const auto claim = [&](Pfn pfn, uint8_t who) {
     if (claimed[pfn]) ++rep.double_counted;
@@ -1586,6 +1997,27 @@ Kernel::InvariantReport Kernel::check_invariants(uint64_t expected_loose,
         magazine_state_ok = false;
     }
   }
+  // Offload rings: every parked frame belongs to the task whose ring
+  // holds it and is in the dedicated kRingOwned state -- the frame-
+  // conservation law must see ring-parked frames or the engine could
+  // leak through a teardown. (Non-stop-the-world mode reads the rings
+  // unfrozen; the caller guarantees quiescence, as with the magazines.)
+  bool ring_state_ok = true;
+  if (offload_rings_) {
+    for (const TaskId id : offload_rings_->attached_unsafe()) {
+      const TaskRings* r = offload_rings_->rings_of(id);
+      for (const SpscRing* ring : {&r->completion, &r->request}) {
+        for (const uint64_t v : ring->snapshot()) {
+          const Pfn pfn = static_cast<Pfn>(v);
+          ++rep.ring_owned;
+          claim(pfn, kRing);
+          if (pages_[pfn].state != PageState::kRingOwned ||
+              pages_[pfn].owner != id)
+            ring_state_ok = false;
+        }
+      }
+    }
+  }
   for (const auto& [vpn, pfn] : page_table_.mappings()) {
     ++rep.mapped;
     claim(pfn, kMapped);
@@ -1612,9 +2044,9 @@ Kernel::InvariantReport Kernel::check_invariants(uint64_t expected_loose,
   rep.loose = unclaimed >= rep.pinned ? unclaimed - rep.pinned : 0;
 
   const uint64_t accounted = rep.buddy_free + rep.color_parked +
-                             rep.magazine_cached + rep.mapped +
-                             rep.huge_pool_pages + rep.poisoned +
-                             rep.pinned + rep.loose;
+                             rep.magazine_cached + rep.ring_owned +
+                             rep.mapped + rep.huge_pool_pages +
+                             rep.poisoned + rep.pinned + rep.loose;
   rep.ok = true;
   if (rep.double_counted != 0) {
     rep.ok = false;
@@ -1622,6 +2054,9 @@ Kernel::InvariantReport Kernel::check_invariants(uint64_t expected_loose,
   } else if (!poison_state_ok) {
     rep.ok = false;
     rep.detail = "quarantined frame not in kPoisoned state";
+  } else if (!ring_state_ok) {
+    rep.ok = false;
+    rep.detail = "ring-parked frame with wrong state or owner";
   } else if (!magazine_state_ok) {
     rep.ok = false;
     rep.detail = "magazine frame with wrong state or owner";
@@ -1664,6 +2099,7 @@ Kernel::InvariantReport Kernel::check_invariants(uint64_t expected_loose,
     colors_->thaw();
     for (size_t i = ntasks; i-- > 0;)
       tasks_.at(static_cast<TaskId>(i)).magazine().unlock();
+    if (offload_rings_) offload_rings_->thaw();
   }
   // rl/hl/pt/dl/mm release in reverse declaration order (descending rank).
   return rep;

@@ -49,6 +49,7 @@
 #include "os/color_lists.h"
 #include "os/errors.h"
 #include "os/failpoints.h"
+#include "os/offload_ring.h"
 #include "os/page.h"
 #include "os/page_table.h"
 #include "os/task.h"
@@ -112,6 +113,18 @@ struct KernelConfig {
   // Frames cached per (MEM_ID, LLC_ID) combo in each task's page
   // magazine (see os/page_magazine.h). 0 disables magazines entirely.
   unsigned magazine_capacity = 0;
+  // Upper bound for the *adaptive* magazine tuner (adapt_magazines):
+  // each alive task's per-combo capacity grows toward this cap while its
+  // observed hit fraction is poor and shrinks back toward
+  // magazine_capacity when the cache is saturated. 0 disables adaptation
+  // (capacity stays fixed at magazine_capacity).
+  unsigned magazine_capacity_max = 0;
+  // Color-list shard count. 0 derives it from topology at boot: the
+  // number of (bank, LLC) combos clamped to a power of two in [16, 512]
+  // (see Kernel ctor). Explicit values are rounded up to a power of two.
+  // Shards only affect locking granularity -- never list contents or pop
+  // order -- so this knob is determinism-safe.
+  unsigned color_shards = 0;
   // Buddy blocks colorized per refill round. 1 keeps the legacy
   // one-block-per-shard-lock path; larger values batch several blocks
   // through ColorLists::refill_batch under one shard acquisition per
@@ -140,6 +153,27 @@ struct KernelConfig {
     Cycles migrate_copy_cycles = 2000;
   };
   RasConfig ras;
+  // --- allocation offload engine (DESIGN.md section 16) ---
+  struct OffloadConfig {
+    // Master switch. Off (default): no rings exist, the fast paths cost
+    // one predicted-false branch, and determinism goldens stay
+    // bit-identical.
+    bool enabled = false;
+    // Usable slots per ring (rounded up to a power of two). Both the
+    // completion and the request ring of each task use this depth.
+    unsigned ring_depth = 256;
+    // Max frames absorbed from one task's request ring per service
+    // round.
+    unsigned drain_batch = 64;
+    // Completion-ring stock floor: the engine restocks at least this
+    // many frames even for a task it has not yet observed draining.
+    unsigned min_stock = 16;
+    // Restock target = observed drain rate per round x this headroom
+    // (clamped to [min_stock, ring capacity - 1]) -- DReAM-style
+    // observed-counter pacing.
+    double prefault_headroom = 2.0;
+  };
+  OffloadConfig offload;
 };
 
 struct KernelStats {
@@ -194,6 +228,19 @@ struct KernelStats {
   std::atomic<uint64_t> batch_refills{0};    // multi-block refill rounds
   // --- live re-coloring (Kernel::recolor_task; used by the ColorGuard) ---
   std::atomic<uint64_t> recolor_calls{0};    // atomic color-set swaps applied
+  // --- allocation offload counters (DESIGN.md section 16) ---
+  std::atomic<uint64_t> ring_alloc_hits{0};    // colored allocs a ring served
+  std::atomic<uint64_t> ring_empty_stalls{0};  // ring probed empty / guard busy
+  std::atomic<uint64_t> ring_full_stalls{0};   // frees that found the ring full
+  std::atomic<uint64_t> ring_frees_absorbed{0};  // frames the engine drained
+  std::atomic<uint64_t> ring_recycled{0};   // frees recycled straight to stock
+  std::atomic<uint64_t> ring_fg_recycles{0};  // frees recycled inline by the app
+  std::atomic<uint64_t> ring_drained_frames{0};  // teardown/recolor drains
+  std::atomic<uint64_t> prefault_pages{0};  // frames the engine stocked ahead
+  std::atomic<uint64_t> batches_drained{0};  // service rounds that did work
+  // --- adaptive magazine tuner (Kernel::adapt_magazines) ---
+  std::atomic<uint64_t> magazine_grows{0};
+  std::atomic<uint64_t> magazine_shrinks{0};
 
   struct Snapshot {
     uint64_t color_control_calls = 0;
@@ -231,6 +278,17 @@ struct KernelStats {
     uint64_t magazine_drains = 0;
     uint64_t batch_refills = 0;
     uint64_t recolor_calls = 0;
+    uint64_t ring_alloc_hits = 0;
+    uint64_t ring_empty_stalls = 0;
+    uint64_t ring_full_stalls = 0;
+    uint64_t ring_frees_absorbed = 0;
+    uint64_t ring_recycled = 0;
+    uint64_t ring_fg_recycles = 0;
+    uint64_t ring_drained_frames = 0;
+    uint64_t prefault_pages = 0;
+    uint64_t batches_drained = 0;
+    uint64_t magazine_grows = 0;
+    uint64_t magazine_shrinks = 0;
   };
   Snapshot snapshot() const {
     const auto ld = [](const std::atomic<uint64_t>& a) {
@@ -250,7 +308,13 @@ struct KernelStats {
             ld(ecc_uncorrected),     ld(ras_screened_frames),
             ld(offline_drained_pages), ld(magazine_hits),
             ld(magazine_misses),     ld(magazine_drains),
-            ld(batch_refills),       ld(recolor_calls)};
+            ld(batch_refills),       ld(recolor_calls),
+            ld(ring_alloc_hits),     ld(ring_empty_stalls),
+            ld(ring_full_stalls),    ld(ring_frees_absorbed),
+            ld(ring_recycled),       ld(ring_fg_recycles),
+            ld(ring_drained_frames),
+            ld(prefault_pages),      ld(batches_drained),
+            ld(magazine_grows),      ld(magazine_shrinks)};
   }
 };
 
@@ -456,6 +520,58 @@ class Kernel {
   };
   ScrubReport scrub();
 
+  // --- allocation offload (per-task SPSC rings; DESIGN.md section 16) ---
+  // Attaches request/completion rings to a task so its order-0 colored
+  // faults pop from the completion ring and its frees push to the
+  // request ring (both app sides lock-free + try-guard, falling back to
+  // the magazine path whenever the ring cannot serve). Idempotent.
+  // Returns false when offload is disabled or the id is beyond the
+  // ring registry's direct-map bound.
+  bool offload_attach(TaskId id);
+  bool offload_attached(TaskId id) const {
+    return offload_rings_ && offload_rings_->rings_of(id) != nullptr;
+  }
+  bool offload_enabled() const { return cfg_.offload.enabled; }
+
+  // One service round for one task, called from the engine thread:
+  // absorbs up to offload.drain_batch frames from the request ring
+  // (recycling still-valid ones straight back into the completion ring,
+  // re-homing the rest to magazine/colors/buddy), then restocks the
+  // completion ring to `target_stock` colored frames via the usual
+  // refill ladder. Holds the mm lock shared for the whole round, so a
+  // stop-the-world freeze drains the engine mid-batch exactly like an
+  // in-flight fault. Safe to call for a dead task (absorb-only).
+  struct OffloadServiceReport {
+    uint64_t frees_absorbed = 0;  // request-ring frames consumed
+    uint64_t recycled = 0;        // of those, moved straight to stock
+    uint64_t restocked = 0;       // fresh frames pushed to the completion ring
+    bool task_dead = false;       // restock skipped: task exited
+  };
+  OffloadServiceReport offload_service(TaskId id, unsigned target_stock);
+
+  // Cumulative completion-ring pops of a task -- the engine's
+  // drain-rate observation point for prefault pacing. 0 when never
+  // attached.
+  uint64_t offload_ring_pops(TaskId id) const;
+
+  // Drains both rings of a task back to the shared pools (teardown,
+  // re-coloring, color-control changes, node offlining). Returns frames
+  // drained. Safe from any thread; no-op when never attached.
+  uint64_t offload_drain_task(TaskId id);
+
+  // --- adaptive magazine tuner (control-plane pass; DESIGN.md §13) ---
+  // Re-sizes each alive task's magazine capacity from the task's
+  // observed hit/miss deltas since the previous pass: poor hit fraction
+  // doubles the per-combo capacity (up to magazine_capacity_max),
+  // saturated caches halve it back toward the magazine_capacity floor.
+  // No-op unless magazine_capacity_max > magazine_capacity > 0.
+  struct MagazineAdaptReport {
+    unsigned grown = 0;    // tasks whose capacity doubled
+    unsigned shrunk = 0;   // tasks whose capacity halved
+    unsigned observed = 0; // alive tasks with magazine traffic this pass
+  };
+  MagazineAdaptReport adapt_magazines();
+
   // A bank color whose poisoned-frame count crossed the retirement
   // threshold: colored placement (ladder stage 1) skips it; parked
   // frames of that color remain reachable through widening/scavenging.
@@ -478,6 +594,7 @@ class Kernel {
     uint64_t buddy_free = 0;
     uint64_t color_parked = 0;
     uint64_t magazine_cached = 0;  // frames parked in task page magazines
+    uint64_t ring_owned = 0;       // frames parked in task offload rings
     uint64_t mapped = 0;
     uint64_t huge_pool_pages = 0;
     uint64_t pinned = 0;          // warm-up reserved pages
@@ -553,6 +670,33 @@ class Kernel {
   // Frames go back to their color lists; returns the count drained.
   uint64_t drain_magazine_to_colors(Task& t);
   uint64_t drain_all_magazines_to_colors();
+  // Ring drain body: freezes the task's rings (engine lock + app
+  // guards), pops everything from both, and re-homes the frames to
+  // colors/buddy. Caller may hold the mm lock (either mode) or nothing;
+  // must NOT hold ranks >= kOffloadRing.
+  uint64_t offload_drain_task_locked(TaskId id);
+  // Fast-path helpers (called from alloc_pages/free_pages). `try_ring_pop`
+  // returns kNoPage when offload is off / unattached / guard busy / ring
+  // empty / every parked frame invalid; a popped-but-stale frame is
+  // re-homed inline. `try_ring_push` returns false when the free could
+  // not be parked (caller falls through to the magazine path).
+  Pfn try_ring_pop(Task& t, const Task::ColorSet& cs,
+                   int64_t transient_offline);
+  bool try_ring_push(PageInfo& pi, Pfn pfn);
+  // Direct recycle: a freed frame that is still valid for its owner is
+  // pushed straight back into the owner's completion ring (producer
+  // side shared with the engine via recycle_guard), closing the SPSC
+  // round trip without the engine on the critical path. False when the
+  // frame is stale / guard busy / ring full (caller falls through).
+  bool try_ring_recycle(PageInfo& pi, Pfn pfn);
+  // Shared validation for ring/magazine-cached frames: the pool the
+  // frame was chosen from may have gone stale (node offlined, color
+  // retired or swapped out of the task's set).
+  bool cached_frame_valid(const PageInfo& pi, const Task::ColorSet& cs) const {
+    return node_online(pi.node) && !color_retired(pi.bank_color) &&
+           (!cs.using_bank || cs.mem_colors[pi.bank_color]) &&
+           (!cs.using_llc || cs.llc_colors[pi.llc_color]);
+  }
   // Migration/offline bodies; caller holds the mm lock shared (they are
   // reached from inside the fault/touch path, which already does).
   // `expected` != kNoPage pins the migration to a specific old frame:
@@ -657,6 +801,9 @@ class Kernel {
   // allocation path can skip retired colors without taking ras_lock_.
   std::unique_ptr<std::atomic<uint8_t>[]> color_retired_;
   std::atomic<const sim::DramFaultModel*> fault_model_{nullptr};
+  // Per-task offload ring registry; null when offload.enabled is false
+  // (the fast paths then cost exactly one predicted-false branch).
+  std::unique_ptr<OffloadRings> offload_rings_;
   FailPoints fail_;
   std::atomic<AllocError> last_error_{AllocError::kOk};
   KernelStats stats_;

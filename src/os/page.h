@@ -29,6 +29,13 @@ enum class PageState : uint8_t {
   kMagazine,    // cached in the owning task's page magazine (a first-class
                 // free pool: the invariant checker counts it, RAS can
                 // reach in, and drains return frames to the color lists)
+  kRingOwned,   // parked in one of the owning task's offload rings (see
+                // os/offload_ring.h): either stocked in the completion
+                // ring awaiting the task's next colored fault, or freed
+                // into the request ring awaiting background absorption.
+                // A first-class free pool like kMagazine: counted by the
+                // invariant walk, stealable by RAS poisoning, drained on
+                // teardown
 };
 
 struct PageInfo {

@@ -82,6 +82,10 @@ AggregateResult ExperimentDriver::run(const WorkloadSpec& spec,
     agg.magazine_misses += r.magazine_misses;
     agg.batch_refills += r.batch_refills;
     agg.tcache_hits += r.tcache_hits;
+    agg.ring_alloc_hits += r.ring_alloc_hits;
+    agg.ring_full_stalls += r.ring_full_stalls;
+    agg.prefault_pages += r.prefault_pages;
+    agg.batches_drained += r.batches_drained;
     agg.recolor_calls += r.recolor_calls;
   }
   const double n = static_cast<double>(reps_);

@@ -1,0 +1,151 @@
+#include "runtime/offload.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/tintmalloc.h"
+#include "util/assert.h"
+
+namespace tint::runtime {
+
+OffloadEngine::OffloadEngine(os::Kernel& kernel, OffloadEngineConfig cfg)
+    : kernel_(kernel), cfg_(cfg) {}
+
+OffloadEngine::~OffloadEngine() {
+  stop();
+  std::lock_guard lk(mu_);
+  for (const Watch& w : watches_) kernel_.offload_drain_task(w.id);
+  watches_.clear();
+}
+
+bool OffloadEngine::watch(os::TaskId id) {
+  if (!kernel_.offload_enabled()) return false;
+  if (!kernel_.offload_attach(id)) return false;
+  std::lock_guard lk(mu_);
+  for (const Watch& w : watches_)
+    if (w.id == id) return true;  // idempotent
+  // Seed last_pops from the live counter so the first round measures a
+  // real delta, not the task's whole history.
+  watches_.push_back({id, kernel_.offload_ring_pops(id), -1.0});
+  return true;
+}
+
+void OffloadEngine::unwatch(os::TaskId id) {
+  {
+    std::lock_guard lk(mu_);
+    const auto it = std::find_if(watches_.begin(), watches_.end(),
+                                 [id](const Watch& w) { return w.id == id; });
+    if (it == watches_.end()) return;
+    watches_.erase(it);
+  }
+  kernel_.offload_drain_task(id);
+}
+
+void OffloadEngine::attach_heap(core::TintHeap* heap) {
+  if (heap == nullptr) return;
+  std::lock_guard lk(mu_);
+  if (std::find(heaps_.begin(), heaps_.end(), heap) == heaps_.end())
+    heaps_.push_back(heap);
+}
+
+void OffloadEngine::detach_heap(core::TintHeap* heap) {
+  std::lock_guard lk(mu_);
+  heaps_.erase(std::remove(heaps_.begin(), heaps_.end(), heap), heaps_.end());
+}
+
+size_t OffloadEngine::watched() const {
+  std::lock_guard lk(mu_);
+  return watches_.size();
+}
+
+bool OffloadEngine::run_round() {
+  std::lock_guard lk(mu_);
+  return run_round_locked();
+}
+
+bool OffloadEngine::run_round_locked() {
+  const os::KernelConfig::OffloadConfig& oc = kernel_.config().offload;
+  bool did_work = false;
+
+  for (size_t i = 0; i < watches_.size();) {
+    Watch& w = watches_[i];
+    // Observed drain rate: completion-ring pops since the last round,
+    // EWMA-smoothed. This is what "pre-faulting ahead of demand" keys
+    // off -- the restock target follows the measured burn, not a guess.
+    const uint64_t pops = kernel_.offload_ring_pops(w.id);
+    const uint64_t delta = pops - w.last_pops;
+    w.last_pops = pops;
+    const double d = static_cast<double>(delta);
+    w.ewma = w.ewma < 0.0 ? d : cfg_.ewma_alpha * d +
+                                    (1.0 - cfg_.ewma_alpha) * w.ewma;
+
+    const double want = std::ceil(w.ewma * oc.prefault_headroom);
+    const unsigned target = std::max<unsigned>(
+        oc.min_stock,
+        static_cast<unsigned>(std::min(want, 1e9)));  // kernel clamps to ring
+
+    const os::Kernel::OffloadServiceReport rep =
+        kernel_.offload_service(w.id, target);
+    stats_.frees_absorbed.fetch_add(rep.frees_absorbed,
+                                    std::memory_order_relaxed);
+    stats_.frames_recycled.fetch_add(rep.recycled, std::memory_order_relaxed);
+    stats_.frames_restocked.fetch_add(rep.restocked,
+                                      std::memory_order_relaxed);
+    if (rep.frees_absorbed || rep.recycled || rep.restocked) did_work = true;
+
+    if (rep.task_dead) {
+      // Final drain returns any still-parked frames to the color lists;
+      // later frees of the dead task's frames keep landing in the
+      // request ring and are swept by scavenge pressure, exactly like
+      // a dead task's magazine.
+      const os::TaskId dead = w.id;
+      watches_.erase(watches_.begin() + static_cast<ptrdiff_t>(i));
+      kernel_.offload_drain_task(dead);
+      stats_.dead_task_drops.fetch_add(1, std::memory_order_relaxed);
+      continue;  // i now names the next watch
+    }
+    ++i;
+  }
+
+  for (core::TintHeap* heap : heaps_) {
+    const uint64_t flushed = heap->drain_deferred_flushes();
+    if (flushed > 0) {
+      did_work = true;
+      stats_.heap_flushes.fetch_add(flushed, std::memory_order_relaxed);
+    }
+  }
+
+  stats_.rounds_run.fetch_add(1, std::memory_order_relaxed);
+  if (did_work) stats_.busy_rounds.fetch_add(1, std::memory_order_relaxed);
+  return did_work;
+}
+
+void OffloadEngine::start() {
+  TINT_ASSERT_MSG(!running_.load(std::memory_order_acquire),
+                  "OffloadEngine already running");
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread([this] {
+    while (running_.load(std::memory_order_acquire)) {
+      const bool busy = run_round();
+      if (busy) continue;  // demand present: service again immediately
+      std::unique_lock lk(cv_mu_);
+      cv_.wait_for(lk, cfg_.idle_sleep, [this] {
+        return !running_.load(std::memory_order_acquire);
+      });
+    }
+  });
+}
+
+void OffloadEngine::stop() {
+  if (!running_.exchange(false, std::memory_order_acq_rel)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  {
+    std::lock_guard lk(cv_mu_);
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+}
+
+}  // namespace tint::runtime

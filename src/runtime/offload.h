@@ -1,0 +1,157 @@
+// OffloadEngine: the background allocator core (DESIGN.md section 16).
+//
+// SpeedMalloc-style allocation offload: instead of every application
+// thread walking the coloring ladder (locks, buddy refills, magazine
+// churn) on its own fault, a dedicated allocator thread keeps a
+// per-task *completion ring* stocked with ready-to-use colored frames
+// and absorbs frees parked on the matching *request ring*. The
+// foreground path degenerates to "pop a pfn from a lock-free SPSC
+// ring"; everything slow happens here, in the background.
+//
+// The engine is the pacing brain on top of the kernel mechanism
+// (Kernel::offload_service does the actual frame work under the proper
+// locks; os/offload_ring.h holds the rings):
+//
+//   * per watched task it tracks the completion ring's cumulative pop
+//     counter, EWMA-smooths the per-round delta (the task's observed
+//     drain rate, DReAM-style: decisions follow measured counters), and
+//     restocks to `ewma * prefault_headroom` frames, clamped to
+//     [offload.min_stock, ring capacity];
+//   * rounds that move frames loop again immediately; idle rounds sleep
+//     (start()/stop() background mode) so a quiet system costs nothing;
+//   * tasks that exit are detected via the service report and dropped
+//     from the watch list after a final drain;
+//   * attached TintHeaps get their deferred tcache-overflow rings
+//     drained once per round (HeapConfig::deferred_flush_depth), so
+//     foreground free() never pays for a bin flush either.
+//
+// Default-off twice over: the kernel only builds rings when
+// `KernelConfig::offload.enabled` is set, and the engine only touches
+// tasks explicitly watch()ed -- the determinism goldens never see it.
+// run_round() is the deterministic manual-drive entry (what the tests
+// use); start() wraps it in a thread.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "os/kernel.h"
+
+namespace tint::core {
+class TintHeap;
+}
+
+namespace tint::runtime {
+
+struct OffloadEngineConfig {
+  // EWMA smoothing factor for the per-task drain rate (0..1; higher =
+  // reacts faster to demand swings, forgets faster).
+  double ewma_alpha = 0.3;
+  // Background-thread sleep after a round in which no watched task
+  // needed service. Busy rounds re-run immediately.
+  std::chrono::microseconds idle_sleep{200};
+};
+
+struct OffloadEngineStats {
+  std::atomic<uint64_t> rounds_run{0};
+  std::atomic<uint64_t> busy_rounds{0};      // rounds that moved frames
+  std::atomic<uint64_t> frees_absorbed{0};   // request-ring frames retired
+  std::atomic<uint64_t> frames_recycled{0};  // request -> completion direct
+  std::atomic<uint64_t> frames_restocked{0}; // ladder allocs pushed ahead
+  std::atomic<uint64_t> dead_task_drops{0};  // watches removed post-exit
+  std::atomic<uint64_t> heap_flushes{0};     // deferred tcache bins drained
+
+  struct Snapshot {
+    uint64_t rounds_run = 0;
+    uint64_t busy_rounds = 0;
+    uint64_t frees_absorbed = 0;
+    uint64_t frames_recycled = 0;
+    uint64_t frames_restocked = 0;
+    uint64_t dead_task_drops = 0;
+    uint64_t heap_flushes = 0;
+  };
+  Snapshot snapshot() const {
+    const auto ld = [](const std::atomic<uint64_t>& a) {
+      return a.load(std::memory_order_relaxed);
+    };
+    return {ld(rounds_run),       ld(busy_rounds),
+            ld(frees_absorbed),   ld(frames_recycled),
+            ld(frames_restocked), ld(dead_task_drops),
+            ld(heap_flushes)};
+  }
+};
+
+class OffloadEngine {
+ public:
+  // The kernel must outlive the engine. Constructing an engine against
+  // a kernel with `offload.enabled == false` is allowed (watch() then
+  // reports failure) so callers can wire it unconditionally.
+  explicit OffloadEngine(os::Kernel& kernel, OffloadEngineConfig cfg = {});
+  ~OffloadEngine();  // stop()s and drains every remaining watch
+  OffloadEngine(const OffloadEngine&) = delete;
+  OffloadEngine& operator=(const OffloadEngine&) = delete;
+
+  // Registers `id` for background service: attaches its rings in the
+  // kernel and starts pacing. Idempotent. False when offload is
+  // disabled kernel-side.
+  bool watch(os::TaskId id);
+  // Stops servicing `id` and drains its rings back to the color lists.
+  // The task keeps working -- faults just stop hitting the ring.
+  void unwatch(os::TaskId id);
+
+  // Registers a heap whose deferred tcache-overflow rings the engine
+  // drains once per round. The heap must outlive the engine (or be
+  // detached first). Pass nullptr to detach_heap for symmetry.
+  void attach_heap(core::TintHeap* heap);
+  void detach_heap(core::TintHeap* heap);
+
+  // One service round over every watched task (and attached heap):
+  // measure drain rate -> compute restock target -> offload_service.
+  // Returns true when any frame moved (the background loop's
+  // keep-going signal). Deterministic given quiescent rings; safe from
+  // any thread, serialized internally.
+  bool run_round();
+
+  // Background mode: run_round() continuously, sleeping
+  // cfg.idle_sleep after idle rounds, until stop().
+  void start();
+  void stop();
+
+  const OffloadEngineStats& stats() const { return stats_; }
+  size_t watched() const;
+
+ private:
+  struct Watch {
+    os::TaskId id = 0;
+    uint64_t last_pops = 0;
+    double ewma = -1.0;  // < 0: no observation yet
+  };
+
+  bool run_round_locked();
+
+  os::Kernel& kernel_;
+  OffloadEngineConfig cfg_;
+  OffloadEngineStats stats_;
+
+  // Serializes rounds and guards the watch list. Deliberately a plain
+  // mutex outside the rank order (control-plane only): the round body
+  // enters the kernel at rank kMm and below, and nothing that holds a
+  // kernel lock ever calls back into the engine.
+  mutable std::mutex mu_;
+  std::vector<Watch> watches_;
+  std::vector<core::TintHeap*> heaps_;
+
+  // Background thread plumbing (ColorGuard idiom): cv_mu_ is only held
+  // around the wait, never across kernel calls.
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+  std::mutex cv_mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace tint::runtime

@@ -455,6 +455,10 @@ RunResult WorkloadRunner::run(const WorkloadSpec& spec, core::Policy policy,
   res.magazine_misses = ks.magazine_misses;
   res.magazine_drains = ks.magazine_drains;
   res.batch_refills = ks.batch_refills;
+  res.ring_alloc_hits = ks.ring_alloc_hits;
+  res.ring_full_stalls = ks.ring_full_stalls;
+  res.prefault_pages = ks.prefault_pages;
+  res.batches_drained = ks.batches_drained;
   res.recolor_calls = ks.recolor_calls;
   for (const os::TaskId t : tasks) {
     const core::HeapStats hs = session.heap(t).stats();

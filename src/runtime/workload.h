@@ -208,6 +208,12 @@ struct RunResult {
   uint64_t tcache_hits = 0;
   uint64_t tcache_flushes = 0;
   uint64_t tcache_node_flushes = 0;  // flushes routed to the frame's node
+  // Allocation offload engine behaviour (all zero unless offload.enabled
+  // and an OffloadEngine serviced the run's tasks).
+  uint64_t ring_alloc_hits = 0;   // colored allocs served by a ring pop
+  uint64_t ring_full_stalls = 0;  // frees that found the request ring full
+  uint64_t prefault_pages = 0;    // frames the engine stocked ahead
+  uint64_t batches_drained = 0;   // service rounds that moved frames
   // Live re-coloring swaps applied during the run (Kernel::recolor_task;
   // non-zero only when a ColorGuard or advisor healed mid-run).
   uint64_t recolor_calls = 0;

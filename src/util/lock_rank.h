@@ -43,6 +43,12 @@ inline constexpr int kDefaultPath = 30; // kernel rng + region-node cache
 inline constexpr int kPageTable = 40;   // vpn -> pfn map
 inline constexpr int kHugePool = 50;    // boot-reserved 2 MB block stacks
 inline constexpr int kRas = 55;         // poisoned-frame set + retirement
+inline constexpr int kOffloadRing = 56; // offload ring registry (engine side):
+                                        // above kRas so poisoning can steal a
+                                        // ring-owned frame, below kMagazine /
+                                        // kColorShard / kBuddyZone so the
+                                        // engine's drain can re-home frames
+                                        // while holding it
 inline constexpr int kMagazine = 57;    // one task's page magazine: above
                                         // kRas so poisoning can reach in,
                                         // below kColorShard so drains can

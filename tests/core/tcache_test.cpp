@@ -212,5 +212,90 @@ TEST_F(TcacheTest, DisabledByDefault) {
   EXPECT_EQ(hs.bytes_live, 0u);
 }
 
+// --- deferred flushes (HeapConfig::deferred_flush_depth) ---
+
+// With a deferred ring, a bin overflow parks the evicted blocks on the
+// ring (no arena lock in free()) until a background drain routes them
+// to the arena lists; the blocks stay reusable afterwards.
+TEST_F(TcacheTest, DeferredFlushParksAndDrainRoutesBack) {
+  MachineConfig mc = machine(/*depth=*/8);
+  mc.heap.deferred_flush_depth = 32;
+  Session s(mc);
+  TintHeap& heap = s.heap(s.create_task(0));
+
+  std::vector<os::VirtAddr> blocks;
+  for (int i = 0; i < 20; ++i) {
+    const os::VirtAddr p = heap.malloc(64);
+    ASSERT_NE(p, 0u);
+    blocks.push_back(p);
+  }
+  for (const os::VirtAddr p : blocks) heap.free(p);
+
+  // The overflow went to the ring, not through an inline flush.
+  HeapStats hs = heap.stats();
+  EXPECT_GT(hs.tcache_deferred, 0u);
+  EXPECT_EQ(hs.tcache_flushes, 0u);
+  EXPECT_EQ(hs.tcache_bg_flushes, 0u);
+
+  // The engine-side drain picks them up and routes them to the arena.
+  const uint64_t drained = heap.drain_deferred_flushes();
+  EXPECT_EQ(drained, hs.tcache_deferred);
+  hs = heap.stats();
+  EXPECT_EQ(hs.tcache_bg_flushes, drained);
+  EXPECT_EQ(hs.tcache_flushes, drained);
+  EXPECT_EQ(heap.drain_deferred_flushes(), 0u);  // ring now empty
+
+  // Drained blocks cycle back through malloc.
+  std::vector<os::VirtAddr> again;
+  for (int i = 0; i < 20; ++i) {
+    const os::VirtAddr p = heap.malloc(64);
+    ASSERT_NE(p, 0u);
+    again.push_back(p);
+  }
+  for (const os::VirtAddr p : again) heap.free(p);
+  EXPECT_EQ(heap.stats().bytes_live, 0u);
+}
+
+// A full deferred ring degrades to the inline flush instead of letting
+// the bin grow unbounded.
+TEST_F(TcacheTest, FullDeferredRingFallsBackToInlineFlush) {
+  MachineConfig mc = machine(/*depth=*/4);
+  mc.heap.deferred_flush_depth = 4;  // 3 usable slots
+  Session s(mc);
+  TintHeap& heap = s.heap(s.create_task(0));
+
+  std::vector<os::VirtAddr> blocks;
+  for (int i = 0; i < 40; ++i) {
+    const os::VirtAddr p = heap.malloc(64);
+    ASSERT_NE(p, 0u);
+    blocks.push_back(p);
+  }
+  for (const os::VirtAddr p : blocks) heap.free(p);
+
+  const HeapStats hs = heap.stats();
+  EXPECT_GT(hs.tcache_deferred, 0u);  // the ring absorbed what it could
+  EXPECT_GT(hs.tcache_flushes, 0u);   // the rest flushed inline
+  heap.drain_deferred_flushes();
+  EXPECT_EQ(heap.stats().bytes_live, 0u);
+}
+
+// release_all with blocks still parked on the ring: the VAs die with
+// the VMAs and a later drain finds nothing stale to route.
+TEST_F(TcacheTest, ReleaseAllSweepsDeferredRing) {
+  MachineConfig mc = machine(/*depth=*/8);
+  mc.heap.deferred_flush_depth = 32;
+  Session s(mc);
+  TintHeap& heap = s.heap(s.create_task(0));
+
+  std::vector<os::VirtAddr> blocks;
+  for (int i = 0; i < 20; ++i) blocks.push_back(heap.malloc(64));
+  for (const os::VirtAddr p : blocks) heap.free(p);
+  ASSERT_GT(heap.stats().tcache_deferred, 0u);
+
+  heap.release_all();
+  EXPECT_EQ(heap.drain_deferred_flushes(), 0u);
+  EXPECT_EQ(heap.stats().bytes_live, 0u);
+}
+
 }  // namespace
 }  // namespace tint::core

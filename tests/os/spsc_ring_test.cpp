@@ -1,0 +1,173 @@
+// Unit tests for the offload SPSC ring (os/offload_ring.h): the
+// lock-free pipe under the allocation offload engine. These pin down
+// the index arithmetic that everything above relies on -- pow2
+// rounding, the sacrificed slot, full/empty edges, index wraparound
+// past 2^32 is out of reach for a test but the mask discipline is not
+// -- plus the frozen-side operations (snapshot, steal, drain_all) and
+// the two-thread FIFO/handoff contract under real concurrency.
+#include "os/offload_ring.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace tint::os {
+namespace {
+
+TEST(SpscRingTest, CapacityRoundsUpToPowerOfTwoMinusOne) {
+  // depth 256 -> 256 slots, one sacrificed: 255 usable.
+  EXPECT_EQ(SpscRing(256).capacity(), 255u);
+  // Non-pow2 depths round up.
+  EXPECT_EQ(SpscRing(100).capacity(), 127u);
+  EXPECT_EQ(SpscRing(1).capacity(), 3u);  // floor of 4 slots
+}
+
+TEST(SpscRingTest, PopOnEmptyReturnsSentinel) {
+  SpscRing r(8);
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.pop(), SpscRing::kEmpty);
+  EXPECT_EQ(r.pops(), 0u);  // failed pops are not drain observations
+}
+
+TEST(SpscRingTest, FifoOrderAndFullEdge) {
+  SpscRing r(8);  // 7 usable
+  for (uint64_t v = 0; v < 7; ++v) EXPECT_TRUE(r.push(v));
+  EXPECT_FALSE(r.push(99));  // full: one slot sacrificed
+  EXPECT_EQ(r.size(), 7u);
+  for (uint64_t v = 0; v < 7; ++v) EXPECT_EQ(r.pop(), v);
+  EXPECT_EQ(r.pop(), SpscRing::kEmpty);
+  EXPECT_EQ(r.pops(), 7u);
+}
+
+TEST(SpscRingTest, WraparoundKeepsFifoOrder) {
+  SpscRing r(4);  // 3 usable slots, so indices wrap every 4 pushes
+  uint64_t next_in = 0, next_out = 0;
+  for (int round = 0; round < 100; ++round) {
+    while (r.push(next_in)) ++next_in;
+    EXPECT_EQ(r.size(), 3u);
+    EXPECT_EQ(r.pop(), next_out++);
+    EXPECT_EQ(r.pop(), next_out++);
+  }
+  EXPECT_EQ(r.pops(), next_out);
+}
+
+TEST(SpscRingTest, DrainAllEmptiesInOrder) {
+  SpscRing r(8);
+  for (uint64_t v = 10; v < 15; ++v) ASSERT_TRUE(r.push(v));
+  const std::vector<uint64_t> got = r.drain_all();
+  ASSERT_EQ(got.size(), 5u);
+  for (size_t i = 0; i < got.size(); ++i) EXPECT_EQ(got[i], 10 + i);
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.pop(), SpscRing::kEmpty);
+}
+
+TEST(SpscRingTest, SnapshotSeesParkedValuesOldestFirst) {
+  SpscRing r(8);
+  // Offset the indices first so the snapshot walk crosses the wrap.
+  for (uint64_t v = 0; v < 6; ++v) ASSERT_TRUE(r.push(v));
+  for (uint64_t v = 0; v < 6; ++v) ASSERT_EQ(r.pop(), v);
+  for (uint64_t v = 20; v < 25; ++v) ASSERT_TRUE(r.push(v));
+  const std::vector<uint64_t> snap = r.snapshot();
+  ASSERT_EQ(snap.size(), 5u);
+  for (size_t i = 0; i < snap.size(); ++i) EXPECT_EQ(snap[i], 20 + i);
+  EXPECT_EQ(r.size(), 5u);  // snapshot is non-destructive
+}
+
+TEST(SpscRingTest, StealRemovesOneValueAndCompacts) {
+  SpscRing r(8);
+  for (uint64_t v = 0; v < 5; ++v) ASSERT_TRUE(r.push(v));
+  EXPECT_FALSE(r.steal(77));  // absent value
+  EXPECT_TRUE(r.steal(2));    // middle of the span
+  EXPECT_FALSE(r.steal(2));   // only once
+  EXPECT_EQ(r.size(), 4u);
+  // Remaining values keep their relative order.
+  EXPECT_EQ(r.pop(), 0u);
+  EXPECT_EQ(r.pop(), 1u);
+  EXPECT_EQ(r.pop(), 3u);
+  EXPECT_EQ(r.pop(), 4u);
+  // Steal at the edges of the span.
+  for (uint64_t v = 50; v < 53; ++v) ASSERT_TRUE(r.push(v));
+  EXPECT_TRUE(r.steal(50));  // oldest
+  EXPECT_TRUE(r.steal(52));  // newest
+  EXPECT_EQ(r.pop(), 51u);
+  EXPECT_TRUE(r.empty());
+}
+
+TEST(SpscRingTest, TwoThreadHandoffDeliversEverythingOnce) {
+  // The real contract: one producer, one consumer, no locks. Every
+  // value pushed is popped exactly once, in order, across full/empty
+  // stalls on both sides.
+  SpscRing r(16);
+  constexpr uint64_t kCount = 200000;
+  std::thread producer([&r] {
+    for (uint64_t v = 0; v < kCount;) {
+      if (r.push(v)) ++v;  // full: spin until the consumer catches up
+    }
+  });
+  uint64_t expect = 0;
+  while (expect < kCount) {
+    const uint64_t v = r.pop();
+    if (v == SpscRing::kEmpty) continue;
+    ASSERT_EQ(v, expect);
+    ++expect;
+  }
+  producer.join();
+  EXPECT_TRUE(r.empty());
+  EXPECT_EQ(r.pops(), kCount);
+}
+
+TEST(SpscRingTest, TeardownDrainWithInFlightProducer) {
+  // Teardown freezes the app side mid-stream: whatever the producer
+  // managed to push before losing the guard is drained; nothing is
+  // lost, nothing appears twice.
+  TaskRings tr(16);
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> pushed{0};
+  std::thread producer([&] {
+    uint64_t v = 1;
+    while (!stop.load(std::memory_order_acquire)) {
+      if (!tr.free_guard.try_lock()) continue;  // frozen: retry
+      if (tr.request.push(v)) {
+        pushed.fetch_add(1, std::memory_order_relaxed);
+        ++v;
+      }
+      tr.free_guard.unlock();
+    }
+  });
+  uint64_t drained = 0;
+  for (int round = 0; round < 50; ++round) {
+    tr.freeze_app_sides();
+    drained += tr.request.drain_all().size();
+    tr.thaw_app_sides();
+  }
+  stop.store(true, std::memory_order_release);
+  producer.join();
+  drained += tr.request.drain_all().size();
+  EXPECT_EQ(drained, pushed.load());
+}
+
+TEST(RingSideGuardTest, TryLockExcludesAndUnlockReleases) {
+  RingSideGuard g;
+  EXPECT_TRUE(g.try_lock());
+  EXPECT_FALSE(g.try_lock());  // held
+  g.unlock();
+  EXPECT_TRUE(g.try_lock());
+  g.unlock();
+}
+
+TEST(OffloadRingsTest, AttachIsIdempotentAndLookupLockFree) {
+  OffloadRings rings(32);
+  EXPECT_EQ(rings.rings_of(7), nullptr);
+  TaskRings* r = rings.attach(7);
+  ASSERT_NE(r, nullptr);
+  EXPECT_EQ(rings.attach(7), r);  // same pair back
+  EXPECT_EQ(rings.rings_of(7), r);
+  EXPECT_EQ(rings.rings_of(8), nullptr);
+  rings.lock();
+  EXPECT_EQ(rings.attached_unsafe().size(), 1u);
+  rings.unlock();
+}
+
+}  // namespace
+}  // namespace tint::os
