@@ -23,6 +23,7 @@ fresh result for a file that has a committed baseline.
 import argparse
 import json
 import os
+import re
 import sys
 
 # file stem -> {counter name -> bad direction}. Only counters listed
@@ -48,6 +49,35 @@ GUARDED = {
         "tcache_hit_frac": "min",
         "offload_hit_frac": "min",  # ring pops per colored alloc probe
     },
+}
+
+# Per-node engine counters (w<idx>_rounds, w<idx>_restocked, ...) are
+# emitted one set per allocator worker by the multi-worker offload
+# cells. Their absolute values are scheduling noise, so they are diffed
+# by *name* only -- matched worker-against-worker in stable sorted
+# order (never positionally) and reported informationally, which keeps
+# multi-engine JSON diffs deterministic without inventing a counter
+# threshold that would flake.
+PER_NODE_RE = re.compile(r"^w\d+_")
+
+# Relative guards compare two benchmark families *within one fresh
+# run* (same machine, same moment -- wall-clock is fair game there,
+# unlike against a committed baseline): stem -> list of
+# (candidate family, reference family, min threads, min ratio). The
+# candidate regresses when its items_per_second falls below
+# ratio * reference at any shared thread count >= min threads. This is
+# the multi-worker safety net: an engine sharded across NUMA nodes must
+# never lose to the single-worker engine once the machine is loaded.
+# The guard only fires when the host has at least min-threads CPUs
+# (benchmark JSON context.num_cpus): with fewer, the app threads and
+# the extra allocator workers time-share cores and the ratio measures
+# scheduler luck, not the engine -- measured swings of 0.67x..1.93x
+# between back-to-back runs on a 1-CPU container.
+RELATIVE = {
+    "BENCH_fastpath_scaling": [
+        ("BM_PageChurn_OffloadW2", "BM_PageChurn_Offload", 8, 0.8),
+        ("BM_PageChurn_OffloadW4", "BM_PageChurn_Offload", 8, 0.8),
+    ],
 }
 
 
@@ -97,12 +127,64 @@ def compare(stem, base_doc, fresh_doc, tolerance):
             rows.append((name, counter, base_v, fresh_v,
                          "FAIL" if bad else "ok"))
             regressed |= bad
+        # Per-node engine counters: union of both sides, stable sort by
+        # name so worker 0 always lines up with worker 0 regardless of
+        # JSON emission order. Informational only.
+        per_node = sorted(c for c in set(base_b) | set(fresh_b)
+                          if PER_NODE_RE.match(c))
+        for counter in per_node:
+            rows.append((name, counter, base_b.get(counter, "<absent>"),
+                         fresh_b.get(counter, "<absent>"), "info"))
     # Benches present only in the fresh output are new cells whose
     # baseline lands with (or after) the PR introducing them: warn and
     # skip rather than inventing a zero baseline to violate.
     for name in sorted(set(fresh_benches) - set(base_benches)):
         rows.append((name, "<no baseline: new bench, skipped>",
                      "-", "-", "warn"))
+    return rows, regressed
+
+
+def bench_family_and_threads(name):
+    """"BM_X/real_time/threads:8" -> ("BM_X", 8); no threads tag -> 1."""
+    family = name.split("/")[0]
+    m = re.search(r"threads:(\d+)$", name)
+    return family, int(m.group(1)) if m else 1
+
+
+def check_relative(stem, fresh_doc):
+    """Intra-run family-vs-family throughput guard (see RELATIVE)."""
+    rows, regressed = [], False
+    num_cpus = int(fresh_doc.get("context", {}).get("num_cpus", 0))
+    by_family = {}
+    for name, b in counters_by_bench(fresh_doc).items():
+        family, threads = bench_family_and_threads(name)
+        if "items_per_second" in b:
+            by_family.setdefault(family, {})[threads] = \
+                float(b["items_per_second"])
+    for cand, ref, min_threads, min_ratio in RELATIVE.get(stem, []):
+        if num_cpus and num_cpus < min_threads:
+            rows.append((f"{cand} vs {ref}",
+                         f"<skipped: {num_cpus} cpus < {min_threads} "
+                         "threads, ratio would be scheduler noise>",
+                         "-", "-", "warn"))
+            continue
+        shared = sorted(set(by_family.get(cand, {}))
+                        & set(by_family.get(ref, {})))
+        shared = [t for t in shared if t >= min_threads]
+        if not shared:
+            # Neither family ran at a guarded thread count (e.g. a
+            # filtered smoke run): nothing to compare, say so.
+            rows.append((f"{cand} vs {ref}",
+                         f"<no shared cells at >= {min_threads} threads>",
+                         "-", "-", "warn"))
+            continue
+        for threads in shared:
+            cv, rv = by_family[cand][threads], by_family[ref][threads]
+            bad = cv < rv * min_ratio
+            rows.append((f"{cand} vs {ref} @ threads:{threads}",
+                         f"items_per_second ratio (floor {min_ratio})",
+                         rv, cv, "FAIL" if bad else "ok"))
+            regressed |= bad
     return rows, regressed
 
 
@@ -134,8 +216,12 @@ def main():
             print(f"{stem}: FRESH RESULT MISSING ({fresh_path})")
             any_regressed = True
             continue
-        rows, regressed = compare(stem, load(base_path), load(fresh_path),
+        fresh_doc = load(fresh_path)
+        rows, regressed = compare(stem, load(base_path), fresh_doc,
                                   args.tolerance)
+        rel_rows, rel_regressed = check_relative(stem, fresh_doc)
+        rows += rel_rows
+        regressed |= rel_regressed
         any_regressed |= regressed
         print(f"\n{stem} (tolerance {args.tolerance:.0%}):")
         if not rows:

@@ -21,6 +21,7 @@
 #include <atomic>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -45,7 +46,8 @@ std::atomic<int> g_done{0};
 
 void setup(benchmark::State& state, unsigned magazine_cap,
            unsigned refill_batch, unsigned tcache_depth,
-           bool offload = false) {
+           bool offload = false, unsigned workers = 1,
+           bool adaptive = false) {
   std::lock_guard<std::mutex> lk(g_mu);
   if (g.session) return;
   core::MachineConfig mc = core::MachineConfig::opteron6128();
@@ -58,6 +60,8 @@ void setup(benchmark::State& state, unsigned magazine_cap,
     mc.kernel.offload.ring_depth = 256;
     mc.kernel.offload.min_stock = 64;
     mc.kernel.offload.drain_batch = 128;
+    mc.kernel.offload.workers = workers;  // 0 = auto (one per node)
+    mc.kernel.offload.adaptive_ring = adaptive;
   }
   g.session = std::make_unique<core::Session>(mc);
   g.tasks.clear();
@@ -119,6 +123,25 @@ void report(benchmark::State& state, uint64_t thread_ops, bool heap_bench) {
           static_cast<double>(s.batches_drained);
     }
   }
+  // Per-node engine counters (one rollup per worker, named w<idx>_*) so
+  // a multi-engine JSON diff can match node against node by name, plus
+  // the tuner's resize totals for the adaptive cells.
+  if (g.engine) {
+    state.counters["engine_workers"] =
+        static_cast<double>(g.engine->num_workers());
+    for (size_t w = 0; w < g.engine->num_workers(); ++w) {
+      const auto ws = g.engine->worker_snapshot(w);
+      const std::string p = "w" + std::to_string(w) + "_";
+      state.counters[p + "rounds"] = static_cast<double>(ws.rounds_run);
+      state.counters[p + "restocked"] =
+          static_cast<double>(ws.frames_restocked);
+      state.counters[p + "recycled"] =
+          static_cast<double>(ws.frames_recycled);
+    }
+    const auto es = g.engine->stats().snapshot();
+    state.counters["ring_grows"] = static_cast<double>(es.ring_grows);
+    state.counters["ring_shrinks"] = static_cast<double>(es.ring_shrinks);
+  }
   g.engine.reset();  // stops the thread and drains before the kernel dies
   g.session.reset();
   g_done.store(0, std::memory_order_release);
@@ -126,8 +149,9 @@ void report(benchmark::State& state, uint64_t thread_ops, bool heap_bench) {
 
 // Colored page alloc/free round-trips on the task's own pages.
 void BM_PageChurn(benchmark::State& state, unsigned magazine_cap,
-                  unsigned refill_batch, bool offload = false) {
-  setup(state, magazine_cap, refill_batch, 0, offload);
+                  unsigned refill_batch, bool offload = false,
+                  unsigned workers = 1, bool adaptive = false) {
+  setup(state, magazine_cap, refill_batch, 0, offload, workers, adaptive);
   os::Kernel& k = g.session->kernel();
   const os::TaskId task = g.tasks[static_cast<size_t>(state.thread_index())];
   std::vector<os::Pfn> held;
@@ -181,6 +205,20 @@ void BM_PageChurn_Magazine(benchmark::State& s) { BM_PageChurn(s, 64, 8); }
 void BM_PageChurn_Offload(benchmark::State& s) {
   BM_PageChurn(s, 0, 8, /*offload=*/true);
 }
+// NUMA-sharded engine cells: 2 and 4 allocator workers on the 4-node
+// opteron topology (4 == auto there), and the 4-worker engine with the
+// adaptive ring-depth tuner armed. The relative guard in
+// bench/diff_baselines.py compares these against the single-worker
+// cell at 8+ threads within one fresh run.
+void BM_PageChurn_OffloadW2(benchmark::State& s) {
+  BM_PageChurn(s, 0, 8, /*offload=*/true, /*workers=*/2);
+}
+void BM_PageChurn_OffloadW4(benchmark::State& s) {
+  BM_PageChurn(s, 0, 8, /*offload=*/true, /*workers=*/4);
+}
+void BM_PageChurn_OffloadW4Adaptive(benchmark::State& s) {
+  BM_PageChurn(s, 0, 8, /*offload=*/true, /*workers=*/4, /*adaptive=*/true);
+}
 void BM_HeapChurn_NoTcache(benchmark::State& s) { BM_HeapChurn(s, 0); }
 void BM_HeapChurn_Tcache(benchmark::State& s) { BM_HeapChurn(s, 64); }
 
@@ -189,6 +227,9 @@ void BM_HeapChurn_Tcache(benchmark::State& s) { BM_HeapChurn(s, 64); }
 BENCHMARK(BM_PageChurn_NoMagazine)->ThreadRange(1, 32)->UseRealTime();
 BENCHMARK(BM_PageChurn_Magazine)->ThreadRange(1, 32)->UseRealTime();
 BENCHMARK(BM_PageChurn_Offload)->ThreadRange(1, 32)->UseRealTime();
+BENCHMARK(BM_PageChurn_OffloadW2)->ThreadRange(1, 32)->UseRealTime();
+BENCHMARK(BM_PageChurn_OffloadW4)->ThreadRange(1, 32)->UseRealTime();
+BENCHMARK(BM_PageChurn_OffloadW4Adaptive)->ThreadRange(1, 32)->UseRealTime();
 BENCHMARK(BM_HeapChurn_NoTcache)->ThreadRange(1, 32)->UseRealTime();
 BENCHMARK(BM_HeapChurn_Tcache)->ThreadRange(1, 32)->UseRealTime();
 

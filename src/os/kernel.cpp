@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "os/shard_advisor.h"
 #include "util/assert.h"
 
 namespace tint::os {
@@ -23,19 +24,15 @@ Kernel::Kernel(const hw::Topology& topo, const hw::AddressMapping& mapping,
   // Boot runs strictly single-threaded; no locks are taken here.
   buddy_ = std::make_unique<BuddyAllocator>(topo, pages_);
   // Shard count for the color matrix: pinned by the knob, else derived
-  // from topology -- enough shards that the (bank, LLC) combos in
-  // flight across all cores rarely collide, clamped to [16, 512] so the
-  // stop-the-world freeze stays bounded (bench/concurrent_alloc reports
-  // the freeze cost vs. this count).
+  // from topology by the shard advisor (enough shards that the
+  // (bank, LLC) combos in flight across all cores rarely collide,
+  // clamped so the stop-the-world freeze stays bounded --
+  // bench/concurrent_alloc reports the freeze cost vs. this count, and
+  // adapt_shards() can re-shard online from observed contention).
   unsigned shards = cfg_.color_shards;
-  if (shards == 0) {
-    const uint64_t combos = static_cast<uint64_t>(mapping.num_bank_colors()) *
-                            mapping.num_llc_colors();
-    shards = static_cast<unsigned>(std::min<uint64_t>(
-        std::max<uint64_t>(16, std::min<uint64_t>(combos,
-                                                  topo.num_cores() * 16ULL)),
-        512));
-  }
+  if (shards == 0)
+    shards = ShardAdvisor::boot_shards(topo, mapping.num_bank_colors(),
+                                       mapping.num_llc_colors());
   colors_ = std::make_unique<ColorLists>(mapping.num_bank_colors(),
                                          mapping.num_llc_colors(),
                                          topo.total_pages(), shards);
@@ -1169,6 +1166,7 @@ Pfn Kernel::try_ring_pop(Task& t, const Task::ColorSet& cs,
   if (r == nullptr) return kNoPage;
   if (!r->alloc_guard.try_lock()) {
     stats_.ring_empty_stalls.fetch_add(1, std::memory_order_relaxed);
+    r->empty_stalls.fetch_add(1, std::memory_order_relaxed);
     return kNoPage;
   }
   Pfn got = kNoPage;
@@ -1193,10 +1191,12 @@ Pfn Kernel::try_ring_pop(Task& t, const Task::ColorSet& cs,
     break;
   }
   r->alloc_guard.unlock();
-  if (got == kNoPage)
+  if (got == kNoPage) {
     stats_.ring_empty_stalls.fetch_add(1, std::memory_order_relaxed);
-  else
+    r->empty_stalls.fetch_add(1, std::memory_order_relaxed);
+  } else {
     stats_.ring_alloc_hits.fetch_add(1, std::memory_order_relaxed);
+  }
   return got;
 }
 
@@ -1216,6 +1216,7 @@ bool Kernel::try_ring_push(PageInfo& pi, Pfn pfn) {
   if (!ok) {
     pi.state = PageState::kAllocated;  // caller falls through, state restored
     stats_.ring_full_stalls.fetch_add(1, std::memory_order_relaxed);
+    r->full_stalls.fetch_add(1, std::memory_order_relaxed);
   }
   r->free_guard.unlock();
   return ok;
@@ -1256,6 +1257,88 @@ uint64_t Kernel::offload_ring_pops(TaskId id) const {
   return r ? r->completion.pops() : 0;
 }
 
+Kernel::RingStallSnapshot Kernel::offload_ring_stalls(TaskId id) const {
+  RingStallSnapshot s;
+  if (!offload_rings_) return s;
+  const TaskRings* r = offload_rings_->rings_of(id);
+  if (r == nullptr) return s;
+  s.full = r->full_stalls.load(std::memory_order_relaxed);
+  s.empty = r->empty_stalls.load(std::memory_order_relaxed);
+  return s;
+}
+
+unsigned Kernel::offload_ring_capacity(TaskId id) const {
+  if (!offload_rings_) return 0;
+  const TaskRings* r = offload_rings_->rings_of(id);
+  return r ? r->completion.capacity() : 0;
+}
+
+bool Kernel::offload_resize_task(TaskId id, unsigned new_depth) {
+  if (!offload_rings_) return false;
+  TaskRings* r = offload_rings_->rings_of(id);
+  if (r == nullptr) return false;
+  new_depth = std::max(4u, std::min(new_depth,
+                                    std::max(4u, cfg_.offload.ring_depth_max)));
+  // Shared like a fault: frames move between pools inside the freeze
+  // hold below, and a stop-the-world walk (exclusive mm) must wait for
+  // the window to close.
+  std::shared_lock mm(mm_lock_);
+  // Freeze-swap: this task's engine side plus both app sides. With all
+  // three frozen the drains below see every parked frame and nothing
+  // slips in mid-swap; the engine_guard also excludes a worker's
+  // service round and a concurrent drain/resize of the same task.
+  r->engine_guard.lock();
+  r->freeze_app_sides();
+  const unsigned old_cap = r->completion.capacity();
+  // Keep the two rings' contents apart so stock returns to stock and
+  // pending frees stay pending frees. snapshot(), not drain_all():
+  // frozen-side reads that leave the consumer pop counters untouched
+  // (the engine paces off pop deltas; a drain here would spike them).
+  const std::vector<uint64_t> stock = r->completion.snapshot();
+  const std::vector<uint64_t> freed = r->request.snapshot();
+  r->completion.resize(new_depth);
+  r->request.resize(new_depth);
+  const unsigned new_cap = r->completion.capacity();
+  // Re-push up to the new capacity; overflow (a shrink with a full
+  // ring) re-homes to the color lists -- or the buddy behind an offline
+  // node -- inside the freeze hold, so conservation never sees a frame
+  // outside every pool.
+  uint64_t rehomed = 0, to_buddy = 0;
+  const auto repush = [&](SpscRing& ring, const std::vector<uint64_t>& frames) {
+    for (const uint64_t v : frames) {
+      const Pfn pfn = static_cast<Pfn>(v);
+      PageInfo& pi = pages_[pfn];
+      TINT_DASSERT(pi.state == PageState::kRingOwned);
+      if (node_online(pi.node) && ring.push(v)) continue;  // stays kRingOwned
+      if (node_online(pi.node)) {
+        colors_->push(pfn, pages_);
+        ++rehomed;
+      } else {
+        pi.owner = kNoTask;
+        pi.state = PageState::kBuddyFree;
+        buddy_->free_block(pfn, 0);
+        ++rehomed;
+        ++to_buddy;
+      }
+    }
+  };
+  repush(r->completion, stock);
+  repush(r->request, freed);
+  r->thaw_app_sides();
+  r->engine_guard.unlock();
+
+  if (new_cap > old_cap)
+    stats_.ring_grows.fetch_add(1, std::memory_order_relaxed);
+  else if (new_cap < old_cap)
+    stats_.ring_shrinks.fetch_add(1, std::memory_order_relaxed);
+  if (rehomed > 0)
+    stats_.ring_resize_drained.fetch_add(rehomed, std::memory_order_relaxed);
+  if (to_buddy > 0)
+    stats_.offline_drained_pages.fetch_add(to_buddy,
+                                           std::memory_order_relaxed);
+  return true;
+}
+
 Kernel::OffloadServiceReport Kernel::offload_service(TaskId id,
                                                      unsigned target_stock) {
   OffloadServiceReport rep;
@@ -1267,7 +1350,12 @@ Kernel::OffloadServiceReport Kernel::offload_service(TaskId id,
   // (exclusive mm) drains the engine mid-batch exactly like an
   // in-flight fault before it walks the pools.
   std::shared_lock mm(mm_lock_);
-  offload_rings_->lock();
+  // This task's engine side only -- NOT the registry lock. Per-node
+  // workers service disjoint task sets concurrently; the one engine-
+  // side actor per task is all SPSC discipline needs. Full freezes
+  // (STW walk, scrub, RAS steal) take the registry lock first and then
+  // every engine guard, so they still drain a round in flight.
+  r->engine_guard.lock();
   // The completion ring's producer side is shared with the foreground
   // direct-recycle path; spin-own it for the round so both the phase-1
   // recycle pushes and the phase-2 restock stay single-producer. A
@@ -1333,7 +1421,7 @@ Kernel::OffloadServiceReport Kernel::offload_service(TaskId id,
     }
   }
   r->recycle_guard.unlock();
-  offload_rings_->unlock();
+  r->engine_guard.unlock();
 
   if (rep.frees_absorbed > 0)
     stats_.ring_frees_absorbed.fetch_add(rep.frees_absorbed,
@@ -1351,11 +1439,13 @@ uint64_t Kernel::offload_drain_task_locked(TaskId id) {
   if (!offload_rings_) return 0;
   TaskRings* r = offload_rings_->rings_of(id);
   if (r == nullptr) return 0;
-  // Engine lock + both app guards: with all three sides frozen the two
+  // Engine guard + both app guards: with all three sides frozen the two
   // drains see every parked frame and no new one can slip in. The
   // re-homing happens inside the hold, so a frame is never outside
-  // every pool while the rings are already thawed.
-  offload_rings_->lock();
+  // every pool while the rings are already thawed. (The registry lock
+  // is not needed: the guard alone excludes workers, resizes and other
+  // drains of this task, and full freezes take every engine guard.)
+  r->engine_guard.lock();
   r->freeze_app_sides();
   std::vector<uint64_t> frames = r->completion.drain_all();
   {
@@ -1377,7 +1467,7 @@ uint64_t Kernel::offload_drain_task_locked(TaskId id) {
     }
   }
   r->thaw_app_sides();
-  offload_rings_->unlock();
+  r->engine_guard.unlock();
   if (!frames.empty())
     stats_.ring_drained_frames.fetch_add(frames.size(),
                                          std::memory_order_relaxed);
@@ -1444,6 +1534,42 @@ Kernel::MagazineAdaptReport Kernel::adapt_magazines() {
       stats_.magazine_shrinks.fetch_add(1, std::memory_order_relaxed);
     }
   }
+  return rep;
+}
+
+// --- adaptive color-shard count (control-plane; DESIGN.md section 17) ---
+
+bool Kernel::reshard_colors(unsigned shards) {
+  shards = std::max(16u, std::min(shards, 512u));
+  // Exclusive mm drains every internal shard user that runs under the
+  // mm lock (faults, engine service rounds, ring/magazine drains); the
+  // ras lock excludes poison reach-ins, which take shard locks with
+  // only the ras lock held. Raw alloc_pages/free_pages callers bypass
+  // both and must be quiesced by the caller, exactly like the
+  // stop-the-world invariant walk.
+  std::unique_lock<MmLock> mm(mm_lock_);
+  std::lock_guard<RasLock> rl(ras_lock_);
+  if (colors_->reshard(shards) == 0) return false;
+  stats_.color_reshards.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void Kernel::begin_shard_probe() { colors_->probe_begin(); }
+
+Kernel::ShardAdaptReport Kernel::adapt_shards() {
+  ShardAdaptReport rep;
+  rep.old_shards = colors_->num_shards();
+  rep.new_shards = rep.old_shards;
+  const ColorLists::ProbeReport probe = colors_->probe_end();
+  rep.acquisitions = probe.acquisitions;
+  rep.contended = probe.contended;
+  const ShardAdvisor::Advice adv =
+      ShardAdvisor().recommend(rep.old_shards, probe.acquisitions,
+                               probe.contended);
+  rep.new_shards = adv.shards;
+  if (adv.shards != rep.old_shards)
+    rep.resharded = reshard_colors(adv.shards);
+  rep.new_shards = colors_->num_shards();
   return rep;
 }
 

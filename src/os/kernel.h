@@ -172,6 +172,21 @@ struct KernelConfig {
     // (clamped to [min_stock, ring capacity - 1]) -- DReAM-style
     // observed-counter pacing.
     double prefault_headroom = 2.0;
+    // Allocator workers for the background engine. 0 = auto (one per
+    // online NUMA node, each servicing only tasks homed on its node);
+    // 1 = the legacy single worker servicing every node; N > 1 caps the
+    // pool at N, nodes distributed round-robin. Pure engine-side
+    // parallelism -- the knob never changes which frames a task gets.
+    unsigned workers = 1;
+    // Adaptive ring depth: the engine grows a task's rings when its
+    // full/empty-stall EWMAs stay high (free bursts overflowing the
+    // request ring, faults outrunning restock) and shrinks them back
+    // toward ring_depth when the stalls die down. Off (default): depths
+    // stay pinned at ring_depth and goldens are untouched.
+    bool adaptive_ring = false;
+    // Upper bound for adaptive growth (rounded up to a power of two);
+    // ring_depth is the shrink floor.
+    unsigned ring_depth_max = 4096;
   };
   OffloadConfig offload;
 };
@@ -241,6 +256,11 @@ struct KernelStats {
   // --- adaptive magazine tuner (Kernel::adapt_magazines) ---
   std::atomic<uint64_t> magazine_grows{0};
   std::atomic<uint64_t> magazine_shrinks{0};
+  // --- adaptive ring depth + shard count (DESIGN.md section 17) ---
+  std::atomic<uint64_t> ring_grows{0};      // per-task ring depth doublings
+  std::atomic<uint64_t> ring_shrinks{0};    // per-task ring depth halvings
+  std::atomic<uint64_t> ring_resize_drained{0};  // frames re-homed by resizes
+  std::atomic<uint64_t> color_reshards{0};  // online shard-count swaps
 
   struct Snapshot {
     uint64_t color_control_calls = 0;
@@ -289,6 +309,10 @@ struct KernelStats {
     uint64_t batches_drained = 0;
     uint64_t magazine_grows = 0;
     uint64_t magazine_shrinks = 0;
+    uint64_t ring_grows = 0;
+    uint64_t ring_shrinks = 0;
+    uint64_t ring_resize_drained = 0;
+    uint64_t color_reshards = 0;
   };
   Snapshot snapshot() const {
     const auto ld = [](const std::atomic<uint64_t>& a) {
@@ -314,7 +338,9 @@ struct KernelStats {
             ld(ring_recycled),       ld(ring_fg_recycles),
             ld(ring_drained_frames),
             ld(prefault_pages),      ld(batches_drained),
-            ld(magazine_grows),      ld(magazine_shrinks)};
+            ld(magazine_grows),      ld(magazine_shrinks),
+            ld(ring_grows),          ld(ring_shrinks),
+            ld(ring_resize_drained), ld(color_reshards)};
   }
 };
 
@@ -554,6 +580,32 @@ class Kernel {
   // attached.
   uint64_t offload_ring_pops(TaskId id) const;
 
+  // Per-task ring stall observation points for the adaptive depth
+  // tuner: full = frees that found the request ring full, empty =
+  // colored faults that found the completion ring empty / guard busy.
+  // Both zero when never attached.
+  struct RingStallSnapshot {
+    uint64_t full = 0;
+    uint64_t empty = 0;
+  };
+  RingStallSnapshot offload_ring_stalls(TaskId id) const;
+  // Usable slots per ring of a task (0 when never attached).
+  unsigned offload_ring_capacity(TaskId id) const;
+
+  // Freeze-swap ring resize (the adaptive-depth mechanism): freezes the
+  // task's rings (engine guard + app guards), drains both through the
+  // frozen-side machinery, re-sizes them in place to `new_depth`
+  // (rounded up to a power of two, clamped to [4, ring_depth_max]),
+  // then re-pushes the drained frames up to the new capacity --
+  // completion-ring stock first, then pending frees back to the request
+  // ring; overflow re-homes to the color lists (or the buddy behind an
+  // offline node). Frame conservation holds across the whole swap: the
+  // re-homing happens inside the freeze hold, so the STW walk never
+  // sees a frame outside every pool. Cumulative pop counters survive
+  // the resize (the engine paces off their deltas). Returns false when
+  // offload is off or the task was never attached.
+  bool offload_resize_task(TaskId id, unsigned new_depth);
+
   // Drains both rings of a task back to the shared pools (teardown,
   // re-coloring, color-control changes, node offlining). Returns frames
   // drained. Safe from any thread; no-op when never attached.
@@ -571,6 +623,35 @@ class Kernel {
     unsigned observed = 0; // alive tasks with magazine traffic this pass
   };
   MagazineAdaptReport adapt_magazines();
+
+  // --- adaptive color-shard count (control-plane; DESIGN.md §17) ---
+  // Online re-shard of the color matrix: swaps the shard-lock array to
+  // `shards` (rounded up to a power of two, clamped to [16, 512])
+  // without touching list contents -- sharding is pure lock
+  // granularity, so the swap is invisible to determinism. Quiesces
+  // every internal shard user by taking the mm lock exclusively (drains
+  // faults, engine rounds and drains) plus the ras lock (excludes
+  // poison reach-ins); raw alloc_pages/free_pages callers must be
+  // quiesced by the caller, exactly like the stop-the-world invariant
+  // walk. Returns false when the clamped count already matches.
+  bool reshard_colors(unsigned shards);
+
+  // One observation window + decision pass of the shard advisor: opens
+  // the ColorLists contention probe, lets the caller's workload run
+  // (the probe stays open between begin_shard_probe and adapt_shards),
+  // then folds the observed contention fraction and the current
+  // freeze-cost (shard count) into a ShardAdvisor recommendation,
+  // re-sharding online when it differs. No-op unless the probe was
+  // opened and saw traffic.
+  void begin_shard_probe();
+  struct ShardAdaptReport {
+    unsigned old_shards = 0;
+    unsigned new_shards = 0;
+    bool resharded = false;
+    uint64_t acquisitions = 0;   // probed shard-lock acquisitions
+    uint64_t contended = 0;      // of those, found the shard held
+  };
+  ShardAdaptReport adapt_shards();
 
   // A bank color whose poisoned-frame count crossed the retirement
   // threshold: colored placement (ladder stage 1) skips it; parked

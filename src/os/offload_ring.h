@@ -17,7 +17,9 @@
 //
 // SPSC discipline: each ring has exactly one producer side and one
 // consumer side at a time. The engine's side is serialized by the
-// registry's engine lock (rank kOffloadRing). The application's side is
+// task's engine_guard (one allocator worker services a task at a time;
+// the registry lock, rank kOffloadRing, covers only attach, iteration
+// and full freezes). The application's side is
 // guarded by a tiny try-acquire spin guard per side: the hot path
 // *tries* it and falls back to the magazine/shard path on failure (so
 // it never blocks), while freezers -- the stop-the-world invariant
@@ -55,8 +57,12 @@ class SpscRing {
 
   explicit SpscRing(unsigned depth);
 
-  // Usable slots.
-  unsigned capacity() const { return mask_; }
+  // Usable slots. Safe to query lock-free concurrently with a
+  // freeze-swap resize() (the only writer of mask_): the load is
+  // relaxed and a stale answer merely delays one tuner decision.
+  unsigned capacity() const {
+    return mask_.load(std::memory_order_relaxed);
+  }
 
   // Producer side. False when full (the caller falls back).
   bool push(uint64_t v);
@@ -75,6 +81,17 @@ class SpscRing {
   // Cumulative successful pops -- the engine's drain-rate observation
   // point (DReAM-style observed-counter pacing reads the delta).
   uint64_t pops() const { return pops_.load(std::memory_order_relaxed); }
+
+  // Re-sizes the ring in place to `depth` usable slots (rounded up to a
+  // power of two, min 4), DISCARDING the slot contents -- the caller
+  // must hold both sides frozen and have captured every parked value
+  // via snapshot() first, re-pushing (or re-homing) them afterwards so
+  // frame conservation holds across the swap. snapshot() rather than
+  // drain_all() keeps the cumulative pops_ counter honest: pops_ counts
+  // *consumer-side* pops and deliberately survives the resize -- the
+  // engine paces off its deltas, and either resetting or inflating it
+  // mid-watch would corrupt the next delta.
+  void resize(unsigned depth);
 
   // Pops everything (consumer side). Teardown/exit drains use this with
   // both sides frozen, acting as the consumer.
@@ -96,7 +113,10 @@ class SpscRing {
   alignas(64) std::atomic<uint32_t> head_{0};  // consumer index
   alignas(64) std::atomic<uint32_t> tail_{0};  // producer index
   alignas(64) std::atomic<uint64_t> pops_{0};
-  uint32_t mask_;
+  // Atomic only for the unguarded capacity() query racing a resize;
+  // push/pop/snapshot/steal are serialized against resize by the ring
+  // guards (resize requires both sides frozen), so they load relaxed.
+  std::atomic<uint32_t> mask_;
   std::unique_ptr<Slot[]> slots_;
 };
 
@@ -129,6 +149,21 @@ struct TaskRings {
   SpscRing request;          // task -> engine: frees awaiting absorption
   RingSideGuard alloc_guard; // app consumer side of `completion`
   RingSideGuard free_guard;  // app producer side of `request`
+  // Engine side of *both* rings. One allocator worker at a time may
+  // service, drain or resize this task; per-node workers each spin-own
+  // the guard of the tasks homed on their node, so two workers on two
+  // nodes never serialize on a shared lock (the registry's mu_ shrinks
+  // to attach + freeze + registry iteration). Acquisition order for
+  // full freezes: registry mu_ -> engine_guard -> app guards.
+  RingSideGuard engine_guard;
+  // Per-task stall observation points for the adaptive depth tuner
+  // (DReAM-style: the tuner reads deltas and EWMA-smooths them).
+  // full_stalls: frees that found the request ring full (ring too
+  // shallow for the task's free burst). empty_stalls: colored faults
+  // that found the completion ring empty or the guard busy (demand
+  // outrunning restock).
+  std::atomic<uint64_t> full_stalls{0};
+  std::atomic<uint64_t> empty_stalls{0};
   // Producer side of `completion`. Normally the engine's (restock +
   // absorb-recycle, under the engine lock), but the *direct recycle*
   // fast path lets free_pages push a still-valid frame straight back
@@ -139,7 +174,7 @@ struct TaskRings {
   RingSideGuard recycle_guard;
 
   // Freezes/thaws every application side (the engine side is excluded
-  // by the registry's engine lock, which every freezer already holds).
+  // by engine_guard, which every freezer/drainer already holds).
   void freeze_app_sides() {
     alloc_guard.lock();
     free_guard.lock();
@@ -173,15 +208,18 @@ class OffloadRings {
   // (freshly built or pre-existing), or nullptr beyond the bound.
   TaskRings* attach(TaskId id);
 
-  // Engine lock: every engine-side ring operation (restock, absorb,
-  // teardown drains) holds it, so there is exactly one engine-side
-  // actor at a time.
+  // Registry lock: attach, registry iteration and full freezes hold
+  // it. Per-task engine-side ring operations (restock, absorb, drains,
+  // resizes) serialize on the task's own engine_guard instead, so
+  // per-node allocator workers never contend here.
   void lock() const { mu_.lock(); }
   void unlock() const { mu_.unlock(); }
 
-  // Full freeze: engine lock + both app guards of every attached ring
-  // pair. The stop-the-world invariant walk and the scrub sweep hold
-  // this across their structural walks.
+  // Full freeze: registry lock + the engine guard + both app guards of
+  // every attached ring pair (in that order). The stop-the-world
+  // invariant walk and the scrub sweep hold this across their
+  // structural walks; holding every engine guard drains in-flight
+  // service rounds of all workers first.
   void freeze() const;
   void thaw() const;
 

@@ -1,0 +1,52 @@
+#include "os/shard_advisor.h"
+
+#include <algorithm>
+
+namespace tint::os {
+
+namespace {
+unsigned clamp_pow2(uint64_t v, unsigned lo, unsigned hi) {
+  unsigned n = 1;
+  while (n < v && n < hi) n <<= 1;
+  return std::max(lo, std::min(n, hi));
+}
+}  // namespace
+
+ShardAdvisor::Advice ShardAdvisor::recommend(unsigned current_shards,
+                                             uint64_t acquisitions,
+                                             uint64_t contended) const {
+  Advice adv;
+  adv.shards = current_shards;
+  if (acquisitions < cfg_.min_observations) return adv;  // noise window
+  adv.contention =
+      static_cast<double>(contended) / static_cast<double>(acquisitions);
+  if (adv.contention > cfg_.grow_threshold &&
+      current_shards < cfg_.max_shards) {
+    const unsigned doubled = current_shards * 2;
+    // Freeze-cost weighting: growth is refused once the doubled count's
+    // projected stop-the-world freeze would blow the budget.
+    if (static_cast<double>(doubled) * cfg_.freeze_ns_per_shard <=
+        cfg_.freeze_budget_ns) {
+      adv.shards = doubled;
+    } else {
+      adv.capped_by_freeze = true;
+    }
+  } else if (adv.contention < cfg_.shrink_threshold &&
+             current_shards > cfg_.min_shards) {
+    // Contention gone: give the freeze its time back.
+    adv.shards = std::max(cfg_.min_shards, current_shards / 2);
+  }
+  return adv;
+}
+
+unsigned ShardAdvisor::boot_shards(const hw::Topology& topo,
+                                   unsigned bank_colors, unsigned llc_colors,
+                                   const ShardAdvisorConfig& cfg) {
+  const uint64_t combos =
+      static_cast<uint64_t>(bank_colors) * llc_colors;
+  const uint64_t in_flight =
+      std::min<uint64_t>(combos, topo.num_cores() * 16ULL);
+  return clamp_pow2(in_flight, cfg.min_shards, cfg.max_shards);
+}
+
+}  // namespace tint::os

@@ -1,0 +1,77 @@
+// ShardAdvisor: picks color-list shard counts per machine, at boot and
+// at runtime (DESIGN.md section 17).
+//
+// The shard count trades two measured costs against each other:
+//
+//   * too few shards and concurrent tasks popping different (bank, LLC)
+//     combos collide on the same lock -- the ColorLists contention
+//     probe observes exactly this as the fraction of shard acquisitions
+//     that found the shard already held;
+//   * too many shards and the stop-the-world freeze (which takes every
+//     shard lock in ascending order) gets linearly more expensive --
+//     the BM_StwFreeze cells in bench/concurrent_alloc measure this
+//     per-shard cost, and the advisor's freeze budget encodes it.
+//
+// Boot derivation (boot_shards) seeds from topology alone: enough
+// shards that the combos in flight across all cores rarely collide.
+// Runtime adaptation (recommend) follows the DReAM idiom -- observed
+// counters, not guesses, drive the re-arrangement: a sampling window of
+// the contention probe doubles the count while the contended fraction
+// stays high (until the projected freeze cost exhausts the budget) and
+// halves it back when contention disappears.
+#pragma once
+
+#include <cstdint>
+
+#include "hw/topology.h"
+
+namespace tint::os {
+
+struct ShardAdvisorConfig {
+  unsigned min_shards = 16;
+  unsigned max_shards = 512;
+  // Contended fraction of probed acquisitions above which the count
+  // doubles; below shrink_threshold (with room above the floor) it
+  // halves. The dead band between them gives hysteresis.
+  double grow_threshold = 0.02;
+  double shrink_threshold = 0.002;
+  // Windows with fewer probed acquisitions than this are ignored (the
+  // fraction would be noise).
+  uint64_t min_observations = 256;
+  // Freeze-cost weighting (the BM_StwFreeze measurement, folded in):
+  // each shard adds roughly this many nanoseconds to a stop-the-world
+  // freeze, and growth stops once the projected freeze cost of the
+  // *doubled* count would exceed the budget -- contention relief is
+  // never bought with an unbounded STW pause.
+  double freeze_ns_per_shard = 60.0;
+  double freeze_budget_ns = 50000.0;
+};
+
+class ShardAdvisor {
+ public:
+  explicit ShardAdvisor(ShardAdvisorConfig cfg = {}) : cfg_(cfg) {}
+
+  struct Advice {
+    unsigned shards = 0;          // recommended count (== current: keep)
+    double contention = 0.0;      // observed contended fraction
+    bool capped_by_freeze = false;  // growth wanted but budget exhausted
+  };
+  // One decision from one probe window. Pure function of its inputs, so
+  // decisions are reproducible from logged counters.
+  Advice recommend(unsigned current_shards, uint64_t acquisitions,
+                   uint64_t contended) const;
+
+  // Boot-time derivation (previously inlined in the Kernel ctor): the
+  // number of (bank, LLC) combos, clamped to cores x 16 and then to
+  // [min_shards, max_shards].
+  static unsigned boot_shards(const hw::Topology& topo, unsigned bank_colors,
+                              unsigned llc_colors,
+                              const ShardAdvisorConfig& cfg = {});
+
+  const ShardAdvisorConfig& config() const { return cfg_; }
+
+ private:
+  ShardAdvisorConfig cfg_;
+};
+
+}  // namespace tint::os

@@ -9,88 +9,242 @@
 namespace tint::runtime {
 
 OffloadEngine::OffloadEngine(os::Kernel& kernel, OffloadEngineConfig cfg)
-    : kernel_(kernel), cfg_(cfg) {}
+    : kernel_(kernel), cfg_(cfg) {
+  // Worker pool: 0 = auto (one per node), otherwise capped at the node
+  // count; nodes are distributed round-robin across the pool.
+  const unsigned nodes = kernel_.topology().num_nodes();
+  unsigned w = kernel_.config().offload.workers;
+  if (w == 0) w = nodes;
+  w = std::max(1u, std::min(w, nodes));
+  workers_.reserve(w);
+  for (unsigned i = 0; i < w; ++i) {
+    workers_.push_back(std::make_unique<Worker>());
+    workers_.back()->index = i;
+  }
+}
 
 OffloadEngine::~OffloadEngine() {
   stop();
-  std::lock_guard lk(mu_);
-  for (const Watch& w : watches_) kernel_.offload_drain_task(w.id);
-  watches_.clear();
+  std::vector<os::TaskId> ids;
+  {
+    std::lock_guard ctl(ctl_mu_);
+    for (const Watch& w : parked_) ids.push_back(w.id);
+    parked_.clear();
+  }
+  for (auto& wk : workers_) {
+    std::lock_guard lk(wk->mu);
+    for (const Watch& w : wk->watches) ids.push_back(w.id);
+    wk->watches.clear();
+  }
+  for (const os::TaskId id : ids) kernel_.offload_drain_task(id);
 }
 
 bool OffloadEngine::watch(os::TaskId id) {
   if (!kernel_.offload_enabled()) return false;
+  // Membership changes serialize on the control mutex (worker mutexes
+  // guard the vectors against concurrent service iteration).
+  std::lock_guard ctl(ctl_mu_);
+  for (const Watch& w : parked_)
+    if (w.id == id) return true;  // idempotent (still parked)
+  for (auto& wk : workers_) {
+    std::lock_guard lk(wk->mu);
+    for (const Watch& w : wk->watches)
+      if (w.id == id) return true;  // idempotent
+  }
+  const unsigned node = kernel_.task(id).local_node();
+  if (!kernel_.node_online(node)) {
+    // Home node offline: park, never service cross-node. The rings
+    // attach at adoption time, so until the node returns the task's
+    // fast paths simply fall through to the magazine tier.
+    Watch w;
+    w.id = id;
+    parked_.push_back(w);
+    stats_.tasks_parked.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
   if (!kernel_.offload_attach(id)) return false;
-  std::lock_guard lk(mu_);
-  for (const Watch& w : watches_)
-    if (w.id == id) return true;  // idempotent
-  // Seed last_pops from the live counter so the first round measures a
-  // real delta, not the task's whole history.
-  watches_.push_back({id, kernel_.offload_ring_pops(id), -1.0});
+  Worker& wk = *workers_[worker_of_node(node)];
+  Watch w;
+  w.id = id;
+  w.last_pops = kernel_.offload_ring_pops(id);
+  const os::Kernel::RingStallSnapshot st = kernel_.offload_ring_stalls(id);
+  w.last_full = st.full;
+  w.last_empty = st.empty;
+  std::lock_guard lk(wk.mu);
+  wk.watches.push_back(w);
   return true;
 }
 
 void OffloadEngine::unwatch(os::TaskId id) {
+  bool found = false;
   {
-    std::lock_guard lk(mu_);
-    const auto it = std::find_if(watches_.begin(), watches_.end(),
-                                 [id](const Watch& w) { return w.id == id; });
-    if (it == watches_.end()) return;
-    watches_.erase(it);
+    std::lock_guard ctl(ctl_mu_);
+    const auto pit = std::find_if(parked_.begin(), parked_.end(),
+                                  [id](const Watch& w) { return w.id == id; });
+    if (pit != parked_.end()) {
+      parked_.erase(pit);
+      found = true;
+    }
+    if (!found) {
+      for (auto& wk : workers_) {
+        std::lock_guard lk(wk->mu);
+        const auto it =
+            std::find_if(wk->watches.begin(), wk->watches.end(),
+                         [id](const Watch& w) { return w.id == id; });
+        if (it != wk->watches.end()) {
+          wk->watches.erase(it);
+          found = true;
+          break;
+        }
+      }
+    }
   }
-  kernel_.offload_drain_task(id);
+  if (found) kernel_.offload_drain_task(id);
 }
 
 void OffloadEngine::attach_heap(core::TintHeap* heap) {
   if (heap == nullptr) return;
-  std::lock_guard lk(mu_);
+  std::lock_guard ctl(ctl_mu_);
   if (std::find(heaps_.begin(), heaps_.end(), heap) == heaps_.end())
     heaps_.push_back(heap);
 }
 
 void OffloadEngine::detach_heap(core::TintHeap* heap) {
-  std::lock_guard lk(mu_);
+  std::lock_guard ctl(ctl_mu_);
   heaps_.erase(std::remove(heaps_.begin(), heaps_.end(), heap), heaps_.end());
 }
 
 size_t OffloadEngine::watched() const {
-  std::lock_guard lk(mu_);
-  return watches_.size();
+  size_t n = 0;
+  {
+    std::lock_guard ctl(ctl_mu_);
+    n += parked_.size();
+  }
+  for (const auto& wk : workers_) {
+    std::lock_guard lk(wk->mu);
+    n += wk->watches.size();
+  }
+  return n;
 }
 
-bool OffloadEngine::run_round() {
-  std::lock_guard lk(mu_);
-  return run_round_locked();
+size_t OffloadEngine::parked() const {
+  std::lock_guard ctl(ctl_mu_);
+  return parked_.size();
 }
 
-bool OffloadEngine::run_round_locked() {
+OffloadEngineStats::Snapshot OffloadEngine::worker_snapshot(size_t w) const {
+  TINT_ASSERT(w < workers_.size());
+  return workers_[w]->stats.snapshot();
+}
+
+std::vector<unsigned> OffloadEngine::worker_nodes(size_t w) const {
+  TINT_ASSERT(w < workers_.size());
+  std::vector<unsigned> nodes;
+  for (unsigned n = 0; n < kernel_.topology().num_nodes(); ++n)
+    if (worker_owns_node(w, n)) nodes.push_back(n);
+  return nodes;
+}
+
+void OffloadEngine::rebalance_worker(size_t w) {
+  Worker& wk = *workers_[w];
+  std::vector<os::TaskId> parked_now;
+  {
+    std::lock_guard ctl(ctl_mu_);
+    {
+      // Park live watches whose home node went offline. Their rings
+      // were already drained by set_node_online; the drain below only
+      // catches frames a racing service round stocked afterwards.
+      std::lock_guard lk(wk.mu);
+      for (size_t i = 0; i < wk.watches.size();) {
+        const os::TaskId id = wk.watches[i].id;
+        if (kernel_.node_online(kernel_.task(id).local_node())) {
+          ++i;
+          continue;
+        }
+        parked_now.push_back(id);
+        Watch p;
+        p.id = id;
+        parked_.push_back(p);
+        wk.watches.erase(wk.watches.begin() + static_cast<ptrdiff_t>(i));
+      }
+    }
+    // Adopt parked tasks whose home node returned and belongs to this
+    // worker. Baselines re-seed from the live counters: the parked
+    // interval must not read as a burst of demand.
+    for (size_t i = 0; i < parked_.size();) {
+      const os::TaskId id = parked_[i].id;
+      if (!kernel_.task_alive(id)) {
+        // Died while parked: nothing attached, nothing to drain.
+        parked_.erase(parked_.begin() + static_cast<ptrdiff_t>(i));
+        stats_.dead_task_drops.fetch_add(1, std::memory_order_relaxed);
+        wk.stats.dead_task_drops.fetch_add(1, std::memory_order_relaxed);
+        continue;
+      }
+      const unsigned node = kernel_.task(id).local_node();
+      if (!kernel_.node_online(node) || worker_of_node(node) != w) {
+        ++i;
+        continue;
+      }
+      if (kernel_.offload_attach(id)) {
+        Watch a;
+        a.id = id;
+        a.last_pops = kernel_.offload_ring_pops(id);
+        const os::Kernel::RingStallSnapshot st =
+            kernel_.offload_ring_stalls(id);
+        a.last_full = st.full;
+        a.last_empty = st.empty;
+        std::lock_guard lk(wk.mu);
+        wk.watches.push_back(a);
+        stats_.parked_adopts.fetch_add(1, std::memory_order_relaxed);
+        wk.stats.parked_adopts.fetch_add(1, std::memory_order_relaxed);
+      }
+      parked_.erase(parked_.begin() + static_cast<ptrdiff_t>(i));
+    }
+  }
+  if (!parked_now.empty()) {
+    stats_.tasks_parked.fetch_add(parked_now.size(),
+                                  std::memory_order_relaxed);
+    wk.stats.tasks_parked.fetch_add(parked_now.size(),
+                                    std::memory_order_relaxed);
+    for (const os::TaskId id : parked_now) kernel_.offload_drain_task(id);
+  }
+}
+
+bool OffloadEngine::service_worker(size_t w) {
+  Worker& wk = *workers_[w];
   const os::KernelConfig::OffloadConfig& oc = kernel_.config().offload;
   bool did_work = false;
 
-  for (size_t i = 0; i < watches_.size();) {
-    Watch& w = watches_[i];
+  std::lock_guard lk(wk.mu);
+  for (size_t i = 0; i < wk.watches.size();) {
+    Watch& wt = wk.watches[i];
     // Observed drain rate: completion-ring pops since the last round,
     // EWMA-smoothed. This is what "pre-faulting ahead of demand" keys
     // off -- the restock target follows the measured burn, not a guess.
-    const uint64_t pops = kernel_.offload_ring_pops(w.id);
-    const uint64_t delta = pops - w.last_pops;
-    w.last_pops = pops;
+    const uint64_t pops = kernel_.offload_ring_pops(wt.id);
+    const uint64_t delta = pops - wt.last_pops;
+    wt.last_pops = pops;
     const double d = static_cast<double>(delta);
-    w.ewma = w.ewma < 0.0 ? d : cfg_.ewma_alpha * d +
-                                    (1.0 - cfg_.ewma_alpha) * w.ewma;
+    wt.ewma = wt.ewma < 0.0
+                  ? d
+                  : cfg_.ewma_alpha * d + (1.0 - cfg_.ewma_alpha) * wt.ewma;
 
-    const double want = std::ceil(w.ewma * oc.prefault_headroom);
+    const double want = std::ceil(wt.ewma * oc.prefault_headroom);
     const unsigned target = std::max<unsigned>(
         oc.min_stock,
         static_cast<unsigned>(std::min(want, 1e9)));  // kernel clamps to ring
 
     const os::Kernel::OffloadServiceReport rep =
-        kernel_.offload_service(w.id, target);
-    stats_.frees_absorbed.fetch_add(rep.frees_absorbed,
-                                    std::memory_order_relaxed);
-    stats_.frames_recycled.fetch_add(rep.recycled, std::memory_order_relaxed);
-    stats_.frames_restocked.fetch_add(rep.restocked,
-                                      std::memory_order_relaxed);
+        kernel_.offload_service(wt.id, target);
+    const auto bump = [&](std::atomic<uint64_t> OffloadEngineStats::*m,
+                          uint64_t v) {
+      if (v == 0) return;
+      (stats_.*m).fetch_add(v, std::memory_order_relaxed);
+      (wk.stats.*m).fetch_add(v, std::memory_order_relaxed);
+    };
+    bump(&OffloadEngineStats::frees_absorbed, rep.frees_absorbed);
+    bump(&OffloadEngineStats::frames_recycled, rep.recycled);
+    bump(&OffloadEngineStats::frames_restocked, rep.restocked);
     if (rep.frees_absorbed || rep.recycled || rep.restocked) did_work = true;
 
     if (rep.task_dead) {
@@ -98,15 +252,70 @@ bool OffloadEngine::run_round_locked() {
       // later frees of the dead task's frames keep landing in the
       // request ring and are swept by scavenge pressure, exactly like
       // a dead task's magazine.
-      const os::TaskId dead = w.id;
-      watches_.erase(watches_.begin() + static_cast<ptrdiff_t>(i));
+      const os::TaskId dead = wt.id;
+      wk.watches.erase(wk.watches.begin() + static_cast<ptrdiff_t>(i));
       kernel_.offload_drain_task(dead);
-      stats_.dead_task_drops.fetch_add(1, std::memory_order_relaxed);
+      bump(&OffloadEngineStats::dead_task_drops, 1);
       continue;  // i now names the next watch
     }
+    if (oc.adaptive_ring) tune_ring(wk, wt);
     ++i;
   }
 
+  stats_.rounds_run.fetch_add(1, std::memory_order_relaxed);
+  wk.stats.rounds_run.fetch_add(1, std::memory_order_relaxed);
+  if (did_work) {
+    stats_.busy_rounds.fetch_add(1, std::memory_order_relaxed);
+    wk.stats.busy_rounds.fetch_add(1, std::memory_order_relaxed);
+  }
+  return did_work;
+}
+
+void OffloadEngine::tune_ring(Worker& wk, Watch& w) {
+  // Feed the stall EWMAs every round; act only every tune interval so
+  // the freeze-swap resize is amortized over many rounds (the magazine
+  // tuner's grow/shrink idiom on ring geometry).
+  const os::Kernel::RingStallSnapshot st = kernel_.offload_ring_stalls(w.id);
+  const double df = static_cast<double>(st.full - w.last_full);
+  const double de = static_cast<double>(st.empty - w.last_empty);
+  w.last_full = st.full;
+  w.last_empty = st.empty;
+  w.full_ewma = cfg_.ewma_alpha * df + (1.0 - cfg_.ewma_alpha) * w.full_ewma;
+  w.empty_ewma = cfg_.ewma_alpha * de + (1.0 - cfg_.ewma_alpha) * w.empty_ewma;
+  if (++w.rounds_since_tune < cfg_.ring_tune_interval) return;
+  w.rounds_since_tune = 0;
+
+  const os::KernelConfig::OffloadConfig& oc = kernel_.config().offload;
+  // capacity() reports usable slots (one sacrificed); +1 recovers the
+  // configured power-of-two depth for the resize arithmetic.
+  const unsigned depth = kernel_.offload_ring_capacity(w.id) + 1;
+  if (depth <= 1) return;  // never attached (parked): nothing to tune
+  if ((w.full_ewma > cfg_.ring_grow_stalls ||
+       w.empty_ewma > cfg_.ring_grow_stalls) &&
+      depth < oc.ring_depth_max) {
+    // Sustained overflow (frees bouncing off a full request ring) or
+    // underrun (faults draining the stock faster than one round
+    // restocks): more buffer absorbs the burst.
+    if (kernel_.offload_resize_task(w.id, depth * 2)) {
+      stats_.ring_grows.fetch_add(1, std::memory_order_relaxed);
+      wk.stats.ring_grows.fetch_add(1, std::memory_order_relaxed);
+    }
+  } else if (w.full_ewma < cfg_.ring_shrink_stalls &&
+             w.empty_ewma < cfg_.ring_shrink_stalls &&
+             depth > oc.ring_depth) {
+    // Quiet on both sides: give the frames back toward the configured
+    // floor.
+    const unsigned target = std::max(oc.ring_depth, depth / 2);
+    if (target < depth && kernel_.offload_resize_task(w.id, target)) {
+      stats_.ring_shrinks.fetch_add(1, std::memory_order_relaxed);
+      wk.stats.ring_shrinks.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+bool OffloadEngine::drain_heaps() {
+  bool did_work = false;
+  std::lock_guard ctl(ctl_mu_);
   for (core::TintHeap* heap : heaps_) {
     const uint64_t flushed = heap->drain_deferred_flushes();
     if (flushed > 0) {
@@ -114,38 +323,79 @@ bool OffloadEngine::run_round_locked() {
       stats_.heap_flushes.fetch_add(flushed, std::memory_order_relaxed);
     }
   }
-
-  stats_.rounds_run.fetch_add(1, std::memory_order_relaxed);
-  if (did_work) stats_.busy_rounds.fetch_add(1, std::memory_order_relaxed);
   return did_work;
+}
+
+bool OffloadEngine::run_round() {
+  // Manual drive: every worker's slice on the calling thread, worker
+  // (== node, in auto mode) order, so serial callers stay
+  // deterministic.
+  std::lock_guard round(round_mu_);
+  bool did_work = false;
+  for (size_t w = 0; w < workers_.size(); ++w) {
+    rebalance_worker(w);
+    if (service_worker(w)) did_work = true;
+  }
+  if (drain_heaps()) did_work = true;
+  if (did_work) {
+    manual_idle_streak_ = 0;
+  } else if (cfg_.scrub_idle_rounds > 0 &&
+             ++manual_idle_streak_ >= cfg_.scrub_idle_rounds) {
+    // Idle long enough: spend the quiet round on a RAS scrub pass.
+    manual_idle_streak_ = 0;
+    kernel_.scrub();
+    stats_.scrub_passes.fetch_add(1, std::memory_order_relaxed);
+  }
+  return did_work;
+}
+
+void OffloadEngine::worker_loop(size_t w) {
+  Worker& wk = *workers_[w];
+  while (running_.load(std::memory_order_acquire)) {
+    rebalance_worker(w);
+    bool busy = service_worker(w);
+    // The first worker doubles as the control-plane core: heap flushes
+    // and idle scrubs ride it so the others stay pure allocators.
+    if (w == 0 && drain_heaps()) busy = true;
+    if (busy) {
+      wk.idle_streak = 0;
+      continue;  // demand present: service again immediately
+    }
+    if (w == 0 && cfg_.scrub_idle_rounds > 0 &&
+        ++wk.idle_streak >= cfg_.scrub_idle_rounds) {
+      wk.idle_streak = 0;
+      kernel_.scrub();
+      stats_.scrub_passes.fetch_add(1, std::memory_order_relaxed);
+      wk.stats.scrub_passes.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    std::unique_lock lk(cv_mu_);
+    cv_.wait_for(lk, cfg_.idle_sleep, [this] {
+      return !running_.load(std::memory_order_acquire);
+    });
+  }
 }
 
 void OffloadEngine::start() {
   TINT_ASSERT_MSG(!running_.load(std::memory_order_acquire),
                   "OffloadEngine already running");
   running_.store(true, std::memory_order_release);
-  thread_ = std::thread([this] {
-    while (running_.load(std::memory_order_acquire)) {
-      const bool busy = run_round();
-      if (busy) continue;  // demand present: service again immediately
-      std::unique_lock lk(cv_mu_);
-      cv_.wait_for(lk, cfg_.idle_sleep, [this] {
-        return !running_.load(std::memory_order_acquire);
-      });
-    }
-  });
+  for (size_t w = 0; w < workers_.size(); ++w)
+    workers_[w]->thread = std::thread([this, w] { worker_loop(w); });
 }
 
 void OffloadEngine::stop() {
   if (!running_.exchange(false, std::memory_order_acq_rel)) {
-    if (thread_.joinable()) thread_.join();
+    for (auto& wk : workers_)
+      if (wk->thread.joinable()) wk->thread.join();
     return;
   }
   {
     std::lock_guard lk(cv_mu_);
   }
   cv_.notify_all();
-  if (thread_.joinable()) thread_.join();
+  for (auto& wk : workers_)
+    if (wk->thread.joinable()) wk->thread.join();
 }
 
 }  // namespace tint::runtime

@@ -466,6 +466,170 @@ TEST_F(OffloadTest, EngineWatchFailsWhenOffloadDisabled) {
   EXPECT_FALSE(engine.run_round());  // nothing to do, no crash
 }
 
+// --- multi-worker sharding, parking and the idle-scrub piggyback ---
+
+TEST_F(OffloadTest, AutoWorkersGetOneNodeEach) {
+  KernelConfig cfg = offload_config();
+  cfg.offload.workers = 0;  // auto: one worker per node
+  Kernel k = make_kernel(cfg);
+  runtime::OffloadEngine engine(k);
+  ASSERT_EQ(engine.num_workers(), topo_.num_nodes());
+  for (size_t w = 0; w < engine.num_workers(); ++w) {
+    const auto nodes = engine.worker_nodes(w);
+    ASSERT_EQ(nodes.size(), 1u);
+    EXPECT_EQ(nodes[0], static_cast<unsigned>(w));
+  }
+
+  // One task per node: each lands on its home node's worker, and only
+  // that worker's slice of the rollup moves for it.
+  const TaskId t0 = make_colored_task(k);  // core 0 -> node 0
+  const unsigned core1 = topo_.num_cores() - 1;  // last core -> last node
+  ASSERT_EQ(topo_.node_of_core(core1), topo_.num_nodes() - 1);
+  const TaskId t1 = k.create_task(core1);
+  k.mmap(t1, map_.make_bank_color(topo_.num_nodes() - 1, 0) | SET_MEM_COLOR, 0,
+         PROT_COLOR_ALLOC);
+  ASSERT_TRUE(engine.watch(t0));
+  ASSERT_TRUE(engine.watch(t1));
+  EXPECT_TRUE(engine.run_round());
+
+  const unsigned floor = k.config().offload.min_stock;
+  const auto w0 = engine.worker_snapshot(0);
+  const auto wl = engine.worker_snapshot(engine.num_workers() - 1);
+  EXPECT_EQ(w0.frames_restocked, floor);
+  EXPECT_EQ(wl.frames_restocked, floor);
+  EXPECT_EQ(engine.stats().snapshot().frames_restocked, 2u * floor);
+  const auto inv = k.check_invariants();
+  ASSERT_TRUE(inv.ok) << inv.detail;
+  EXPECT_EQ(inv.ring_owned, 2u * floor);
+  engine.unwatch(t0);
+  engine.unwatch(t1);
+}
+
+TEST_F(OffloadTest, WorkerCountCappedAtNodeCount) {
+  KernelConfig cfg = offload_config();
+  cfg.offload.workers = 16;  // more workers than nodes is pointless
+  Kernel k = make_kernel(cfg);
+  runtime::OffloadEngine engine(k);
+  EXPECT_EQ(engine.num_workers(), topo_.num_nodes());
+
+  KernelConfig legacy = offload_config();
+  legacy.offload.workers = 1;
+  Kernel k1 = make_kernel(legacy);
+  runtime::OffloadEngine single(k1);
+  EXPECT_EQ(single.num_workers(), 1u);
+  const auto nodes = single.worker_nodes(0);
+  EXPECT_EQ(nodes.size(), topo_.num_nodes());  // one worker serves all
+}
+
+TEST_F(OffloadTest, WatchWhileNodeOfflineParksUntilNodeReturns) {
+  KernelConfig cfg = offload_config();
+  cfg.offload.workers = 0;
+  Kernel k = make_kernel(cfg);
+  runtime::OffloadEngine engine(k);
+
+  // Home a task on the last node, color it, then take the node down
+  // BEFORE the watch: the engine must park it, never service it
+  // cross-node.
+  const unsigned node = topo_.num_nodes() - 1;
+  const TaskId t = k.create_task(topo_.num_cores() - 1);
+  k.mmap(t, map_.make_bank_color(node, 0) | SET_MEM_COLOR, 0,
+         PROT_COLOR_ALLOC);
+  k.set_node_online(node, false);
+
+  ASSERT_TRUE(engine.watch(t));
+  EXPECT_TRUE(engine.watch(t));  // idempotent while parked
+  EXPECT_EQ(engine.parked(), 1u);
+  EXPECT_EQ(engine.watched(), 1u);
+  EXPECT_FALSE(k.offload_attached(t));  // rings attach only at adoption
+  EXPECT_EQ(engine.stats().snapshot().tasks_parked, 1u);
+
+  // Rounds while the node is down must not stock a single frame.
+  engine.run_round();
+  const auto inv = k.check_invariants();
+  ASSERT_TRUE(inv.ok) << inv.detail;
+  EXPECT_EQ(inv.ring_owned, 0u);
+  EXPECT_EQ(engine.parked(), 1u);
+
+  // Node returns: the next round adopts the task onto its home worker
+  // and services it normally.
+  k.set_node_online(node, true);
+  EXPECT_TRUE(engine.run_round());
+  EXPECT_EQ(engine.parked(), 0u);
+  EXPECT_EQ(engine.watched(), 1u);
+  EXPECT_TRUE(k.offload_attached(t));
+  EXPECT_EQ(engine.stats().snapshot().parked_adopts, 1u);
+  const auto inv2 = k.check_invariants();
+  ASSERT_TRUE(inv2.ok) << inv2.detail;
+  EXPECT_EQ(inv2.ring_owned, k.config().offload.min_stock);
+  engine.unwatch(t);
+}
+
+TEST_F(OffloadTest, LiveWatchParkedWhenNodeGoesOffline) {
+  KernelConfig cfg = offload_config();
+  cfg.offload.workers = 0;
+  Kernel k = make_kernel(cfg);
+  runtime::OffloadEngine engine(k);
+  const TaskId t = make_colored_task(k);  // node 0
+  ASSERT_TRUE(engine.watch(t));
+  EXPECT_TRUE(engine.run_round());  // stock the floor
+
+  // The node dies under a live watch: the kernel drains the rings and
+  // the next rebalance parks the watch.
+  k.set_node_online(0, false);
+  engine.run_round();
+  EXPECT_EQ(engine.parked(), 1u);
+  EXPECT_EQ(engine.stats().snapshot().tasks_parked, 1u);
+  const auto inv = k.check_invariants();
+  ASSERT_TRUE(inv.ok) << inv.detail;
+  EXPECT_EQ(inv.ring_owned, 0u);
+
+  k.set_node_online(0, true);
+  EXPECT_TRUE(engine.run_round());  // adopt + restock
+  EXPECT_EQ(engine.parked(), 0u);
+  EXPECT_EQ(engine.stats().snapshot().parked_adopts, 1u);
+  engine.unwatch(t);
+  const auto inv2 = k.check_invariants();
+  ASSERT_TRUE(inv2.ok) << inv2.detail;
+  EXPECT_EQ(inv2.ring_owned, 0u);
+}
+
+TEST_F(OffloadTest, TaskDyingWhileParkedIsDropped) {
+  Kernel k = make_kernel(offload_config());
+  runtime::OffloadEngine engine(k);
+  const TaskId t = make_colored_task(k);  // node 0
+  k.set_node_online(0, false);
+  ASSERT_TRUE(engine.watch(t));
+  EXPECT_EQ(engine.parked(), 1u);
+  k.exit_task(t);
+  k.set_node_online(0, true);
+  engine.run_round();  // rebalance notices the dead parked task
+  EXPECT_EQ(engine.parked(), 0u);
+  EXPECT_EQ(engine.watched(), 0u);
+  EXPECT_EQ(engine.stats().snapshot().dead_task_drops, 1u);
+}
+
+TEST_F(OffloadTest, IdleRoundsRunScrubPasses) {
+  Kernel k = make_kernel(offload_config());
+  runtime::OffloadEngineConfig ecfg;
+  ecfg.scrub_idle_rounds = 2;
+  runtime::OffloadEngine engine(k, ecfg);
+
+  EXPECT_FALSE(engine.run_round());  // idle round 1: streak builds
+  EXPECT_EQ(engine.stats().snapshot().scrub_passes, 0u);
+  EXPECT_FALSE(engine.run_round());  // idle round 2: scrub rides along
+  EXPECT_EQ(engine.stats().snapshot().scrub_passes, 1u);
+
+  // A busy round resets the streak.
+  const TaskId t = make_colored_task(k);
+  ASSERT_TRUE(engine.watch(t));
+  EXPECT_TRUE(engine.run_round());
+  engine.unwatch(t);
+  EXPECT_FALSE(engine.run_round());  // idle 1 again, no scrub yet
+  EXPECT_EQ(engine.stats().snapshot().scrub_passes, 1u);
+  EXPECT_FALSE(engine.run_round());  // idle 2: second scrub
+  EXPECT_EQ(engine.stats().snapshot().scrub_passes, 2u);
+}
+
 TEST_F(OffloadTest, EngineBackgroundStartStop) {
   Kernel k = make_kernel(offload_config());
   runtime::OffloadEngineConfig ecfg;

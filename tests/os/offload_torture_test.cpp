@@ -310,5 +310,107 @@ TEST_F(OffloadTortureTest, RepeatedStwAuditsStayBalanced) {
   EXPECT_EQ(rep.ring_owned, 0u);
 }
 
+// The full section-17 engine at once: one worker per node (auto mode),
+// adaptive rings resizing under load, node 1 flapping (parking and
+// re-adopting its tasks), direct kernel resizes racing the tuner, and
+// stop-the-world audits mid-storm. Every audit is a zero-leak check; a
+// deterministic park/adopt epilogue pins the hotplug semantics that the
+// racing storm can only make probable.
+TEST_F(OffloadTortureTest, MultiWorkerHotplugResizeStorm) {
+  KernelConfig cfg = offload_config();
+  cfg.offload.workers = 0;           // auto: one worker per node
+  cfg.offload.adaptive_ring = true;  // the depth tuner runs mid-storm
+  cfg.offload.ring_depth = 8;
+  cfg.magazine_capacity = 0;  // every colored free crosses a ring
+  Kernel k = make_kernel(cfg);
+  runtime::OffloadEngineConfig ecfg;
+  ecfg.idle_sleep = std::chrono::microseconds(50);
+  ecfg.ring_tune_interval = 2;
+  runtime::OffloadEngine engine(k, ecfg);
+  ASSERT_EQ(engine.num_workers(), topo_.num_nodes());
+  const uint64_t page = topo_.page_bytes();
+  const unsigned bpn = map_.num_bank_colors() / topo_.num_nodes();
+  std::atomic<bool> stop{false};
+
+  // Tasks homed properly: the core choice fixes local_node, and the
+  // bank color matches it, so every task belongs to exactly one worker.
+  std::vector<TaskId> tasks;
+  for (unsigned ti = 0; ti < kThreads; ++ti) {
+    const unsigned node = ti % topo_.num_nodes();
+    const unsigned core = node * (topo_.num_cores() / topo_.num_nodes());
+    const TaskId task = k.create_task(core);
+    const unsigned bank = (ti / topo_.num_nodes()) % bpn;
+    k.mmap(task, map_.make_bank_color(node, bank) | SET_MEM_COLOR, 0,
+           PROT_COLOR_ALLOC);
+    ASSERT_TRUE(engine.watch(task));
+    tasks.push_back(task);
+  }
+  engine.start();
+
+  std::thread chaos([&] {
+    Rng rng(271);
+    unsigned round = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      // Node 1 flaps: the kernel drains its rings, the workers park its
+      // tasks, and adoption races the next flap.
+      k.set_node_online(1, false);
+      const auto rep =
+          k.check_invariants(/*expected_loose=*/0, /*stop_the_world=*/true);
+      EXPECT_TRUE(rep.ok) << rep.detail;
+      k.set_node_online(1, true);
+      // Direct resizes race the tuner's own freeze-swaps.
+      const TaskId victim = tasks[rng.next_below(tasks.size())];
+      k.offload_resize_task(victim, 4u << rng.next_below(6));
+      const auto rep2 = k.check_invariants(/*expected_loose=*/0,
+                                           /*stop_the_world=*/true);
+      EXPECT_TRUE(rep2.ok) << rep2.detail;
+      ++round;
+      std::this_thread::yield();
+    }
+    EXPECT_GT(round, 0u);
+  });
+
+  run_threads(kThreads, [&](unsigned ti) {
+    const TaskId task = tasks[ti];
+    Rng rng(9500 + ti);
+    for (unsigned iter = 0; iter < 25; ++iter) {
+      const uint64_t pages = 2 + rng.next_below(12);
+      const VirtAddr base = k.mmap(task, 0, pages * page, 0);
+      ASSERT_NE(base, kMmapFailed);
+      for (uint64_t p = 0; p < pages; ++p) {
+        // Faults may fail while node 1 is down -- the ladder's contract.
+        k.touch(task, base + p * page, true);
+      }
+      ASSERT_TRUE(k.munmap(task, base, pages * page));
+    }
+  });
+  stop.store(true, std::memory_order_release);
+  chaos.join();
+
+  // Deterministic park/adopt epilogue (the storm only makes these
+  // counters probable): down node 1 and let manual rounds park its
+  // tasks, then bring it back and watch them all come home.
+  k.set_node_online(1, false);
+  engine.run_round();
+  EXPECT_GT(engine.parked(), 0u);
+  k.set_node_online(1, true);
+  for (int i = 0; i < 4 && engine.parked() > 0; ++i) engine.run_round();
+  EXPECT_EQ(engine.parked(), 0u);
+  EXPECT_GT(engine.stats().snapshot().tasks_parked, 0u);
+  EXPECT_GT(engine.stats().snapshot().parked_adopts, 0u);
+
+  engine.stop();
+  for (const TaskId t : tasks) engine.unwatch(t);
+  EXPECT_EQ(k.page_table().mapped_pages(), 0u);
+  const auto rep = k.check_invariants();
+  EXPECT_TRUE(rep.ok) << rep.detail;
+  EXPECT_EQ(rep.ring_owned, 0u);
+  // Both workers serviced their own nodes' tasks.
+  for (size_t w = 0; w < engine.num_workers(); ++w)
+    EXPECT_GT(engine.worker_snapshot(w).rounds_run, 0u);
+  EXPECT_GT(k.stats().snapshot().ring_grows + k.stats().snapshot().ring_shrinks,
+            0u);  // somebody resized under fire
+}
+
 }  // namespace
 }  // namespace tint::os

@@ -1,0 +1,287 @@
+// Deterministic tests for the freeze-swap ring resize (DESIGN.md
+// section 17): grow and shrink must conserve frames (every parked value
+// either re-pushed or re-homed inside the freeze hold), keep the
+// consumer pop counter honest (the engine paces off pop deltas), and
+// keep the pop-side validity check live across the swap. The adaptive
+// depth tuner on top is driven with exact manual rounds: sustained
+// overflow grows the rings until the stalls provably stop, and a quiet
+// task shrinks back to the configured floor.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "hw/pci_config.h"
+#include "os/kernel.h"
+#include "runtime/offload.h"
+
+namespace tint::os {
+namespace {
+
+class RingResizeTest : public ::testing::Test {
+ protected:
+  RingResizeTest()
+      : topo_(hw::Topology::tiny()),
+        pci_(hw::PciConfig::program_bios(topo_)),
+        map_(pci_, topo_) {}
+
+  static KernelConfig offload_config(unsigned ring_depth) {
+    KernelConfig cfg;
+    cfg.offload.enabled = true;
+    cfg.offload.ring_depth = ring_depth;
+    cfg.magazine_capacity = 0;  // every colored free crosses a ring
+    return cfg;
+  }
+
+  Kernel make_kernel(KernelConfig cfg, uint64_t seed = 42) {
+    return Kernel(topo_, map_, cfg, seed);
+  }
+
+  TaskId make_colored_task(Kernel& k) {
+    const TaskId t = k.create_task(0);
+    k.mmap(t, map_.make_bank_color(0, 0) | SET_MEM_COLOR, 0,
+           PROT_COLOR_ALLOC);
+    return t;
+  }
+
+  struct MappedPage {
+    VirtAddr va = kMmapFailed;
+    Pfn pfn = kNoPage;
+  };
+  MappedPage fault_one(Kernel& k, TaskId t) {
+    MappedPage m;
+    m.va = k.mmap(t, 0, topo_.page_bytes(), 0);
+    EXPECT_NE(m.va, kMmapFailed);
+    const auto tr = k.touch(t, m.va, true);
+    EXPECT_EQ(tr.error, AllocError::kOk);
+    m.pfn = tr.pa / topo_.page_bytes();
+    return m;
+  }
+
+  hw::Topology topo_;
+  hw::PciConfig pci_;
+  hw::AddressMapping map_;
+};
+
+TEST_F(RingResizeTest, GrowPreservesStockAndPopCounter) {
+  Kernel k = make_kernel(offload_config(/*ring_depth=*/16));
+  const TaskId t = make_colored_task(k);
+  ASSERT_TRUE(k.offload_attach(t));
+  ASSERT_EQ(k.offload_service(t, 8).restocked, 8u);
+  // Burn part of the stock so the pop counter is non-trivial.
+  for (int i = 0; i < 3; ++i) fault_one(k, t);
+  ASSERT_EQ(k.offload_ring_pops(t), 3u);
+  ASSERT_EQ(k.offload_ring_capacity(t), 15u);  // one slot sacrificed
+
+  ASSERT_TRUE(k.offload_resize_task(t, 64));
+  EXPECT_EQ(k.offload_ring_capacity(t), 63u);
+  // The consumer pop counter survives the swap exactly -- a resize must
+  // never read as a burst (or a famine) of demand to the engine.
+  EXPECT_EQ(k.offload_ring_pops(t), 3u);
+  const auto ks = k.stats().snapshot();
+  EXPECT_EQ(ks.ring_grows, 1u);
+  EXPECT_EQ(ks.ring_shrinks, 0u);
+  EXPECT_EQ(ks.ring_resize_drained, 0u);  // growth re-pushes everything
+
+  // Frame conservation across the swap: the 5 remaining stocked frames
+  // are still kRingOwned and still serve faults.
+  const auto inv = k.check_invariants();
+  ASSERT_TRUE(inv.ok) << inv.detail;
+  EXPECT_EQ(inv.ring_owned, 5u);
+  fault_one(k, t);
+  EXPECT_EQ(k.stats().snapshot().ring_alloc_hits, 4u);
+  EXPECT_EQ(k.offload_ring_pops(t), 4u);
+}
+
+TEST_F(RingResizeTest, ShrinkRehomesOverflowToColorLists) {
+  Kernel k = make_kernel(offload_config(/*ring_depth=*/32));
+  const TaskId t = make_colored_task(k);
+  ASSERT_TRUE(k.offload_attach(t));
+  ASSERT_EQ(k.offload_service(t, 20).restocked, 20u);
+  const uint64_t parked_before = k.color_lists().total_parked();
+
+  // Depth 8 leaves 7 usable completion slots: 7 of the 20 stocked
+  // frames stay, 13 re-home to the shards inside the freeze hold.
+  ASSERT_TRUE(k.offload_resize_task(t, 8));
+  EXPECT_EQ(k.offload_ring_capacity(t), 7u);
+  const auto ks = k.stats().snapshot();
+  EXPECT_EQ(ks.ring_shrinks, 1u);
+  EXPECT_EQ(ks.ring_resize_drained, 13u);
+  EXPECT_EQ(k.color_lists().total_parked(), parked_before + 13);
+
+  const auto inv = k.check_invariants();
+  ASSERT_TRUE(inv.ok) << inv.detail;
+  EXPECT_EQ(inv.ring_owned, 7u);
+
+  // Both pools still serve: ring stock first, then the re-homed shard
+  // frames -- nothing was lost in the swap.
+  for (int i = 0; i < 20; ++i) fault_one(k, t);
+  EXPECT_EQ(k.stats().snapshot().ring_alloc_hits, 7u);
+  const auto inv2 = k.check_invariants();
+  ASSERT_TRUE(inv2.ok) << inv2.detail;
+  EXPECT_EQ(inv2.ring_owned, 0u);
+}
+
+TEST_F(RingResizeTest, PendingFreesSurviveResize) {
+  // Park frees on the *request* ring (completion fills first at depth
+  // 8: 7 direct recycles, the rest park), resize, and verify the
+  // pending frees are still absorbed -- stock returns to stock,
+  // pending frees stay pending frees.
+  Kernel k = make_kernel(offload_config(/*ring_depth=*/8));
+  const TaskId t = make_colored_task(k);
+  ASSERT_TRUE(k.offload_attach(t));
+  std::vector<MappedPage> pages(12);
+  for (auto& p : pages) p = fault_one(k, t);
+  for (auto& p : pages) ASSERT_TRUE(k.munmap(t, p.va, topo_.page_bytes()));
+  ASSERT_EQ(k.stats().snapshot().ring_fg_recycles, 7u);  // completion full
+  const auto inv = k.check_invariants();
+  ASSERT_TRUE(inv.ok) << inv.detail;
+  ASSERT_EQ(inv.ring_owned, 12u);  // 7 completion + 5 request
+
+  ASSERT_TRUE(k.offload_resize_task(t, 32));
+  const auto inv2 = k.check_invariants();
+  ASSERT_TRUE(inv2.ok) << inv2.detail;
+  EXPECT_EQ(inv2.ring_owned, 12u);  // growth re-pushed both rings intact
+
+  // The service round still finds the 5 parked frees on the request
+  // ring and recycles them into the (now deeper) completion stock.
+  const auto rep = k.offload_service(t, 0);
+  EXPECT_EQ(rep.frees_absorbed, 5u);
+  EXPECT_EQ(rep.recycled, 5u);
+}
+
+TEST_F(RingResizeTest, StaleStockStillRevalidatedAfterResize) {
+  // The resize re-push keeps frames kRingOwned without judging them;
+  // the pop-side validity check must stay live across the swap. Retire
+  // the task's bank color after a resize: the re-pushed stock is now
+  // stale and every pop must refuse it.
+  KernelConfig cfg = offload_config(/*ring_depth=*/16);
+  cfg.ras.retire_threshold = 1;
+  Kernel k = make_kernel(cfg);
+  const TaskId t = make_colored_task(k);
+  ASSERT_TRUE(k.offload_attach(t));
+  ASSERT_GT(k.offload_service(t, 4).restocked, 0u);
+  ASSERT_TRUE(k.offload_resize_task(t, 64));  // stock rides the swap
+
+  const uint16_t color = map_.make_bank_color(0, 0);
+  Pfn victim = kNoPage;
+  for (Pfn p = 0; p < k.pages().size(); ++p)
+    if (k.pages()[p].state == PageState::kBuddyFree &&
+        k.pages()[p].bank_color == color) {
+      victim = p;
+      break;
+    }
+  ASSERT_NE(victim, kNoPage);
+  ASSERT_TRUE(k.poison_frame(victim));
+  ASSERT_TRUE(k.color_retired(color));
+
+  const MappedPage m = fault_one(k, t);
+  EXPECT_NE(m.pfn, kNoPage);
+  const auto ks = k.stats().snapshot();
+  EXPECT_EQ(ks.ring_alloc_hits, 0u);   // stale stock never served
+  EXPECT_GT(ks.ring_drained_frames, 0u);
+  const auto inv = k.check_invariants();
+  ASSERT_TRUE(inv.ok) << inv.detail;
+  EXPECT_EQ(inv.ring_owned, 0u);
+}
+
+TEST_F(RingResizeTest, ResizeOfUnattachedTaskRefused) {
+  Kernel k = make_kernel(offload_config(/*ring_depth=*/16));
+  const TaskId t = make_colored_task(k);
+  EXPECT_FALSE(k.offload_resize_task(t, 64));  // no rings yet
+  Kernel off = make_kernel(KernelConfig{});
+  const TaskId t2 = off.create_task(0);
+  EXPECT_FALSE(off.offload_resize_task(t2, 64));  // offload disabled
+}
+
+// --- the adaptive depth tuner on top (offload.adaptive_ring) ---
+
+TEST_F(RingResizeTest, TunerGrowsUnderOverflowUntilStallsStop) {
+  KernelConfig cfg = offload_config(/*ring_depth=*/4);
+  cfg.offload.adaptive_ring = true;
+  cfg.offload.min_stock = 1;
+  Kernel k = make_kernel(cfg);
+  runtime::OffloadEngineConfig ecfg;
+  ecfg.ring_tune_interval = 1;  // decide every round: exact convergence
+  runtime::OffloadEngine engine(k, ecfg);
+  const TaskId t = make_colored_task(k);
+  ASSERT_TRUE(engine.watch(t));
+  ASSERT_EQ(k.offload_ring_capacity(t) + 1, 4u);
+
+  // Each burst frees 16 frames against depth-4 rings (3 completion + 3
+  // request slots): 10 frees bounce off full rings per burst, feeding
+  // the full-stall EWMA past the grow threshold every round.
+  const auto burst = [&] {
+    std::vector<MappedPage> pages(16);
+    for (auto& p : pages) p = fault_one(k, t);
+    for (auto& p : pages)
+      ASSERT_TRUE(k.munmap(t, p.va, topo_.page_bytes()));
+  };
+  for (int iter = 0; iter < 8; ++iter) {
+    burst();
+    engine.run_round();
+  }
+  EXPECT_GT(engine.stats().snapshot().ring_grows, 0u);
+  const unsigned depth = k.offload_ring_capacity(t) + 1;
+  EXPECT_GT(depth, 4u);
+  EXPECT_LE(depth, k.config().offload.ring_depth_max);
+
+  // Convergence: once the completion ring swallows a whole burst, the
+  // same workload produces zero new full stalls.
+  ASSERT_GE(k.offload_ring_capacity(t), 16u);
+  const uint64_t full_before = k.offload_ring_stalls(t).full;
+  burst();
+  EXPECT_EQ(k.offload_ring_stalls(t).full, full_before);
+
+  engine.unwatch(t);
+  const auto inv = k.check_invariants();
+  ASSERT_TRUE(inv.ok) << inv.detail;
+  EXPECT_EQ(inv.ring_owned, 0u);
+}
+
+TEST_F(RingResizeTest, TunerShrinksQuietTaskBackToFloor) {
+  KernelConfig cfg = offload_config(/*ring_depth=*/4);
+  cfg.offload.adaptive_ring = true;
+  cfg.offload.min_stock = 1;
+  Kernel k = make_kernel(cfg);
+  runtime::OffloadEngineConfig ecfg;
+  ecfg.ring_tune_interval = 1;
+  runtime::OffloadEngine engine(k, ecfg);
+  const TaskId t = make_colored_task(k);
+  ASSERT_TRUE(engine.watch(t));
+  // Blow the rings up past the floor, then go quiet: both stall EWMAs
+  // sit at zero, so every tuner decision halves the depth until the
+  // configured floor.
+  ASSERT_TRUE(k.offload_resize_task(t, 64));
+  for (int i = 0; i < 40; ++i) engine.run_round();
+  EXPECT_EQ(k.offload_ring_capacity(t) + 1, k.config().offload.ring_depth);
+  EXPECT_GE(engine.stats().snapshot().ring_shrinks, 4u);  // 64->32->16->8->4
+  engine.unwatch(t);
+  const auto inv = k.check_invariants();
+  ASSERT_TRUE(inv.ok) << inv.detail;
+  EXPECT_EQ(inv.ring_owned, 0u);
+}
+
+TEST_F(RingResizeTest, TunerOffKeepsDepthPinned) {
+  KernelConfig cfg = offload_config(/*ring_depth=*/4);
+  cfg.offload.min_stock = 1;  // adaptive_ring stays default-off
+  Kernel k = make_kernel(cfg);
+  runtime::OffloadEngineConfig ecfg;
+  ecfg.ring_tune_interval = 1;
+  runtime::OffloadEngine engine(k, ecfg);
+  const TaskId t = make_colored_task(k);
+  ASSERT_TRUE(engine.watch(t));
+  for (int iter = 0; iter < 6; ++iter) {
+    std::vector<MappedPage> pages(16);
+    for (auto& p : pages) p = fault_one(k, t);
+    for (auto& p : pages)
+      ASSERT_TRUE(k.munmap(t, p.va, topo_.page_bytes()));
+    engine.run_round();
+  }
+  EXPECT_EQ(k.offload_ring_capacity(t) + 1, 4u);  // pinned at ring_depth
+  EXPECT_EQ(engine.stats().snapshot().ring_grows, 0u);
+  EXPECT_EQ(k.stats().snapshot().ring_grows, 0u);
+  engine.unwatch(t);
+}
+
+}  // namespace
+}  // namespace tint::os

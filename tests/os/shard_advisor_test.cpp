@@ -1,0 +1,199 @@
+// ShardAdvisor decision tests plus the kernel integration around it:
+// the ColorLists contention probe (gated per-shard acquisition/held
+// counters), the online reshard (a pure lock-granularity swap under the
+// mm-exclusive + RAS locks) and Kernel::adapt_shards gluing the two
+// together. Decisions are pure functions of counters, so every case is
+// exact.
+#include <gtest/gtest.h>
+
+#include "hw/pci_config.h"
+#include "os/kernel.h"
+#include "os/shard_advisor.h"
+
+namespace tint::os {
+namespace {
+
+TEST(ShardAdvisorTest, NoiseWindowKeepsCurrentCount) {
+  ShardAdvisor adv;
+  // Fewer acquisitions than min_observations: the contended fraction
+  // would be noise, so the count holds whatever it was.
+  const auto a = adv.recommend(64, 100, 90);
+  EXPECT_EQ(a.shards, 64u);
+  EXPECT_FALSE(a.capped_by_freeze);
+}
+
+TEST(ShardAdvisorTest, GrowsOnSustainedContention) {
+  ShardAdvisor adv;
+  const auto a = adv.recommend(64, 1000, 30);  // 3% contended > 2%
+  EXPECT_EQ(a.shards, 128u);
+  EXPECT_DOUBLE_EQ(a.contention, 0.03);
+  EXPECT_FALSE(a.capped_by_freeze);
+}
+
+TEST(ShardAdvisorTest, ShrinksWhenContentionDisappears) {
+  ShardAdvisor adv;
+  const auto a = adv.recommend(64, 10000, 1);  // 0.01% < 0.2%
+  EXPECT_EQ(a.shards, 32u);
+}
+
+TEST(ShardAdvisorTest, DeadBandHoldsBetweenThresholds) {
+  ShardAdvisor adv;
+  const auto a = adv.recommend(64, 1000, 10);  // 1%: between the bands
+  EXPECT_EQ(a.shards, 64u);
+}
+
+TEST(ShardAdvisorTest, FreezeBudgetCapsGrowth) {
+  // Contention relief is never bought with an unbounded stop-the-world
+  // pause: with the doubled count's projected freeze cost over budget,
+  // growth is refused and flagged.
+  ShardAdvisorConfig cfg;
+  cfg.freeze_ns_per_shard = 60.0;
+  cfg.freeze_budget_ns = 1000.0;  // doubled 16 -> 32 shards = 1920 ns
+  ShardAdvisor adv(cfg);
+  const auto a = adv.recommend(16, 1000, 100);
+  EXPECT_EQ(a.shards, 16u);
+  EXPECT_TRUE(a.capped_by_freeze);
+}
+
+TEST(ShardAdvisorTest, RespectsMinAndMaxBounds) {
+  ShardAdvisor adv;
+  EXPECT_EQ(adv.recommend(512, 1000, 500).shards, 512u);  // at the ceiling
+  EXPECT_EQ(adv.recommend(16, 100000, 1).shards, 16u);    // at the floor
+}
+
+TEST(ShardAdvisorTest, BootShardsFollowTopologyAndCombos) {
+  const hw::Topology topo = hw::Topology::tiny();  // 4 cores -> 64 in flight
+  // Few combos: the combo count wins, floored at min_shards.
+  EXPECT_EQ(ShardAdvisor::boot_shards(topo, 1, 1), 16u);
+  EXPECT_EQ(ShardAdvisor::boot_shards(topo, 4, 4), 16u);
+  // Many combos: cores x 16 wins.
+  EXPECT_EQ(ShardAdvisor::boot_shards(topo, 64, 64), 64u);
+  // Non-power-of-two rounds up.
+  EXPECT_EQ(ShardAdvisor::boot_shards(topo, 24, 1), 32u);
+}
+
+// --- kernel integration: probe, reshard, adapt ---
+
+class ShardReshardTest : public ::testing::Test {
+ protected:
+  ShardReshardTest()
+      : topo_(hw::Topology::tiny()),
+        pci_(hw::PciConfig::program_bios(topo_)),
+        map_(pci_, topo_) {}
+
+  Kernel make_kernel(KernelConfig cfg, uint64_t seed = 42) {
+    return Kernel(topo_, map_, cfg, seed);
+  }
+
+  TaskId make_colored_task(Kernel& k) {
+    const TaskId t = k.create_task(0);
+    k.mmap(t, map_.make_bank_color(0, 0) | SET_MEM_COLOR, 0,
+           PROT_COLOR_ALLOC);
+    return t;
+  }
+
+  hw::Topology topo_;
+  hw::PciConfig pci_;
+  hw::AddressMapping map_;
+};
+
+TEST_F(ShardReshardTest, ReshardPreservesParkedFramesAndConservation) {
+  KernelConfig cfg;
+  cfg.color_shards = 64;
+  cfg.magazine_capacity = 0;  // frees park straight in the shards
+  Kernel k = make_kernel(cfg);
+  ASSERT_EQ(k.color_lists().num_shards(), 64u);
+
+  // Park real frames in the lists, then swap the lock granularity out
+  // from under them: contents and pop order must be untouched.
+  const TaskId t = make_colored_task(k);
+  const uint64_t page = topo_.page_bytes();
+  const VirtAddr base = k.mmap(t, 0, 8 * page, 0);
+  ASSERT_NE(base, kMmapFailed);
+  for (int i = 0; i < 8; ++i)
+    ASSERT_EQ(k.touch(t, base + i * page, true).error, AllocError::kOk);
+  ASSERT_TRUE(k.munmap(t, base, 8 * page));
+  const uint64_t parked = k.color_lists().total_parked();
+  ASSERT_GE(parked, 8u);
+
+  ASSERT_TRUE(k.reshard_colors(128));
+  EXPECT_EQ(k.color_lists().num_shards(), 128u);
+  EXPECT_EQ(k.color_lists().total_parked(), parked);
+  EXPECT_EQ(k.stats().snapshot().color_reshards, 1u);
+  const auto inv = k.check_invariants();
+  ASSERT_TRUE(inv.ok) << inv.detail;
+
+  // Same count again is a no-op; out-of-range requests clamp.
+  EXPECT_FALSE(k.reshard_colors(128));
+  ASSERT_TRUE(k.reshard_colors(7));  // clamps up to the floor
+  EXPECT_EQ(k.color_lists().num_shards(), 16u);
+
+  // The parked frames still serve faults after two reshards.
+  const VirtAddr base2 = k.mmap(t, 0, 8 * page, 0);
+  ASSERT_NE(base2, kMmapFailed);
+  for (int i = 0; i < 8; ++i)
+    ASSERT_EQ(k.touch(t, base2 + i * page, true).error, AllocError::kOk);
+  const auto inv2 = k.check_invariants();
+  ASSERT_TRUE(inv2.ok) << inv2.detail;
+}
+
+TEST_F(ShardReshardTest, ProbeCountsAcquisitionsAndAdaptsDown) {
+  KernelConfig cfg;
+  cfg.color_shards = 64;  // explicit: room above the advisor's floor
+  cfg.magazine_capacity = 0;
+  Kernel k = make_kernel(cfg);
+  const TaskId t = make_colored_task(k);
+  const uint64_t page = topo_.page_bytes();
+
+  // A single-threaded fault/free loop acquires shard locks constantly
+  // but never collides: a full probe window with zero contention, which
+  // the advisor answers by halving the count.
+  k.begin_shard_probe();
+  for (int i = 0; i < 200; ++i) {
+    const VirtAddr va = k.mmap(t, 0, page, 0);
+    ASSERT_NE(va, kMmapFailed);
+    ASSERT_EQ(k.touch(t, va, true).error, AllocError::kOk);
+    ASSERT_TRUE(k.munmap(t, va, page));
+  }
+  const auto rep = k.adapt_shards();
+  EXPECT_GE(rep.acquisitions, 256u);
+  EXPECT_EQ(rep.contended, 0u);
+  EXPECT_EQ(rep.old_shards, 64u);
+  EXPECT_EQ(rep.new_shards, 32u);
+  EXPECT_TRUE(rep.resharded);
+  EXPECT_EQ(k.color_lists().num_shards(), 32u);
+  const auto inv = k.check_invariants();
+  ASSERT_TRUE(inv.ok) << inv.detail;
+}
+
+TEST_F(ShardReshardTest, ClosedProbeCountsNothing) {
+  KernelConfig cfg;
+  cfg.color_shards = 64;
+  cfg.magazine_capacity = 0;
+  Kernel k = make_kernel(cfg);
+  const TaskId t = make_colored_task(k);
+  const uint64_t page = topo_.page_bytes();
+  // No probe_begin: traffic leaves the counters untouched, and the
+  // adapt pass sits inside the noise window (no reshard).
+  for (int i = 0; i < 200; ++i) {
+    const VirtAddr va = k.mmap(t, 0, page, 0);
+    ASSERT_NE(va, kMmapFailed);
+    ASSERT_EQ(k.touch(t, va, true).error, AllocError::kOk);
+    ASSERT_TRUE(k.munmap(t, va, page));
+  }
+  const auto rep = k.adapt_shards();
+  EXPECT_EQ(rep.acquisitions, 0u);
+  EXPECT_FALSE(rep.resharded);
+  EXPECT_EQ(k.color_lists().num_shards(), 64u);
+}
+
+TEST_F(ShardReshardTest, BootShardsDerivedFromTopologyWhenUnset) {
+  KernelConfig cfg;  // color_shards = 0: the advisor picks
+  Kernel k = make_kernel(cfg);
+  EXPECT_EQ(k.color_lists().num_shards(),
+            ShardAdvisor::boot_shards(topo_, map_.num_bank_colors(),
+                                      map_.num_llc_colors()));
+}
+
+}  // namespace
+}  // namespace tint::os
